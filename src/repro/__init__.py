@@ -1,0 +1,111 @@
+"""repro — Efficient Construction of Nonlinear Models over Normalized Data.
+
+A from-scratch Python reproduction of Cheng, Koudas, Zhang & Yu
+(ICDE 2021): factorized training of Gaussian Mixture Models and Neural
+Networks directly over normalized relations (binary and multi-way
+PK/FK joins), together with the full substrate the paper relies on —
+a paged relational storage engine with I/O accounting, three join
+access paths (materialized / streaming / factorized), factorized block
+linear algebra, dataset generators, and a benchmark harness
+regenerating every figure and table of the paper's evaluation.
+
+Quick start::
+
+    import repro
+
+    db = repro.Database()                       # temp-dir database
+    star = repro.generate_star(
+        db, repro.StarSchemaConfig.binary(
+            n_s=100_000, n_r=1_000, d_s=5, d_r=15, with_target=True)
+    )
+    gmm = repro.fit_gmm(db, star.spec, n_components=5)
+    nn = repro.fit_nn(db, star.spec, hidden_sizes=(50,))
+"""
+
+from repro.core.api import (
+    FACTORIZED,
+    MATERIALIZED,
+    STREAMING,
+    GMMResult,
+    NNResult,
+    StrategyComparison,
+    compare_gmm_strategies,
+    compare_nn_strategies,
+    fit_gmm,
+    fit_nn,
+)
+from repro.data.hamlet import HAMLET_PROFILES, load_hamlet, load_movies_3way
+from repro.data.synthetic import (
+    DimensionSpec,
+    StarSchemaConfig,
+    generate_star,
+)
+from repro.errors import (
+    ConvergenceWarning,
+    JoinError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+from repro.gmm.base import EMConfig
+from repro.gmm.model import GaussianMixtureModel, GMMParams
+from repro.join.spec import DimensionJoin, JoinSpec
+from repro.linear.models import LinearModel, fit_logistic, fit_ridge
+from repro.nn.base import NNConfig
+from repro.nn.network import MLP
+from repro.storage.catalog import Database
+from repro.storage.schema import (
+    Schema,
+    feature,
+    features,
+    foreign_key,
+    key,
+    target,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConvergenceWarning",
+    "Database",
+    "DimensionJoin",
+    "DimensionSpec",
+    "EMConfig",
+    "FACTORIZED",
+    "GMMParams",
+    "GMMResult",
+    "GaussianMixtureModel",
+    "HAMLET_PROFILES",
+    "JoinError",
+    "JoinSpec",
+    "LinearModel",
+    "MATERIALIZED",
+    "MLP",
+    "ModelError",
+    "fit_logistic",
+    "fit_ridge",
+    "NNConfig",
+    "NNResult",
+    "NotFittedError",
+    "ReproError",
+    "STREAMING",
+    "Schema",
+    "SchemaError",
+    "StarSchemaConfig",
+    "StorageError",
+    "StrategyComparison",
+    "compare_gmm_strategies",
+    "compare_nn_strategies",
+    "feature",
+    "features",
+    "fit_gmm",
+    "fit_nn",
+    "foreign_key",
+    "generate_star",
+    "key",
+    "load_hamlet",
+    "load_movies_3way",
+    "target",
+]

@@ -1,0 +1,221 @@
+"""Experiment harness: run strategy comparisons, collect series, render
+paper-style tables.
+
+Every figure/table in Section VII is a sweep over one workload knob
+(``rr``, ``d_R``, ``K``, ``n_h``, or a dataset name) comparing the
+wall-clock time of the three strategies.  The harness runs each sweep
+point in a fresh temporary database, verifies that all strategies
+produced the same model (the exactness invariant travels with every
+benchmark), and renders the series as an aligned text table.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.core.api import (
+    FACTORIZED,
+    MATERIALIZED,
+    STREAMING,
+    compare_gmm_strategies,
+    compare_nn_strategies,
+)
+from repro.errors import ModelError
+from repro.gmm.base import EMConfig
+from repro.join.spec import JoinSpec
+from repro.nn.base import NNConfig
+from repro.storage.catalog import Database
+
+STRATEGY_ORDER = (MATERIALIZED, STREAMING, FACTORIZED)
+STRATEGY_LABELS = {
+    MATERIALIZED: "M",
+    STREAMING: "S",
+    FACTORIZED: "F",
+}
+
+
+@dataclass
+class SweepPoint:
+    """One x-value of a sweep: wall times per strategy."""
+
+    x: object
+    seconds: dict[str, float]
+
+    def speedup(self, baseline: str = STREAMING) -> float:
+        """Baseline time over factorized time (paper's headline ratio)."""
+        return self.seconds[baseline] / self.seconds[FACTORIZED]
+
+    def best_baseline_speedup(self) -> float:
+        baselines = [
+            t for name, t in self.seconds.items() if name != FACTORIZED
+        ]
+        if not baselines:
+            raise ModelError("no baseline strategies were run")
+        return min(baselines) / self.seconds[FACTORIZED]
+
+
+@dataclass
+class SweepResult:
+    """A full series: the reproduction of one figure panel or table."""
+
+    experiment: str
+    x_label: str
+    points: list[SweepPoint] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def strategies(self) -> list[str]:
+        if not self.points:
+            return []
+        return [
+            s for s in STRATEGY_ORDER if s in self.points[0].seconds
+        ]
+
+    def speedups(self, baseline: str = STREAMING) -> list[float]:
+        return [p.speedup(baseline) for p in self.points]
+
+    def render(self) -> str:
+        """Aligned text table in the style of the paper's tables."""
+        strategies = self.strategies
+        headers = (
+            [self.x_label]
+            + [f"{STRATEGY_LABELS[s]} (s)" for s in strategies]
+            + ["F speedup"]
+        )
+        rows = []
+        for point in self.points:
+            row = [str(point.x)]
+            row.extend(f"{point.seconds[s]:.3f}" for s in strategies)
+            row.append(f"{point.best_baseline_speedup():.2f}x")
+            rows.append(row)
+        lines = [f"== {self.experiment} =="]
+        lines.append(_format_table(headers, rows))
+        for note in self.notes:
+            lines.append(f"   {note}")
+        return "\n".join(lines)
+
+    def emit(self, path=None) -> None:
+        """Print to the real stdout (visible under pytest capture) and
+        optionally persist to ``path``."""
+        text = self.render()
+        sys.__stdout__.write("\n" + text + "\n")
+        sys.__stdout__.flush()
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text + "\n")
+
+
+def _format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in rows)) if rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    def fmt(row):
+        return "  ".join(cell.rjust(w) for cell, w in zip(row, widths))
+    line = "  ".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), line] + [fmt(r) for r in rows])
+
+
+def run_gmm_sweep(
+    experiment: str,
+    x_label: str,
+    cases: list[tuple[object, Callable[[Database], JoinSpec]]],
+    config: EMConfig,
+    *,
+    strategies: tuple[str, ...] = STRATEGY_ORDER,
+    block_pages: int = 64,
+    check_exactness: bool = True,
+) -> SweepResult:
+    """Run one GMM figure panel.
+
+    ``cases`` maps each x-value to a loader that populates a fresh
+    database and returns the join spec to train over.
+    """
+    result = SweepResult(experiment=experiment, x_label=x_label)
+    for x, loader in cases:
+        with Database() as db:
+            spec = loader(db)
+            comparison = compare_gmm_strategies(
+                db, spec, config,
+                block_pages=block_pages, strategies=strategies,
+            )
+            if check_exactness:
+                _check_gmm_equal(comparison)
+            result.points.append(
+                SweepPoint(x=x, seconds=comparison.wall_times())
+            )
+    return result
+
+
+def run_nn_sweep(
+    experiment: str,
+    x_label: str,
+    cases: list[tuple[object, Callable[[Database], JoinSpec]]],
+    config: NNConfig,
+    *,
+    strategies: tuple[str, ...] = STRATEGY_ORDER,
+    block_pages: int = 64,
+    check_exactness: bool = True,
+) -> SweepResult:
+    """Run one NN figure panel (same contract as :func:`run_gmm_sweep`)."""
+    result = SweepResult(experiment=experiment, x_label=x_label)
+    for x, loader in cases:
+        with Database() as db:
+            spec = loader(db)
+            comparison = compare_nn_strategies(
+                db, spec, config,
+                block_pages=block_pages, strategies=strategies,
+            )
+            if check_exactness:
+                _check_nn_equal(comparison, config)
+            result.points.append(
+                SweepPoint(x=x, seconds=comparison.wall_times())
+            )
+    return result
+
+
+def _check_gmm_equal(comparison) -> None:
+    # Belt-and-braces check (the strict per-iteration invariant lives in
+    # tests/gmm): tolerances are loose enough to absorb float-noise
+    # amplification on ill-conditioned covariances (d >> n_R at small
+    # scales) while still catching any real algorithmic divergence.
+    results = list(comparison.results.values())
+    for other in results[1:]:
+        if not results[0].params.allclose(
+            other.params, rtol=1e-3, atol=1e-5
+        ):
+            raise ModelError(
+                "strategies disagree on the trained GMM — the exactness "
+                "invariant is broken"
+            )
+
+
+def _check_nn_equal(comparison, config: NNConfig) -> None:
+    import numpy as np
+
+    # In "per-batch" mode M-NN sees different batch *boundaries* than
+    # S-/F-NN (page blocks vs dimension blocks), so its mini-batch
+    # trajectory legitimately differs; only S vs F share batches.  In
+    # "full" mode all strategies must coincide.
+    if config.batch_mode == "full":
+        names = list(comparison.results)
+    else:
+        names = [
+            n for n in (STREAMING, FACTORIZED) if n in comparison.results
+        ]
+    if len(names) < 2:
+        return
+    reference = comparison.results[names[0]].model
+    for name in names[1:]:
+        other = comparison.results[name].model
+        for layer_a, layer_b in zip(reference.layers, other.layers):
+            if not np.allclose(
+                layer_a.weights, layer_b.weights, rtol=1e-5, atol=1e-7
+            ):
+                raise ModelError(
+                    "strategies disagree on the trained NN — the "
+                    "exactness invariant is broken"
+                )

@@ -1,0 +1,29 @@
+"""High-level API: one-call model training over normalized relations."""
+
+from repro.core.api import (
+    FACTORIZED,
+    MATERIALIZED,
+    STREAMING,
+    GMMResult,
+    NNResult,
+    StrategyComparison,
+    compare_gmm_strategies,
+    compare_nn_strategies,
+    fit_gmm,
+    fit_nn,
+    resolve_strategy,
+)
+
+__all__ = [
+    "FACTORIZED",
+    "GMMResult",
+    "MATERIALIZED",
+    "NNResult",
+    "STREAMING",
+    "StrategyComparison",
+    "compare_gmm_strategies",
+    "compare_nn_strategies",
+    "fit_gmm",
+    "fit_nn",
+    "resolve_strategy",
+]

@@ -1,0 +1,257 @@
+"""The high-level public API.
+
+One-call training of nonlinear models over normalized relations:
+
+>>> from repro import Database, JoinSpec, fit_gmm, fit_nn
+>>> spec = JoinSpec.binary("orders", "items")
+>>> result = fit_gmm(db, spec, n_components=5, algorithm="factorized")
+>>> clusters = result.model.predict(features)
+
+``algorithm`` selects the execution strategy by friendly name or paper
+name: ``"materialized"``/``"M"``, ``"streaming"``/``"S"``, or
+``"factorized"``/``"F"`` (the default — the paper's proposal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ModelError
+from repro.gmm.algorithms import fit_f_gmm, fit_m_gmm, fit_s_gmm
+from repro.gmm.base import EMConfig, GMMFitResult
+from repro.gmm.model import GaussianMixtureModel
+from repro.join.bnl import DEFAULT_BLOCK_PAGES
+from repro.join.spec import JoinSpec
+from repro.nn.algorithms import fit_f_nn, fit_m_nn, fit_s_nn
+from repro.nn.base import NNConfig, NNFitResult
+from repro.nn.network import MLP
+from repro.storage.catalog import Database
+from repro.storage.iostats import IOSnapshot
+
+MATERIALIZED = "materialized"
+STREAMING = "streaming"
+FACTORIZED = "factorized"
+
+_STRATEGY_ALIASES = {
+    "materialized": MATERIALIZED,
+    "m": MATERIALIZED,
+    "m-gmm": MATERIALIZED,
+    "m-nn": MATERIALIZED,
+    "streaming": STREAMING,
+    "s": STREAMING,
+    "s-gmm": STREAMING,
+    "s-nn": STREAMING,
+    "factorized": FACTORIZED,
+    "f": FACTORIZED,
+    "f-gmm": FACTORIZED,
+    "f-nn": FACTORIZED,
+}
+
+
+def resolve_strategy(algorithm: str) -> str:
+    """Normalize an algorithm/strategy name to its canonical form."""
+    try:
+        return _STRATEGY_ALIASES[algorithm.lower()]
+    except KeyError:
+        raise ModelError(
+            f"unknown algorithm {algorithm!r}; use one of "
+            f"{sorted(set(_STRATEGY_ALIASES.values()))}"
+        ) from None
+
+
+@dataclass
+class GMMResult:
+    """A fitted mixture plus the run's bookkeeping."""
+
+    model: GaussianMixtureModel
+    fit: GMMFitResult
+
+    @property
+    def algorithm(self) -> str:
+        return self.fit.algorithm
+
+    @property
+    def log_likelihood_history(self) -> list[float]:
+        return self.fit.log_likelihood_history
+
+    @property
+    def wall_time_seconds(self) -> float:
+        return self.fit.wall_time_seconds
+
+    @property
+    def io(self) -> IOSnapshot | None:
+        return self.fit.io
+
+
+@dataclass
+class NNResult:
+    """A trained network plus the run's bookkeeping."""
+
+    model: MLP
+    fit: NNFitResult
+
+    @property
+    def algorithm(self) -> str:
+        return self.fit.algorithm
+
+    @property
+    def loss_history(self) -> list[float]:
+        return self.fit.loss_history
+
+    @property
+    def wall_time_seconds(self) -> float:
+        return self.fit.wall_time_seconds
+
+    @property
+    def io(self) -> IOSnapshot | None:
+        return self.fit.io
+
+    def predict(self, features):
+        """Network outputs for dense joined feature rows."""
+        return self.model.predict(features)
+
+
+_GMM_FITTERS = {
+    MATERIALIZED: fit_m_gmm,
+    STREAMING: fit_s_gmm,
+    FACTORIZED: fit_f_gmm,
+}
+
+_NN_FITTERS = {
+    MATERIALIZED: fit_m_nn,
+    STREAMING: fit_s_nn,
+    FACTORIZED: fit_f_nn,
+}
+
+
+def fit_gmm(
+    db: Database,
+    spec: JoinSpec,
+    *,
+    n_components: int = 5,
+    algorithm: str = FACTORIZED,
+    max_iter: int = 10,
+    tol: float = 1e-4,
+    reg_covar: float = 1e-6,
+    seed: int = 0,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    config: EMConfig | None = None,
+) -> GMMResult:
+    """Train a Gaussian mixture over the star join described by ``spec``.
+
+    Parameters mirror :class:`~repro.gmm.base.EMConfig`; pass ``config``
+    directly for full control.  ``algorithm`` picks the execution
+    strategy (all produce identical models; they differ in cost).
+    """
+    strategy = resolve_strategy(algorithm)
+    if config is None:
+        config = EMConfig(
+            n_components=n_components,
+            max_iter=max_iter,
+            tol=tol,
+            reg_covar=reg_covar,
+            seed=seed,
+        )
+    fit_result = _GMM_FITTERS[strategy](
+        db, spec, config, block_pages=block_pages
+    )
+    model = GaussianMixtureModel(
+        fit_result.params, reg_covar=config.reg_covar
+    )
+    return GMMResult(model=model, fit=fit_result)
+
+
+def fit_nn(
+    db: Database,
+    spec: JoinSpec,
+    *,
+    hidden_sizes: tuple[int, ...] = (50,),
+    activation: str = "sigmoid",
+    algorithm: str = FACTORIZED,
+    epochs: int = 10,
+    learning_rate: float = 0.05,
+    batch_mode: str = "per-batch",
+    shuffle: bool = False,
+    seed: int = 0,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    config: NNConfig | None = None,
+) -> NNResult:
+    """Train a neural network over the star join described by ``spec``.
+
+    The fact relation must declare a TARGET column (the ``Y`` attribute
+    of Section IV).  Parameters mirror
+    :class:`~repro.nn.base.NNConfig`; pass ``config`` for full control.
+    """
+    strategy = resolve_strategy(algorithm)
+    if config is None:
+        config = NNConfig(
+            hidden_sizes=tuple(hidden_sizes),
+            activation=activation,
+            epochs=epochs,
+            learning_rate=learning_rate,
+            batch_mode=batch_mode,
+            shuffle=shuffle,
+            seed=seed,
+        )
+    fit_result = _NN_FITTERS[strategy](
+        db, spec, config, block_pages=block_pages
+    )
+    return NNResult(model=fit_result.model, fit=fit_result)
+
+
+@dataclass
+class StrategyComparison:
+    """Side-by-side runs of all three strategies on one workload."""
+
+    results: dict[str, object] = field(default_factory=dict)
+
+    def wall_times(self) -> dict[str, float]:
+        return {
+            name: result.wall_time_seconds
+            for name, result in self.results.items()
+        }
+
+    def speedup_of_factorized(self) -> dict[str, float]:
+        """Speedup of the factorized run over each baseline."""
+        factorized = self.results[FACTORIZED].wall_time_seconds
+        return {
+            name: result.wall_time_seconds / factorized
+            for name, result in self.results.items()
+            if name != FACTORIZED
+        }
+
+
+def compare_gmm_strategies(
+    db: Database,
+    spec: JoinSpec,
+    config: EMConfig,
+    *,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    strategies: tuple[str, ...] = (MATERIALIZED, STREAMING, FACTORIZED),
+) -> StrategyComparison:
+    """Run the same GMM workload under several strategies (Fig. 3/4)."""
+    comparison = StrategyComparison()
+    for name in strategies:
+        strategy = resolve_strategy(name)
+        comparison.results[strategy] = _GMM_FITTERS[strategy](
+            db, spec, config, block_pages=block_pages
+        )
+    return comparison
+
+
+def compare_nn_strategies(
+    db: Database,
+    spec: JoinSpec,
+    config: NNConfig,
+    *,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    strategies: tuple[str, ...] = (MATERIALIZED, STREAMING, FACTORIZED),
+) -> StrategyComparison:
+    """Run the same NN workload under several strategies (Fig. 5/6)."""
+    comparison = StrategyComparison()
+    for name in strategies:
+        strategy = resolve_strategy(name)
+        comparison.results[strategy] = _NN_FITTERS[strategy](
+            db, spec, config, block_pages=block_pages
+        )
+    return comparison

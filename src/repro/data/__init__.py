@@ -1,0 +1,32 @@
+"""Dataset generation: synthetic star schemas (Section VII-A's
+controlled sweeps) and simulated Hamlet Plus datasets (Tables IV/V)."""
+
+from repro.data.hamlet import (
+    HAMLET_PROFILES,
+    MOVIES_3WAY,
+    HamletProfile,
+    load_hamlet,
+    load_movies_3way,
+)
+from repro.data.onehot import one_hot_encode, random_categoricals, split_width
+from repro.data.synthetic import (
+    DimensionSpec,
+    GeneratedStar,
+    StarSchemaConfig,
+    generate_star,
+)
+
+__all__ = [
+    "DimensionSpec",
+    "GeneratedStar",
+    "HAMLET_PROFILES",
+    "HamletProfile",
+    "MOVIES_3WAY",
+    "StarSchemaConfig",
+    "generate_star",
+    "load_hamlet",
+    "load_movies_3way",
+    "one_hot_encode",
+    "random_categoricals",
+    "split_width",
+]

@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch one type at the boundary.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation schema is malformed or used inconsistently."""
+
+
+class StorageError(ReproError):
+    """On-disk storage is missing, corrupt, or used incorrectly."""
+
+
+class JoinError(ReproError):
+    """A join cannot be executed (missing keys, dangling foreign keys)."""
+
+
+class ModelError(ReproError):
+    """A model was configured or used incorrectly."""
+
+
+class NotFittedError(ModelError):
+    """A result or prediction was requested before the model was trained."""
+
+
+class ConvergenceWarning(UserWarning):
+    """Training stopped without meeting its convergence criterion."""

@@ -1,0 +1,66 @@
+"""Gaussian mixture models over normalized data (Section V).
+
+Public surface: the parameter container and inference model, the EM
+configuration/result types, the three training strategies, and the
+analytic cost models of Sections V-A/V-B.
+"""
+
+from repro.gmm.algorithms import (
+    F_GMM,
+    GMM_ALGORITHMS,
+    M_GMM,
+    S_GMM,
+    fit_f_gmm,
+    fit_m_gmm,
+    fit_s_gmm,
+)
+from repro.gmm.base import EMConfig, GMMFitResult, run_em
+from repro.gmm.cost_model import (
+    ComputeCost,
+    dense_outer_cost,
+    factorized_outer_cost,
+    join_pass_pages,
+    m_gmm_io_pages,
+    outer_saving,
+    outer_saving_rate,
+    s_gmm_io_pages,
+    streaming_wins_block_size,
+)
+from repro.gmm.engines import DenseEMEngine, FactorizedEMEngine
+from repro.gmm.init import initial_params, kmeans_plusplus_centers
+from repro.gmm.model import (
+    ComponentPrecisions,
+    GaussianMixtureModel,
+    GMMParams,
+    log_responsibilities,
+)
+
+__all__ = [
+    "ComponentPrecisions",
+    "ComputeCost",
+    "DenseEMEngine",
+    "EMConfig",
+    "F_GMM",
+    "FactorizedEMEngine",
+    "GMMFitResult",
+    "GMMParams",
+    "GMM_ALGORITHMS",
+    "GaussianMixtureModel",
+    "M_GMM",
+    "S_GMM",
+    "dense_outer_cost",
+    "factorized_outer_cost",
+    "fit_f_gmm",
+    "fit_m_gmm",
+    "fit_s_gmm",
+    "initial_params",
+    "join_pass_pages",
+    "kmeans_plusplus_centers",
+    "log_responsibilities",
+    "m_gmm_io_pages",
+    "outer_saving",
+    "outer_saving_rate",
+    "run_em",
+    "s_gmm_io_pages",
+    "streaming_wins_block_size",
+]

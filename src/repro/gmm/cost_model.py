@@ -1,0 +1,138 @@
+"""Analytic cost models from Sections V-A and V-B.
+
+These formulas are checked against *measured* page counts and operation
+counts by the test suite and the ``bench_io_cost`` benchmark — the
+reproduction validates the paper's analysis, not just its empirics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ModelError(f"{name} must be positive, got {value}")
+
+
+def join_pass_pages(pages_r: int, pages_s: int, block_pages: int) -> int:
+    """Pages read by one BNL pass: ``|R| + ceil(|R|/BlockSize)·|S|``."""
+    _check_positive(pages_r=pages_r, pages_s=pages_s, block_pages=block_pages)
+    return pages_r + math.ceil(pages_r / block_pages) * pages_s
+
+
+def m_gmm_io_pages(
+    pages_r: int,
+    pages_s: int,
+    pages_t: int,
+    block_pages: int,
+    iterations: int,
+) -> int:
+    """Total M-GMM page I/O (Section V-A).
+
+    One join pass to build ``T``, ``|T|`` writes to materialize it, and
+    three reads of ``T`` per EM iteration.
+    """
+    _check_positive(pages_t=pages_t, iterations=iterations)
+    return (
+        join_pass_pages(pages_r, pages_s, block_pages)
+        + pages_t
+        + 3 * iterations * pages_t
+    )
+
+
+def s_gmm_io_pages(
+    pages_r: int, pages_s: int, block_pages: int, iterations: int
+) -> int:
+    """Total S-GMM (= F-GMM) page I/O: three join passes per iteration."""
+    _check_positive(iterations=iterations)
+    return 3 * iterations * join_pass_pages(pages_r, pages_s, block_pages)
+
+
+def streaming_wins_block_size(
+    pages_r: int, pages_s: int, pages_t: int, iterations: int
+) -> float:
+    """The BlockSize crossover of Section V-A.
+
+    S-GMM incurs less I/O than M-GMM when ``BlockSize`` exceeds
+    ``(3·iter−1)|R||S| / ((3·iter+1)|T| − (3·iter−1)|R|)``.  Returns
+    ``inf`` when the denominator is non-positive (S-GMM never wins).
+    """
+    _check_positive(
+        pages_r=pages_r, pages_s=pages_s, pages_t=pages_t,
+        iterations=iterations,
+    )
+    factor = 3 * iterations - 1
+    denominator = (3 * iterations + 1) * pages_t - factor * pages_r
+    if denominator <= 0:
+        return math.inf
+    return factor * pages_r * pages_s / denominator
+
+
+@dataclass(frozen=True)
+class ComputeCost:
+    """Operation counts for the Σ-update outer product (Eq. 14)."""
+
+    subtractions: float
+    multiplications: float
+
+    def time(self, tau_s: float = 1.0, tau_m: float = 1.0) -> float:
+        """Weighted time with per-op costs ``τ_s`` and ``τ_m``."""
+        return self.subtractions * tau_s + self.multiplications * tau_m
+
+
+def dense_outer_cost(n_s: int, d_s: int, d_r: int) -> ComputeCost:
+    """Baseline cost of Eq. 14 over the join result.
+
+    ``N = n_S`` tuples each need ``d`` subtractions and ``d²``
+    multiplications, ``d = d_S + d_R`` (Section V-B).
+    """
+    _check_positive(n_s=n_s, d_s=d_s, d_r=d_r)
+    d = d_s + d_r
+    return ComputeCost(subtractions=n_s * d, multiplications=n_s * d * d)
+
+
+def factorized_outer_cost(
+    n_s: int, n_r: int, d_s: int, d_r: int
+) -> ComputeCost:
+    """F-GMM cost of Eq. 14 with ``PD_R`` and LR reused (Section V-B)."""
+    _check_positive(n_s=n_s, n_r=n_r, d_s=d_s, d_r=d_r)
+    return ComputeCost(
+        subtractions=n_s * d_s + n_r * d_r,
+        multiplications=n_s * (d_s**2 + 2 * d_s * d_r) + n_r * d_r**2,
+    )
+
+
+def outer_saving(
+    n_s: int,
+    n_r: int,
+    d_s: int,
+    d_r: int,
+    tau_s: float = 1.0,
+    tau_m: float = 1.0,
+) -> float:
+    """Closed-form saving ``Δτ = (n_S − n_R)·d_R·(τ_s + d_R·τ_m)``."""
+    _check_positive(n_s=n_s, n_r=n_r, d_s=d_s, d_r=d_r)
+    return (n_s - n_r) * d_r * (tau_s + d_r * tau_m)
+
+
+def outer_saving_rate(
+    n_s: int,
+    n_r: int,
+    d_s: int,
+    d_r: int,
+    tau_s: float = 1.0,
+    tau_m: float = 1.0,
+) -> float:
+    """The saving rate ``Δτ/τ`` of Section V-B.
+
+    Monotonically increasing in both ``d_R`` and the tuple ratio
+    ``rr = n_S/n_R`` for fixed ``d_S`` — the trend Figs. 3(a)/(b)
+    confirm empirically.
+    """
+    baseline = dense_outer_cost(n_s, d_s, d_r).time(tau_s, tau_m)
+    return outer_saving(n_s, n_r, d_s, d_r, tau_s, tau_m) / baseline

@@ -1,0 +1,227 @@
+"""Gaussian mixture model parameters and inference.
+
+The model of Section III-A: ``p(x) = Σ_k π_k N(x | µ_k, Σ_k)`` with full
+(arbitrary) covariance matrices — the paper's most general setting, in
+contrast to the independent-GMM restriction of the earlier poster
+paper [Cheng & Koudas, ICDE 2019].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+LOG_2PI = float(np.log(2.0 * np.pi))
+
+
+@dataclass
+class GMMParams:
+    """The parameter triple ``(π, µ, Σ)`` of a K-component mixture."""
+
+    weights: np.ndarray      # (K,)
+    means: np.ndarray        # (K, d)
+    covariances: np.ndarray  # (K, d, d)
+
+    def __post_init__(self) -> None:
+        self.weights = np.asarray(self.weights, dtype=np.float64)
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.covariances = np.asarray(self.covariances, dtype=np.float64)
+        k = self.weights.shape[0]
+        if self.weights.ndim != 1 or k == 0:
+            raise ModelError(
+                f"weights must be a non-empty vector, got {self.weights.shape}"
+            )
+        if self.means.ndim != 2 or self.means.shape[0] != k:
+            raise ModelError(
+                f"means shape {self.means.shape} incompatible with K={k}"
+            )
+        d = self.means.shape[1]
+        if self.covariances.shape != (k, d, d):
+            raise ModelError(
+                f"covariances shape {self.covariances.shape} != ({k},{d},{d})"
+            )
+        if not np.isclose(self.weights.sum(), 1.0, atol=1e-6):
+            raise ModelError(
+                f"mixing coefficients must sum to 1, got {self.weights.sum()}"
+            )
+        if np.any(self.weights < 0):
+            raise ModelError("mixing coefficients must be non-negative")
+
+    @property
+    def n_components(self) -> int:
+        return self.weights.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.means.shape[1]
+
+    def copy(self) -> "GMMParams":
+        return GMMParams(
+            self.weights.copy(), self.means.copy(), self.covariances.copy()
+        )
+
+    def allclose(
+        self, other: "GMMParams", *, rtol: float = 1e-7, atol: float = 1e-9
+    ) -> bool:
+        """Parameter-wise closeness — the exactness criterion of V-B."""
+        return (
+            np.allclose(self.weights, other.weights, rtol=rtol, atol=atol)
+            and np.allclose(self.means, other.means, rtol=rtol, atol=atol)
+            and np.allclose(
+                self.covariances, other.covariances, rtol=rtol, atol=atol
+            )
+        )
+
+
+class ComponentPrecisions:
+    """Per-component precision matrices ``I_k = Σ_k⁻¹`` and log-dets.
+
+    Computed once per EM iteration via Cholesky (O(K·d³)); feature
+    vectors are *not* involved (the paper notes ``1/√((2π)^d |Σ_k|)``
+    needs no data), so this part is shared verbatim by all three
+    algorithms.
+    """
+
+    def __init__(self, covariances: np.ndarray, reg: float = 0.0) -> None:
+        covariances = np.asarray(covariances, dtype=np.float64)
+        if covariances.ndim != 3 or covariances.shape[1] != covariances.shape[2]:
+            raise ModelError(
+                f"covariances must be (K, d, d), got {covariances.shape}"
+            )
+        k, d, _ = covariances.shape
+        self.precisions = np.empty_like(covariances)
+        self.log_dets = np.empty(k)
+        eye = np.eye(d)
+        for j in range(k):
+            sigma = covariances[j] + reg * eye
+            try:
+                chol = np.linalg.cholesky(sigma)
+            except np.linalg.LinAlgError as exc:
+                raise ModelError(
+                    f"component {j} covariance is not positive definite; "
+                    "increase reg_covar"
+                ) from exc
+            self.log_dets[j] = 2.0 * np.log(np.diag(chol)).sum()
+            # Σ⁻¹ from the Cholesky factor: solve L Lᵀ X = I.
+            inv_chol = np.linalg.solve(chol, eye)
+            self.precisions[j] = inv_chol.T @ inv_chol
+
+    @property
+    def n_components(self) -> int:
+        return self.log_dets.shape[0]
+
+
+def log_gaussian_from_quadform(
+    quadform: np.ndarray, log_det: float, d: int
+) -> np.ndarray:
+    """``log N(x|µ,Σ)`` given the quadratic form values (Eq. 1).
+
+    This is the seam the factorization exploits: M-/S- and F- compute
+    the quadratic form differently but share everything from here on.
+    """
+    return -0.5 * (d * LOG_2PI + log_det + quadform)
+
+
+def log_responsibilities(
+    log_gauss: np.ndarray, weights: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """E-step posteriors (Eq. 2) in a numerically stable way.
+
+    Parameters
+    ----------
+    log_gauss:
+        ``(n, K)`` array of ``log N(x_n | µ_k, Σ_k)``.
+    weights:
+        Mixing coefficients ``π``.
+
+    Returns
+    -------
+    (gamma, log_likelihoods):
+        ``gamma`` is the ``(n, K)`` responsibility matrix; the second
+        element holds each tuple's ``log Σ_k π_k N(x|µ_k,Σ_k)``
+        (summed over tuples this is Eq. 6).
+    """
+    weighted = log_gauss + np.log(weights)[None, :]
+    peak = weighted.max(axis=1, keepdims=True)
+    shifted = np.exp(weighted - peak)
+    norm = shifted.sum(axis=1, keepdims=True)
+    gamma = shifted / norm
+    log_likelihoods = (peak + np.log(norm)).ravel()
+    return gamma, log_likelihoods
+
+
+class GaussianMixtureModel:
+    """Inference-side wrapper around fitted :class:`GMMParams`."""
+
+    def __init__(self, params: GMMParams, *, reg_covar: float = 1e-6) -> None:
+        self.params = params
+        self.reg_covar = reg_covar
+        self._precisions = ComponentPrecisions(params.covariances, reg_covar)
+
+    def log_gaussians(self, data: np.ndarray) -> np.ndarray:
+        """``(n, K)`` component log-densities for dense rows."""
+        data = np.atleast_2d(np.asarray(data, dtype=np.float64))
+        n, d = data.shape
+        if d != self.params.n_features:
+            raise ModelError(
+                f"data has {d} features, model has {self.params.n_features}"
+            )
+        out = np.empty((n, self.params.n_components))
+        for j in range(self.params.n_components):
+            centered = data - self.params.means[j]
+            quad = np.einsum(
+                "ni,ij,nj->n",
+                centered,
+                self._precisions.precisions[j],
+                centered,
+                optimize=True,
+            )
+            out[:, j] = log_gaussian_from_quadform(
+                quad, self._precisions.log_dets[j], d
+            )
+        return out
+
+    def responsibilities(self, data: np.ndarray) -> np.ndarray:
+        """Posterior cluster memberships ``γ`` (Eq. 2)."""
+        gamma, _ = log_responsibilities(
+            self.log_gaussians(data), self.params.weights
+        )
+        return gamma
+
+    def predict(self, data: np.ndarray) -> np.ndarray:
+        """Hard cluster assignments (argmax responsibility)."""
+        return self.responsibilities(data).argmax(axis=1)
+
+    def score_samples(self, data: np.ndarray) -> np.ndarray:
+        """Per-tuple log-likelihood ``log p(x)``."""
+        _, log_likelihoods = log_responsibilities(
+            self.log_gaussians(data), self.params.weights
+        )
+        return log_likelihoods
+
+    def score(self, data: np.ndarray) -> float:
+        """Mean log-likelihood over the rows of ``data``."""
+        return float(self.score_samples(data).mean())
+
+    def sample(
+        self, n: int, *, rng: np.random.Generator | None = None
+    ) -> np.ndarray:
+        """Draw ``n`` points from the mixture."""
+        if rng is None:
+            rng = np.random.default_rng()
+        counts = rng.multinomial(n, self.params.weights)
+        draws = []
+        for j, count in enumerate(counts):
+            if count:
+                draws.append(
+                    rng.multivariate_normal(
+                        self.params.means[j],
+                        self.params.covariances[j],
+                        size=count,
+                    )
+                )
+        data = np.vstack(draws) if draws else np.empty((0, self.params.n_features))
+        return data[rng.permutation(data.shape[0])]

@@ -1,0 +1,35 @@
+"""PK/FK join operators over paged relations.
+
+Three access paths over the star join ``S ⋈ R_1 ⋈ … ⋈ R_q`` (Fig. 1):
+
+* :func:`materialize_join` + :class:`MaterializedTable` — compute once,
+  store ``T``, re-read per pass (the M- baselines);
+* :class:`StreamingJoin` — re-join on the fly per pass, dense batches
+  (the S- baselines);
+* :class:`FactorizedJoin` — same page schedule as streaming but batches
+  stay factorized (the F- algorithms).
+"""
+
+from repro.join.batches import DenseBatch, FactorizedBatch
+from repro.join.bnl import DEFAULT_BLOCK_PAGES, JoinBlock, iter_join_blocks
+from repro.join.factorized import FactorizedJoin
+from repro.join.materialize import MaterializedTable, materialize_join
+from repro.join.reference import nested_loop_join
+from repro.join.spec import DimensionJoin, JoinSpec, ResolvedJoin
+from repro.join.stream import StreamingJoin
+
+__all__ = [
+    "DEFAULT_BLOCK_PAGES",
+    "DenseBatch",
+    "DimensionJoin",
+    "FactorizedBatch",
+    "FactorizedJoin",
+    "JoinBlock",
+    "JoinSpec",
+    "MaterializedTable",
+    "ResolvedJoin",
+    "StreamingJoin",
+    "iter_join_blocks",
+    "materialize_join",
+    "nested_loop_join",
+]

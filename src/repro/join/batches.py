@@ -1,0 +1,112 @@
+"""Batch containers produced by the join access paths.
+
+All three execution strategies stream the joined table in batches; they
+differ in the *representation* of a batch:
+
+* :class:`DenseBatch` — one row per joined tuple with the full
+  ``[x_S | x_R1 | …]`` feature vector (M- and S- algorithms);
+* :class:`FactorizedBatch` — a
+  :class:`~repro.linalg.design.FactorizedDesign` that keeps each
+  dimension tuple once (F- algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+
+
+@dataclass
+class DenseBatch:
+    """A batch of joined tuples in denormalized (wide) form."""
+
+    sids: np.ndarray
+    features: np.ndarray
+    targets: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.sids = np.asarray(self.sids)
+        self.features = np.asarray(self.features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ModelError(
+                f"features must be 2-D, got {self.features.shape}"
+            )
+        if self.sids.shape[0] != self.features.shape[0]:
+            raise ModelError(
+                f"{self.sids.shape[0]} ids vs {self.features.shape[0]} rows"
+            )
+        if self.targets is not None:
+            self.targets = np.asarray(self.targets, dtype=np.float64)
+            if self.targets.shape != (self.features.shape[0],):
+                raise ModelError(
+                    f"targets shape {self.targets.shape} != "
+                    f"({self.features.shape[0]},)"
+                )
+
+    @property
+    def n(self) -> int:
+        return self.features.shape[0]
+
+    def take(self, indices: np.ndarray) -> "DenseBatch":
+        """Row-subset / permutation of the batch."""
+        return DenseBatch(
+            self.sids[indices],
+            self.features[indices],
+            None if self.targets is None else self.targets[indices],
+        )
+
+
+@dataclass
+class FactorizedBatch:
+    """A batch of joined tuples kept in factorized (normalized) form."""
+
+    sids: np.ndarray
+    design: FactorizedDesign
+    targets: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.sids = np.asarray(self.sids)
+        if self.sids.shape[0] != self.design.n:
+            raise ModelError(
+                f"{self.sids.shape[0]} ids vs {self.design.n} design rows"
+            )
+        if self.targets is not None:
+            self.targets = np.asarray(self.targets, dtype=np.float64)
+            if self.targets.shape != (self.design.n,):
+                raise ModelError(
+                    f"targets shape {self.targets.shape} != "
+                    f"({self.design.n},)"
+                )
+
+    @property
+    def n(self) -> int:
+        return self.design.n
+
+    def densify(self) -> DenseBatch:
+        """Expand to the equivalent :class:`DenseBatch` (tests only)."""
+        return DenseBatch(self.sids, self.design.densify(), self.targets)
+
+    def take(self, indices: np.ndarray) -> "FactorizedBatch":
+        """Row-subset / permutation.
+
+        Dimension blocks are shared, not copied: only the fact rows and
+        the code arrays are re-indexed, preserving the factorized
+        storage advantage.
+        """
+        design = self.design
+        groups = [
+            GroupIndex(g.codes[indices], g.num_groups) for g in design.groups
+        ]
+        new_design = FactorizedDesign(
+            design.fact_block[indices], design.dim_blocks, groups
+        )
+        return FactorizedBatch(
+            self.sids[indices],
+            new_design,
+            None if self.targets is None else self.targets[indices],
+        )

@@ -1,0 +1,158 @@
+"""Block-nested-loops join machinery shared by all access paths.
+
+The paper assumes joins execute in a block-nested-loops (BNL) fashion
+(Section IV).  For the binary join the outer loop reads the dimension
+relation ``R`` one block of pages at a time and, per block, scans the
+fact relation ``S`` for tuples whose foreign key falls in the block —
+exactly Fig. 1(b)/(c).  A full pass therefore costs
+``|R| + ceil(|R|/BlockSize)·|S|`` page reads, the quantity Section V-A's
+I/O analysis is built on.
+
+For multi-way star joins the paper gives no I/O analysis; we follow the
+natural generalization: each (small) dimension relation is read once per
+pass and probed in memory while the fact relation streams by in blocks,
+costing ``|S| + Σ|R_i|`` reads per pass.
+
+Every joined tuple is emitted exactly once per pass, grouped into
+:class:`JoinBlock` units that downstream code either densifies
+(S- algorithms) or keeps factorized (F- algorithms).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import JoinError
+from repro.linalg.groupsum import codes_for_keys
+from repro.join.spec import ResolvedJoin
+
+DEFAULT_BLOCK_PAGES = 64
+
+
+@dataclass
+class JoinBlock:
+    """One outer-block's worth of joined tuples, before densification.
+
+    ``fact_rows`` are raw fact-relation rows (all schema columns);
+    ``dim_features[i]`` holds the features of the ``i``-th dimension
+    batch at its distinct rows, and ``codes[i]`` maps each fact row to a
+    row of that batch.
+    """
+
+    fact_rows: np.ndarray
+    dim_features: list[np.ndarray]
+    codes: list[np.ndarray]
+
+    @property
+    def n(self) -> int:
+        return self.fact_rows.shape[0]
+
+
+def iter_join_blocks(
+    resolved: ResolvedJoin,
+    *,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    shuffle: bool = False,
+    rng: np.random.Generator | None = None,
+) -> Iterator[JoinBlock]:
+    """Yield the join result one :class:`JoinBlock` at a time.
+
+    With ``shuffle=True`` the outer block order and the tuple order
+    within each block are permuted (the paper's per-epoch key
+    permutation for SGD, Section VI); pass a seeded ``rng`` for
+    reproducibility.
+    """
+    if block_pages <= 0:
+        raise JoinError(f"block_pages must be positive, got {block_pages}")
+    if shuffle and rng is None:
+        rng = np.random.default_rng()
+    if resolved.num_dimensions == 1:
+        yield from _iter_binary(resolved, block_pages, shuffle, rng)
+    else:
+        yield from _iter_multiway(resolved, block_pages, shuffle, rng)
+
+
+def _block_starts(npages: int, block_pages: int) -> list[int]:
+    return list(range(0, npages, block_pages))
+
+
+def _iter_binary(
+    resolved: ResolvedJoin,
+    block_pages: int,
+    shuffle: bool,
+    rng: np.random.Generator | None,
+) -> Iterator[JoinBlock]:
+    """Fig. 1(b)/(c): dimension relation outer, fact relation inner."""
+    dim = resolved.dimensions[0]
+    fact = resolved.fact
+    fk_position = fact.schema.fk_position(dim.relation.name)
+    starts = _block_starts(dim.relation.npages, block_pages)
+    if shuffle:
+        starts = [starts[i] for i in rng.permutation(len(starts))]
+    for first_page in starts:
+        npages = min(block_pages, dim.relation.npages - first_page)
+        dim_rows = dim.relation.heap.read_pages(first_page, npages)
+        dim_keys = dim.relation.project_keys(dim_rows)
+        dim_feats = dim.relation.project_features(dim_rows)
+        # Inner scan of the fact relation, keeping tuples whose FK
+        # matches a key in the current outer block.
+        matched_chunks = []
+        for fact_chunk in fact.iter_blocks(block_pages):
+            fk_values = fact_chunk[:, fk_position].astype(np.int64)
+            mask = np.isin(fk_values, dim_keys)
+            if mask.any():
+                matched_chunks.append(fact_chunk[mask])
+        if matched_chunks:
+            fact_rows = np.concatenate(matched_chunks, axis=0)
+        else:
+            fact_rows = np.empty((0, fact.schema.width))
+        fk_values = fact_rows[:, fk_position].astype(np.int64)
+        codes = codes_for_keys(fk_values, dim_keys)
+        block = JoinBlock(fact_rows, [dim_feats], [codes])
+        yield _maybe_permute(block, shuffle, rng)
+
+
+def _iter_multiway(
+    resolved: ResolvedJoin,
+    block_pages: int,
+    shuffle: bool,
+    rng: np.random.Generator | None,
+) -> Iterator[JoinBlock]:
+    """Star join: dimensions resident per pass, fact relation streaming."""
+    fact = resolved.fact
+    dim_keys: list[np.ndarray] = []
+    dim_feats: list[np.ndarray] = []
+    fk_positions: list[int] = []
+    for dim in resolved.dimensions:
+        rows = dim.relation.scan()
+        dim_keys.append(dim.relation.project_keys(rows))
+        dim_feats.append(dim.relation.project_features(rows))
+        fk_positions.append(fact.schema.fk_position(dim.relation.name))
+    starts = _block_starts(fact.npages, block_pages)
+    if shuffle:
+        starts = [starts[i] for i in rng.permutation(len(starts))]
+    for first_page in starts:
+        npages = min(block_pages, fact.npages - first_page)
+        fact_rows = fact.heap.read_pages(first_page, npages)
+        codes = []
+        for keys, position in zip(dim_keys, fk_positions):
+            fk_values = fact_rows[:, position].astype(np.int64)
+            codes.append(codes_for_keys(fk_values, keys))
+        block = JoinBlock(fact_rows, list(dim_feats), codes)
+        yield _maybe_permute(block, shuffle, rng)
+
+
+def _maybe_permute(
+    block: JoinBlock, shuffle: bool, rng: np.random.Generator | None
+) -> JoinBlock:
+    if not shuffle or block.n <= 1:
+        return block
+    order = rng.permutation(block.n)
+    return JoinBlock(
+        block.fact_rows[order],
+        block.dim_features,
+        [c[order] for c in block.codes],
+    )

@@ -1,0 +1,96 @@
+"""The factorized access path — Fig. 1(c).
+
+F-GMM and F-NN read the base relations exactly like the streaming path
+(same block-nested-loops schedule, same I/O), but never expand the
+joined tuples: each batch keeps the dimension features at their
+*distinct* rows together with fact→dimension codes, packaged as a
+:class:`~repro.linalg.design.FactorizedDesign`.  All reuse the paper
+derives (Eq. 9–24, Section VI-A1) operates on this representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.join.batches import FactorizedBatch
+from repro.join.bnl import DEFAULT_BLOCK_PAGES, JoinBlock, iter_join_blocks
+from repro.join.spec import JoinSpec, ResolvedJoin
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+from repro.storage.catalog import Database
+
+
+def _factorize_block(
+    resolved: ResolvedJoin, block: JoinBlock
+) -> FactorizedBatch:
+    fact = resolved.fact
+    groups = [
+        GroupIndex(codes, features.shape[0])
+        for codes, features in zip(block.codes, block.dim_features)
+    ]
+    design = FactorizedDesign(
+        fact.project_features(block.fact_rows),
+        list(block.dim_features),
+        groups,
+    )
+    sids = (
+        fact.project_keys(block.fact_rows)
+        if fact.schema.key_column is not None
+        else np.arange(block.n)
+    )
+    targets = (
+        fact.project_targets(block.fact_rows)
+        if fact.schema.target_column is not None
+        else None
+    )
+    return FactorizedBatch(sids, design, targets)
+
+
+class FactorizedJoin:
+    """Streams the join result in factorized batches, one pass per call.
+
+    Same constructor contract as
+    :class:`~repro.join.stream.StreamingJoin`; the two paths read the
+    same pages in the same order and differ only in batch
+    representation, which is what isolates the compute savings of the
+    F- algorithms from I/O effects.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        spec: JoinSpec,
+        *,
+        block_pages: int = DEFAULT_BLOCK_PAGES,
+        shuffle: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.resolved = spec.resolve(db)
+        self.block_pages = block_pages
+        self.shuffle = shuffle
+        self.seed = seed
+
+    @property
+    def num_rows(self) -> int:
+        return self.resolved.num_rows
+
+    @property
+    def has_target(self) -> bool:
+        return self.resolved.has_target
+
+    def batches(self, epoch: int = 0) -> Iterator[FactorizedBatch]:
+        """One full pass over the join result as factorized batches."""
+        rng = (
+            np.random.default_rng((self.seed, epoch))
+            if self.shuffle
+            else None
+        )
+        for block in iter_join_blocks(
+            self.resolved,
+            block_pages=self.block_pages,
+            shuffle=self.shuffle,
+            rng=rng,
+        ):
+            yield _factorize_block(self.resolved, block)

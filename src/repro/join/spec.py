@@ -1,0 +1,200 @@
+"""Join specifications.
+
+A :class:`JoinSpec` names the fact relation ``S`` and the dimension
+relations ``R_1 … R_q`` it references, mirroring the problem setup of
+Section IV: ``T(SID, [Y,] X_S, X_R1, …, X_Rq) ← π(R_1 ⋈ … ⋈ R_q ⋈ S)``.
+The spec validates against a :class:`~repro.storage.catalog.Database`
+and derives the joined table's schema and feature-block layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import JoinError
+from repro.linalg.blocks import BlockLayout
+from repro.storage.catalog import Database
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, ColumnRole, Schema
+
+
+@dataclass(frozen=True)
+class DimensionJoin:
+    """One PK/FK edge: fact column ``fk`` references ``relation``'s key."""
+
+    relation: str
+    fk: str
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """The star join ``S ⋈_{FK_i = RID_i} R_i`` for ``i = 1..q``."""
+
+    fact: str
+    dimensions: tuple[DimensionJoin, ...]
+
+    def __init__(self, fact: str, dimensions) -> None:
+        object.__setattr__(self, "fact", fact)
+        object.__setattr__(self, "dimensions", tuple(dimensions))
+        if not self.dimensions:
+            raise JoinError("a join spec needs at least one dimension")
+        fks = [d.fk for d in self.dimensions]
+        if len(set(fks)) != len(fks):
+            raise JoinError(f"duplicate foreign-key columns in spec: {fks}")
+
+    @classmethod
+    def binary(
+        cls, fact: str, dimension: str, fk: str | None = None
+    ) -> "JoinSpec":
+        """Convenience constructor for the binary case ``S ⋈ R``.
+
+        With ``fk`` omitted the fact relation must have exactly one
+        foreign key (resolved at validation time against the database);
+        pass the column name to disambiguate.
+        """
+        return cls(fact, (DimensionJoin(dimension, fk or ""),))
+
+    @property
+    def num_dimensions(self) -> int:
+        """The arity ``q`` of the star join."""
+        return len(self.dimensions)
+
+    # -- resolution against a database --------------------------------------
+
+    def resolve(self, db: Database) -> "ResolvedJoin":
+        """Validate against ``db`` and bind relation handles."""
+        if self.fact not in db:
+            raise JoinError(f"fact relation {self.fact!r} not in database")
+        fact = db.relation(self.fact)
+        dimensions = []
+        for dim in self.dimensions:
+            if dim.relation not in db:
+                raise JoinError(
+                    f"dimension relation {dim.relation!r} not in database"
+                )
+            relation = db.relation(dim.relation)
+            if relation.schema.key_column is None:
+                raise JoinError(
+                    f"dimension {dim.relation!r} has no primary key"
+                )
+            fk = dim.fk or self._sole_fk_name(fact, dim.relation)
+            if fk not in fact.schema:
+                raise JoinError(
+                    f"fact relation {self.fact!r} has no column {fk!r}"
+                )
+            column = fact.schema.column(fk)
+            if column.role is not ColumnRole.FOREIGN_KEY:
+                raise JoinError(
+                    f"column {fk!r} of {self.fact!r} is not a foreign key"
+                )
+            if column.references != dim.relation:
+                raise JoinError(
+                    f"foreign key {fk!r} references {column.references!r}, "
+                    f"not {dim.relation!r}"
+                )
+            dimensions.append(ResolvedDimension(relation, fk))
+        return ResolvedJoin(self, fact, tuple(dimensions))
+
+    @staticmethod
+    def _sole_fk_name(fact: Relation, referenced: str) -> str:
+        matches = [
+            c.name
+            for c in fact.schema.foreign_keys
+            if c.references == referenced
+        ]
+        if len(matches) != 1:
+            raise JoinError(
+                f"cannot infer foreign key from {fact.name!r} to "
+                f"{referenced!r}: candidates {matches}"
+            )
+        return matches[0]
+
+
+@dataclass(frozen=True)
+class ResolvedDimension:
+    """A dimension relation bound to the fact FK column referencing it."""
+
+    relation: Relation
+    fk: str
+
+
+@dataclass(frozen=True)
+class ResolvedJoin:
+    """A :class:`JoinSpec` bound to live relations with derived metadata."""
+
+    spec: JoinSpec
+    fact: Relation
+    dimensions: tuple[ResolvedDimension, ...]
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dimensions)
+
+    @property
+    def num_rows(self) -> int:
+        """Cardinality of the join result (``N = n_S`` under FK integrity)."""
+        return self.fact.nrows
+
+    @property
+    def layout(self) -> BlockLayout:
+        """Feature-block sizes ``(d_S, d_R1, …, d_Rq)``."""
+        return BlockLayout(
+            [self.fact.schema.num_features]
+            + [d.relation.schema.num_features for d in self.dimensions]
+        )
+
+    @property
+    def total_features(self) -> int:
+        """``d = d_S + Σ d_Ri``."""
+        return self.layout.total
+
+    @property
+    def has_target(self) -> bool:
+        return self.fact.schema.target_column is not None
+
+    def output_schema(self) -> Schema:
+        """Schema of the projected join result ``T``.
+
+        Columns: the fact key, the target (if any), then features in
+        block order.  Feature names are prefixed with their source
+        relation (``S__x0``) so multi-relation names never collide.
+        """
+        columns: list[Column] = []
+        key_column = self.fact.schema.key_column
+        if key_column is not None:
+            columns.append(Column(key_column.name, ColumnRole.KEY))
+        target_column = self.fact.schema.target_column
+        if target_column is not None:
+            columns.append(Column(target_column.name, ColumnRole.TARGET))
+        for name in self.fact.schema.feature_names:
+            columns.append(
+                Column(f"{self.fact.name}__{name}", ColumnRole.FEATURE)
+            )
+        for dim in self.dimensions:
+            for name in dim.relation.schema.feature_names:
+                columns.append(
+                    Column(
+                        f"{dim.relation.name}__{name}", ColumnRole.FEATURE
+                    )
+                )
+        return Schema(columns)
+
+    def check_integrity(self) -> None:
+        """Verify every fact FK value matches a dimension key.
+
+        The paper assumes PK/FK integrity; generators in
+        :mod:`repro.data` guarantee it, but externally loaded data can
+        be checked explicitly with this method.
+        """
+        for dim in self.dimensions:
+            fk_values = self.fact.foreign_keys_of(dim.relation.name)
+            keys = dim.relation.keys()
+            missing = np.setdiff1d(fk_values, keys)
+            if missing.size:
+                raise JoinError(
+                    f"dangling foreign keys from {self.fact.name!r}."
+                    f"{dim.fk} to {dim.relation.name!r}: "
+                    f"{missing[:5].tolist()}"
+                )

@@ -1,0 +1,185 @@
+"""Grouped (segment) reductions keyed by foreign-key codes.
+
+Every reuse opportunity the paper identifies reduces to the same
+primitive: a quantity computed per *distinct* dimension tuple is shared
+by all fact tuples referencing it, and conversely per-fact quantities
+are *accumulated* per distinct dimension tuple.  Given ``codes`` mapping
+each of ``n`` fact rows to one of ``m`` dimension rows, we need
+
+* ``gather``:   ``X_R[codes]`` — expand per-dimension values to fact rows;
+* ``group sums``: ``G[r] = Σ_{i: codes[i]=r} w_i · X[i]`` — contract
+  per-fact values down to dimension rows (the M-step blocks of
+  Eq. 13–18 and the grouped responsibility mass ``N_k``).
+
+:class:`GroupIndex` pre-sorts the codes once per join batch (codes are
+fixed across EM iterations and mixture components), after which each
+reduction is a single vectorized ``add.reduceat`` pass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+class GroupIndex:
+    """Pre-sorted index of fact-row → dimension-row codes.
+
+    Parameters
+    ----------
+    codes:
+        Integer array of shape ``(n,)`` with values in ``[0, num_groups)``.
+    num_groups:
+        The number of dimension rows ``m``.  Groups without any member
+        contribute zero rows to every reduction.
+    """
+
+    def __init__(self, codes: np.ndarray, num_groups: int) -> None:
+        codes = np.asarray(codes)
+        if codes.ndim != 1:
+            raise ModelError(f"codes must be 1-D, got shape {codes.shape}")
+        if not np.issubdtype(codes.dtype, np.integer):
+            raise ModelError(f"codes must be integers, got {codes.dtype}")
+        if num_groups <= 0:
+            raise ModelError(f"num_groups must be positive, got {num_groups}")
+        if codes.size and (codes.min() < 0 or codes.max() >= num_groups):
+            raise ModelError(
+                f"codes out of range [0, {num_groups}): "
+                f"[{codes.min()}, {codes.max()}]"
+            )
+        self.codes = codes
+        self.num_groups = int(num_groups)
+        self._order = np.argsort(codes, kind="stable")
+        sorted_codes = codes[self._order]
+        # Segment starts within the sorted order, one per present group.
+        first_of_group = np.flatnonzero(
+            np.diff(sorted_codes, prepend=-1) != 0
+        )
+        self._segment_starts = first_of_group
+        self._present_groups = sorted_codes[first_of_group]
+        self._counts = np.bincount(codes, minlength=num_groups)
+
+    @property
+    def n(self) -> int:
+        """Number of fact rows indexed."""
+        return self.codes.size
+
+    @property
+    def counts(self) -> np.ndarray:
+        """Fact-row count per group, shape ``(num_groups,)``."""
+        return self._counts
+
+    @property
+    def order(self) -> np.ndarray:
+        """The permutation that sorts fact rows by group code."""
+        return self._order
+
+    # -- reductions --------------------------------------------------------
+
+    def sum_weights(self, weights: np.ndarray) -> np.ndarray:
+        """``out[r] = Σ_{i: codes[i]=r} weights[i]`` (shape ``(m,)``)."""
+        weights = np.asarray(weights, dtype=np.float64)
+        if weights.shape != (self.n,):
+            raise ModelError(
+                f"weights shape {weights.shape} != ({self.n},)"
+            )
+        return np.bincount(
+            self.codes, weights=weights, minlength=self.num_groups
+        )
+
+    def presort(self, values: np.ndarray) -> np.ndarray:
+        """Reorder fact rows into this index's sorted-by-code order.
+
+        Presorting data that is reused across many reductions (e.g. the
+        fact feature block, reduced once per mixture component) turns
+        each subsequent :meth:`sum_rows` into a single ``reduceat``
+        pass with no per-call gather.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.shape[0] != self.n:
+            raise ModelError(
+                f"values rows {values.shape[0]} != indexed rows {self.n}"
+            )
+        return values[self._order]
+
+    def sum_rows(
+        self,
+        values: np.ndarray,
+        weights: np.ndarray | None = None,
+        *,
+        presorted: bool = False,
+    ) -> np.ndarray:
+        """Group-sum rows: ``out[r] = Σ_{i: codes[i]=r} w_i · values[i]``.
+
+        ``values`` has shape ``(n, c)``; the result has shape ``(m, c)``.
+        With ``presorted=True`` both ``values`` and ``weights`` must
+        already be in :meth:`presort` order.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[:, None]
+        if values.shape[0] != self.n:
+            raise ModelError(
+                f"values rows {values.shape[0]} != indexed rows {self.n}"
+            )
+        if weights is not None:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (self.n,):
+                raise ModelError(
+                    f"weights shape {weights.shape} != ({self.n},)"
+                )
+        if self.n == 0:
+            return np.zeros((self.num_groups, values.shape[1]))
+        if not presorted:
+            values = values[self._order]
+            weights = None if weights is None else weights[self._order]
+        if weights is not None:
+            values = values * weights[:, None]
+        segment_sums = np.add.reduceat(
+            values, self._segment_starts, axis=0
+        )
+        out = np.zeros((self.num_groups, values.shape[1]))
+        out[self._present_groups] = segment_sums
+        return out
+
+    def gather(self, per_group: np.ndarray) -> np.ndarray:
+        """Expand per-group rows to fact rows: ``per_group[codes]``."""
+        per_group = np.asarray(per_group)
+        if per_group.shape[0] != self.num_groups:
+            raise ModelError(
+                f"per_group has {per_group.shape[0]} rows, "
+                f"expected {self.num_groups}"
+            )
+        return per_group[self.codes]
+
+
+def codes_for_keys(fact_keys: np.ndarray, dim_keys: np.ndarray) -> np.ndarray:
+    """Translate raw foreign-key values into positions within ``dim_keys``.
+
+    ``dim_keys`` are the (unique) primary keys of a dimension batch;
+    ``fact_keys`` are the FK values of fact rows.  Returns an int64
+    array ``codes`` with ``dim_keys[codes[i]] == fact_keys[i]``.
+
+    Raises
+    ------
+    ModelError
+        If a fact key does not appear in ``dim_keys`` (dangling FK) or
+        ``dim_keys`` contains duplicates.
+    """
+    fact_keys = np.asarray(fact_keys)
+    dim_keys = np.asarray(dim_keys)
+    order = np.argsort(dim_keys, kind="stable")
+    sorted_keys = dim_keys[order]
+    if sorted_keys.size > 1 and np.any(sorted_keys[1:] == sorted_keys[:-1]):
+        raise ModelError("dimension keys contain duplicates")
+    positions = np.searchsorted(sorted_keys, fact_keys)
+    positions = np.clip(positions, 0, sorted_keys.size - 1)
+    if fact_keys.size and not np.array_equal(
+        sorted_keys[positions], fact_keys
+    ):
+        missing = np.setdiff1d(fact_keys, dim_keys)[:5]
+        raise ModelError(
+            f"dangling foreign keys (first few): {missing.tolist()}"
+        )
+    return order[positions].astype(np.int64)

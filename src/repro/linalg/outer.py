@@ -1,0 +1,145 @@
+"""Factorized weighted sums and outer products (paper Eq. 13–18, 22–24).
+
+The GMM M-step accumulates, over all joined tuples ``x`` with
+responsibilities ``γ``,
+
+* the weighted sum        ``Σₙ γₙ xₙ``               (for ``µ_k``, Eq. 3) and
+* the weighted outer sum  ``Σₙ γₙ (x−µ)(x−µ)ᵀ``     (for ``Σ_k``, Eq. 4).
+
+Both split exactly along relation boundaries.  For the outer sum the
+``d × d`` result decomposes into the ``(q+1)²`` grid of Eq. 23, where:
+
+* block ``(0,0)`` (UL, Eq. 15) runs over the ``n`` fact rows;
+* cross blocks ``(0,j)``/``(j,0)`` (UR/LL, Eq. 16–17) contract the fact
+  side down to ``m_j`` grouped rows first, so the ``d_S × d_Rj`` outer
+  work runs at dimension cardinality;
+* blocks ``(i,i)`` (LR, Eq. 18) need only the grouped responsibility
+  mass per distinct dimension tuple — the headline reuse of Section V-B;
+* blocks ``(i,j)``, ``i≠j≥1``, group the gathered ``R_i`` side by the
+  ``R_j`` code before the small matrix product.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.quadform import _centered_blocks
+
+
+def dense_weighted_sum(rows: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """``Σₙ wₙ · rowsₙ`` — the reference for Eq. 3's numerator."""
+    rows = np.asarray(rows, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if rows.shape[0] != weights.shape[0]:
+        raise ModelError(
+            f"rows {rows.shape} incompatible with weights {weights.shape}"
+        )
+    return weights @ rows
+
+
+def dense_weighted_outer(
+    centered: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """``Σₙ wₙ (xₙ−µ)(xₙ−µ)ᵀ`` — the reference for Eq. 4's numerator."""
+    centered = np.asarray(centered, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if centered.shape[0] != weights.shape[0]:
+        raise ModelError(
+            f"centered {centered.shape} incompatible with "
+            f"weights {weights.shape}"
+        )
+    return centered.T @ (weights[:, None] * centered)
+
+
+def factorized_weighted_sum(
+    design: FactorizedDesign, weights: np.ndarray
+) -> np.ndarray:
+    """Eq. 13 / Eq. 22: the per-relation split of ``Σₙ γₙ xₙ``.
+
+    The fact part is a single matrix-vector product at ``n`` rows; each
+    dimension part needs only the grouped weight mass
+    ``w_r = Σ_{n→r} γₙ`` and then runs at ``m_i`` rows.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (design.n,):
+        raise ModelError(
+            f"weights shape {weights.shape} != ({design.n},)"
+        )
+    parts = [weights @ design.fact_block]
+    for block, group in zip(design.dim_blocks, design.groups):
+        parts.append(group.sum_weights(weights) @ block)
+    return np.concatenate(parts)
+
+
+def factorized_weighted_outer(
+    design: FactorizedDesign, mean: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Eq. 14–18 / Eq. 23–24: ``Σₙ γₙ (xₙ−µ)(xₙ−µ)ᵀ`` block by block."""
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (design.n,):
+        raise ModelError(
+            f"weights shape {weights.shape} != ({design.n},)"
+        )
+    layout = design.layout
+    mean = np.asarray(mean, dtype=np.float64)
+    mean_parts = layout.split_vector(mean)
+    fact_centered, dim_centered = _centered_blocks(design, mean)
+    q = design.num_dimensions
+    nb = q + 1
+    blocks: list[list[np.ndarray | None]] = [
+        [None] * nb for _ in range(nb)
+    ]
+
+    # Block (0,0) — Eq. 15 (UL): irreducibly at fact cardinality.
+    blocks[0][0] = fact_centered.T @ (weights[:, None] * fact_centered)
+
+    for j in range(1, nb):
+        group = design.groups[j - 1]
+        pd_j = dim_centered[j - 1]
+        grouped_weights = group.sum_weights(weights)
+        # Blocks (0,j) and (j,0) — Eq. 16–17 (UR/LL): contract the fact
+        # side per distinct dimension tuple, then one small product.
+        # The raw fact block is presorted once per batch (cached on the
+        # design) and the centering is applied after grouping:
+        # Σ w(x₀−µ₀) = Σ w·x₀ − (Σ w)·µ₀ — so each component costs one
+        # reduceat pass, no per-component gather.
+        grouped_raw = group.sum_rows(
+            design.presorted_fact(j - 1),
+            weights[group.order],
+            presorted=True,
+        )
+        grouped_fact = grouped_raw - grouped_weights[:, None] * mean_parts[0]
+        cross = grouped_fact.T @ pd_j                          # (d_S, d_Rj)
+        blocks[0][j] = cross
+        blocks[j][0] = cross.T
+        # Block (j,j) — Eq. 18 (LR): only the grouped weight mass is
+        # data-dependent; the outer product runs at m_j rows.
+        blocks[j][j] = pd_j.T @ (grouped_weights[:, None] * pd_j)
+
+    # Off-diagonal dimension-dimension blocks (multi-way, Eq. 24).
+    for i in range(1, nb):
+        pd_i = dim_centered[i - 1]
+        gathered_i = design.groups[i - 1].gather(pd_i)
+        for j in range(i + 1, nb):
+            group_j = design.groups[j - 1]
+            pd_j = dim_centered[j - 1]
+            grouped = group_j.sum_rows(gathered_i, weights)    # (m_j, d_Ri)
+            block = grouped.T @ pd_j                           # (d_Ri, d_Rj)
+            blocks[i][j] = block
+            blocks[j][i] = block.T
+    return layout.assemble_matrix(blocks)
+
+
+def factorized_count_outer(design: FactorizedDesign) -> np.ndarray:
+    """Unweighted ``Σₙ xₙxₙᵀ`` in factorized form (γ ≡ 1).
+
+    Useful for covariance/Gram computations outside EM (e.g. the
+    linear-model normal equations the related work factorizes); shares
+    all the reuse structure of :func:`factorized_weighted_outer`.
+    """
+    zero_mean = np.zeros(design.layout.total)
+    return factorized_weighted_outer(
+        design, zero_mean, np.ones(design.n)
+    )

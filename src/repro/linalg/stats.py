@@ -1,0 +1,122 @@
+"""Factorized statistics over the (virtual) joined table.
+
+Section VI-A3 notes the factorized optimizations are compatible with
+batch normalization because it "affects all input and [is] applied
+before data enters the network".  That preprocessing needs the joined
+table's per-feature mean and variance — which, like everything else,
+can be computed *without* expanding the join:
+
+* fact-side moments come from the fact rows directly;
+* dimension-side moments weight each distinct dimension tuple by its
+  fan-out (how many fact tuples reference it), obtained from the group
+  index at dimension cardinality.
+
+``standardize`` then rescales a factorized design block-by-block, which
+is exactly equivalent to standardizing the densified table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+
+
+@dataclass(frozen=True)
+class JoinedMoments:
+    """Per-feature first/second moments of the joined table."""
+
+    mean: np.ndarray
+    variance: np.ndarray
+    count: int
+
+    @property
+    def std(self) -> np.ndarray:
+        return np.sqrt(self.variance)
+
+
+def factorized_mean(design: FactorizedDesign) -> np.ndarray:
+    """Per-feature mean of the joined table, from factorized data.
+
+    The dimension parts use the fan-out counts: the mean of a repeated
+    column is the count-weighted mean of its distinct values.
+    """
+    if design.n == 0:
+        raise ModelError("mean of an empty join is undefined")
+    parts = [design.fact_block.mean(axis=0)]
+    for block, group in zip(design.dim_blocks, design.groups):
+        parts.append(group.counts @ block / design.n)
+    return np.concatenate(parts)
+
+
+def factorized_moments(design: FactorizedDesign) -> JoinedMoments:
+    """Mean and (population) variance of every joined feature.
+
+    Exactly equal — up to float summation order — to computing the
+    moments of ``design.densify()``, but all dimension-side work runs
+    at distinct-tuple cardinality.
+    """
+    mean = factorized_mean(design)
+    parts = [np.mean(design.fact_block**2, axis=0)]
+    for block, group in zip(design.dim_blocks, design.groups):
+        parts.append(group.counts @ (block**2) / design.n)
+    second_moment = np.concatenate(parts)
+    variance = np.maximum(second_moment - mean**2, 0.0)
+    return JoinedMoments(mean=mean, variance=variance, count=design.n)
+
+
+def standardize(
+    design: FactorizedDesign,
+    moments: JoinedMoments | None = None,
+    *,
+    epsilon: float = 1e-12,
+) -> FactorizedDesign:
+    """Return a new design whose densified form is standardized.
+
+    Standardization is a per-feature affine map, so it distributes over
+    the block structure: each block is shifted/scaled independently and
+    the group indexes are shared (no per-fact work at all on the
+    dimension side).  Constant features (variance ~0) are centered but
+    not scaled.
+    """
+    if moments is None:
+        moments = factorized_moments(design)
+    layout = design.layout
+    if moments.mean.shape != (layout.total,):
+        raise ModelError(
+            f"moments cover {moments.mean.shape[0]} features, design "
+            f"has {layout.total}"
+        )
+    scale = np.where(
+        moments.variance > epsilon, np.sqrt(moments.variance), 1.0
+    )
+    mean_parts = layout.split_vector(moments.mean)
+    scale_parts = layout.split_vector(scale)
+    fact = (design.fact_block - mean_parts[0]) / scale_parts[0]
+    dims = [
+        (block - mean_parts[i + 1]) / scale_parts[i + 1]
+        for i, block in enumerate(design.dim_blocks)
+    ]
+    return FactorizedDesign(fact, dims, list(design.groups))
+
+
+def merge_moments(batches: list[JoinedMoments]) -> JoinedMoments:
+    """Combine per-batch moments into whole-pass moments.
+
+    Uses the standard parallel-variance combination, so multi-batch
+    access paths can standardize against global statistics without a
+    separate densified pass.
+    """
+    if not batches:
+        raise ModelError("no moments to merge")
+    total = sum(m.count for m in batches)
+    mean = sum(m.mean * (m.count / total) for m in batches)
+    second = sum(
+        (m.variance + m.mean**2) * (m.count / total) for m in batches
+    )
+    variance = np.maximum(second - mean**2, 0.0)
+    return JoinedMoments(mean=mean, variance=variance, count=total)

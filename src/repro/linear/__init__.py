@@ -1,0 +1,5 @@
+"""Factorized linear-model baselines (the related work of Section II)."""
+
+from repro.linear.models import LinearModel, fit_logistic, fit_ridge
+
+__all__ = ["LinearModel", "fit_logistic", "fit_ridge"]

@@ -1,0 +1,98 @@
+"""Neural networks over normalized data (Section VI).
+
+Public surface: activations/losses/layers/MLP, the training
+configuration and result types, the three training strategies, the
+second-layer reuse analysis, and the Section VI cost models.
+"""
+
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+from repro.nn.algorithms import (
+    F_NN,
+    M_NN,
+    NN_ALGORITHMS,
+    S_NN,
+    build_model,
+    fit_f_nn,
+    fit_m_nn,
+    fit_s_nn,
+)
+from repro.nn.base import NNConfig, NNFitResult, run_training
+from repro.nn.cost_model import (
+    Layer2OpCount,
+    backward_fields_dense,
+    backward_fields_factorized,
+    backward_io_saving_rate,
+    layer1_break_even_tuple_ratio,
+    layer1_forward_mults_dense,
+    layer1_forward_mults_factorized,
+    layer1_forward_saving_rate,
+    layer2_ops_standard,
+    layer2_ops_with_reuse,
+    layer2_reuse_overhead,
+)
+from repro.nn.engines import DenseNNEngine, FactorizedNNEngine
+from repro.nn.layers import DenseLayer, LayerGrads
+from repro.nn.losses import BinaryCrossEntropy, HalfMSE, Loss, get_loss
+from repro.nn.network import MLP, ForwardCache
+from repro.nn.second_layer import (
+    SecondLayerOutputs,
+    compare_second_layer,
+    second_layer_standard,
+    second_layer_with_reuse,
+)
+
+__all__ = [
+    "Activation",
+    "BinaryCrossEntropy",
+    "DenseLayer",
+    "DenseNNEngine",
+    "F_NN",
+    "FactorizedNNEngine",
+    "ForwardCache",
+    "HalfMSE",
+    "Identity",
+    "Layer2OpCount",
+    "LayerGrads",
+    "Loss",
+    "M_NN",
+    "MLP",
+    "NNConfig",
+    "NNFitResult",
+    "NN_ALGORITHMS",
+    "ReLU",
+    "S_NN",
+    "SecondLayerOutputs",
+    "Sigmoid",
+    "Softplus",
+    "Tanh",
+    "available_activations",
+    "backward_fields_dense",
+    "backward_fields_factorized",
+    "backward_io_saving_rate",
+    "build_model",
+    "compare_second_layer",
+    "fit_f_nn",
+    "fit_m_nn",
+    "fit_s_nn",
+    "get_activation",
+    "get_loss",
+    "layer1_break_even_tuple_ratio",
+    "layer1_forward_mults_dense",
+    "layer1_forward_mults_factorized",
+    "layer1_forward_saving_rate",
+    "layer2_ops_standard",
+    "layer2_ops_with_reuse",
+    "layer2_reuse_overhead",
+    "run_training",
+    "second_layer_standard",
+    "second_layer_with_reuse",
+]

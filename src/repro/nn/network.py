@@ -1,0 +1,184 @@
+"""The multilayer perceptron and its backpropagation, with an explicit
+seam at the first layer.
+
+Everything the paper factorizes happens between the input and the first
+hidden layer (Sections VI-A1 and VI-A3); computation from the first
+hidden activation upward is *identical* across M-/S-/F-NN.  The network
+therefore exposes that seam directly:
+
+* :meth:`MLP.forward_from_first_preactivation` — run the net given the
+  first layer's pre-activations (however they were produced);
+* :meth:`MLP.backward_to_first_preactivation` — backpropagate down to
+  ``∂E/∂a⁽¹⁾``, leaving the first layer's parameter gradients to the
+  caller (dense or factorized).
+
+The dense engine and the factorized engine plug into the same seam, so
+exactness of F-NN reduces to exactness of the first-layer kernels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.nn.activations import Activation, get_activation
+from repro.nn.layers import DenseLayer, LayerGrads
+from repro.nn.losses import HalfMSE, Loss, get_loss
+
+
+@dataclass
+class ForwardCache:
+    """Intermediate values of one forward pass, reused by backward."""
+
+    pre_activations: list[np.ndarray]   # a^(l) per layer, l = 1..L
+    activations: list[np.ndarray]       # h^(l) per hidden layer
+
+
+class MLP:
+    """A feedforward network: hidden layers + linear output layer.
+
+    ``sizes = (d, n_h, …, n_out)``; hidden layers share one activation
+    (the paper's setting); the output layer is linear and pairs with
+    the configured loss.
+    """
+
+    def __init__(
+        self,
+        sizes: tuple[int, ...],
+        *,
+        activation: str | Activation = "sigmoid",
+        loss: str | Loss | None = None,
+        seed: int = 0,
+    ) -> None:
+        sizes = tuple(int(s) for s in sizes)
+        if len(sizes) < 2:
+            raise ModelError(
+                f"need at least input and output sizes, got {sizes}"
+            )
+        self.sizes = sizes
+        self.activation = get_activation(activation)
+        self.loss = get_loss(loss) if loss is not None else HalfMSE()
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            DenseLayer.initialize(sizes[i], sizes[i + 1], rng)
+            for i in range(len(sizes) - 1)
+        ]
+
+    @property
+    def n_inputs(self) -> int:
+        return self.sizes[0]
+
+    @property
+    def n_outputs(self) -> int:
+        return self.sizes[-1]
+
+    @property
+    def first_layer(self) -> DenseLayer:
+        return self.layers[0]
+
+    def copy(self) -> "MLP":
+        clone = MLP.__new__(MLP)
+        clone.sizes = self.sizes
+        clone.activation = self.activation
+        clone.loss = self.loss
+        clone.layers = [layer.copy() for layer in self.layers]
+        return clone
+
+    # -- forward -------------------------------------------------------------
+
+    def forward_from_first_preactivation(
+        self, first_pre: np.ndarray
+    ) -> tuple[np.ndarray, ForwardCache]:
+        """Continue the forward pass given ``a⁽¹⁾`` (the factorization
+        seam of Section VI-A1)."""
+        cache = ForwardCache(pre_activations=[first_pre], activations=[])
+        hidden = self.activation(first_pre)
+        cache.activations.append(hidden)
+        for layer in self.layers[1:-1]:
+            pre = layer.forward(hidden)
+            hidden = self.activation(pre)
+            cache.pre_activations.append(pre)
+            cache.activations.append(hidden)
+        if len(self.layers) == 1:
+            # Degenerate single-layer network: linear map, no hidden.
+            return first_pre, cache
+        output = self.layers[-1].forward(hidden)
+        cache.pre_activations.append(output)
+        return output, cache
+
+    def forward(
+        self, inputs: np.ndarray
+    ) -> tuple[np.ndarray, ForwardCache]:
+        """Full forward pass from dense inputs."""
+        first_pre = self.first_layer.forward(inputs)
+        return self.forward_from_first_preactivation(first_pre)
+
+    def predict(self, inputs: np.ndarray) -> np.ndarray:
+        """Network outputs for dense inputs (no caches kept)."""
+        outputs, _ = self.forward(np.asarray(inputs, dtype=np.float64))
+        return outputs
+
+    # -- backward ------------------------------------------------------------
+
+    def backward_to_first_preactivation(
+        self,
+        cache: ForwardCache,
+        grad_output: np.ndarray,
+    ) -> tuple[list[LayerGrads | None], np.ndarray]:
+        """Backpropagate to ``∂E/∂a⁽¹⁾`` (Section VI-A3's seam).
+
+        Returns per-layer parameter gradients for layers 2..L (entry 0
+        is ``None`` — the first layer's gradients depend on the input
+        representation and are the engines' job) plus ``∂E/∂a⁽¹⁾``.
+        """
+        n_layers = len(self.layers)
+        grads: list[LayerGrads | None] = [None] * n_layers
+        grad_pre = grad_output
+        for index in range(n_layers - 1, 0, -1):
+            inputs = cache.activations[index - 1]
+            layer_grads, grad_hidden = self.layers[index].backward(
+                grad_pre, inputs
+            )
+            grads[index] = layer_grads
+            # The forward pass cached f(a); expressing f'(a) through it
+            # avoids re-evaluating the nonlinearity.
+            try:
+                derivative = self.activation.derivative_from_output(
+                    cache.activations[index - 1]
+                )
+            except NotImplementedError:
+                derivative = self.activation.derivative(
+                    cache.pre_activations[index - 1]
+                )
+            grad_pre = grad_hidden * derivative
+        return grads, grad_pre
+
+    # -- convenience (dense training step, used by the M/S engines) --------
+
+    def loss_value(self, inputs: np.ndarray, targets: np.ndarray) -> float:
+        return self.loss.value(self.predict(inputs), targets)
+
+    def dense_gradients(
+        self, inputs: np.ndarray, targets: np.ndarray
+    ) -> tuple[float, list[LayerGrads]]:
+        """Loss and all parameter gradients for a dense batch."""
+        outputs, cache = self.forward(inputs)
+        loss_value = self.loss.value(outputs, targets)
+        grad_output = self.loss.gradient(outputs, targets)
+        grads, grad_first_pre = self.backward_to_first_preactivation(
+            cache, grad_output
+        )
+        grads[0] = self.first_layer.parameter_grads(grad_first_pre, inputs)
+        return loss_value, grads  # type: ignore[return-value]
+
+    def apply_grads(
+        self, grads: list[LayerGrads], learning_rate: float
+    ) -> None:
+        for layer, layer_grads in zip(self.layers, grads):
+            layer.apply_grads(layer_grads, learning_rate)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arch = "→".join(str(s) for s in self.sizes)
+        return f"MLP({arch}, activation={self.activation.name})"

@@ -1,0 +1,42 @@
+"""Paged relational storage engine with page-level I/O accounting.
+
+This package replaces the PostgreSQL storage layer the paper used
+(Section VII-B): fixed-width float64 relations stored in paged heap
+files, a catalog (:class:`Database`), an LRU buffer pool, and I/O
+counters that make the paper's page-cost analysis measurable.
+"""
+
+from repro.storage.buffer import BufferPool
+from repro.storage.catalog import Database
+from repro.storage.heapfile import DEFAULT_PAGE_SIZE_BYTES, HeapFile, rows_per_page
+from repro.storage.iostats import IOSnapshot, IOStats
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    Column,
+    ColumnRole,
+    Schema,
+    feature,
+    features,
+    foreign_key,
+    key,
+    target,
+)
+
+__all__ = [
+    "BufferPool",
+    "Column",
+    "ColumnRole",
+    "Database",
+    "DEFAULT_PAGE_SIZE_BYTES",
+    "HeapFile",
+    "IOSnapshot",
+    "IOStats",
+    "Relation",
+    "Schema",
+    "feature",
+    "features",
+    "foreign_key",
+    "key",
+    "rows_per_page",
+    "target",
+]

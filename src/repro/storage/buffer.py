@@ -1,0 +1,79 @@
+"""A small LRU buffer pool over heap-file pages.
+
+The join operators in :mod:`repro.join` manage their own block-sized
+batches directly (as the paper assumes block nested loops), but repeated
+point probes into the inner relation benefit from page caching.  The
+buffer pool sits in front of a :class:`~repro.storage.heapfile.HeapFile`
+and only charges I/O for misses, so measured page counts reflect a
+bounded-memory execution rather than unlimited re-reading.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.heapfile import HeapFile
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of ``(file, page_no) -> page`` arrays."""
+
+    def __init__(self, capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise StorageError(
+                f"buffer pool capacity must be positive, got {capacity_pages}"
+            )
+        self.capacity_pages = capacity_pages
+        self._pages: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._pages)
+
+    def get_page(self, heap: HeapFile, page_no: int) -> np.ndarray:
+        """Return a page, from cache if resident, else loading it.
+
+        The returned array must be treated as read-only (it is shared
+        between callers); we enforce this by clearing the writeable flag.
+        """
+        cache_key = (str(heap.path), page_no)
+        cached = self._pages.get(cache_key)
+        if cached is not None:
+            self._pages.move_to_end(cache_key)
+            self.hits += 1
+            return cached
+        self.misses += 1
+        page = heap.read_page(page_no)
+        page.flags.writeable = False
+        self._pages[cache_key] = page
+        if len(self._pages) > self.capacity_pages:
+            self._pages.popitem(last=False)
+        return page
+
+    def invalidate(self, heap: HeapFile) -> None:
+        """Drop all cached pages belonging to ``heap``."""
+        path = str(heap.path)
+        stale = [k for k in self._pages if k[0] == path]
+        for cache_key in stale:
+            del self._pages[cache_key]
+
+    def clear(self) -> None:
+        """Drop everything and reset hit/miss counters."""
+        self._pages.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BufferPool(capacity={self.capacity_pages}, "
+            f"resident={len(self._pages)}, hit_rate={self.hit_rate:.2f})"
+        )

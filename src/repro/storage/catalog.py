@@ -1,0 +1,157 @@
+"""The database catalog: a directory of relations sharing I/O accounting.
+
+A :class:`Database` owns a directory on disk, a shared
+:class:`~repro.storage.iostats.IOStats`, and an optional
+:class:`~repro.storage.buffer.BufferPool`.  Algorithms receive a database
+handle and resolve relations by name, exactly as the paper's client code
+resolves tables in PostgreSQL.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import DEFAULT_PAGE_SIZE_BYTES, HeapFile
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+from repro.storage.schema import Schema
+
+_CATALOG_FILE = "_catalog.json"
+
+
+class Database:
+    """A named collection of relations stored under one directory."""
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        *,
+        page_size_bytes: int = DEFAULT_PAGE_SIZE_BYTES,
+        buffer_pages: int = 1024,
+    ) -> None:
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro_db_")
+            self._owns_directory = True
+        else:
+            self._owns_directory = False
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.page_size_bytes = page_size_bytes
+        self.stats = IOStats()
+        self.buffer_pool = BufferPool(buffer_pages)
+        self._relations: dict[str, Relation] = {}
+        self._load_catalog()
+
+    # -- persistence ---------------------------------------------------------
+
+    @property
+    def _catalog_path(self) -> Path:
+        return self.directory / _CATALOG_FILE
+
+    def _load_catalog(self) -> None:
+        if not self._catalog_path.exists():
+            return
+        with open(self._catalog_path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        for name, schema_dict in payload["relations"].items():
+            schema = Schema.from_dict(schema_dict)
+            heap = HeapFile.open(
+                self.directory / f"{name}.tbl",
+                stats=self.stats,
+                stats_name=name,
+            )
+            self._relations[name] = Relation(name, schema, heap)
+
+    def _save_catalog(self) -> None:
+        payload = {
+            "relations": {
+                name: relation.schema.to_dict()
+                for name, relation in self._relations.items()
+            }
+        }
+        with open(self._catalog_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+
+    # -- relation management ---------------------------------------------
+
+    def create_relation(
+        self, name: str, schema: Schema, rows: np.ndarray | None = None
+    ) -> Relation:
+        """Create and register a relation, loading ``rows`` if given."""
+        if name in self._relations:
+            raise StorageError(f"relation {name!r} already exists")
+        relation = Relation.create(
+            name,
+            schema,
+            self.directory,
+            rows,
+            page_size_bytes=self.page_size_bytes,
+            stats=self.stats,
+        )
+        self._relations[name] = relation
+        self._save_catalog()
+        return relation
+
+    def drop_relation(self, name: str, *, missing_ok: bool = False) -> None:
+        """Remove a relation and delete its file."""
+        relation = self._relations.pop(name, None)
+        if relation is None:
+            if missing_ok:
+                return
+            raise StorageError(f"no relation {name!r} to drop")
+        self.buffer_pool.invalidate(relation.heap)
+        relation.drop()
+        self._save_catalog()
+
+    def relation(self, name: str) -> Relation:
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise StorageError(
+                f"no relation {name!r}; have {sorted(self._relations)}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> Relation:
+        return self.relation(name)
+
+    @property
+    def relation_names(self) -> list[str]:
+        return sorted(self._relations)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def reset_stats(self) -> None:
+        """Zero I/O counters and drop the buffer pool contents."""
+        self.stats.reset()
+        self.buffer_pool.clear()
+
+    def close(self, *, delete: bool | None = None) -> None:
+        """Release resources; delete the directory if we created it."""
+        if delete is None:
+            delete = self._owns_directory
+        self._relations.clear()
+        self.buffer_pool.clear()
+        if delete and self.directory.exists():
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Database({str(self.directory)!r}, "
+            f"relations={self.relation_names})"
+        )

@@ -1,0 +1,249 @@
+"""Relation schemas.
+
+A relation in this library is a fixed-width table of ``float64`` values.
+The schema names each column and assigns it a role:
+
+* ``KEY`` — the primary key (``RID`` in the paper's relation ``R``,
+  ``SID`` in ``S``).  Stored as a float but semantically an integer.
+* ``FOREIGN_KEY`` — a reference to another relation's key (``FK`` in
+  ``S``); carries the referenced relation's name.
+* ``FEATURE`` — a model input (the ``X_S`` / ``X_R`` matrices).
+* ``TARGET`` — the supervised learning target ``Y`` (NN training only).
+
+The problem setup follows Section IV of the paper: ``S(SID, Y?, X_S,
+FK_1..FK_q)`` joined with ``R_i(RID_i, X_{R_i})``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError
+
+
+class ColumnRole(enum.Enum):
+    """The semantic role a column plays in a relation."""
+
+    KEY = "key"
+    FOREIGN_KEY = "foreign_key"
+    FEATURE = "feature"
+    TARGET = "target"
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single named, typed column of a relation."""
+
+    name: str
+    role: ColumnRole = ColumnRole.FEATURE
+    references: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.role is ColumnRole.FOREIGN_KEY and not self.references:
+            raise SchemaError(
+                f"foreign-key column {self.name!r} must name the relation "
+                "it references"
+            )
+        if self.role is not ColumnRole.FOREIGN_KEY and self.references:
+            raise SchemaError(
+                f"column {self.name!r} has references={self.references!r} "
+                f"but role {self.role.value!r}"
+            )
+
+
+def key(name: str) -> Column:
+    """Shorthand for a primary-key column."""
+    return Column(name, ColumnRole.KEY)
+
+
+def foreign_key(name: str, references: str) -> Column:
+    """Shorthand for a foreign-key column referencing ``references``."""
+    return Column(name, ColumnRole.FOREIGN_KEY, references=references)
+
+
+def feature(name: str) -> Column:
+    """Shorthand for a feature column."""
+    return Column(name, ColumnRole.FEATURE)
+
+
+def features(prefix: str, count: int) -> list[Column]:
+    """Generate ``count`` feature columns named ``{prefix}0..{prefix}{count-1}``."""
+    if count < 0:
+        raise SchemaError(f"feature count must be non-negative, got {count}")
+    return [feature(f"{prefix}{i}") for i in range(count)]
+
+
+def target(name: str) -> Column:
+    """Shorthand for the learning-target column."""
+    return Column(name, ColumnRole.TARGET)
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered collection of :class:`Column` describing one relation."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(
+        init=False, repr=False, compare=False, hash=False, default_factory=dict
+    )
+
+    def __init__(self, columns) -> None:
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "_index", {})
+        self._validate()
+        for position, column in enumerate(self.columns):
+            self._index[column.name] = position
+
+    def _validate(self) -> None:
+        if not self.columns:
+            raise SchemaError("schema must have at least one column")
+        names = [column.name for column in self.columns]
+        if len(set(names)) != len(names):
+            duplicates = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate column names: {duplicates}")
+        keys = [c for c in self.columns if c.role is ColumnRole.KEY]
+        if len(keys) > 1:
+            raise SchemaError(
+                f"at most one KEY column allowed, got {[c.name for c in keys]}"
+            )
+        targets = [c for c in self.columns if c.role is ColumnRole.TARGET]
+        if len(targets) > 1:
+            raise SchemaError(
+                "at most one TARGET column allowed, got "
+                f"{[c.name for c in targets]}"
+            )
+
+    # -- lookups ---------------------------------------------------------
+
+    def position(self, name: str) -> int:
+        """Return the column index of ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {[c.name for c in self.columns]}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.position(name)]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    # -- role accessors --------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """Total number of stored columns."""
+        return len(self.columns)
+
+    @property
+    def key_column(self) -> Column | None:
+        for column in self.columns:
+            if column.role is ColumnRole.KEY:
+                return column
+        return None
+
+    @property
+    def target_column(self) -> Column | None:
+        for column in self.columns:
+            if column.role is ColumnRole.TARGET:
+                return column
+        return None
+
+    @property
+    def foreign_keys(self) -> tuple[Column, ...]:
+        return tuple(
+            c for c in self.columns if c.role is ColumnRole.FOREIGN_KEY
+        )
+
+    @property
+    def feature_columns(self) -> tuple[Column, ...]:
+        return tuple(c for c in self.columns if c.role is ColumnRole.FEATURE)
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.feature_columns)
+
+    @property
+    def num_features(self) -> int:
+        return len(self.feature_columns)
+
+    def positions_of(self, role: ColumnRole) -> tuple[int, ...]:
+        """Column indices holding the given role, in schema order."""
+        return tuple(
+            i for i, c in enumerate(self.columns) if c.role is role
+        )
+
+    @property
+    def feature_positions(self) -> tuple[int, ...]:
+        return self.positions_of(ColumnRole.FEATURE)
+
+    @property
+    def key_position(self) -> int:
+        column = self.key_column
+        if column is None:
+            raise SchemaError("schema has no KEY column")
+        return self.position(column.name)
+
+    @property
+    def target_position(self) -> int:
+        column = self.target_column
+        if column is None:
+            raise SchemaError("schema has no TARGET column")
+        return self.position(column.name)
+
+    def fk_position(self, references: str | None = None) -> int:
+        """Index of the foreign-key column.
+
+        With ``references`` given, selects the FK pointing at that
+        relation; otherwise the schema must have exactly one FK.
+        """
+        fks = self.foreign_keys
+        if references is not None:
+            for column in fks:
+                if column.references == references:
+                    return self.position(column.name)
+            raise SchemaError(
+                f"no foreign key referencing {references!r}; "
+                f"have {[c.references for c in fks]}"
+            )
+        if len(fks) != 1:
+            raise SchemaError(
+                f"expected exactly one foreign key, found {len(fks)}; "
+                "pass `references` to disambiguate"
+            )
+        return self.position(fks[0].name)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable description of this schema."""
+        return {
+            "columns": [
+                {
+                    "name": c.name,
+                    "role": c.role.value,
+                    "references": c.references,
+                }
+                for c in self.columns
+            ]
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "Schema":
+        columns = [
+            Column(
+                name=entry["name"],
+                role=ColumnRole(entry["role"]),
+                references=entry.get("references"),
+            )
+            for entry in payload["columns"]
+        ]
+        return cls(columns)

@@ -1,0 +1,143 @@
+"""The high-level fit_gmm / fit_nn API."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import (
+    FACTORIZED,
+    MATERIALIZED,
+    STREAMING,
+    compare_gmm_strategies,
+    compare_nn_strategies,
+    fit_gmm,
+    fit_nn,
+    resolve_strategy,
+)
+from repro.errors import ModelError
+from repro.gmm.base import EMConfig
+from repro.nn.base import NNConfig
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+class TestStrategyResolution:
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [
+            ("factorized", FACTORIZED),
+            ("F", FACTORIZED),
+            ("f-gmm", FACTORIZED),
+            ("M", MATERIALIZED),
+            ("m-nn", MATERIALIZED),
+            ("streaming", STREAMING),
+            ("S-GMM", STREAMING),
+        ],
+    )
+    def test_aliases(self, alias, expected):
+        assert resolve_strategy(alias) == expected
+
+    def test_unknown(self):
+        with pytest.raises(ModelError, match="unknown algorithm"):
+            resolve_strategy("quantum")
+
+
+class TestFitGMM:
+    def test_returns_usable_model(self, db, binary_star):
+        result = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=3, tol=0.0,
+        )
+        assert result.algorithm == "F-GMM"
+        assert len(result.log_likelihood_history) == 3
+        assert result.wall_time_seconds > 0
+        assert result.io is not None
+        data = np.random.default_rng(0).normal(size=(10, 8))
+        labels = result.model.predict(data)
+        assert labels.shape == (10,)
+        assert set(labels) <= {0, 1}
+
+    @pytest.mark.parametrize(
+        "algorithm", ["materialized", "streaming", "factorized"]
+    )
+    def test_all_strategies_accessible(self, db, binary_star, algorithm):
+        result = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0,
+            algorithm=algorithm,
+        )
+        assert result.model.params.n_components == 2
+
+    def test_explicit_config_wins(self, db, binary_star):
+        config = EMConfig(n_components=4, max_iter=2, tol=0.0, seed=3)
+        result = fit_gmm(
+            db, binary_star.spec, n_components=2, config=config
+        )
+        assert result.model.params.n_components == 4
+
+    def test_strategies_agree_through_api(self, db, binary_star):
+        config = EMConfig(n_components=2, max_iter=3, tol=0.0, seed=1)
+        results = [
+            fit_gmm(db, binary_star.spec, algorithm=a, config=config)
+            for a in ("M", "S", "F")
+        ]
+        assert results[0].fit.params.allclose(results[1].fit.params)
+        assert results[1].fit.params.allclose(results[2].fit.params)
+
+
+class TestFitNN:
+    def test_returns_usable_model(self, db, binary_star):
+        result = fit_nn(
+            db, binary_star.spec, hidden_sizes=(6,), epochs=2,
+        )
+        assert result.algorithm == "F-NN"
+        assert len(result.loss_history) == 2
+        predictions = result.predict(
+            np.random.default_rng(0).normal(size=(5, 8))
+        )
+        assert predictions.shape == (5, 1)
+
+    def test_loss_decreases(self, db, binary_star):
+        result = fit_nn(
+            db, binary_star.spec, hidden_sizes=(10,), epochs=8,
+            learning_rate=0.1,
+        )
+        assert result.loss_history[-1] < result.loss_history[0]
+
+    @pytest.mark.parametrize("algorithm", ["M", "S", "F"])
+    def test_all_strategies(self, db, binary_star, algorithm):
+        result = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1,
+            algorithm=algorithm,
+        )
+        assert result.wall_time_seconds > 0
+
+    def test_explicit_config(self, db, binary_star):
+        config = NNConfig(hidden_sizes=(3, 3), epochs=1, seed=1)
+        result = fit_nn(db, binary_star.spec, config=config)
+        assert [l.n_out for l in result.model.layers] == [3, 3, 1]
+
+
+class TestComparisons:
+    def test_gmm_comparison(self, db, binary_star):
+        config = EMConfig(n_components=2, max_iter=2, tol=0.0, seed=1)
+        comparison = compare_gmm_strategies(db, binary_star.spec, config)
+        assert set(comparison.results) == {
+            MATERIALIZED, STREAMING, FACTORIZED,
+        }
+        times = comparison.wall_times()
+        assert all(t > 0 for t in times.values())
+        speedups = comparison.speedup_of_factorized()
+        assert set(speedups) == {MATERIALIZED, STREAMING}
+
+    def test_nn_comparison_subset(self, db, binary_star):
+        config = NNConfig(hidden_sizes=(4,), epochs=1, seed=1)
+        comparison = compare_nn_strategies(
+            db, binary_star.spec, config,
+            strategies=("streaming", "factorized"),
+        )
+        assert set(comparison.results) == {STREAMING, FACTORIZED}

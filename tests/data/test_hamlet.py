@@ -1,0 +1,120 @@
+"""Simulated Hamlet datasets match the published Table IV/V dimensions."""
+
+import numpy as np
+import pytest
+
+from repro.data.hamlet import (
+    HAMLET_PROFILES,
+    MOVIES_3WAY,
+    load_hamlet,
+    load_movies_3way,
+)
+from repro.errors import ModelError
+
+
+class TestProfiles:
+    def test_table_iv_dimensions(self):
+        """The published (n_S, d_S, n_R, d_R) of Table IV."""
+        expected = {
+            "expedia1": (942142, 7, 11938, 8),
+            "expedia2": (942142, 7, 37021, 14),
+            "walmart": (421570, 3, 2340, 9),
+            "movies": (1000209, 1, 3706, 21),
+            "walmart_sparse": (421570, 126, 2340, 175),
+            "movies_sparse": (1000209, 1, 3706, 21),
+        }
+        for name, dims in expected.items():
+            profile = HAMLET_PROFILES[name]
+            assert (
+                profile.n_s, profile.d_s, profile.n_r, profile.d_r
+            ) == dims
+
+    def test_table_v_dimensions(self):
+        expected = {
+            "expedia3": (634133, 7, 2899, 29),
+            "expedia4": (634133, 7, 2899, 78),
+            "expedia5": (634133, 7, 2899, 218),
+        }
+        for name, dims in expected.items():
+            profile = HAMLET_PROFILES[name]
+            assert (
+                profile.n_s, profile.d_s, profile.n_r, profile.d_r
+            ) == dims
+
+    def test_unknown_profile(self, db):
+        with pytest.raises(ModelError, match="unknown"):
+            load_hamlet(db, "netflix")
+
+    def test_invalid_scale(self, db):
+        with pytest.raises(ModelError):
+            load_hamlet(db, "walmart", scale=0)
+
+
+class TestScaledLoading:
+    @pytest.mark.parametrize("name", ["walmart", "expedia3"])
+    def test_scaled_dimensions(self, db, name):
+        profile = HAMLET_PROFILES[name]
+        star = load_hamlet(db, name, scale=0.01, seed=1)
+        fact = db[star.fact_name]
+        dim = db[star.dimension_names[0]]
+        assert fact.nrows == max(8, round(profile.n_s * 0.01))
+        assert dim.nrows == max(8, round(profile.n_r * 0.01))
+        assert fact.schema.num_features == profile.d_s
+        assert dim.schema.num_features == profile.d_r
+
+    def test_tuple_ratio_preserved_by_scaling(self, db):
+        profile = HAMLET_PROFILES["walmart"]
+        star = load_hamlet(db, "walmart", scale=0.02, seed=1)
+        realized = db[star.fact_name].nrows / db[star.dimension_names[0]].nrows
+        assert realized == pytest.approx(profile.tuple_ratio, rel=0.05)
+
+    def test_dense_profile_defaults_to_no_target(self, db):
+        star = load_hamlet(db, "walmart", scale=0.005, seed=1)
+        assert db[star.fact_name].schema.target_column is None
+
+    def test_join_integrity(self, db):
+        star = load_hamlet(db, "movies", scale=0.005, seed=1)
+        star.spec.resolve(db).check_integrity()
+
+
+class TestSparseProfiles:
+    def test_sparse_defaults_to_target(self, db):
+        star = load_hamlet(db, "movies_sparse", scale=0.005, seed=2)
+        assert db[star.fact_name].schema.target_column is not None
+
+    def test_sparse_features_are_indicators(self, db):
+        star = load_hamlet(db, "walmart_sparse", scale=0.01, seed=2)
+        dim_feats = db[star.dimension_names[0]].features()
+        assert set(np.unique(dim_feats)) <= {0.0, 1.0}
+        # One-hot blocks: 3 categorical columns -> 3 ones per row.
+        np.testing.assert_array_equal(dim_feats.sum(axis=1), 3.0)
+
+    def test_sparse_widths_exact(self, db):
+        star = load_hamlet(db, "walmart_sparse", scale=0.01, seed=2)
+        assert db[star.fact_name].schema.num_features == 126
+        assert db[star.dimension_names[0]].schema.num_features == 175
+
+
+class TestMovies3Way:
+    def test_default_shape(self, db):
+        star = load_movies_3way(db, scale=0.01, seed=3)
+        assert star.spec.num_dimensions == 2
+        resolved = star.spec.resolve(db)
+        assert resolved.total_features == (
+            MOVIES_3WAY["d_s"] + MOVIES_3WAY["d_r1"] + MOVIES_3WAY["d_r2"]
+        )
+        resolved.check_integrity()
+
+    def test_rr_injection_scales_r1(self, db):
+        star = load_movies_3way(db, scale=0.01, rr_synthetic=3.0, seed=3)
+        n_r1 = db["R_users"].nrows
+        n_r2 = db["R_movies"].nrows
+        assert n_r1 == pytest.approx(3 * n_r2, rel=0.05)
+
+    def test_d_r1_override(self, db):
+        star = load_movies_3way(db, scale=0.01, d_r1=11, seed=3)
+        assert db["R_users"].schema.num_features == 11
+
+    def test_invalid_rr(self, db):
+        with pytest.raises(ModelError):
+            load_movies_3way(db, scale=0.01, rr_synthetic=-1)

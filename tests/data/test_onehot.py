@@ -1,0 +1,79 @@
+"""One-hot encoding utilities."""
+
+import numpy as np
+import pytest
+
+from repro.data.onehot import one_hot_encode, random_categoricals, split_width
+from repro.errors import ModelError
+
+
+class TestOneHotEncode:
+    def test_single_column(self):
+        out = one_hot_encode(np.array([0, 2, 1]), [3])
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+        )
+
+    def test_multi_column_blocks(self):
+        data = np.array([[0, 1], [1, 0]])
+        out = one_hot_encode(data, [2, 2])
+        np.testing.assert_array_equal(
+            out, [[1, 0, 0, 1], [0, 1, 1, 0]]
+        )
+
+    def test_one_dim_promoted(self):
+        assert one_hot_encode(np.array([0, 1])).shape == (2, 2)
+
+    def test_cardinalities_inferred(self):
+        out = one_hot_encode(np.array([[0], [4]]))
+        assert out.shape == (2, 5)
+
+    def test_each_row_one_hot_per_column(self, rng):
+        data = rng.integers(0, 5, size=(40, 3))
+        out = one_hot_encode(data, [5, 5, 5])
+        np.testing.assert_array_equal(out.sum(axis=1), 3.0)
+
+    def test_float_integers_accepted(self):
+        out = one_hot_encode(np.array([[0.0], [1.0]]), [2])
+        assert out.shape == (2, 2)
+
+    def test_non_integer_rejected(self):
+        with pytest.raises(ModelError, match="integers"):
+            one_hot_encode(np.array([[0.5]]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            one_hot_encode(np.array([[-1]]))
+
+    def test_code_exceeding_cardinality(self):
+        with pytest.raises(ModelError, match="cardinality"):
+            one_hot_encode(np.array([[3]]), [3])
+
+    def test_cardinality_count_mismatch(self):
+        with pytest.raises(ModelError):
+            one_hot_encode(np.array([[0, 0]]), [2])
+
+
+class TestSplitWidth:
+    def test_exact_partition(self):
+        assert split_width(126, 3) == [42, 42, 42]
+
+    def test_remainder_distributed(self):
+        assert split_width(10, 3) == [4, 3, 3]
+        assert sum(split_width(175, 3)) == 175
+
+    def test_invalid(self):
+        with pytest.raises(ModelError):
+            split_width(2, 3)
+        with pytest.raises(ModelError):
+            split_width(5, 0)
+
+
+class TestRandomCategoricals:
+    def test_all_categories_present(self, rng):
+        codes = random_categoricals(rng, 100, [5, 7])
+        assert set(np.unique(codes[:, 0])) == set(range(5))
+        assert set(np.unique(codes[:, 1])) == set(range(7))
+
+    def test_shape(self, rng):
+        assert random_categoricals(rng, 10, [3]).shape == (10, 1)

@@ -1,0 +1,165 @@
+"""The Section V-A/V-B cost formulas, checked against measured I/O."""
+
+import math
+import warnings
+
+import pytest
+
+from repro.data.synthetic import StarSchemaConfig, generate_star
+from repro.errors import ModelError
+from repro.gmm.algorithms import fit_m_gmm, fit_s_gmm
+from repro.gmm.base import EMConfig
+from repro.gmm.cost_model import (
+    dense_outer_cost,
+    factorized_outer_cost,
+    join_pass_pages,
+    m_gmm_io_pages,
+    outer_saving,
+    outer_saving_rate,
+    s_gmm_io_pages,
+    streaming_wins_block_size,
+)
+
+
+class TestIOFormulas:
+    def test_join_pass(self):
+        assert join_pass_pages(10, 100, 4) == 10 + 3 * 100
+
+    def test_join_pass_single_block(self):
+        assert join_pass_pages(10, 100, 64) == 110
+
+    def test_m_gmm_total(self):
+        # join + materialize + 3 reads per iteration.
+        assert m_gmm_io_pages(10, 100, 150, 64, 2) == 110 + 150 + 900
+
+    def test_s_gmm_total(self):
+        assert s_gmm_io_pages(10, 100, 64, 2) == 6 * 110
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            join_pass_pages(0, 10, 1)
+        with pytest.raises(ModelError):
+            m_gmm_io_pages(1, 1, 0, 1, 1)
+        with pytest.raises(ModelError):
+            s_gmm_io_pages(1, 1, 1, 0)
+
+    def test_crossover_formula(self):
+        """At the crossover block size, the two costs are equal (up to
+        the ceil in the join term)."""
+        pages_r, pages_s, pages_t, iterations = 8, 200, 240, 3
+        crossover = streaming_wins_block_size(
+            pages_r, pages_s, pages_t, iterations
+        )
+        # Strictly above the crossover S-GMM is cheaper.
+        above = max(1, math.ceil(crossover * 1.5))
+        assert s_gmm_io_pages(
+            pages_r, pages_s, above, iterations
+        ) <= m_gmm_io_pages(pages_r, pages_s, pages_t, above, iterations)
+
+    def test_crossover_infinite_when_t_too_small(self):
+        assert streaming_wins_block_size(100, 10, 1, 1) == math.inf
+
+
+class TestMeasuredIOMatchesFormulas:
+    @pytest.fixture
+    def star(self, tiny_db):
+        config = StarSchemaConfig.binary(
+            n_s=400, n_r=24, d_s=2, d_r=3, seed=3
+        )
+        return generate_star(tiny_db, config)
+
+    @pytest.mark.parametrize("block_pages", [1, 2, 8])
+    def test_s_gmm_measured(self, tiny_db, star, block_pages):
+        iterations = 2
+        config = EMConfig(
+            n_components=2, max_iter=iterations, tol=0.0, seed=1,
+            init_sample_size=10_000,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_s_gmm(
+                db=tiny_db, spec=star.spec, config=config,
+                block_pages=block_pages,
+            )
+        pages_r = tiny_db["R1"].npages
+        pages_s = tiny_db["S"].npages
+        expected = s_gmm_io_pages(
+            pages_r, pages_s, block_pages, iterations
+        )
+        # One extra join pass feeds the parameter initialization.
+        expected += join_pass_pages(pages_r, pages_s, block_pages)
+        assert result.io.pages_read == expected
+
+    def test_m_gmm_measured(self, tiny_db, star):
+        iterations, block_pages = 2, 4
+        config = EMConfig(
+            n_components=2, max_iter=iterations, tol=0.0, seed=1,
+            init_sample_size=10_000,
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            result = fit_m_gmm(
+                db=tiny_db, spec=star.spec, config=config,
+                block_pages=block_pages,
+            )
+        pages_r = tiny_db["R1"].npages
+        pages_s = tiny_db["S"].npages
+        pages_t = result.extra["table_pages"]
+        # The Section V-A formula counts the |T| materialization as a
+        # write; compare total page I/O, plus one extra read of T that
+        # feeds parameter initialization.
+        expected_total = m_gmm_io_pages(
+            pages_r, pages_s, pages_t, block_pages, iterations
+        ) + pages_t
+        assert (
+            result.io.pages_read + result.io.pages_written
+            == expected_total
+        )
+        assert result.io.pages_written == pages_t
+        assert result.io.pages_read == expected_total - pages_t
+
+
+class TestComputeFormulas:
+    def test_dense_cost(self):
+        cost = dense_outer_cost(n_s=1000, d_s=5, d_r=15)
+        assert cost.subtractions == 1000 * 20
+        assert cost.multiplications == 1000 * 400
+
+    def test_factorized_cost(self):
+        cost = factorized_outer_cost(n_s=1000, n_r=100, d_s=5, d_r=15)
+        assert cost.subtractions == 1000 * 5 + 100 * 15
+        assert cost.multiplications == 1000 * (25 + 150) + 100 * 225
+
+    def test_saving_is_difference(self):
+        n_s, n_r, d_s, d_r = 5000, 50, 5, 10
+        dense = dense_outer_cost(n_s, d_s, d_r).time(2.0, 3.0)
+        factorized = factorized_outer_cost(n_s, n_r, d_s, d_r).time(
+            2.0, 3.0
+        )
+        assert outer_saving(n_s, n_r, d_s, d_r, 2.0, 3.0) == pytest.approx(
+            dense - factorized
+        )
+
+    def test_saving_closed_form(self):
+        # Δτ = (n_S − n_R)·d_R·(τ_s + d_R·τ_m) — Section V-B.
+        assert outer_saving(1000, 100, 5, 10, 1.0, 1.0) == 900 * 10 * 11
+
+    def test_rate_increases_with_dr(self):
+        rates = [
+            outer_saving_rate(10_000, 100, 5, d_r)
+            for d_r in (2, 5, 10, 20, 50)
+        ]
+        assert rates == sorted(rates)
+
+    def test_rate_increases_with_tuple_ratio(self):
+        rates = [
+            outer_saving_rate(n_s, 100, 5, 15)
+            for n_s in (1_000, 10_000, 100_000)
+        ]
+        assert rates == sorted(rates)
+
+    def test_rate_bounded_by_one(self):
+        assert 0 < outer_saving_rate(10**6, 10, 5, 100) < 1
+
+    def test_no_saving_when_no_redundancy(self):
+        assert outer_saving(100, 100, 5, 5) == 0

@@ -1,0 +1,185 @@
+"""GMM parameter container, precisions, and inference."""
+
+import numpy as np
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.errors import ModelError
+from repro.gmm.model import (
+    ComponentPrecisions,
+    GaussianMixtureModel,
+    GMMParams,
+    log_gaussian_from_quadform,
+    log_responsibilities,
+)
+
+
+def make_params(rng, k=3, d=4):
+    means = rng.normal(scale=3, size=(k, d))
+    covs = []
+    for _ in range(k):
+        a = rng.normal(size=(d, d))
+        covs.append(a @ a.T + d * np.eye(d))
+    weights = rng.uniform(0.5, 1.5, size=k)
+    weights /= weights.sum()
+    return GMMParams(weights, means, np.stack(covs))
+
+
+class TestGMMParams:
+    def test_accessors(self, rng):
+        params = make_params(rng, k=3, d=4)
+        assert params.n_components == 3
+        assert params.n_features == 4
+
+    def test_weights_must_sum_to_one(self, rng):
+        params = make_params(rng)
+        with pytest.raises(ModelError, match="sum to 1"):
+            GMMParams(
+                params.weights * 2, params.means, params.covariances
+            )
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ModelError, match="non-negative"):
+            GMMParams(
+                np.array([1.5, -0.5]),
+                np.zeros((2, 2)),
+                np.stack([np.eye(2)] * 2),
+            )
+
+    def test_shape_mismatches(self, rng):
+        params = make_params(rng)
+        with pytest.raises(ModelError):
+            GMMParams(params.weights, params.means[:2], params.covariances)
+        with pytest.raises(ModelError):
+            GMMParams(
+                params.weights, params.means, params.covariances[:, :2]
+            )
+
+    def test_copy_is_deep(self, rng):
+        params = make_params(rng)
+        clone = params.copy()
+        clone.means[0, 0] += 1
+        assert params.means[0, 0] != clone.means[0, 0]
+
+    def test_allclose(self, rng):
+        params = make_params(rng)
+        clone = params.copy()
+        assert params.allclose(clone)
+        clone.means[0, 0] += 1e-3
+        assert not params.allclose(clone)
+
+
+class TestComponentPrecisions:
+    def test_precision_is_inverse(self, rng):
+        params = make_params(rng)
+        precisions = ComponentPrecisions(params.covariances)
+        for j in range(params.n_components):
+            np.testing.assert_allclose(
+                precisions.precisions[j] @ params.covariances[j],
+                np.eye(params.n_features),
+                atol=1e-8,
+            )
+
+    def test_log_det_matches_slogdet(self, rng):
+        params = make_params(rng)
+        precisions = ComponentPrecisions(params.covariances)
+        for j in range(params.n_components):
+            _, expected = np.linalg.slogdet(params.covariances[j])
+            assert precisions.log_dets[j] == pytest.approx(expected)
+
+    def test_regularization_added(self):
+        # Singular covariance fails without reg, passes with it.
+        cov = np.zeros((1, 2, 2))
+        with pytest.raises(ModelError, match="positive definite"):
+            ComponentPrecisions(cov)
+        precisions = ComponentPrecisions(cov, reg=1e-3)
+        np.testing.assert_allclose(
+            precisions.precisions[0], np.eye(2) / 1e-3
+        )
+
+    def test_bad_shape(self):
+        with pytest.raises(ModelError):
+            ComponentPrecisions(np.zeros((2, 3, 4)))
+
+
+class TestLogDensity:
+    def test_matches_scipy_multivariate_normal(self, rng):
+        params = make_params(rng, k=2, d=3)
+        model = GaussianMixtureModel(params, reg_covar=0.0)
+        data = rng.normal(size=(20, 3))
+        ours = model.log_gaussians(data)
+        for j in range(2):
+            expected = scipy_stats.multivariate_normal(
+                params.means[j], params.covariances[j]
+            ).logpdf(data)
+            np.testing.assert_allclose(ours[:, j], expected, rtol=1e-8)
+
+    def test_score_samples_is_log_mixture(self, rng):
+        params = make_params(rng, k=2, d=3)
+        model = GaussianMixtureModel(params, reg_covar=0.0)
+        data = rng.normal(size=(10, 3))
+        expected = np.log(
+            sum(
+                params.weights[j]
+                * scipy_stats.multivariate_normal(
+                    params.means[j], params.covariances[j]
+                ).pdf(data)
+                for j in range(2)
+            )
+        )
+        np.testing.assert_allclose(
+            model.score_samples(data), expected, rtol=1e-8
+        )
+
+    def test_log_gaussian_from_quadform(self):
+        # d=1, sigma=1, x=mu: log N = -0.5 log(2π).
+        val = log_gaussian_from_quadform(np.array([0.0]), 0.0, 1)
+        assert val[0] == pytest.approx(-0.5 * np.log(2 * np.pi))
+
+    def test_dimension_mismatch(self, rng):
+        model = GaussianMixtureModel(make_params(rng, d=4))
+        with pytest.raises(ModelError):
+            model.log_gaussians(rng.normal(size=(5, 3)))
+
+
+class TestResponsibilities:
+    def test_rows_sum_to_one(self, rng):
+        params = make_params(rng)
+        model = GaussianMixtureModel(params)
+        gamma = model.responsibilities(rng.normal(size=(30, 4)))
+        np.testing.assert_allclose(gamma.sum(axis=1), 1.0)
+        assert (gamma >= 0).all()
+
+    def test_stable_under_extreme_logits(self):
+        log_gauss = np.array([[1000.0, -1000.0], [-1000.0, 1000.0]])
+        gamma, log_likelihood = log_responsibilities(
+            log_gauss, np.array([0.5, 0.5])
+        )
+        np.testing.assert_allclose(gamma, [[1, 0], [0, 1]], atol=1e-12)
+        assert np.isfinite(log_likelihood).all()
+
+    def test_predict_picks_nearest_component(self, rng):
+        means = np.array([[-10.0, -10.0], [10.0, 10.0]])
+        params = GMMParams(
+            np.array([0.5, 0.5]), means, np.stack([np.eye(2)] * 2)
+        )
+        model = GaussianMixtureModel(params)
+        data = np.array([[-9.0, -11.0], [11.0, 9.0], [-10.5, -9.5]])
+        np.testing.assert_array_equal(model.predict(data), [0, 1, 0])
+
+
+class TestSampling:
+    def test_sample_shape(self, rng):
+        model = GaussianMixtureModel(make_params(rng, k=2, d=3))
+        data = model.sample(100, rng=rng)
+        assert data.shape == (100, 3)
+
+    def test_sample_statistics(self, rng):
+        means = np.array([[0.0, 0.0]])
+        params = GMMParams(
+            np.array([1.0]), means, np.stack([np.eye(2)])
+        )
+        model = GaussianMixtureModel(params)
+        data = model.sample(4000, rng=rng)
+        np.testing.assert_allclose(data.mean(axis=0), [0, 0], atol=0.1)
+        np.testing.assert_allclose(np.cov(data.T), np.eye(2), atol=0.15)

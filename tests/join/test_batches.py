@@ -1,0 +1,95 @@
+"""Batch containers: validation, densify, take."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.join.batches import DenseBatch, FactorizedBatch
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+
+
+def make_factorized(rng, n=20, d_s=2, m=4, d_r=3, with_target=True):
+    design = FactorizedDesign(
+        rng.normal(size=(n, d_s)),
+        [rng.normal(size=(m, d_r))],
+        [GroupIndex(rng.integers(0, m, size=n), m)],
+    )
+    targets = rng.normal(size=n) if with_target else None
+    return FactorizedBatch(np.arange(n), design, targets)
+
+
+class TestDenseBatch:
+    def test_row_count(self, rng):
+        batch = DenseBatch(np.arange(5), rng.normal(size=(5, 3)))
+        assert batch.n == 5
+
+    def test_id_count_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            DenseBatch(np.arange(4), rng.normal(size=(5, 3)))
+
+    def test_target_shape_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            DenseBatch(
+                np.arange(5), rng.normal(size=(5, 3)), np.zeros(4)
+            )
+
+    def test_one_dim_features_rejected(self, rng):
+        with pytest.raises(ModelError):
+            DenseBatch(np.arange(5), rng.normal(size=5))
+
+    def test_take_subsets_all_fields(self, rng):
+        batch = DenseBatch(
+            np.arange(6), rng.normal(size=(6, 2)), rng.normal(size=6)
+        )
+        taken = batch.take(np.array([4, 1]))
+        np.testing.assert_array_equal(taken.sids, [4, 1])
+        np.testing.assert_array_equal(
+            taken.features, batch.features[[4, 1]]
+        )
+        np.testing.assert_array_equal(
+            taken.targets, batch.targets[[4, 1]]
+        )
+
+    def test_take_without_targets(self, rng):
+        batch = DenseBatch(np.arange(6), rng.normal(size=(6, 2)))
+        assert batch.take(np.array([0])).targets is None
+
+
+class TestFactorizedBatch:
+    def test_row_count(self, rng):
+        assert make_factorized(rng, n=17).n == 17
+
+    def test_id_mismatch(self, rng):
+        design = FactorizedDesign(
+            rng.normal(size=(5, 2)),
+            [rng.normal(size=(2, 2))],
+            [GroupIndex(np.zeros(5, dtype=np.int64), 2)],
+        )
+        with pytest.raises(ModelError):
+            FactorizedBatch(np.arange(4), design)
+
+    def test_densify_round_trip(self, rng):
+        batch = make_factorized(rng)
+        dense = batch.densify()
+        assert isinstance(dense, DenseBatch)
+        np.testing.assert_array_equal(dense.sids, batch.sids)
+        np.testing.assert_array_equal(
+            dense.features, batch.design.densify()
+        )
+        np.testing.assert_array_equal(dense.targets, batch.targets)
+
+    def test_take_matches_dense_take(self, rng):
+        batch = make_factorized(rng, n=30)
+        picks = np.array([7, 3, 3, 28])
+        np.testing.assert_allclose(
+            batch.take(picks).densify().features,
+            batch.densify().take(picks).features,
+        )
+
+    def test_take_shares_dimension_blocks(self, rng):
+        batch = make_factorized(rng)
+        taken = batch.take(np.arange(5))
+        assert (
+            taken.design.dim_blocks[0] is batch.design.dim_blocks[0]
+        )

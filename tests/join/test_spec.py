@@ -1,0 +1,144 @@
+"""Join specification validation and derived metadata."""
+
+import numpy as np
+import pytest
+
+from repro.errors import JoinError
+from repro.join.spec import DimensionJoin, JoinSpec
+from repro.linalg.blocks import BlockLayout
+from repro.storage.schema import (
+    ColumnRole,
+    Schema,
+    feature,
+    features,
+    foreign_key,
+    key,
+)
+
+from tests.conftest import make_binary_relations
+
+
+class TestConstruction:
+    def test_needs_dimensions(self):
+        with pytest.raises(JoinError):
+            JoinSpec("S", [])
+
+    def test_duplicate_fk_columns_rejected(self):
+        with pytest.raises(JoinError, match="duplicate"):
+            JoinSpec(
+                "S",
+                [DimensionJoin("R1", "fk"), DimensionJoin("R2", "fk")],
+            )
+
+    def test_binary_helper(self):
+        spec = JoinSpec.binary("S", "R")
+        assert spec.fact == "S"
+        assert spec.num_dimensions == 1
+        assert spec.dimensions[0].relation == "R"
+
+
+class TestResolution:
+    def test_resolves_valid_binary(self, db, rng):
+        spec = make_binary_relations(db, rng)
+        resolved = spec.resolve(db)
+        assert resolved.fact.name == "S"
+        assert resolved.num_rows == 300
+        assert resolved.layout == BlockLayout([3, 4])
+        assert resolved.total_features == 7
+        assert not resolved.has_target
+
+    def test_has_target(self, db, rng):
+        spec = make_binary_relations(db, rng, with_target=True)
+        assert spec.resolve(db).has_target
+
+    def test_missing_fact(self, db):
+        with pytest.raises(JoinError, match="fact relation"):
+            JoinSpec.binary("ghost", "R").resolve(db)
+
+    def test_missing_dimension(self, db, rng):
+        make_binary_relations(db, rng)
+        with pytest.raises(JoinError, match="dimension relation"):
+            JoinSpec.binary("S", "ghost").resolve(db)
+
+    def test_dimension_without_key(self, db, rng):
+        db.create_relation("NoKey", Schema([feature("x")]))
+        make_binary_relations(db, rng)
+        spec = JoinSpec("S", [DimensionJoin("NoKey", "fk")])
+        with pytest.raises(JoinError, match="no primary key"):
+            spec.resolve(db)
+
+    def test_wrong_fk_column_name(self, db, rng):
+        make_binary_relations(db, rng)
+        spec = JoinSpec("S", [DimensionJoin("R", "nope")])
+        with pytest.raises(JoinError, match="no column"):
+            spec.resolve(db)
+
+    def test_fk_column_not_a_foreign_key(self, db, rng):
+        make_binary_relations(db, rng)
+        spec = JoinSpec("S", [DimensionJoin("R", "x0")])
+        with pytest.raises(JoinError, match="not a foreign key"):
+            spec.resolve(db)
+
+    def test_fk_references_other_relation(self, db, rng):
+        make_binary_relations(db, rng)
+        db.create_relation("R2", Schema([key("rid"), feature("z")]))
+        spec = JoinSpec("S", [DimensionJoin("R2", "fk")])
+        with pytest.raises(JoinError, match="references"):
+            spec.resolve(db)
+
+    def test_fk_inference_when_unambiguous(self, db, rng):
+        spec = make_binary_relations(db, rng)
+        inferred = JoinSpec("S", [DimensionJoin("R", "")])
+        resolved = inferred.resolve(db)
+        assert resolved.dimensions[0].fk == "fk"
+
+    def test_fk_inference_ambiguous(self, db):
+        db.create_relation("R", Schema([key("rid"), feature("a")]))
+        db.create_relation(
+            "S",
+            Schema(
+                [
+                    key("sid"),
+                    feature("x"),
+                    foreign_key("f1", "R"),
+                    foreign_key("f2", "R"),
+                ]
+            ),
+        )
+        with pytest.raises(JoinError, match="cannot infer"):
+            JoinSpec("S", [DimensionJoin("R", "")]).resolve(db)
+
+
+class TestOutputSchema:
+    def test_binary_output_schema(self, db, rng):
+        spec = make_binary_relations(db, rng, with_target=True)
+        schema = spec.resolve(db).output_schema()
+        assert schema.key_column.name == "sid"
+        assert schema.target_column.name == "y"
+        assert schema.feature_names == (
+            "S__x0", "S__x1", "S__x2", "R__a0", "R__a1", "R__a2", "R__a3",
+        )
+        # Foreign keys are projected out (Section IV).
+        assert not schema.foreign_keys
+
+    def test_multiway_output_schema(self, multiway_star, db):
+        resolved = multiway_star.spec.resolve(db)
+        schema = resolved.output_schema()
+        assert schema.num_features == resolved.total_features
+        roles = {c.role for c in schema.columns}
+        assert ColumnRole.FOREIGN_KEY not in roles
+
+
+class TestIntegrity:
+    def test_clean_data_passes(self, db, rng):
+        spec = make_binary_relations(db, rng)
+        spec.resolve(db).check_integrity()
+
+    def test_dangling_fk_detected(self, db, rng):
+        spec = make_binary_relations(db, rng)
+        bad = np.zeros((1, db["S"].schema.width))
+        bad[0, db["S"].schema.key_position] = 9999
+        bad[0, db["S"].schema.fk_position("R")] = 777  # no such key
+        db["S"].append(bad)
+        with pytest.raises(JoinError, match="dangling"):
+            spec.resolve(db).check_integrity()

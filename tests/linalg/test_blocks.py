@@ -1,0 +1,128 @@
+"""Block layout partitioning and reassembly."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchemaError
+from repro.linalg.blocks import BlockLayout
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            BlockLayout([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(SchemaError):
+            BlockLayout([3, -1])
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(SchemaError):
+            BlockLayout([0, 0])
+
+    def test_zero_sized_block_allowed_alongside_nonzero(self):
+        layout = BlockLayout([0, 3])
+        assert layout.total == 3
+
+    def test_geometry(self):
+        layout = BlockLayout([2, 3, 1])
+        assert layout.nblocks == 3
+        assert layout.total == 6
+        assert layout.offsets == (0, 2, 5, 6)
+        assert layout.slice_of(1) == slice(2, 5)
+
+    def test_slice_out_of_range(self):
+        with pytest.raises(SchemaError):
+            BlockLayout([2]).slice_of(1)
+
+
+class TestSplitting:
+    @pytest.fixture
+    def layout(self):
+        return BlockLayout([2, 3])
+
+    def test_split_vector(self, layout, rng):
+        v = rng.normal(size=5)
+        a, b = layout.split_vector(v)
+        np.testing.assert_array_equal(a, v[:2])
+        np.testing.assert_array_equal(b, v[2:])
+
+    def test_split_batch(self, layout, rng):
+        m = rng.normal(size=(7, 5))
+        a, b = layout.split_vector(m)
+        np.testing.assert_array_equal(a, m[:, :2])
+        np.testing.assert_array_equal(b, m[:, 2:])
+
+    def test_split_vector_wrong_width(self, layout):
+        with pytest.raises(SchemaError):
+            layout.split_vector(np.zeros(4))
+
+    def test_split_matrix_grid(self, layout, rng):
+        m = rng.normal(size=(5, 5))
+        blocks = layout.split_matrix(m)
+        np.testing.assert_array_equal(blocks[0][0], m[:2, :2])
+        np.testing.assert_array_equal(blocks[0][1], m[:2, 2:])
+        np.testing.assert_array_equal(blocks[1][0], m[2:, :2])
+        np.testing.assert_array_equal(blocks[1][1], m[2:, 2:])
+
+    def test_split_matrix_wrong_shape(self, layout):
+        with pytest.raises(SchemaError):
+            layout.split_matrix(np.zeros((5, 4)))
+
+    def test_split_columns(self, layout, rng):
+        w = rng.normal(size=(4, 5))
+        ws, wr = layout.split_columns(w)
+        np.testing.assert_array_equal(ws, w[:, :2])
+        np.testing.assert_array_equal(wr, w[:, 2:])
+
+    def test_split_columns_requires_2d(self, layout):
+        with pytest.raises(SchemaError):
+            layout.split_columns(np.zeros(5))
+
+
+class TestAssembly:
+    def test_assemble_vector_inverts_split(self, rng):
+        layout = BlockLayout([1, 4, 2])
+        v = rng.normal(size=7)
+        np.testing.assert_array_equal(
+            layout.assemble_vector(layout.split_vector(v)), v
+        )
+
+    def test_assemble_matrix_inverts_split(self, rng):
+        layout = BlockLayout([2, 1, 3])
+        m = rng.normal(size=(6, 6))
+        np.testing.assert_array_equal(
+            layout.assemble_matrix(layout.split_matrix(m)), m
+        )
+
+    def test_assemble_vector_wrong_count(self):
+        layout = BlockLayout([2, 2])
+        with pytest.raises(SchemaError):
+            layout.assemble_vector([np.zeros(2)])
+
+    def test_assemble_vector_wrong_widths(self):
+        layout = BlockLayout([2, 2])
+        with pytest.raises(SchemaError):
+            layout.assemble_vector([np.zeros(3), np.zeros(1)])
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=6), min_size=1,
+                   max_size=5),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=50, deadline=None)
+def test_split_assemble_round_trip_property(sizes, seed):
+    """split ∘ assemble is the identity for any block partition."""
+    layout = BlockLayout(sizes)
+    rng = np.random.default_rng(seed)
+    vector = rng.normal(size=layout.total)
+    matrix = rng.normal(size=(layout.total, layout.total))
+    np.testing.assert_array_equal(
+        layout.assemble_vector(layout.split_vector(vector)), vector
+    )
+    np.testing.assert_array_equal(
+        layout.assemble_matrix(layout.split_matrix(matrix)), matrix
+    )

@@ -1,0 +1,175 @@
+"""Exactness of the factorized quadratic form (Eq. 7–12, 19–21)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+from repro.linalg.quadform import (
+    binary_quadratic_form_terms,
+    dense_quadratic_form,
+    factorized_quadratic_form,
+)
+
+
+def random_design(rng, n, d_s, dims):
+    fact = rng.normal(size=(n, d_s))
+    blocks = [rng.normal(size=(m, d)) for m, d in dims]
+    groups = [
+        GroupIndex(rng.integers(0, m, size=n), m) for m, _ in dims
+    ]
+    return FactorizedDesign(fact, blocks, groups)
+
+
+def random_spd(rng, d):
+    a = rng.normal(size=(d, d))
+    return a @ a.T + d * np.eye(d)
+
+
+class TestDenseQuadform:
+    def test_matches_explicit_loop(self, rng):
+        centered = rng.normal(size=(10, 4))
+        matrix = random_spd(rng, 4)
+        expected = np.array(
+            [row @ matrix @ row for row in centered]
+        )
+        np.testing.assert_allclose(
+            dense_quadratic_form(centered, matrix), expected
+        )
+
+    def test_shape_mismatch(self, rng):
+        with pytest.raises(ModelError):
+            dense_quadratic_form(rng.normal(size=(5, 3)), np.eye(4))
+
+    def test_identity_matrix_gives_squared_norm(self, rng):
+        centered = rng.normal(size=(8, 3))
+        np.testing.assert_allclose(
+            dense_quadratic_form(centered, np.eye(3)),
+            (centered**2).sum(axis=1),
+        )
+
+
+class TestFactorizedBinary:
+    def test_matches_dense(self, rng):
+        design = random_design(rng, 60, 3, [(7, 4)])
+        mean = rng.normal(size=7)
+        matrix = random_spd(rng, 7)
+        dense = dense_quadratic_form(design.densify() - mean, matrix)
+        fact = factorized_quadratic_form(design, mean, matrix)
+        np.testing.assert_allclose(fact, dense, rtol=1e-10)
+
+    def test_asymmetric_matrix_also_exact(self, rng):
+        # The decomposition never assumes symmetry.
+        design = random_design(rng, 30, 2, [(5, 3)])
+        mean = rng.normal(size=5)
+        matrix = rng.normal(size=(5, 5))
+        np.testing.assert_allclose(
+            factorized_quadratic_form(design, mean, matrix),
+            dense_quadratic_form(design.densify() - mean, matrix),
+            rtol=1e-9,
+            atol=1e-12,
+        )
+
+    def test_matrix_shape_checked(self, rng):
+        design = random_design(rng, 10, 2, [(3, 2)])
+        with pytest.raises(ModelError):
+            factorized_quadratic_form(
+                design, np.zeros(4), np.eye(5)
+            )
+
+    def test_terms_sum_to_total(self, rng):
+        design = random_design(rng, 40, 3, [(6, 5)])
+        mean = rng.normal(size=8)
+        matrix = random_spd(rng, 8)
+        terms = binary_quadratic_form_terms(design, mean, matrix)
+        assert set(terms) == {"UL", "UR", "LL", "LR"}
+        total = terms["UL"] + terms["UR"] + terms["LL"] + terms["LR"]
+        np.testing.assert_allclose(
+            total,
+            dense_quadratic_form(design.densify() - mean, matrix),
+            rtol=1e-10,
+        )
+
+    def test_ur_equals_ll_for_symmetric_matrix(self, rng):
+        design = random_design(rng, 40, 3, [(6, 5)])
+        mean = rng.normal(size=8)
+        matrix = random_spd(rng, 8)
+        terms = binary_quadratic_form_terms(design, mean, matrix)
+        np.testing.assert_allclose(terms["UR"], terms["LL"], rtol=1e-9)
+
+    def test_lr_constant_within_group(self, rng):
+        """LR depends only on the dimension tuple — the reuse claim."""
+        design = random_design(rng, 50, 2, [(4, 3)])
+        mean = rng.normal(size=5)
+        matrix = random_spd(rng, 5)
+        terms = binary_quadratic_form_terms(design, mean, matrix)
+        codes = design.groups[0].codes
+        for code in np.unique(codes):
+            values = terms["LR"][codes == code]
+            assert np.ptp(values) < 1e-12
+
+    def test_terms_require_binary(self, rng):
+        design = random_design(rng, 10, 2, [(3, 2), (3, 2)])
+        with pytest.raises(ModelError, match="binary"):
+            binary_quadratic_form_terms(
+                design, np.zeros(6), np.eye(6)
+            )
+
+
+class TestFactorizedMultiway:
+    def test_three_way_matches_dense(self, rng):
+        design = random_design(rng, 80, 2, [(5, 3), (4, 4)])
+        mean = rng.normal(size=9)
+        matrix = random_spd(rng, 9)
+        np.testing.assert_allclose(
+            factorized_quadratic_form(design, mean, matrix),
+            dense_quadratic_form(design.densify() - mean, matrix),
+            rtol=1e-10,
+        )
+
+    def test_four_way_matches_dense(self, rng):
+        design = random_design(rng, 50, 2, [(3, 2), (4, 3), (2, 2)])
+        mean = rng.normal(size=9)
+        matrix = random_spd(rng, 9)
+        np.testing.assert_allclose(
+            factorized_quadratic_form(design, mean, matrix),
+            dense_quadratic_form(design.densify() - mean, matrix),
+            rtol=1e-10,
+        )
+
+
+@st.composite
+def quadform_case(draw):
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    n = draw(st.integers(min_value=1, max_value=50))
+    d_s = draw(st.integers(min_value=1, max_value=4))
+    q = draw(st.integers(min_value=1, max_value=3))
+    dims = [
+        (
+            draw(st.integers(min_value=1, max_value=6)),
+            draw(st.integers(min_value=1, max_value=4)),
+        )
+        for _ in range(q)
+    ]
+    return seed, n, d_s, dims
+
+
+@given(case=quadform_case())
+@settings(max_examples=60, deadline=None)
+def test_factorized_quadform_exact_property(case):
+    """Eq. 19 is an exact decomposition for arbitrary shapes/codes."""
+    seed, n, d_s, dims = case
+    rng = np.random.default_rng(seed)
+    design = random_design(rng, n, d_s, dims)
+    d = design.d
+    mean = rng.normal(size=d)
+    matrix = random_spd(rng, d)
+    np.testing.assert_allclose(
+        factorized_quadratic_form(design, mean, matrix),
+        dense_quadratic_form(design.densify() - mean, matrix),
+        rtol=1e-8,
+        atol=1e-8,
+    )

@@ -1,0 +1,170 @@
+"""Factorized joined-table statistics match the dense computation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+from repro.linalg.stats import (
+    factorized_mean,
+    factorized_moments,
+    merge_moments,
+    standardize,
+)
+
+
+def make_design(rng, n=80, d_s=3, dims=((7, 4), (5, 2))):
+    fact = rng.normal(loc=2.0, scale=3.0, size=(n, d_s))
+    blocks = [rng.normal(size=(m, d)) * 5 for m, d in dims]
+    groups = [GroupIndex(rng.integers(0, m, size=n), m) for m, _ in dims]
+    return FactorizedDesign(fact, blocks, groups)
+
+
+class TestMoments:
+    def test_mean_matches_dense(self, rng):
+        design = make_design(rng)
+        np.testing.assert_allclose(
+            factorized_mean(design),
+            design.densify().mean(axis=0),
+            rtol=1e-10,
+        )
+
+    def test_variance_matches_dense(self, rng):
+        design = make_design(rng)
+        moments = factorized_moments(design)
+        dense = design.densify()
+        np.testing.assert_allclose(
+            moments.variance, dense.var(axis=0), rtol=1e-8, atol=1e-10
+        )
+        np.testing.assert_allclose(
+            moments.std, dense.std(axis=0), rtol=1e-8, atol=1e-10
+        )
+        assert moments.count == design.n
+
+    def test_empty_design_rejected(self, rng):
+        design = FactorizedDesign(
+            np.empty((0, 2)),
+            [rng.normal(size=(3, 2))],
+            [GroupIndex(np.empty(0, dtype=np.int64), 3)],
+        )
+        with pytest.raises(ModelError):
+            factorized_mean(design)
+
+    def test_unreferenced_dimension_rows_ignored(self, rng):
+        """Rows of R that no fact tuple references must not influence
+        the joined-table statistics."""
+        n, m = 40, 6
+        codes = rng.integers(0, 3, size=n)  # rows 3..5 never referenced
+        block = rng.normal(size=(m, 2))
+        design = FactorizedDesign(
+            rng.normal(size=(n, 1)), [block], [GroupIndex(codes, m)]
+        )
+        np.testing.assert_allclose(
+            factorized_mean(design),
+            design.densify().mean(axis=0),
+            rtol=1e-10,
+        )
+
+
+class TestStandardize:
+    def test_standardized_dense_view(self, rng):
+        design = make_design(rng)
+        standardized = standardize(design)
+        dense = standardized.densify()
+        np.testing.assert_allclose(
+            dense.mean(axis=0), 0.0, atol=1e-10
+        )
+        np.testing.assert_allclose(dense.std(axis=0), 1.0, rtol=1e-8)
+
+    def test_matches_dense_standardization(self, rng):
+        design = make_design(rng)
+        raw = design.densify()
+        expected = (raw - raw.mean(axis=0)) / raw.std(axis=0)
+        np.testing.assert_allclose(
+            standardize(design).densify(), expected, rtol=1e-8,
+            atol=1e-10,
+        )
+
+    def test_constant_feature_centered_not_scaled(self, rng):
+        n, m = 30, 4
+        fact = np.full((n, 1), 7.0)
+        design = FactorizedDesign(
+            fact,
+            [rng.normal(size=(m, 2))],
+            [GroupIndex(rng.integers(0, m, size=n), m)],
+        )
+        dense = standardize(design).densify()
+        np.testing.assert_allclose(dense[:, 0], 0.0, atol=1e-12)
+
+    def test_groups_shared_not_copied(self, rng):
+        design = make_design(rng)
+        standardized = standardize(design)
+        assert standardized.groups[0] is design.groups[0]
+
+    def test_external_moments_shape_checked(self, rng):
+        from repro.linalg.stats import JoinedMoments
+
+        design = make_design(rng)
+        bad = JoinedMoments(
+            mean=np.zeros(3), variance=np.ones(3), count=10
+        )
+        with pytest.raises(ModelError):
+            standardize(design, bad)
+
+
+class TestMergeMoments:
+    def test_merge_equals_whole(self, rng):
+        design = make_design(rng, n=100)
+        whole = factorized_moments(design)
+        indices = np.arange(design.n)
+        first = FactorizedDesign(
+            design.fact_block[:40],
+            design.dim_blocks,
+            [GroupIndex(g.codes[:40], g.num_groups)
+             for g in design.groups],
+        )
+        second = FactorizedDesign(
+            design.fact_block[40:],
+            design.dim_blocks,
+            [GroupIndex(g.codes[40:], g.num_groups)
+             for g in design.groups],
+        )
+        merged = merge_moments(
+            [factorized_moments(first), factorized_moments(second)]
+        )
+        np.testing.assert_allclose(merged.mean, whole.mean, rtol=1e-10)
+        np.testing.assert_allclose(
+            merged.variance, whole.variance, rtol=1e-8, atol=1e-12
+        )
+        assert merged.count == whole.count
+
+    def test_empty_rejected(self):
+        with pytest.raises(ModelError):
+            merge_moments([])
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n=st.integers(min_value=1, max_value=60),
+    m=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=50, deadline=None)
+def test_moments_property(seed, n, m):
+    """Factorized moments equal dense moments for arbitrary joins."""
+    rng = np.random.default_rng(seed)
+    design = FactorizedDesign(
+        rng.normal(size=(n, 2)),
+        [rng.normal(size=(m, 3))],
+        [GroupIndex(rng.integers(0, m, size=n), m)],
+    )
+    moments = factorized_moments(design)
+    dense = design.densify()
+    np.testing.assert_allclose(
+        moments.mean, dense.mean(axis=0), rtol=1e-8, atol=1e-10
+    )
+    np.testing.assert_allclose(
+        moments.variance, dense.var(axis=0), rtol=1e-7, atol=1e-9
+    )

@@ -1,0 +1,197 @@
+"""Factorized linear baselines match dense solutions exactly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.join.reference import nested_loop_join
+from repro.linear.models import fit_logistic, fit_ridge
+from repro.storage.schema import (
+    Schema,
+    features,
+    foreign_key,
+    key,
+    target,
+)
+
+
+def build_star(db, rng, *, n_s=500, n_r=20, d_s=3, d_r=4,
+               targets=None, seed_fk=None):
+    r_rows = np.column_stack(
+        [np.arange(n_r, dtype=np.float64), rng.normal(size=(n_r, d_r))]
+    )
+    db.create_relation(
+        "R", Schema([key("rid"), *features("a", d_r)]), r_rows
+    )
+    fks = rng.integers(0, n_r, size=n_s) if seed_fk is None else seed_fk
+    fks[:n_r] = np.arange(n_r)
+    s_feats = rng.normal(size=(n_s, d_s))
+    joined = np.concatenate([s_feats, r_rows[fks, 1:]], axis=1)
+    if targets is None:
+        true_w = rng.normal(size=d_s + d_r)
+        targets = joined @ true_w + 0.5 + rng.normal(
+            scale=0.1, size=n_s
+        )
+    s_rows = np.column_stack(
+        [
+            np.arange(n_s, dtype=np.float64),
+            targets,
+            s_feats,
+            fks.astype(np.float64),
+        ]
+    )
+    db.create_relation(
+        "S",
+        Schema(
+            [key("sid"), target("y"), *features("x", d_s),
+             foreign_key("fk", "R")]
+        ),
+        s_rows,
+    )
+    from repro.join.spec import JoinSpec
+
+    return JoinSpec.binary("S", "R"), joined, targets
+
+
+class TestRidge:
+    def test_matches_dense_normal_equations(self, db, rng):
+        spec, joined, targets = build_star(db, rng)
+        alpha = 1e-2
+        model = fit_ridge(db, spec, alpha=alpha)
+        centered = joined - joined.mean(axis=0)
+        centered_targets = targets - targets.mean()
+        expected = np.linalg.solve(
+            centered.T @ centered + alpha * np.eye(joined.shape[1]),
+            centered.T @ centered_targets,
+        )
+        np.testing.assert_allclose(model.weights, expected, rtol=1e-8)
+        expected_intercept = targets.mean() - joined.mean(axis=0) @ expected
+        assert model.intercept == pytest.approx(
+            expected_intercept, rel=1e-8
+        )
+
+    def test_recovers_generating_weights(self, db, rng):
+        spec, joined, targets = build_star(db, rng, n_s=2000)
+        model = fit_ridge(db, spec, alpha=1e-8)
+        # Noise 0.1 → weights recovered to ~1e-2.
+        lstsq = np.linalg.lstsq(
+            np.column_stack([joined, np.ones(len(targets))]),
+            targets, rcond=None,
+        )[0]
+        np.testing.assert_allclose(
+            model.weights, lstsq[:-1], atol=1e-6
+        )
+
+    def test_prediction_quality(self, db, rng):
+        spec, joined, targets = build_star(db, rng, n_s=1500)
+        model = fit_ridge(db, spec, alpha=1e-6)
+        predictions = model.predict(joined)
+        residual = np.mean((predictions - targets) ** 2)
+        assert residual < 0.05  # noise floor is 0.01
+
+    def test_block_size_invariance(self, db, rng):
+        spec, _, _ = build_star(db, rng)
+        a = fit_ridge(db, spec, alpha=1e-3, block_pages=1)
+        b = fit_ridge(db, spec, alpha=1e-3, block_pages=64)
+        np.testing.assert_allclose(a.weights, b.weights, rtol=1e-10)
+
+    def test_requires_target(self, db, rng):
+        from repro.join.spec import JoinSpec
+        from tests.conftest import make_binary_relations
+
+        spec = make_binary_relations(db, rng, with_target=False,
+                                     fact="S2", dim="R2")
+        with pytest.raises(ModelError, match="TARGET"):
+            fit_ridge(db, spec)
+
+    def test_negative_alpha_rejected(self, db, rng):
+        spec, _, _ = build_star(db, rng)
+        with pytest.raises(ModelError):
+            fit_ridge(db, spec, alpha=-1.0)
+
+
+class TestLogistic:
+    def test_matches_dense_gradient_descent(self, db, rng):
+        # Binary labels from a linear rule over joined features.
+        n_s = 600
+        pre_rng = np.random.default_rng(0)
+        spec, joined, targets = build_star(
+            db, rng, n_s=n_s,
+            targets=(pre_rng.normal(size=n_s) > 0).astype(float),
+        )
+        epochs, lr = 10, 0.3
+        model = fit_logistic(
+            db, spec, epochs=epochs, learning_rate=lr
+        )
+        # Dense replication of the same full-batch GD.
+        w = np.zeros(joined.shape[1])
+        b = 0.0
+        y = targets
+        for _ in range(epochs):
+            margin = joined @ w + b
+            p = 1.0 / (1.0 + np.exp(-margin))
+            residual = (p - y) / n_s
+            w = w - lr * (joined.T @ residual)
+            b -= lr * residual.sum()
+        np.testing.assert_allclose(model.weights, w, rtol=1e-8,
+                                   atol=1e-12)
+        assert model.intercept == pytest.approx(b, rel=1e-8, abs=1e-12)
+
+    def test_learns_separable_labels(self, db, rng):
+        n_s = 1500
+        helper_rng = np.random.default_rng(3)
+        # Build star first with placeholder targets, then labels from
+        # the realized joined features.
+        spec, joined, _ = build_star(
+            db, rng, n_s=n_s,
+            targets=np.zeros(n_s),
+        )
+        rule = joined @ np.ones(joined.shape[1]) > 0
+        db.drop_relation("S")
+        s_feats = joined[:, :3]
+        fks_back = db["R"].keys()
+        # Rebuild S with the rule labels (same features/fks as before
+        # is unnecessary — regenerate cleanly instead).
+        db.drop_relation("R")
+        rng2 = np.random.default_rng(77)
+        spec, joined, _ = build_star(
+            db, rng2, n_s=n_s, targets=None
+        )
+        labels = (joined @ np.ones(joined.shape[1]) > 0).astype(float)
+        # Overwrite the target column by rebuilding S.
+        s_rows = db["S"].scan()
+        s_rows[:, db["S"].schema.target_position] = labels
+        db.drop_relation("S")
+        db.create_relation(
+            "S",
+            Schema(
+                [key("sid"), target("y"), *features("x", 3),
+                 foreign_key("fk", "R")]
+            ),
+            s_rows,
+        )
+        model = fit_logistic(
+            db, spec, epochs=60, learning_rate=2.0
+        )
+        accuracy = (
+            (model.predict_proba(joined) > 0.5) == labels
+        ).mean()
+        assert accuracy > 0.95
+
+    def test_loss_decreases(self, db, rng):
+        n_s = 400
+        label_rng = np.random.default_rng(5)
+        spec, joined, _ = build_star(
+            db, rng, n_s=n_s,
+            targets=(label_rng.uniform(size=n_s) > 0.5).astype(float),
+        )
+        model = fit_logistic(db, spec, epochs=15, learning_rate=0.5)
+        losses = model.extra["loss_history"]
+        assert losses[-1] <= losses[0]
+
+    def test_validation(self, db, rng):
+        spec, _, _ = build_star(db, rng)
+        with pytest.raises(ModelError):
+            fit_logistic(db, spec, epochs=0)
+        with pytest.raises(ModelError):
+            fit_logistic(db, spec, learning_rate=0)

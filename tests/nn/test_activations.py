@@ -1,0 +1,135 @@
+"""Activation calculus and the additivity analysis of Section VI-A2."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ModelError
+from repro.nn.activations import (
+    Identity,
+    ReLU,
+    Sigmoid,
+    Softplus,
+    Tanh,
+    available_activations,
+    get_activation,
+)
+
+ALL = [Identity(), Sigmoid(), Tanh(), ReLU(), Softplus()]
+
+finite_floats = st.floats(
+    min_value=-30, max_value=30, allow_nan=False, allow_infinity=False
+)
+
+
+class TestForward:
+    def test_identity(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        np.testing.assert_array_equal(Identity()(x), x)
+
+    def test_sigmoid_range_and_midpoint(self):
+        s = Sigmoid()
+        assert s(np.array([0.0]))[0] == pytest.approx(0.5)
+        # ±30 keeps 1−σ representable in float64 (σ(37) rounds to 1.0).
+        values = s(np.linspace(-30, 30, 101))
+        assert (values > 0).all() and (values < 1).all()
+
+    def test_sigmoid_stable_at_extremes(self):
+        s = Sigmoid()
+        out = s(np.array([-1000.0, 1000.0]))
+        assert np.isfinite(out).all()
+        np.testing.assert_allclose(out, [0.0, 1.0], atol=1e-12)
+
+    def test_tanh(self):
+        np.testing.assert_allclose(
+            Tanh()(np.array([0.0, 1.0])), [0.0, np.tanh(1.0)]
+        )
+
+    def test_relu(self):
+        np.testing.assert_array_equal(
+            ReLU()(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0]
+        )
+
+    def test_softplus_positive_and_asymptotic(self):
+        sp = Softplus()
+        x = np.array([-20.0, 0.0, 20.0])
+        out = sp(x)
+        assert (out > 0).all()
+        assert out[2] == pytest.approx(20.0, abs=1e-6)
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation", ALL, ids=lambda a: a.name)
+    def test_matches_finite_differences(self, activation, rng):
+        x = rng.uniform(-3, 3, size=200)
+        x = x[np.abs(x) > 1e-3]  # avoid ReLU's kink
+        eps = 1e-6
+        numeric = (activation(x + eps) - activation(x - eps)) / (2 * eps)
+        np.testing.assert_allclose(
+            activation.derivative(x), numeric, rtol=1e-5, atol=1e-7
+        )
+
+    def test_relu_derivative_at_sign_change(self):
+        np.testing.assert_array_equal(
+            ReLU().derivative(np.array([-1.0, 0.0, 1.0])), [0, 0, 1]
+        )
+
+
+class TestAdditivityFlags:
+    def test_identity_is_additive(self):
+        assert Identity().is_additive
+
+    @pytest.mark.parametrize(
+        "activation", [Sigmoid(), Tanh(), ReLU(), Softplus()],
+        ids=lambda a: a.name,
+    )
+    def test_nonlinear_not_additive(self, activation):
+        assert not activation.is_additive
+
+
+class TestAdditivityViolations:
+    @given(x=finite_floats, y=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_identity_never_violates(self, x, y):
+        assert Identity().additive_violation(x, y) < 1e-12
+
+    @given(x=finite_floats, y=finite_floats)
+    @settings(max_examples=100, deadline=None)
+    def test_relu_additive_iff_same_sign(self, x, y):
+        violation = ReLU().additive_violation(x, y)
+        if ReLU.additive_on(x, y):
+            assert violation < 1e-12
+        # opposite signs generally violate; spot-check a known case below
+
+    def test_relu_violates_on_opposite_signs(self):
+        assert ReLU().additive_violation(5.0, -3.0) > 0
+        assert ReLU().additive_violation(-5.0, 3.0) > 0
+
+    @pytest.mark.parametrize(
+        "activation", [Sigmoid(), Tanh(), Softplus()],
+        ids=lambda a: a.name,
+    )
+    def test_smooth_nonlinearities_violate(self, activation):
+        """The reason Section VI-A2 rules out cross-layer reuse."""
+        assert activation.additive_violation(1.0, 1.0) > 1e-3
+
+
+class TestRegistry:
+    def test_lookup_by_name(self):
+        assert get_activation("relu").name == "relu"
+
+    def test_instance_passthrough(self):
+        instance = Tanh()
+        assert get_activation(instance) is instance
+
+    def test_unknown_name(self):
+        with pytest.raises(ModelError, match="unknown activation"):
+            get_activation("swish")
+
+    def test_available_listing(self):
+        names = available_activations()
+        assert names == sorted(names)
+        assert {"identity", "relu", "sigmoid", "tanh", "softplus"} <= set(
+            names
+        )

@@ -1,0 +1,111 @@
+"""The Section VI analytic cost models."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.nn.cost_model import (
+    backward_fields_dense,
+    backward_fields_factorized,
+    backward_io_saving_rate,
+    layer1_break_even_tuple_ratio,
+    layer1_forward_mults_dense,
+    layer1_forward_mults_factorized,
+    layer1_forward_saving_rate,
+    layer2_ops_standard,
+    layer2_ops_with_reuse,
+    layer2_reuse_overhead,
+)
+
+
+class TestLayer1Forward:
+    def test_dense_count(self):
+        assert layer1_forward_mults_dense(100, 20, 50) == 100 * 20 * 50
+
+    def test_factorized_count(self):
+        assert layer1_forward_mults_factorized(
+            100, 10, 5, 15, 50
+        ) == 100 * 50 * 5 + 10 * 50 * 15
+
+    def test_saving_rate_monotone_in_dr(self):
+        rates = [
+            layer1_forward_saving_rate(10_000, 100, 5, d_r, 50)
+            for d_r in (2, 5, 15, 50, 200)
+        ]
+        assert rates == sorted(rates)
+
+    def test_saving_rate_monotone_in_tuple_ratio(self):
+        rates = [
+            layer1_forward_saving_rate(n, 100, 5, 15, 50)
+            for n in (200, 1_000, 10_000, 100_000)
+        ]
+        assert rates == sorted(rates)
+
+    def test_saving_rate_bounds(self):
+        rate = layer1_forward_saving_rate(10**6, 10**3, 5, 15, 50)
+        assert 0 < rate < 1
+
+    def test_no_saving_without_redundancy(self):
+        assert layer1_forward_saving_rate(100, 100, 5, 15, 50) == 0
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            layer1_forward_mults_dense(0, 5, 5)
+
+
+class TestLayer2Reuse:
+    def test_standard_count(self):
+        ops = layer2_ops_standard(100, 50, 10)
+        assert ops.multiplications == 100 * 10 * 50
+        assert ops.additions == 100 * 10 * 50
+
+    def test_reuse_count(self):
+        ops = layer2_ops_with_reuse(100, 8, 50, 10)
+        assert ops.multiplications == (100 + 8) * 10 * 50
+
+    def test_overhead_always_positive(self):
+        """The paper's claim: reuse beyond layer 1 never pays."""
+        for n in (10, 1_000, 10**6):
+            for m in (1, 10, 1_000):
+                assert layer2_reuse_overhead(n, m, 50, 10) > 0
+
+    def test_overhead_scales_with_m(self):
+        small = layer2_reuse_overhead(1000, 10, 50, 10)
+        large = layer2_reuse_overhead(1000, 500, 50, 10)
+        assert large > small
+
+
+class TestBackwardIO:
+    def test_dense_fields(self):
+        assert backward_fields_dense(1000, 5, 15) == 1000 * 20
+
+    def test_factorized_fields(self):
+        assert backward_fields_factorized(
+            1000, 100, 5, 15
+        ) == 1000 * 5 + 100 * 15
+
+    def test_saving_matches_paper_expression(self):
+        """n_S·d_S + n_R·d_R < N·(d_S+d_R) whenever n_R < N."""
+        n_s, n_r, d_s, d_r = 1000, 50, 5, 15
+        assert backward_fields_factorized(
+            n_s, n_r, d_s, d_r
+        ) < backward_fields_dense(n_s, d_s, d_r)
+
+    def test_saving_rate_monotone_in_dr(self):
+        rates = [
+            backward_io_saving_rate(10_000, 100, 5, d_r)
+            for d_r in (2, 10, 50, 200)
+        ]
+        assert rates == sorted(rates)
+
+
+class TestBreakEven:
+    def test_dr_one_never_profits(self):
+        assert layer1_break_even_tuple_ratio(5, 1) == float("inf")
+
+    def test_break_even_decreases_with_dr(self):
+        """Larger d_R → benefits start at lower tuple ratios, the trend
+        behind 'rr > 200 at d_R=5 vs rr > 50 at d_R=15' (VII-C2)."""
+        ratios = [
+            layer1_break_even_tuple_ratio(5, d_r) for d_r in (2, 5, 15, 50)
+        ]
+        assert ratios == sorted(ratios, reverse=True)

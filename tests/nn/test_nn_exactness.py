@@ -1,0 +1,221 @@
+"""Exactness of F-NN: the factorized first layer reproduces the dense
+computation bit-for-bit (up to float associativity), and all three
+strategies train to the same weights."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import (
+    DimensionSpec,
+    StarSchemaConfig,
+    generate_star,
+)
+from repro.errors import ModelError
+from repro.join.factorized import FactorizedJoin
+from repro.join.stream import StreamingJoin
+from repro.nn.algorithms import build_model, fit_f_nn, fit_m_nn, fit_s_nn
+from repro.nn.base import NNConfig
+from repro.nn.engines import DenseNNEngine, FactorizedNNEngine
+
+
+@pytest.fixture
+def star(db):
+    config = StarSchemaConfig.binary(
+        n_s=400, n_r=20, d_s=3, d_r=5, with_target=True, seed=17
+    )
+    return generate_star(db, config)
+
+
+@pytest.fixture
+def multiway(db):
+    config = StarSchemaConfig(
+        n_s=300,
+        d_s=2,
+        dimensions=(DimensionSpec(10, 3), DimensionSpec(7, 4)),
+        with_target=True,
+        seed=19,
+    )
+    return generate_star(db, config)
+
+
+def weights_equal(a, b, rtol=1e-9):
+    for la, lb in zip(a.layers, b.layers):
+        np.testing.assert_allclose(la.weights, lb.weights, rtol=rtol,
+                                   atol=1e-12)
+        np.testing.assert_allclose(la.bias, lb.bias, rtol=rtol,
+                                   atol=1e-12)
+
+
+class TestFirstLayerKernels:
+    def test_factorized_preactivations_match_dense(self, db, star):
+        config = NNConfig(hidden_sizes=(7,), seed=3)
+        stream = StreamingJoin(db, star.spec, block_pages=2)
+        fact = FactorizedJoin(db, star.spec, block_pages=2)
+        model = build_model(8, config)
+        fact_engine = FactorizedNNEngine(fact, model)
+        for dense_batch, fact_batch in zip(
+            stream.batches(), fact.batches()
+        ):
+            dense_pre = model.first_layer.forward(dense_batch.features)
+            fact_pre = fact_engine.first_preactivations(fact_batch)
+            np.testing.assert_allclose(
+                fact_pre, dense_pre, rtol=1e-10, atol=1e-12
+            )
+
+    @pytest.mark.parametrize("grouped", [False, True])
+    def test_first_layer_grads_match_dense(self, db, star, grouped):
+        config = NNConfig(hidden_sizes=(6,), seed=4)
+        stream = StreamingJoin(db, star.spec, block_pages=2)
+        fact = FactorizedJoin(db, star.spec, block_pages=2)
+        model = build_model(8, config)
+        dense_engine = DenseNNEngine(stream, model)
+        fact_engine = FactorizedNNEngine(
+            fact, model.copy(), grouped_backward=grouped
+        )
+        for dense_batch, fact_batch in zip(
+            stream.batches(), fact.batches()
+        ):
+            _, dense_grads = dense_engine.batch_gradients(
+                dense_batch, dense_batch.n
+            )
+            _, fact_grads = fact_engine.batch_gradients(
+                fact_batch, fact_batch.n
+            )
+            np.testing.assert_allclose(
+                fact_grads[0].weights,
+                dense_grads[0].weights,
+                rtol=1e-8,
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                fact_grads[0].bias, dense_grads[0].bias, rtol=1e-8
+            )
+
+    def test_batch_without_target_rejected(self, db):
+        config = StarSchemaConfig.binary(
+            n_s=50, n_r=5, d_s=2, d_r=2, with_target=False, seed=1
+        )
+        star = generate_star(db, config)
+        fact = FactorizedJoin(db, star.spec)
+        engine = FactorizedNNEngine(
+            fact, build_model(4, NNConfig(hidden_sizes=(3,)))
+        )
+        batch = next(iter(fact.batches()))
+        with pytest.raises(ModelError, match="TARGET"):
+            engine.batch_gradients(batch, batch.n)
+
+
+class TestFullBatchExactness:
+    def test_all_three_strategies_identical(self, db, star):
+        config = NNConfig(
+            hidden_sizes=(10,), epochs=4, learning_rate=0.1,
+            batch_mode="full", seed=6,
+        )
+        m = fit_m_nn(db, star.spec, config, block_pages=2)
+        s = fit_s_nn(db, star.spec, config, block_pages=2)
+        f = fit_f_nn(db, star.spec, config, block_pages=2)
+        np.testing.assert_allclose(m.loss_history, s.loss_history,
+                                   rtol=1e-10)
+        np.testing.assert_allclose(s.loss_history, f.loss_history,
+                                   rtol=1e-8)
+        weights_equal(m.model, s.model)
+        weights_equal(s.model, f.model, rtol=1e-8)
+
+    def test_multiway_identical(self, db, multiway):
+        config = NNConfig(
+            hidden_sizes=(8,), epochs=3, learning_rate=0.05,
+            batch_mode="full", seed=2,
+        )
+        m = fit_m_nn(db, multiway.spec, config, block_pages=3)
+        f = fit_f_nn(db, multiway.spec, config, block_pages=3)
+        np.testing.assert_allclose(m.loss_history, f.loss_history,
+                                   rtol=1e-8)
+        weights_equal(m.model, f.model, rtol=1e-8)
+
+    @pytest.mark.parametrize("activation", ["sigmoid", "tanh", "relu",
+                                            "identity"])
+    def test_exact_for_every_activation(self, db, star, activation):
+        """Layer-1 factorization is exact regardless of activation —
+        additivity only matters beyond the first layer."""
+        config = NNConfig(
+            hidden_sizes=(6,), activation=activation, epochs=2,
+            learning_rate=0.05, batch_mode="full", seed=1,
+        )
+        s = fit_s_nn(db, star.spec, config, block_pages=2)
+        f = fit_f_nn(db, star.spec, config, block_pages=2)
+        weights_equal(s.model, f.model, rtol=1e-8)
+
+    def test_two_hidden_layers(self, db, star):
+        """F-NN factorizes only layer 1; deeper nets stay exact."""
+        config = NNConfig(
+            hidden_sizes=(8, 5), epochs=2, learning_rate=0.05,
+            batch_mode="full", seed=3,
+        )
+        s = fit_s_nn(db, star.spec, config, block_pages=2)
+        f = fit_f_nn(db, star.spec, config, block_pages=2)
+        weights_equal(s.model, f.model, rtol=1e-8)
+
+
+class TestPerBatchExactness:
+    def test_streaming_equals_factorized(self, db, star):
+        """S-NN and F-NN consume identical batches, so even mini-batch
+        trajectories coincide exactly."""
+        config = NNConfig(
+            hidden_sizes=(10,), epochs=3, learning_rate=0.1,
+            batch_mode="per-batch", seed=6,
+        )
+        s = fit_s_nn(db, star.spec, config, block_pages=1)
+        f = fit_f_nn(db, star.spec, config, block_pages=1)
+        np.testing.assert_allclose(s.loss_history, f.loss_history,
+                                   rtol=1e-8)
+        weights_equal(s.model, f.model, rtol=1e-7)
+
+    def test_grouped_backward_same_model(self, db, star):
+        """The grouped-backward extension changes cost, not results."""
+        base = NNConfig(
+            hidden_sizes=(10,), epochs=3, learning_rate=0.1, seed=6,
+        )
+        grouped = NNConfig(
+            hidden_sizes=(10,), epochs=3, learning_rate=0.1, seed=6,
+            grouped_backward=True,
+        )
+        plain = fit_f_nn(db, star.spec, base, block_pages=2)
+        extended = fit_f_nn(db, star.spec, grouped, block_pages=2)
+        weights_equal(plain.model, extended.model, rtol=1e-7)
+
+    def test_sgd_shuffle_same_multiset_of_updates(self, db, star):
+        """With shuffling, S-NN and F-NN still coincide (same seeded
+        permutation drives both access paths)."""
+        config = NNConfig(
+            hidden_sizes=(6,), epochs=2, learning_rate=0.05,
+            shuffle=True, seed=9,
+        )
+        s = fit_s_nn(db, star.spec, config, block_pages=1)
+        f = fit_f_nn(db, star.spec, config, block_pages=1)
+        weights_equal(s.model, f.model, rtol=1e-7)
+
+
+class TestResultMetadata:
+    def test_labels(self, db, star):
+        config = NNConfig(hidden_sizes=(4,), epochs=1)
+        assert fit_m_nn(db, star.spec, config).algorithm == "M-NN"
+        assert fit_s_nn(db, star.spec, config).algorithm == "S-NN"
+        assert fit_f_nn(db, star.spec, config).algorithm == "F-NN"
+
+    def test_m_nn_reports_materialization(self, db, star):
+        config = NNConfig(hidden_sizes=(4,), epochs=1)
+        result = fit_m_nn(db, star.spec, config)
+        assert result.extra["table_pages"] > 0
+        assert result.io.pages_written >= result.extra["table_pages"]
+
+    def test_f_nn_never_writes(self, db, star):
+        config = NNConfig(hidden_sizes=(4,), epochs=1)
+        assert fit_f_nn(db, star.spec, config).io.pages_written == 0
+
+    def test_missing_target_raises(self, db):
+        config = StarSchemaConfig.binary(
+            n_s=50, n_r=5, d_s=2, d_r=2, with_target=False, seed=1
+        )
+        star = generate_star(db, config)
+        with pytest.raises(ModelError, match="TARGET"):
+            fit_f_nn(db, star.spec, NNConfig(hidden_sizes=(3,), epochs=1))

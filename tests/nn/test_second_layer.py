@@ -1,0 +1,122 @@
+"""Section VI-A2: second-layer reuse is exact only for additive
+activations and is never cheaper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.linalg.design import FactorizedDesign
+from repro.linalg.groupsum import GroupIndex
+from repro.nn.layers import DenseLayer
+from repro.nn.second_layer import (
+    compare_second_layer,
+    second_layer_with_reuse,
+)
+
+
+@pytest.fixture
+def setup(rng):
+    n, d_s, m, d_r, n_h, n_l = 60, 3, 8, 4, 5, 3
+    design = FactorizedDesign(
+        rng.normal(size=(n, d_s)),
+        [rng.normal(size=(m, d_r))],
+        [GroupIndex(rng.integers(0, m, size=n), m)],
+    )
+    first = DenseLayer.initialize(d_s + d_r, n_h, rng)
+    first.bias += rng.normal(size=n_h)
+    second = DenseLayer.initialize(n_h, n_l, rng)
+    second.bias += rng.normal(size=n_l)
+    return design, first, second
+
+
+class TestExactness:
+    def test_identity_activation_exact(self, setup):
+        design, first, second = setup
+        outcome = compare_second_layer(design, first, second, "identity")
+        assert outcome.max_deviation < 1e-10
+
+    @pytest.mark.parametrize("activation", ["sigmoid", "tanh"])
+    def test_nonadditive_activations_deviate(self, setup, activation):
+        """Sigmoid/tanh break Eq. 27 — the paper's stated reason to
+        stop factorizing after the first layer."""
+        design, first, second = setup
+        outcome = compare_second_layer(design, first, second, activation)
+        assert outcome.max_deviation > 1e-3
+
+    def test_relu_deviates_when_signs_differ(self, setup):
+        design, first, second = setup
+        outcome = compare_second_layer(design, first, second, "relu")
+        # With random weights, T1/T2 sign disagreements occur and the
+        # reuse path diverges.
+        assert outcome.max_deviation > 1e-6
+
+    def test_relu_exact_when_signs_agree(self, rng):
+        """Force all partial sums positive: ReLU behaves additively."""
+        n, m = 30, 5
+        design = FactorizedDesign(
+            rng.uniform(0.5, 1.0, size=(n, 2)),
+            [rng.uniform(0.5, 1.0, size=(m, 3))],
+            [GroupIndex(rng.integers(0, m, size=n), m)],
+        )
+        first = DenseLayer(
+            np.abs(rng.normal(size=(4, 5))), np.abs(rng.normal(size=4))
+        )
+        second = DenseLayer(
+            np.abs(rng.normal(size=(2, 4))), np.abs(rng.normal(size=2))
+        )
+        outcome = compare_second_layer(design, first, second, "relu")
+        assert outcome.max_deviation < 1e-10
+
+    def test_multiway_rejected(self, rng):
+        design = FactorizedDesign(
+            rng.normal(size=(10, 2)),
+            [rng.normal(size=(3, 2)), rng.normal(size=(3, 2))],
+            [
+                GroupIndex(rng.integers(0, 3, size=10), 3),
+                GroupIndex(rng.integers(0, 3, size=10), 3),
+            ],
+        )
+        first = DenseLayer.initialize(6, 4, rng)
+        second = DenseLayer.initialize(4, 2, rng)
+        with pytest.raises(ModelError, match="binary"):
+            second_layer_with_reuse(design, first, second, "identity")
+
+
+class TestOperationCounts:
+    def test_reuse_never_cheaper_at_layer2(self, setup):
+        """Even when exact, the T1/T2/T3 scheme multiplies more —
+        the paper's conclusion that cross-layer reuse never pays."""
+        design, first, second = setup
+        outcome = compare_second_layer(design, first, second, "identity")
+        n, m = design.n, design.dim_blocks[0].shape[0]
+        n_h, n_l = first.n_out, second.n_out
+        d_s, d_r = design.layout.sizes
+        # Layer-2-only comparison: reuse adds the T3 build cost.
+        standard_layer2 = n * n_l * n_h
+        reuse_layer2 = n * n_l * n_h + m * n_l * n_h
+        assert reuse_layer2 > standard_layer2
+        # Measured totals line up with the model.
+        assert outcome.standard_multiplications == (
+            n * n_h * (d_s + d_r) + standard_layer2
+        )
+        assert outcome.reused_multiplications == (
+            n * n_h * d_s + m * n_h * d_r + reuse_layer2
+        )
+
+    def test_overall_reuse_can_win_only_via_layer1(self, rng):
+        """With huge d_r and tiny layers, layer-1 savings can outweigh
+        the layer-2 penalty — but the layer-2 *portion* alone is always
+        a loss, matching Section VI-A2's conclusion."""
+        n, m, d_s, d_r, n_h, n_l = 200, 4, 2, 50, 3, 2
+        design = FactorizedDesign(
+            rng.normal(size=(n, d_s)),
+            [rng.normal(size=(m, d_r))],
+            [GroupIndex(rng.integers(0, m, size=n), m)],
+        )
+        first = DenseLayer.initialize(d_s + d_r, n_h, rng)
+        second = DenseLayer.initialize(n_h, n_l, rng)
+        outcome = compare_second_layer(design, first, second, "identity")
+        assert (
+            outcome.reused_multiplications
+            < outcome.standard_multiplications
+        )

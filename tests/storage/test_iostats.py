@@ -1,0 +1,95 @@
+"""I/O accounting counters and snapshots."""
+
+import pytest
+
+from repro.storage.iostats import IOSnapshot, IOStats
+
+
+class TestIOStats:
+    def test_starts_at_zero(self):
+        stats = IOStats()
+        assert stats.pages_read == 0
+        assert stats.pages_written == 0
+
+    def test_record_read_accumulates(self):
+        stats = IOStats()
+        stats.record_read("R", 3)
+        stats.record_read("R", 2)
+        assert stats.pages_read == 5
+        assert stats.reads_for("R") == 5
+
+    def test_record_write_accumulates(self):
+        stats = IOStats()
+        stats.record_write("T", 4)
+        assert stats.pages_written == 4
+        assert stats.writes_for("T") == 4
+
+    def test_reads_tracked_per_relation(self):
+        stats = IOStats()
+        stats.record_read("R", 1)
+        stats.record_read("S", 10)
+        assert stats.reads_for("R") == 1
+        assert stats.reads_for("S") == 10
+        assert stats.reads_for("missing") == 0
+
+    def test_negative_read_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats().record_read("R", -1)
+
+    def test_negative_write_rejected(self):
+        with pytest.raises(ValueError):
+            IOStats().record_write("R", -2)
+
+    def test_zero_pages_allowed(self):
+        stats = IOStats()
+        stats.record_read("R", 0)
+        assert stats.pages_read == 0
+
+    def test_reset_clears_everything(self):
+        stats = IOStats()
+        stats.record_read("R", 3)
+        stats.record_write("T", 1)
+        stats.reset()
+        assert stats.pages_read == 0
+        assert stats.pages_written == 0
+        assert stats.reads_for("R") == 0
+
+
+class TestIOSnapshot:
+    def test_snapshot_is_immutable_copy(self):
+        stats = IOStats()
+        stats.record_read("R", 2)
+        snap = stats.snapshot()
+        stats.record_read("R", 5)
+        assert snap.pages_read == 2
+        assert snap.reads_by_relation == {"R": 2}
+
+    def test_snapshot_diff(self):
+        stats = IOStats()
+        stats.record_read("R", 2)
+        before = stats.snapshot()
+        stats.record_read("R", 3)
+        stats.record_write("T", 7)
+        delta = stats.snapshot() - before
+        assert delta.pages_read == 3
+        assert delta.pages_written == 7
+        assert delta.reads_by_relation == {"R": 3}
+        assert delta.writes_by_relation == {"T": 7}
+
+    def test_diff_drops_zero_entries(self):
+        stats = IOStats()
+        stats.record_read("R", 2)
+        before = stats.snapshot()
+        stats.record_read("S", 1)
+        delta = stats.snapshot() - before
+        assert "R" not in delta.reads_by_relation
+        assert delta.reads_by_relation == {"S": 1}
+
+    def test_total_pages(self):
+        snap = IOSnapshot(pages_read=3, pages_written=4)
+        assert snap.total_pages == 7
+
+    def test_empty_snapshot(self):
+        snap = IOStats().snapshot()
+        assert snap.pages_read == 0
+        assert snap.total_pages == 0

@@ -1,0 +1,131 @@
+"""Relations: schema-aware projections over heap files."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError, StorageError
+from repro.storage.iostats import IOStats
+from repro.storage.relation import Relation
+from repro.storage.schema import (
+    ColumnRole,
+    Schema,
+    feature,
+    features,
+    foreign_key,
+    key,
+    target,
+)
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [key("sid"), target("y"), *features("x", 2), foreign_key("fk", "R")]
+    )
+
+
+@pytest.fixture
+def rows(rng):
+    n = 50
+    return np.column_stack(
+        [
+            np.arange(n, dtype=np.float64),
+            rng.normal(size=n),
+            rng.normal(size=(n, 2)),
+            rng.integers(0, 7, size=n).astype(np.float64),
+        ]
+    )
+
+
+@pytest.fixture
+def relation(tmp_path, schema, rows):
+    return Relation.create(
+        "S", schema, tmp_path, rows, page_size_bytes=256, stats=IOStats()
+    )
+
+
+class TestCreation:
+    def test_len_and_pages(self, relation, rows):
+        assert len(relation) == rows.shape[0]
+        assert relation.npages == relation.heap.npages > 1
+
+    def test_width_mismatch_rejected(self, tmp_path, schema):
+        with pytest.raises(StorageError, match="must be"):
+            Relation.create("bad", schema, tmp_path, np.zeros((3, 2)))
+
+    def test_heap_schema_width_mismatch(self, tmp_path, schema, rows):
+        relation = Relation.create("S2", schema, tmp_path, rows)
+        with pytest.raises(SchemaError, match="width"):
+            Relation("S2", Schema([feature("only")]), relation.heap)
+
+    def test_append_validates_width(self, relation):
+        with pytest.raises(StorageError):
+            relation.append(np.zeros((2, 3)))
+
+    def test_drop_deletes_file(self, relation):
+        relation.drop()
+        assert not relation.heap.path.exists()
+
+
+class TestProjections:
+    def test_scan_round_trips(self, relation, rows):
+        np.testing.assert_array_equal(relation.scan(), rows)
+
+    def test_keys_are_int(self, relation, rows):
+        keys = relation.keys()
+        assert keys.dtype == np.int64
+        np.testing.assert_array_equal(keys, rows[:, 0].astype(np.int64))
+
+    def test_targets(self, relation, rows):
+        np.testing.assert_array_equal(relation.targets(), rows[:, 1])
+
+    def test_features_in_schema_order(self, relation, rows):
+        np.testing.assert_array_equal(relation.features(), rows[:, 2:4])
+
+    def test_foreign_keys(self, relation, rows):
+        fks = relation.foreign_keys_of("R")
+        assert fks.dtype == np.int64
+        np.testing.assert_array_equal(fks, rows[:, 4].astype(np.int64))
+
+    def test_foreign_keys_sole_fk_inferred(self, relation, rows):
+        np.testing.assert_array_equal(
+            relation.foreign_keys_of(), rows[:, 4].astype(np.int64)
+        )
+
+    def test_project_on_in_memory_rows(self, relation, rows):
+        block = rows[10:20]
+        np.testing.assert_array_equal(
+            relation.project_features(block), block[:, 2:4]
+        )
+        np.testing.assert_array_equal(
+            relation.project_keys(block), block[:, 0].astype(np.int64)
+        )
+        np.testing.assert_array_equal(
+            relation.project_targets(block), block[:, 1]
+        )
+
+    def test_has_role(self, relation):
+        assert relation.has_role(ColumnRole.TARGET)
+        assert relation.has_role(ColumnRole.FOREIGN_KEY)
+
+    def test_iter_blocks_covers_relation(self, relation, rows):
+        blocks = list(relation.iter_blocks(2))
+        np.testing.assert_array_equal(np.vstack(blocks), rows)
+
+
+class TestIOCharging:
+    def test_scan_charges_all_pages(self, relation):
+        before = relation.heap.stats.pages_read
+        relation.scan()
+        assert (
+            relation.heap.stats.pages_read - before == relation.npages
+        )
+
+    def test_projection_charges_full_scan(self, relation):
+        # Column projections read the whole relation: row storage has
+        # no column pruning (same as the paper's setting).
+        before = relation.heap.stats.pages_read
+        relation.keys()
+        assert (
+            relation.heap.stats.pages_read - before == relation.npages
+        )

@@ -1,0 +1,162 @@
+"""Schema construction, validation, and role accessors."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.storage.schema import (
+    Column,
+    ColumnRole,
+    Schema,
+    feature,
+    features,
+    foreign_key,
+    key,
+    target,
+)
+
+
+class TestColumn:
+    def test_defaults_to_feature(self):
+        assert Column("x").role is ColumnRole.FEATURE
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            Column("")
+
+    def test_fk_requires_references(self):
+        with pytest.raises(SchemaError, match="must name the relation"):
+            Column("fk", ColumnRole.FOREIGN_KEY)
+
+    def test_non_fk_rejects_references(self):
+        with pytest.raises(SchemaError):
+            Column("x", ColumnRole.FEATURE, references="R")
+
+    def test_helpers(self):
+        assert key("rid").role is ColumnRole.KEY
+        assert target("y").role is ColumnRole.TARGET
+        assert feature("x").role is ColumnRole.FEATURE
+        fk = foreign_key("fk", "R")
+        assert fk.role is ColumnRole.FOREIGN_KEY
+        assert fk.references == "R"
+
+    def test_features_helper_generates_named_columns(self):
+        cols = features("x", 3)
+        assert [c.name for c in cols] == ["x0", "x1", "x2"]
+        assert all(c.role is ColumnRole.FEATURE for c in cols)
+
+    def test_features_helper_rejects_negative(self):
+        with pytest.raises(SchemaError):
+            features("x", -1)
+
+    def test_features_helper_zero_is_empty(self):
+        assert features("x", 0) == []
+
+
+class TestSchemaValidation:
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([feature("x"), feature("x")])
+
+    def test_two_keys_rejected(self):
+        with pytest.raises(SchemaError, match="KEY"):
+            Schema([key("a"), key("b")])
+
+    def test_two_targets_rejected(self):
+        with pytest.raises(SchemaError, match="TARGET"):
+            Schema([target("y"), target("z")])
+
+    def test_multiple_fks_allowed(self):
+        schema = Schema(
+            [key("sid"), foreign_key("f1", "R1"), foreign_key("f2", "R2")]
+        )
+        assert len(schema.foreign_keys) == 2
+
+
+class TestSchemaAccessors:
+    @pytest.fixture
+    def schema(self):
+        return Schema(
+            [
+                key("sid"),
+                target("y"),
+                feature("x0"),
+                feature("x1"),
+                foreign_key("fk", "R"),
+            ]
+        )
+
+    def test_width(self, schema):
+        assert schema.width == 5
+        assert len(schema) == 5
+
+    def test_positions(self, schema):
+        assert schema.position("sid") == 0
+        assert schema.position("fk") == 4
+
+    def test_position_of_missing_column(self, schema):
+        with pytest.raises(SchemaError, match="no column"):
+            schema.position("nope")
+
+    def test_contains(self, schema):
+        assert "x0" in schema
+        assert "zzz" not in schema
+
+    def test_key_accessors(self, schema):
+        assert schema.key_column.name == "sid"
+        assert schema.key_position == 0
+
+    def test_target_accessors(self, schema):
+        assert schema.target_column.name == "y"
+        assert schema.target_position == 1
+
+    def test_feature_accessors(self, schema):
+        assert schema.feature_names == ("x0", "x1")
+        assert schema.num_features == 2
+        assert schema.feature_positions == (2, 3)
+
+    def test_fk_position_sole(self, schema):
+        assert schema.fk_position() == 4
+        assert schema.fk_position("R") == 4
+
+    def test_fk_position_wrong_reference(self, schema):
+        with pytest.raises(SchemaError, match="no foreign key"):
+            schema.fk_position("OTHER")
+
+    def test_fk_position_ambiguous(self):
+        schema = Schema(
+            [foreign_key("f1", "R1"), foreign_key("f2", "R2"), feature("x")]
+        )
+        with pytest.raises(SchemaError, match="exactly one"):
+            schema.fk_position()
+        assert schema.fk_position("R2") == 1
+
+    def test_missing_key_raises(self):
+        schema = Schema([feature("x")])
+        assert schema.key_column is None
+        with pytest.raises(SchemaError):
+            _ = schema.key_position
+
+    def test_missing_target_raises(self):
+        schema = Schema([feature("x")])
+        assert schema.target_column is None
+        with pytest.raises(SchemaError):
+            _ = schema.target_position
+
+
+class TestSchemaSerialization:
+    def test_round_trip(self):
+        schema = Schema(
+            [key("rid"), feature("a"), foreign_key("fk", "Other"), target("y")]
+        )
+        restored = Schema.from_dict(schema.to_dict())
+        assert restored == schema
+        assert restored.column("fk").references == "Other"
+
+    def test_round_trip_preserves_order(self):
+        schema = Schema([feature("b"), feature("a"), feature("c")])
+        restored = Schema.from_dict(schema.to_dict())
+        assert restored.feature_names == ("b", "a", "c")

@@ -1,0 +1,34 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro.errors import (
+    ConvergenceWarning,
+    JoinError,
+    ModelError,
+    NotFittedError,
+    ReproError,
+    SchemaError,
+    StorageError,
+)
+
+
+@pytest.mark.parametrize(
+    "exc", [SchemaError, StorageError, JoinError, ModelError, NotFittedError]
+)
+def test_all_errors_derive_from_repro_error(exc):
+    assert issubclass(exc, ReproError)
+
+
+def test_not_fitted_is_a_model_error():
+    assert issubclass(NotFittedError, ModelError)
+
+
+def test_convergence_warning_is_a_user_warning():
+    assert issubclass(ConvergenceWarning, UserWarning)
+    assert not issubclass(ConvergenceWarning, ReproError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise JoinError("boom")
