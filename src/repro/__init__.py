@@ -7,9 +7,12 @@ PK/FK joins), together with the full substrate the paper relies on —
 a paged relational storage engine with I/O accounting, three join
 access paths (materialized / streaming / factorized), factorized block
 linear algebra, dataset generators, and a benchmark harness
-regenerating every figure and table of the paper's evaluation.
+regenerating every figure and table of the paper's evaluation.  On top
+of training, :mod:`repro.serve` carries the factorization to inference:
+fitted models answer prediction requests directly over the normalized
+relations, reusing per-distinct-dimension-tuple partial results.
 
-Quick start::
+Quick start — train, then serve, without ever materializing the join::
 
     import repro
 
@@ -20,11 +23,24 @@ Quick start::
     )
     gmm = repro.fit_gmm(db, star.spec, n_components=5)
     nn = repro.fit_nn(db, star.spec, hidden_sizes=(50,))
+
+    # One-shot serving: score every stored fact tuple, or a request
+    # batch of (fact features, foreign keys) — normalized form in,
+    # predictions out.
+    clusters = repro.predict_gmm(db, star.spec, gmm)
+    outputs = repro.predict_nn(db, star.spec, nn, xs, fks)
+
+    # Long-lived serving: register models once, watch throughput.
+    service = repro.serve(db)
+    service.register_nn("ratings", nn, star.spec)
+    outputs = service.predict("ratings", xs, fks)
+    service.stats("ratings").rows_per_second
 """
 
 from repro.core.api import (
     FACTORIZED,
     MATERIALIZED,
+    SERVING_STRATEGIES,
     STREAMING,
     GMMResult,
     NNResult,
@@ -33,6 +49,9 @@ from repro.core.api import (
     compare_nn_strategies,
     fit_gmm,
     fit_nn,
+    predict_gmm,
+    predict_nn,
+    serve,
 )
 from repro.data.hamlet import HAMLET_PROFILES, load_hamlet, load_movies_3way
 from repro.data.synthetic import (
@@ -55,6 +74,14 @@ from repro.join.spec import DimensionJoin, JoinSpec
 from repro.linear.models import LinearModel, fit_logistic, fit_ridge
 from repro.nn.base import NNConfig
 from repro.nn.network import MLP
+from repro.serve.cache import PartialCache
+from repro.serve.predictor import (
+    FactorizedGMMPredictor,
+    FactorizedNNPredictor,
+    MaterializedGMMPredictor,
+    MaterializedNNPredictor,
+)
+from repro.serve.service import ModelService, ServingStats
 from repro.storage.catalog import Database
 from repro.storage.schema import (
     Schema,
@@ -74,6 +101,8 @@ __all__ = [
     "DimensionSpec",
     "EMConfig",
     "FACTORIZED",
+    "FactorizedGMMPredictor",
+    "FactorizedNNPredictor",
     "GMMParams",
     "GMMResult",
     "GaussianMixtureModel",
@@ -83,15 +112,21 @@ __all__ = [
     "LinearModel",
     "MATERIALIZED",
     "MLP",
+    "MaterializedGMMPredictor",
+    "MaterializedNNPredictor",
     "ModelError",
+    "ModelService",
     "fit_logistic",
     "fit_ridge",
     "NNConfig",
     "NNResult",
     "NotFittedError",
+    "PartialCache",
     "ReproError",
+    "SERVING_STRATEGIES",
     "STREAMING",
     "Schema",
+    "ServingStats",
     "SchemaError",
     "StarSchemaConfig",
     "StorageError",
@@ -107,5 +142,8 @@ __all__ = [
     "key",
     "load_hamlet",
     "load_movies_3way",
+    "predict_gmm",
+    "predict_nn",
+    "serve",
     "target",
 ]

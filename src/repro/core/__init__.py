@@ -1,8 +1,10 @@
-"""High-level API: one-call model training over normalized relations."""
+"""High-level API: one-call model training and serving over normalized
+relations."""
 
 from repro.core.api import (
     FACTORIZED,
     MATERIALIZED,
+    SERVING_STRATEGIES,
     STREAMING,
     GMMResult,
     NNResult,
@@ -11,7 +13,11 @@ from repro.core.api import (
     compare_nn_strategies,
     fit_gmm,
     fit_nn,
+    predict_gmm,
+    predict_nn,
+    resolve_serving_strategy,
     resolve_strategy,
+    serve,
 )
 
 __all__ = [
@@ -19,11 +25,16 @@ __all__ = [
     "GMMResult",
     "MATERIALIZED",
     "NNResult",
+    "SERVING_STRATEGIES",
     "STREAMING",
     "StrategyComparison",
     "compare_gmm_strategies",
     "compare_nn_strategies",
     "fit_gmm",
     "fit_nn",
+    "predict_gmm",
+    "predict_nn",
+    "resolve_serving_strategy",
     "resolve_strategy",
+    "serve",
 ]

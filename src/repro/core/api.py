@@ -1,21 +1,34 @@
 """The high-level public API.
 
-One-call training of nonlinear models over normalized relations:
+One-call training of nonlinear models over normalized relations, and
+one-call serving of the fitted models over the same normalized data:
 
 >>> from repro import Database, JoinSpec, fit_gmm, fit_nn
 >>> spec = JoinSpec.binary("orders", "items")
 >>> result = fit_gmm(db, spec, n_components=5, algorithm="factorized")
->>> clusters = result.model.predict(features)
+>>> clusters = result.predict(features)              # dense joined rows
+>>> clusters = predict_gmm(db, spec, result)         # normalized, no join
 
-``algorithm`` selects the execution strategy by friendly name or paper
+``algorithm`` selects the training strategy by friendly name or paper
 name: ``"materialized"``/``"M"``, ``"streaming"``/``"S"``, or
-``"factorized"``/``"F"`` (the default — the paper's proposal).
+``"factorized"``/``"F"`` (the default — the paper's proposal).  The
+serving entry points (:func:`predict_gmm`, :func:`predict_nn`,
+:func:`serve`) take the same vocabulary through their ``strategy``
+knob, minus the training-only ``"streaming"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.core.strategies import (
+    FACTORIZED,
+    MATERIALIZED,
+    SERVING_STRATEGIES,
+    STREAMING,
+    resolve_serving_strategy,
+    resolve_strategy,
+)
 from repro.errors import ModelError
 from repro.gmm.algorithms import fit_f_gmm, fit_m_gmm, fit_s_gmm
 from repro.gmm.base import EMConfig, GMMFitResult
@@ -25,38 +38,10 @@ from repro.join.spec import JoinSpec
 from repro.nn.algorithms import fit_f_nn, fit_m_nn, fit_s_nn
 from repro.nn.base import NNConfig, NNFitResult
 from repro.nn.network import MLP
+from repro.serve.predictor import make_predictor
+from repro.serve.service import ModelService
 from repro.storage.catalog import Database
 from repro.storage.iostats import IOSnapshot
-
-MATERIALIZED = "materialized"
-STREAMING = "streaming"
-FACTORIZED = "factorized"
-
-_STRATEGY_ALIASES = {
-    "materialized": MATERIALIZED,
-    "m": MATERIALIZED,
-    "m-gmm": MATERIALIZED,
-    "m-nn": MATERIALIZED,
-    "streaming": STREAMING,
-    "s": STREAMING,
-    "s-gmm": STREAMING,
-    "s-nn": STREAMING,
-    "factorized": FACTORIZED,
-    "f": FACTORIZED,
-    "f-gmm": FACTORIZED,
-    "f-nn": FACTORIZED,
-}
-
-
-def resolve_strategy(algorithm: str) -> str:
-    """Normalize an algorithm/strategy name to its canonical form."""
-    try:
-        return _STRATEGY_ALIASES[algorithm.lower()]
-    except KeyError:
-        raise ModelError(
-            f"unknown algorithm {algorithm!r}; use one of "
-            f"{sorted(set(_STRATEGY_ALIASES.values()))}"
-        ) from None
 
 
 @dataclass
@@ -81,6 +66,10 @@ class GMMResult:
     @property
     def io(self) -> IOSnapshot | None:
         return self.fit.io
+
+    def predict(self, features):
+        """Hard cluster assignments for dense joined feature rows."""
+        return self.model.predict(features)
 
 
 @dataclass
@@ -213,6 +202,12 @@ class StrategyComparison:
 
     def speedup_of_factorized(self) -> dict[str, float]:
         """Speedup of the factorized run over each baseline."""
+        if FACTORIZED not in self.results:
+            raise ModelError(
+                "the factorized strategy was not among the runs "
+                f"({sorted(self.results)}); include it in `strategies` "
+                "to compute its speedup"
+            )
         factorized = self.results[FACTORIZED].wall_time_seconds
         return {
             name: result.wall_time_seconds / factorized
@@ -237,6 +232,90 @@ def compare_gmm_strategies(
             db, spec, config, block_pages=block_pages
         )
     return comparison
+
+
+def _serve_once(
+    db, spec, model, kind, fact_features, fk_values,
+    strategy, cache_entries, block_pages,
+):
+    """One-shot serving shared by :func:`predict_gmm`/:func:`predict_nn`."""
+    predictor = make_predictor(
+        db, spec, model, kind=kind, strategy=strategy,
+        cache_entries=cache_entries, block_pages=block_pages,
+    )
+    if fact_features is None and fk_values is None:
+        return predictor.predict_all()
+    if fact_features is None or fk_values is None:
+        raise ModelError(
+            "pass both fact_features and fk_values for a request batch, "
+            "or neither to score every stored fact tuple"
+        )
+    return predictor.predict(fact_features, fk_values)
+
+
+def predict_gmm(
+    db: Database,
+    spec: JoinSpec,
+    model,
+    fact_features=None,
+    fk_values=None,
+    *,
+    strategy: str = FACTORIZED,
+    cache_entries: int | list[int] | None = None,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+):
+    """Cluster assignments over normalized data — no join materialized.
+
+    ``model`` is a :class:`GMMResult` or bare
+    :class:`~repro.gmm.model.GaussianMixtureModel`.  With
+    ``fact_features``/``fk_values`` given, scores that request batch;
+    with both omitted, scores every stored fact tuple in storage order.
+    ``strategy`` mirrors the training knob (``"materialized"`` or
+    ``"factorized"``; training aliases accepted).  Each call builds a
+    fresh predictor (cold partial cache) — for repeated request
+    batches, register the model once via :func:`serve`.
+    """
+    return _serve_once(
+        db, spec, model, "gmm", fact_features, fk_values,
+        strategy, cache_entries, block_pages,
+    )
+
+
+def predict_nn(
+    db: Database,
+    spec: JoinSpec,
+    model,
+    fact_features=None,
+    fk_values=None,
+    *,
+    strategy: str = FACTORIZED,
+    cache_entries: int | list[int] | None = None,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+):
+    """Network outputs over normalized data — no join materialized.
+
+    Same contract as :func:`predict_gmm`, for an :class:`NNResult` or
+    bare :class:`~repro.nn.network.MLP`.
+    """
+    return _serve_once(
+        db, spec, model, "nn", fact_features, fk_values,
+        strategy, cache_entries, block_pages,
+    )
+
+
+def serve(
+    db: Database, *, block_pages: int = DEFAULT_BLOCK_PAGES
+) -> ModelService:
+    """A :class:`~repro.serve.service.ModelService` over ``db``.
+
+    Register fitted models once, then answer batched predict/score
+    requests with per-model throughput and I/O bookkeeping::
+
+        service = serve(db)
+        service.register_nn("ratings", nn_result, spec)
+        outputs = service.predict("ratings", fact_features, fk_values)
+    """
+    return ModelService(db, block_pages=block_pages)
 
 
 def compare_nn_strategies(

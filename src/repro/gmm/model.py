@@ -161,6 +161,12 @@ class GaussianMixtureModel:
         self.reg_covar = reg_covar
         self._precisions = ComponentPrecisions(params.covariances, reg_covar)
 
+    @property
+    def precisions(self) -> ComponentPrecisions:
+        """The fitted precision matrices and log-dets (computed once;
+        reused by the factorized serving path)."""
+        return self._precisions
+
     def log_gaussians(self, data: np.ndarray) -> np.ndarray:
         """``(n, K)`` component log-densities for dense rows."""
         data = np.atleast_2d(np.asarray(data, dtype=np.float64))

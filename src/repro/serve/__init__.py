@@ -1,0 +1,70 @@
+"""Factorized inference: serve fitted models over normalized data.
+
+Training-side factorization (this repo's core) never materializes the
+join; this package extends the same guarantee to *serving*.  A
+prediction request arrives in normalized form — fact features plus
+foreign keys — and is scored either by hand-materializing the wide rows
+(the baseline) or by gathering cached per-distinct-RID partial results
+(the paper's reuse argument applied at inference time).  Both paths are
+exact: they agree with the dense model on the joined rows.
+
+Layers:
+
+* :mod:`~repro.serve.partials` — per-RID partial results and keyed
+  dimension-row lookups;
+* :mod:`~repro.serve.cache` — bounded LRU cache of partial rows;
+* :mod:`~repro.serve.predictor` — exact factorized / materialized
+  predictors per model family;
+* :mod:`~repro.serve.service` — the registry facade with throughput
+  and I/O bookkeeping;
+* :mod:`~repro.serve.cost_model` — inference-side operation counts.
+"""
+
+from repro.serve.cache import CacheStats, PartialCache
+from repro.serve.cost_model import (
+    gmm_serving_break_even_tuple_ratio,
+    gmm_serving_mults_dense,
+    gmm_serving_mults_factorized,
+    gmm_serving_saving_rate,
+    nn_serving_break_even_tuple_ratio,
+    nn_serving_mults_dense,
+    nn_serving_mults_factorized,
+    nn_serving_saving_rate,
+)
+from repro.serve.partials import (
+    DimensionLookup,
+    GMMPartialBuilder,
+    NNPartialBuilder,
+)
+from repro.serve.predictor import (
+    FactorizedGMMPredictor,
+    FactorizedNNPredictor,
+    MaterializedGMMPredictor,
+    MaterializedNNPredictor,
+    make_predictor,
+)
+from repro.serve.service import ModelService, RegisteredModel, ServingStats
+
+__all__ = [
+    "CacheStats",
+    "DimensionLookup",
+    "FactorizedGMMPredictor",
+    "FactorizedNNPredictor",
+    "GMMPartialBuilder",
+    "MaterializedGMMPredictor",
+    "MaterializedNNPredictor",
+    "ModelService",
+    "NNPartialBuilder",
+    "PartialCache",
+    "RegisteredModel",
+    "ServingStats",
+    "gmm_serving_break_even_tuple_ratio",
+    "gmm_serving_mults_dense",
+    "gmm_serving_mults_factorized",
+    "gmm_serving_saving_rate",
+    "make_predictor",
+    "nn_serving_break_even_tuple_ratio",
+    "nn_serving_mults_dense",
+    "nn_serving_mults_factorized",
+    "nn_serving_saving_rate",
+]

@@ -1,0 +1,148 @@
+"""A bounded LRU cache of per-RID partial rows.
+
+Dimension relations small enough to pin make serving trivially cheap:
+every partial is computed once and reused forever.  When a dimension is
+too large to pin, the serving layer bounds memory with this cache —
+partials for hot RIDs stay resident (the Zipf-skewed FK distributions of
+:mod:`repro.data.synthetic` make this the common case), cold RIDs are
+recomputed from the base relation on demand.
+
+The cache is deliberately model-agnostic: values are flat float64 rows
+(whatever a :mod:`~repro.serve.partials` builder produced), keys are
+RIDs.  Hit/miss/eviction counters feed the
+:class:`~repro.serve.service.ModelService` bookkeeping, mirroring how
+:class:`~repro.storage.buffer.BufferPool` accounts page caching.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Point-in-time cache counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    entries: int = 0
+    capacity: int | None = None
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class PartialCache:
+    """Fixed-capacity LRU map of ``rid -> partial row``.
+
+    ``capacity`` counts entries (distinct RIDs); ``None`` means
+    unbounded — the pinned case.  All lookups go through
+    :meth:`get_many`, which resolves hits, computes every miss in one
+    vectorized call, and returns rows aligned with the requested keys.
+    """
+
+    def __init__(self, capacity: int | None = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ModelError(
+                f"cache capacity must be positive or None, got {capacity}"
+            )
+        self.capacity = capacity
+        self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self._rows
+
+    def get_many(
+        self,
+        keys: np.ndarray,
+        compute: Callable[[np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Rows for ``keys`` (distinct RIDs), computing misses in one batch.
+
+        ``compute`` receives the missing keys as an int64 array and must
+        return one row per key, in order.  Computed rows are returned to
+        the caller even when the cache immediately evicts them (a
+        request wider than the capacity still gets correct results —
+        only reuse across requests is lost).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ModelError(f"keys must be 1-D, got shape {keys.shape}")
+        missing = [k for k in keys.tolist() if k not in self._rows]
+        if missing:
+            computed = np.asarray(
+                compute(np.asarray(missing, dtype=np.int64)),
+                dtype=np.float64,
+            )
+            if computed.shape[0] != len(missing):
+                raise ModelError(
+                    f"compute returned {computed.shape[0]} rows for "
+                    f"{len(missing)} missing keys"
+                )
+            fresh = dict(zip(missing, computed))
+        else:
+            fresh = {}
+        self.hits += keys.size - len(missing)
+        self.misses += len(missing)
+        out = np.empty((keys.size, self._row_width(fresh)), dtype=np.float64)
+        for position, key in enumerate(keys.tolist()):
+            cached = self._rows.get(key)
+            if cached is not None:
+                self._rows.move_to_end(key)
+                out[position] = cached
+            else:
+                out[position] = fresh[key]
+        for key, row in fresh.items():
+            self._rows[key] = row
+            if self.capacity is not None and len(self._rows) > self.capacity:
+                self._rows.popitem(last=False)
+                self.evictions += 1
+        return out
+
+    def _row_width(self, fresh: dict[int, np.ndarray]) -> int:
+        if fresh:
+            return next(iter(fresh.values())).shape[0]
+        if self._rows:
+            return next(iter(self._rows.values())).shape[0]
+        return 0
+
+    def stats(self) -> CacheStats:
+        return CacheStats(
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+            entries=len(self._rows),
+            capacity=self.capacity,
+        )
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._rows.clear()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"PartialCache(entries={stats.entries}, "
+            f"capacity={stats.capacity}, hit_rate={stats.hit_rate:.2f})"
+        )

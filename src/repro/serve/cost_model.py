@@ -1,0 +1,145 @@
+"""Analytic operation counts for serving (inference-side V-B / VI-A1).
+
+The paper's cost analyses cover training; serving has the same
+structure with one pass and no parameter updates, so the multiplication
+counts specialize cleanly.  For a request batch of ``n`` fact tuples
+touching ``m`` distinct dimension tuples (binary join, ``d_S``/``d_R``
+feature widths):
+
+* **NN first layer** (the only layer the representation affects):
+  dense pays ``n·n_h·(d_S+d_R)``; factorized pays ``n·n_h·d_S`` on the
+  fact side plus ``m·n_h·d_R`` once per distinct tuple — Section VI-A1
+  applied to a single forward pass.
+* **GMM log-densities**: dense pays ``(d² + d)`` multiplications per
+  tuple per component (the Mahalanobis form plus the row-wise dot);
+  factorized pays the UL block and the cross dot per fact tuple
+  (``d_S² + 2·d_S``) and the LR/cross partials per distinct tuple
+  (``d_S·d_R + d_R² + d_R``) — Eq. 9–12 applied to scoring.
+
+Both saving rates are monotonically increasing in the tuple ratio
+``rr = n/m``, and increasing in ``d_R`` throughout the regime where
+factorization pays (``rr ≳ 10``; at tiny ratios the GMM rate plateaus
+near ``1 − 1/rr`` for very large ``d_R``) — mirroring the training-side
+trends of Sections V-B and VI-A1.  A warm partial cache removes the
+dimension-side term entirely (``hit_rate → 1``).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ModelError
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ModelError(f"{name} must be positive, got {value}")
+
+
+# -- neural network inference --------------------------------------------------
+
+
+def nn_serving_mults_dense(n: int, d_s: int, d_r: int, n_h: int) -> int:
+    """First-layer multiplications over materialized rows."""
+    _check_positive(n=n, d_s=d_s, d_r=d_r, n_h=n_h)
+    return n * n_h * (d_s + d_r)
+
+
+def nn_serving_mults_factorized(
+    n: int, m: int, d_s: int, d_r: int, n_h: int, *, hit_rate: float = 0.0
+) -> int:
+    """First-layer multiplications with per-distinct-tuple reuse.
+
+    ``hit_rate`` is the fraction of distinct tuples whose partial is
+    already cached (0 = cold cache, 1 = fully pinned); cached partials
+    cost no dimension-side multiplications at all.
+    """
+    _check_positive(n=n, m=m, d_s=d_s, d_r=d_r, n_h=n_h)
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ModelError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    return round(n * n_h * d_s + (1.0 - hit_rate) * m * n_h * d_r)
+
+
+def nn_serving_saving_rate(
+    n: int, m: int, d_s: int, d_r: int, n_h: int, *, hit_rate: float = 0.0
+) -> float:
+    """Fraction of first-layer multiplications serving factorized removes."""
+    dense = nn_serving_mults_dense(n, d_s, d_r, n_h)
+    factorized = nn_serving_mults_factorized(
+        n, m, d_s, d_r, n_h, hit_rate=hit_rate
+    )
+    return (dense - factorized) / dense
+
+
+# -- Gaussian mixture inference ------------------------------------------------
+
+
+def gmm_serving_mults_dense(n: int, d_s: int, d_r: int, k: int) -> int:
+    """Mahalanobis multiplications over materialized rows (Eq. 7).
+
+    Per tuple per component: ``d²`` for ``C·I`` plus ``d`` for the
+    row-wise dot, ``d = d_S + d_R``.
+    """
+    _check_positive(n=n, d_s=d_s, d_r=d_r, k=k)
+    d = d_s + d_r
+    return n * k * (d * d + d)
+
+
+def gmm_serving_mults_factorized(
+    n: int, m: int, d_s: int, d_r: int, k: int, *, hit_rate: float = 0.0
+) -> int:
+    """Mahalanobis multiplications with the Eq. 9–12 decomposition.
+
+    Per fact tuple per component: the UL block (``d_S² + d_S``) plus
+    the dot against the gathered cross partial (``d_S``).  Per distinct
+    dimension tuple per component: the cross product (``d_R·d_S``) and
+    the LR quadratic form (``d_R² + d_R``) — skipped entirely for
+    cached partials.
+    """
+    _check_positive(n=n, m=m, d_s=d_s, d_r=d_r, k=k)
+    if not 0.0 <= hit_rate <= 1.0:
+        raise ModelError(f"hit_rate must be in [0, 1], got {hit_rate}")
+    per_fact = d_s * d_s + 2 * d_s
+    per_distinct = d_r * d_s + d_r * d_r + d_r
+    return round(n * k * per_fact + (1.0 - hit_rate) * m * k * per_distinct)
+
+
+def gmm_serving_saving_rate(
+    n: int, m: int, d_s: int, d_r: int, k: int, *, hit_rate: float = 0.0
+) -> float:
+    """Fraction of scoring multiplications serving factorized removes."""
+    dense = gmm_serving_mults_dense(n, d_s, d_r, k)
+    factorized = gmm_serving_mults_factorized(
+        n, m, d_s, d_r, k, hit_rate=hit_rate
+    )
+    return (dense - factorized) / dense
+
+
+# -- break-even ---------------------------------------------------------------
+
+
+def nn_serving_break_even_tuple_ratio(d_s: int, d_r: int) -> float:
+    """Tuple ratio ``n/m`` above which factorized serving multiplies less.
+
+    From ``n·d_S + m·d_R < n·(d_S + d_R)``: any ``n/m > 1`` wins — at
+    inference there is no per-epoch bookkeeping to amortize, so the
+    crossover sits at the redundancy threshold itself.
+    """
+    _check_positive(d_s=d_s, d_r=d_r)
+    return 1.0
+
+
+def gmm_serving_break_even_tuple_ratio(d_s: int, d_r: int) -> float:
+    """Tuple ratio ``n/m`` above which factorized GMM scoring wins.
+
+    Setting dense = factorized and solving for ``n/m`` gives
+    ``(d_S·d_R + d_R² + d_R) / (2·d_S·d_R + d_R² + d_R − d_S)``; the
+    denominator is positive for all ``d_S, d_R ≥ 1``, and the ratio is
+    below 1 whenever ``d_S·d_R > d_S`` — i.e. factorized scoring wins
+    for every join with actual redundancy (``n > m``).
+    """
+    _check_positive(d_s=d_s, d_r=d_r)
+    numerator = d_s * d_r + d_r * d_r + d_r
+    denominator = 2 * d_s * d_r + d_r * d_r + d_r - d_s
+    if denominator <= 0:
+        return float("inf")
+    return numerator / denominator

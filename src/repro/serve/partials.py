@@ -1,0 +1,252 @@
+"""Per-distinct-dimension-tuple partial results for serving.
+
+Training factorizes by computing dimension-side quantities once per
+*distinct* dimension tuple and reusing them across all fact tuples that
+reference it (Sections V-B and VI-A1).  Serving has exactly the same
+structure: a prediction request touches ``n`` fact tuples but only
+``m ≤ n`` distinct dimension tuples, so the dimension-side share of the
+score is computed once per RID and gathered.
+
+Two partial kinds exist, one per model family:
+
+* :class:`NNPartialBuilder` — the first-layer slice
+  ``X_{R_i} W_{R_i}ᵀ`` of Section VI-A1 (the reused term ``T2``);
+* :class:`GMMPartialBuilder` — the per-component quadratic-form
+  contributions of Eq. 9–12/19: the LR scalar, the UR+LL cross vector
+  against the fact block, the centered block itself, and (multi-way
+  joins) the ``PD_{R_i} I_{ij}`` couplings to later dimensions.
+
+Partials are flat float64 rows keyed by RID so they can live in a
+:class:`~repro.serve.cache.PartialCache`; :class:`DimensionLookup`
+resolves RIDs back to heap rows (page reads charged to the database's
+I/O accounting, optionally through its buffer pool).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.linalg.blocks import BlockLayout
+from repro.linalg.groupsum import codes_for_keys
+from repro.storage.buffer import BufferPool
+from repro.storage.relation import Relation
+
+
+class DimensionLookup:
+    """Point lookups of dimension-relation rows by primary key.
+
+    The key column is scanned once at construction (charged like any
+    scan) to build a key → heap-row index; feature rows are then fetched
+    page-at-a-time on demand, so a predictor never needs the dimension
+    relation resident — only the pages a request actually touches are
+    read, and a shared :class:`~repro.storage.buffer.BufferPool` absorbs
+    repeats.
+    """
+
+    def __init__(
+        self, relation: Relation, *, buffer_pool: BufferPool | None = None
+    ) -> None:
+        self.relation = relation
+        self.buffer_pool = buffer_pool
+        self._keys = relation.keys()
+
+    @property
+    def num_rows(self) -> int:
+        return self._keys.size
+
+    def row_positions(self, keys: np.ndarray) -> np.ndarray:
+        """Heap row numbers holding ``keys`` (raises on dangling keys)."""
+        return codes_for_keys(np.asarray(keys), self._keys)
+
+    def features_for(self, keys: np.ndarray) -> np.ndarray:
+        """Feature rows for ``keys``, reading only the pages that hold them."""
+        positions = self.row_positions(keys)
+        heap = self.relation.heap
+        pages = positions // heap.rows_per_page
+        slots = positions % heap.rows_per_page
+        rows = np.empty(
+            (positions.size, self.relation.schema.width), dtype=np.float64
+        )
+        for page_no in np.unique(pages):
+            mask = pages == page_no
+            if self.buffer_pool is not None:
+                page = self.buffer_pool.get_page(heap, int(page_no))
+            else:
+                page = heap.read_page(int(page_no))
+            rows[mask] = page[slots[mask]]
+        return self.relation.project_features(rows)
+
+
+class NNPartialBuilder:
+    """First-layer partial rows for one dimension relation.
+
+    ``compute`` maps distinct dimension feature rows ``(m, d_Ri)`` to
+    the reused pre-activation slice ``X_{R_i} W_{R_i}ᵀ`` of shape
+    ``(m, n_h)`` — the serving twin of
+    :meth:`~repro.nn.engines.FactorizedNNEngine.first_preactivations`.
+    The bias is *not* folded in (it is added once per request row by the
+    predictor), so partial rows stay valid for every request shape.
+    """
+
+    def __init__(self, weight_block: np.ndarray) -> None:
+        self.weight_block = np.asarray(weight_block, dtype=np.float64)
+        if self.weight_block.ndim != 2:
+            raise ModelError(
+                f"weight block must be 2-D, got {self.weight_block.shape}"
+            )
+
+    @property
+    def width(self) -> int:
+        """Floats per partial row (the hidden width ``n_h``)."""
+        return self.weight_block.shape[0]
+
+    def compute(self, features: np.ndarray) -> np.ndarray:
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != self.weight_block.shape[1]:
+            raise ModelError(
+                f"dimension features have width {features.shape[1]}, "
+                f"weight block expects {self.weight_block.shape[1]}"
+            )
+        return features @ self.weight_block.T
+
+
+class GMMPartialBuilder:
+    """Per-component quadratic-form partial rows for one dimension.
+
+    For dimension block ``i`` (1-based; block 0 is the fact relation)
+    and each mixture component ``k``, a distinct tuple's partial packs,
+    in order:
+
+    * ``lr`` (1 float) — the LR term ``PD_{R_i}ᵀ I_{ii} PD_{R_i}``
+      (Eq. 12), fully reusable;
+    * ``cross_fact`` (``d_S`` floats) — ``PD_{R_i} (I_{i0} + I_{0i}ᵀ)``,
+      the reusable half of UR+LL (Eq. 10–11), finished per fact row by
+      a dot with the centered fact block;
+    * ``centered`` (``d_Ri`` floats) — ``PD_{R_i}`` itself, needed as
+      the right-hand side of couplings from earlier dimensions;
+    * per later dimension ``j > i``: ``cross_dim[j]`` (``d_Rj`` floats)
+      — ``PD_{R_i} (I_{ij} + I_{ji}ᵀ)``, the reusable factor of the
+      dimension-dimension blocks of Eq. 19.
+
+    Component slabs are concatenated, giving one flat
+    ``(m, K·per_component)`` array that a cache can hold row-per-RID.
+    """
+
+    def __init__(
+        self,
+        dim_index: int,
+        layout: BlockLayout,
+        means: np.ndarray,
+        precisions: np.ndarray,
+    ) -> None:
+        if not 1 <= dim_index < layout.nblocks:
+            raise ModelError(
+                f"dim_index {dim_index} out of range [1, {layout.nblocks})"
+            )
+        self.dim_index = dim_index
+        self.layout = layout
+        means = np.asarray(means, dtype=np.float64)
+        precisions = np.asarray(precisions, dtype=np.float64)
+        self.n_components = means.shape[0]
+        self._mean_block = [
+            layout.split_vector(means[k])[dim_index]
+            for k in range(self.n_components)
+        ]
+        self._lr_block = []
+        self._cross_fact_block = []
+        self._cross_dim_block = []
+        for k in range(self.n_components):
+            blocks = layout.split_matrix(precisions[k])
+            i = dim_index
+            self._lr_block.append(blocks[i][i])
+            self._cross_fact_block.append(blocks[i][0] + blocks[0][i].T)
+            self._cross_dim_block.append(
+                {
+                    j: blocks[i][j] + blocks[j][i].T
+                    for j in range(i + 1, layout.nblocks)
+                }
+            )
+
+    # -- flat-row geometry ---------------------------------------------------
+
+    @property
+    def d_s(self) -> int:
+        return self.layout.sizes[0]
+
+    @property
+    def d_i(self) -> int:
+        return self.layout.sizes[self.dim_index]
+
+    @property
+    def per_component(self) -> int:
+        """Floats per component slab: ``1 + d_S + d_Ri + Σ_{j>i} d_Rj``."""
+        later = sum(
+            self.layout.sizes[j]
+            for j in range(self.dim_index + 1, self.layout.nblocks)
+        )
+        return 1 + self.d_s + self.d_i + later
+
+    @property
+    def width(self) -> int:
+        """Floats per partial row: ``K · per_component``."""
+        return self.n_components * self.per_component
+
+    @property
+    def lr_offset(self) -> int:
+        return 0
+
+    @property
+    def cross_fact_slice(self) -> slice:
+        return slice(1, 1 + self.d_s)
+
+    @property
+    def centered_slice(self) -> slice:
+        start = 1 + self.d_s
+        return slice(start, start + self.d_i)
+
+    def cross_dim_slice(self, j: int) -> slice:
+        """Slab columns coupling this dimension to later dimension ``j``."""
+        if not self.dim_index < j < self.layout.nblocks:
+            raise ModelError(
+                f"no coupling slab for dimension {j} from {self.dim_index}"
+            )
+        start = 1 + self.d_s + self.d_i
+        for later in range(self.dim_index + 1, j):
+            start += self.layout.sizes[later]
+        return slice(start, start + self.layout.sizes[j])
+
+    # -- computation -----------------------------------------------------------
+
+    def compute(self, features: np.ndarray) -> np.ndarray:
+        """Partial rows for distinct dimension feature rows ``(m, d_Ri)``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.shape[1] != self.d_i:
+            raise ModelError(
+                f"dimension features have width {features.shape[1]}, "
+                f"block {self.dim_index} expects {self.d_i}"
+            )
+        m = features.shape[0]
+        out = np.empty((m, self.width))
+        for k in range(self.n_components):
+            centered = features - self._mean_block[k]
+            slab = out[:, k * self.per_component:(k + 1) * self.per_component]
+            slab[:, self.lr_offset] = np.einsum(
+                "mi,ij,mj->m", centered, self._lr_block[k], centered,
+                optimize=True,
+            )
+            slab[:, self.cross_fact_slice] = (
+                centered @ self._cross_fact_block[k]
+            )
+            slab[:, self.centered_slice] = centered
+            for j, coupling in self._cross_dim_block[k].items():
+                slab[:, self.cross_dim_slice(j)] = centered @ coupling
+        return out
+
+    def component_slab(self, rows: np.ndarray, k: int) -> np.ndarray:
+        """Component ``k``'s slab of gathered partial rows ``(n, width)``."""
+        if not 0 <= k < self.n_components:
+            raise ModelError(
+                f"component {k} out of range [0, {self.n_components})"
+            )
+        return rows[:, k * self.per_component:(k + 1) * self.per_component]

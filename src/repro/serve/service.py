@@ -1,0 +1,206 @@
+"""The serving facade: registered models answering batched requests.
+
+A :class:`ModelService` owns a database handle and a registry of fitted
+models, each bound to a join spec and a serving strategy.  Every request
+is timed and its page I/O attributed to the model that served it, so a
+deployment can watch throughput and I/O per model exactly the way the
+training side watches per-algorithm cost — the ROADMAP's
+"serve heavy traffic" goal with the paper's bookkeeping discipline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.strategies import FACTORIZED
+from repro.errors import ModelError
+from repro.join.bnl import DEFAULT_BLOCK_PAGES
+from repro.join.spec import JoinSpec
+from repro.serve.cache import CacheStats
+from repro.serve.predictor import make_predictor
+from repro.storage.catalog import Database
+from repro.storage.iostats import IOSnapshot
+
+
+@dataclass
+class ServingStats:
+    """Rolling bookkeeping for one registered model."""
+
+    requests: int = 0
+    rows: int = 0
+    wall_seconds: float = 0.0
+    io: IOSnapshot = field(default_factory=IOSnapshot)
+
+    @property
+    def rows_per_second(self) -> float:
+        """Serving throughput (0 until the first timed request)."""
+        return self.rows / self.wall_seconds if self.wall_seconds else 0.0
+
+
+@dataclass
+class RegisteredModel:
+    """One servable model: predictor plus its accumulated stats."""
+
+    name: str
+    kind: str              # "gmm" | "nn"
+    strategy: str          # "materialized" | "factorized"
+    predictor: object
+    stats: ServingStats = field(default_factory=ServingStats)
+
+    def cache_stats(self) -> list[CacheStats]:
+        """Per-dimension partial-cache counters (factorized only)."""
+        caches = getattr(self.predictor, "caches", None)
+        if caches is None:
+            return []
+        return [cache.stats() for cache in caches]
+
+
+class ModelService:
+    """Registers fitted models and serves predictions over normalized data.
+
+    >>> service = ModelService(db)
+    >>> service.register_nn("ratings", nn_result, spec)
+    >>> outputs = service.predict("ratings", fact_features, fk_values)
+    >>> service.stats("ratings").rows_per_second
+    """
+
+    def __init__(
+        self, db: Database, *, block_pages: int = DEFAULT_BLOCK_PAGES
+    ) -> None:
+        self.db = db
+        self.block_pages = block_pages
+        self._models: dict[str, RegisteredModel] = {}
+
+    # -- registration ------------------------------------------------------
+
+    def register_gmm(
+        self,
+        name: str,
+        model,
+        spec: JoinSpec,
+        *,
+        strategy: str = FACTORIZED,
+        cache_entries: int | list[int] | None = None,
+    ) -> RegisteredModel:
+        """Register a fitted mixture (a ``GMMResult`` or the bare model)."""
+        return self._register(
+            name, "gmm", spec, model, strategy, cache_entries
+        )
+
+    def register_nn(
+        self,
+        name: str,
+        model,
+        spec: JoinSpec,
+        *,
+        strategy: str = FACTORIZED,
+        cache_entries: int | list[int] | None = None,
+    ) -> RegisteredModel:
+        """Register a trained network (an ``NNResult`` or the bare MLP)."""
+        return self._register(
+            name, "nn", spec, model, strategy, cache_entries
+        )
+
+    def _register(
+        self, name, kind, spec, model, strategy, cache_entries
+    ) -> RegisteredModel:
+        if name in self._models:
+            raise ModelError(f"model {name!r} is already registered")
+        predictor = make_predictor(
+            self.db, spec, model, kind=kind, strategy=strategy,
+            cache_entries=cache_entries, block_pages=self.block_pages,
+        )
+        registered = RegisteredModel(
+            name=name, kind=kind, strategy=predictor.strategy,
+            predictor=predictor,
+        )
+        self._models[name] = registered
+        return registered
+
+    def unregister(self, name: str) -> None:
+        if name not in self._models:
+            raise ModelError(f"no model {name!r} to unregister")
+        del self._models[name]
+
+    # -- lookup ------------------------------------------------------------
+
+    @property
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def model(self, name: str) -> RegisteredModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ModelError(
+                f"no registered model {name!r}; have {sorted(self._models)}"
+            ) from None
+
+    # -- serving -----------------------------------------------------------
+
+    def _timed(self, registered: RegisteredModel, rows: int, call):
+        before = self.db.stats.snapshot()
+        tick = time.perf_counter()
+        result = call()
+        registered.stats.wall_seconds += time.perf_counter() - tick
+        registered.stats.requests += 1
+        registered.stats.rows += rows
+        registered.stats.io = registered.stats.io + (
+            self.db.stats.snapshot() - before
+        )
+        return result
+
+    def predict(self, name: str, fact_features, fk_values) -> np.ndarray:
+        """Model outputs for one normalized request batch.
+
+        GMM models return hard cluster assignments; NN models return
+        network outputs ``(n, n_out)``.
+        """
+        registered = self.model(name)
+        features = np.atleast_2d(np.asarray(fact_features))
+        return self._timed(
+            registered,
+            features.shape[0],
+            lambda: registered.predictor.predict(features, fk_values),
+        )
+
+    def score(self, name: str, fact_features, fk_values) -> np.ndarray:
+        """Per-tuple log-likelihoods (GMM models only)."""
+        registered = self.model(name)
+        if registered.kind != "gmm":
+            raise ModelError(
+                f"model {name!r} is a {registered.kind!r} model; "
+                "score() is defined for GMMs"
+            )
+        features = np.atleast_2d(np.asarray(fact_features))
+        return self._timed(
+            registered,
+            features.shape[0],
+            lambda: registered.predictor.score_samples(features, fk_values),
+        )
+
+    def predict_all(self, name: str) -> np.ndarray:
+        """Predictions for every stored fact tuple, in storage order."""
+        registered = self.model(name)
+        return self._timed(
+            registered,
+            registered.predictor.resolved.num_rows,
+            lambda: registered.predictor.predict_all(),
+        )
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def stats(self, name: str) -> ServingStats:
+        return self.model(name).stats
+
+    def cache_stats(self, name: str) -> list[CacheStats]:
+        return self.model(name).cache_stats()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ModelService(models={self.model_names})"

@@ -26,6 +26,21 @@ class IOSnapshot:
     reads_by_relation: dict[str, int] = field(default_factory=dict)
     writes_by_relation: dict[str, int] = field(default_factory=dict)
 
+    def __add__(self, other: "IOSnapshot") -> "IOSnapshot":
+        """Combine two I/O deltas (e.g. accumulated across requests)."""
+        reads = dict(self.reads_by_relation)
+        for name, count in other.reads_by_relation.items():
+            reads[name] = reads.get(name, 0) + count
+        writes = dict(self.writes_by_relation)
+        for name, count in other.writes_by_relation.items():
+            writes[name] = writes.get(name, 0) + count
+        return IOSnapshot(
+            pages_read=self.pages_read + other.pages_read,
+            pages_written=self.pages_written + other.pages_written,
+            reads_by_relation=reads,
+            writes_by_relation=writes,
+        )
+
     def __sub__(self, earlier: "IOSnapshot") -> "IOSnapshot":
         reads = {
             name: count - earlier.reads_by_relation.get(name, 0)

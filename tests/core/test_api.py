@@ -13,10 +13,12 @@ from repro.core.api import (
     compare_nn_strategies,
     fit_gmm,
     fit_nn,
+    resolve_serving_strategy,
     resolve_strategy,
 )
 from repro.errors import ModelError
 from repro.gmm.base import EMConfig
+from repro.join.reference import nested_loop_join
 from repro.nn.base import NNConfig
 
 
@@ -47,6 +49,17 @@ class TestStrategyResolution:
         with pytest.raises(ModelError, match="unknown algorithm"):
             resolve_strategy("quantum")
 
+    @pytest.mark.parametrize(
+        "alias,expected",
+        [("F", FACTORIZED), ("materialized", MATERIALIZED)],
+    )
+    def test_serving_aliases(self, alias, expected):
+        assert resolve_serving_strategy(alias) == expected
+
+    def test_serving_rejects_streaming(self):
+        with pytest.raises(ModelError, match="training-only"):
+            resolve_serving_strategy("streaming")
+
 
 class TestFitGMM:
     def test_returns_usable_model(self, db, binary_star):
@@ -61,6 +74,17 @@ class TestFitGMM:
         labels = result.model.predict(data)
         assert labels.shape == (10,)
         assert set(labels) <= {0, 1}
+
+    def test_result_predict_convenience(self, db, binary_star):
+        # GMMResult.predict mirrors NNResult.predict: dense joined rows
+        # in, cluster assignments out.
+        result = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0,
+        )
+        joined = nested_loop_join(db, binary_star.spec).features
+        np.testing.assert_array_equal(
+            result.predict(joined), result.model.predict(joined)
+        )
 
     @pytest.mark.parametrize(
         "algorithm", ["materialized", "streaming", "factorized"]
@@ -141,3 +165,16 @@ class TestComparisons:
             strategies=("streaming", "factorized"),
         )
         assert set(comparison.results) == {STREAMING, FACTORIZED}
+
+    def test_speedup_without_factorized_run_raises_clearly(
+        self, db, binary_star
+    ):
+        config = EMConfig(n_components=2, max_iter=2, tol=0.0, seed=1)
+        comparison = compare_gmm_strategies(
+            db, binary_star.spec, config,
+            strategies=("materialized", "streaming"),
+        )
+        with pytest.raises(
+            ModelError, match="factorized strategy was not among the runs"
+        ):
+            comparison.speedup_of_factorized()

@@ -1,0 +1,132 @@
+"""LRU partial-cache behaviour: hit/miss/eviction accounting."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.serve.cache import PartialCache
+
+
+def rows_for(keys):
+    """Deterministic fake partial rows: row value == key."""
+    keys = np.asarray(keys, dtype=np.float64)
+    return np.column_stack([keys, keys * 10.0])
+
+
+class TestGetMany:
+    def test_cold_lookup_computes_everything(self):
+        cache = PartialCache()
+        calls = []
+
+        def compute(keys):
+            calls.append(keys.copy())
+            return rows_for(keys)
+
+        out = cache.get_many(np.array([3, 1, 7]), compute)
+        np.testing.assert_array_equal(out, rows_for([3, 1, 7]))
+        assert len(calls) == 1
+        np.testing.assert_array_equal(calls[0], [3, 1, 7])
+        assert cache.hits == 0 and cache.misses == 3
+
+    def test_warm_lookup_never_recomputes(self):
+        cache = PartialCache()
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+
+        def explode(keys):  # pragma: no cover - must not be called
+            raise AssertionError("warm lookup recomputed")
+
+        out = cache.get_many(np.array([2, 3]), explode)
+        np.testing.assert_array_equal(out, rows_for([2, 3]))
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_partial_hit_computes_only_misses(self):
+        cache = PartialCache()
+        cache.get_many(np.array([1, 2]), rows_for)
+        seen = []
+
+        def compute(keys):
+            seen.extend(keys.tolist())
+            return rows_for(keys)
+
+        out = cache.get_many(np.array([2, 5, 1]), compute)
+        np.testing.assert_array_equal(out, rows_for([2, 5, 1]))
+        assert seen == [5]
+        assert cache.hits == 2 and cache.misses == 3
+
+    def test_rows_align_with_requested_key_order(self):
+        cache = PartialCache()
+        cache.get_many(np.array([9]), rows_for)
+        out = cache.get_many(np.array([4, 9, 2]), rows_for)
+        np.testing.assert_array_equal(out, rows_for([4, 9, 2]))
+
+
+class TestEviction:
+    def test_capacity_bounds_entries(self):
+        cache = PartialCache(capacity=2)
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_lru_order_evicts_coldest(self):
+        cache = PartialCache(capacity=2)
+        cache.get_many(np.array([1]), rows_for)
+        cache.get_many(np.array([2]), rows_for)
+        cache.get_many(np.array([1]), rows_for)   # touch 1 → 2 is coldest
+        cache.get_many(np.array([3]), rows_for)   # evicts 2
+        assert 1 in cache and 3 in cache and 2 not in cache
+
+    def test_request_wider_than_capacity_still_correct(self):
+        cache = PartialCache(capacity=2)
+        out = cache.get_many(np.array([1, 2, 3, 4, 5]), rows_for)
+        np.testing.assert_array_equal(out, rows_for([1, 2, 3, 4, 5]))
+        assert len(cache) == 2
+        assert cache.evictions == 3
+
+    def test_unbounded_cache_never_evicts(self):
+        cache = PartialCache()
+        cache.get_many(np.arange(100), rows_for)
+        assert len(cache) == 100
+        assert cache.evictions == 0
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        cache = PartialCache(capacity=2)
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+        cache.get_many(np.array([3]), rows_for)
+        stats = cache.stats()
+        assert stats.hits == 1
+        assert stats.misses == 3
+        assert stats.evictions == 1
+        assert stats.entries == 2
+        assert stats.capacity == 2
+        assert stats.lookups == 4
+        assert stats.hit_rate == pytest.approx(0.25)
+
+    def test_empty_cache_hit_rate_is_zero(self):
+        assert PartialCache().stats().hit_rate == 0.0
+
+    def test_clear_resets_counters_and_entries(self):
+        cache = PartialCache(capacity=4)
+        cache.get_many(np.array([1, 2]), rows_for)
+        cache.clear()
+        assert len(cache) == 0
+        stats = cache.stats()
+        assert (stats.hits, stats.misses, stats.evictions) == (0, 0, 0)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_rejected(self, capacity):
+        with pytest.raises(ModelError, match="capacity"):
+            PartialCache(capacity=capacity)
+
+    def test_keys_must_be_1d(self):
+        with pytest.raises(ModelError, match="1-D"):
+            PartialCache().get_many(np.zeros((2, 2)), rows_for)
+
+    def test_compute_row_count_mismatch_rejected(self):
+        with pytest.raises(ModelError, match="rows"):
+            PartialCache().get_many(
+                np.array([1, 2]), lambda keys: rows_for(keys[:1])
+            )

@@ -1,0 +1,118 @@
+"""Inference cost model: monotone savings in n/m and d_R, cache effects."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.serve.cost_model import (
+    gmm_serving_break_even_tuple_ratio,
+    gmm_serving_mults_dense,
+    gmm_serving_mults_factorized,
+    gmm_serving_saving_rate,
+    nn_serving_break_even_tuple_ratio,
+    nn_serving_mults_dense,
+    nn_serving_mults_factorized,
+    nn_serving_saving_rate,
+)
+
+M = 100
+TUPLE_RATIOS = (10, 30, 100, 300, 1000)
+DIM_WIDTHS = (2, 5, 15, 40, 80)
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("d_s", [2, 5, 20])
+    def test_nn_saving_increases_with_tuple_ratio(self, d_s):
+        rates = [
+            nn_serving_saving_rate(M * rr, M, d_s, 15, 32)
+            for rr in TUPLE_RATIOS
+        ]
+        assert np.all(np.diff(rates) > 0)
+
+    @pytest.mark.parametrize("rr", [10, 50, 300])
+    def test_nn_saving_increases_with_dim_width(self, rr):
+        rates = [
+            nn_serving_saving_rate(M * rr, M, 5, d_r, 32)
+            for d_r in DIM_WIDTHS
+        ]
+        assert np.all(np.diff(rates) > 0)
+
+    @pytest.mark.parametrize("d_s", [2, 5, 20])
+    def test_gmm_saving_increases_with_tuple_ratio(self, d_s):
+        rates = [
+            gmm_serving_saving_rate(M * rr, M, d_s, 15, 4)
+            for rr in TUPLE_RATIOS
+        ]
+        assert np.all(np.diff(rates) > 0)
+
+    @pytest.mark.parametrize("rr", [10, 50, 300])
+    def test_gmm_saving_increases_with_dim_width(self, rr):
+        rates = [
+            gmm_serving_saving_rate(M * rr, M, 5, d_r, 4)
+            for d_r in DIM_WIDTHS
+        ]
+        assert np.all(np.diff(rates) > 0)
+
+
+class TestFactorizedWins:
+    """Acceptance regime: fewer multiplications for any n/m ≥ 10."""
+
+    @pytest.mark.parametrize("rr", TUPLE_RATIOS)
+    @pytest.mark.parametrize("d_r", [2, 15, 80])
+    def test_nn_factorized_multiplies_less(self, rr, d_r):
+        assert nn_serving_mults_factorized(
+            M * rr, M, 5, d_r, 32
+        ) < nn_serving_mults_dense(M * rr, 5, d_r, 32)
+
+    @pytest.mark.parametrize("rr", TUPLE_RATIOS)
+    @pytest.mark.parametrize("d_r", [2, 15, 80])
+    def test_gmm_factorized_multiplies_less(self, rr, d_r):
+        assert gmm_serving_mults_factorized(
+            M * rr, M, 5, d_r, 4
+        ) < gmm_serving_mults_dense(M * rr, 5, d_r, 4)
+
+    def test_break_even_ratios_sit_at_or_below_one(self):
+        assert nn_serving_break_even_tuple_ratio(5, 15) == 1.0
+        for d_s, d_r in [(5, 15), (3, 2), (20, 5), (1, 1)]:
+            assert gmm_serving_break_even_tuple_ratio(d_s, d_r) <= 1.0
+
+    def test_no_redundancy_means_no_nn_saving(self):
+        # With m == n the factorized first layer is just a split of the
+        # dense product: never cheaper, never pricier.
+        assert nn_serving_mults_factorized(
+            1000, 1000, 5, 15, 32
+        ) == nn_serving_mults_dense(1000, 5, 15, 32)
+
+
+class TestCacheEffects:
+    def test_warm_cache_removes_dimension_side_entirely(self):
+        assert nn_serving_mults_factorized(
+            10_000, 100, 5, 15, 32, hit_rate=1.0
+        ) == 10_000 * 32 * 5
+        assert gmm_serving_mults_factorized(
+            10_000, 100, 5, 15, 4, hit_rate=1.0
+        ) == 10_000 * 4 * (5 * 5 + 2 * 5)
+
+    def test_saving_rate_grows_with_hit_rate(self):
+        rates = [
+            gmm_serving_saving_rate(5_000, 500, 5, 15, 4, hit_rate=h)
+            for h in (0.0, 0.5, 0.9, 1.0)
+        ]
+        assert np.all(np.diff(rates) > 0)
+
+    @pytest.mark.parametrize("hit_rate", [-0.1, 1.5])
+    def test_bad_hit_rate_rejected(self, hit_rate):
+        with pytest.raises(ModelError, match="hit_rate"):
+            nn_serving_mults_factorized(
+                100, 10, 5, 15, 32, hit_rate=hit_rate
+            )
+
+
+class TestValidation:
+    def test_nonpositive_sizes_rejected(self):
+        with pytest.raises(ModelError, match="positive"):
+            nn_serving_mults_dense(0, 5, 15, 32)
+        with pytest.raises(ModelError, match="positive"):
+            gmm_serving_mults_factorized(100, -1, 5, 15, 4)
+        with pytest.raises(ModelError, match="positive"):
+            gmm_serving_break_even_tuple_ratio(0, 15)

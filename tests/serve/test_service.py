@@ -1,0 +1,194 @@
+"""ModelService: registration, serving, and bookkeeping."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_gmm, fit_nn, serve
+from repro.errors import ModelError
+from repro.serve.predictor import (
+    FactorizedGMMPredictor,
+    FactorizedNNPredictor,
+    MaterializedNNPredictor,
+)
+from repro.serve.service import ModelService
+from repro.storage.iostats import IOSnapshot
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture
+def served(db, binary_star):
+    gmm = fit_gmm(db, binary_star.spec, n_components=2, max_iter=2, seed=1)
+    nn = fit_nn(db, binary_star.spec, hidden_sizes=(6,), epochs=1, seed=1)
+    service = serve(db)
+    service.register_gmm("clusters", gmm, binary_star.spec)
+    service.register_nn("ratings", nn, binary_star.spec)
+    return service, binary_star.spec, gmm, nn
+
+
+def a_request(db, spec, n=30):
+    fact = spec.resolve(db).fact
+    rows = fact.scan()[:n]
+    fk = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+    return fact.project_features(rows), fk
+
+
+class TestRegistration:
+    def test_register_binds_the_right_predictors(self, served):
+        service, _, _, _ = served
+        assert service.model_names == ["clusters", "ratings"]
+        assert isinstance(
+            service.model("clusters").predictor, FactorizedGMMPredictor
+        )
+        assert isinstance(
+            service.model("ratings").predictor, FactorizedNNPredictor
+        )
+
+    def test_strategy_knob_and_aliases(self, db, binary_star):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        service = ModelService(db)
+        service.register_nn("m", nn, binary_star.spec, strategy="M")
+        assert isinstance(
+            service.model("m").predictor, MaterializedNNPredictor
+        )
+        assert service.model("m").strategy == "materialized"
+
+    def test_streaming_strategy_rejected(self, db, binary_star):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        with pytest.raises(ModelError, match="training-only"):
+            ModelService(db).register_nn(
+                "s", nn, binary_star.spec, strategy="streaming"
+            )
+
+    def test_cache_entries_with_materialized_rejected(self, db, binary_star):
+        # The materialized path keeps no partials; silently dropping
+        # the knob would hide a misconfiguration.
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        with pytest.raises(ModelError, match="cache_entries"):
+            ModelService(db).register_nn(
+                "m", nn, binary_star.spec,
+                strategy="materialized", cache_entries=100,
+            )
+
+    def test_bare_models_accepted(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        service = ModelService(db)
+        service.register_gmm("bare", gmm.model, binary_star.spec)
+        assert "bare" in service
+
+    def test_wrong_model_kind_rejected(self, db, binary_star):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        with pytest.raises(ModelError, match="GMMResult"):
+            ModelService(db).register_gmm("oops", nn, binary_star.spec)
+
+    def test_duplicate_name_rejected(self, served, db):
+        service, spec, gmm, _ = served
+        with pytest.raises(ModelError, match="already registered"):
+            service.register_gmm("clusters", gmm, spec)
+
+    def test_unregister(self, served):
+        service, _, _, _ = served
+        service.unregister("clusters")
+        assert "clusters" not in service
+        with pytest.raises(ModelError, match="no model"):
+            service.unregister("clusters")
+
+    def test_unknown_model_rejected(self, served):
+        service, _, _, _ = served
+        with pytest.raises(ModelError, match="no registered model"):
+            service.predict("nope", np.zeros((1, 3)), np.zeros(1, int))
+
+
+class TestServing:
+    def test_predict_matches_direct_predictor(self, served, db):
+        service, spec, gmm, nn = served
+        features, fk = a_request(db, spec)
+        np.testing.assert_array_equal(
+            service.predict("clusters", features, fk),
+            FactorizedGMMPredictor(db, spec, gmm.model).predict(
+                features, fk
+            ),
+        )
+        np.testing.assert_allclose(
+            service.predict("ratings", features, fk),
+            FactorizedNNPredictor(db, spec, nn.model).predict(features, fk),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_predict_all_scores_every_fact_tuple(self, served, db):
+        service, spec, _, _ = served
+        labels = service.predict_all("clusters")
+        assert labels.shape == (spec.resolve(db).fact.nrows,)
+
+    def test_score_is_gmm_only(self, served, db):
+        service, spec, gmm, _ = served
+        features, fk = a_request(db, spec)
+        scores = service.score("clusters", features, fk)
+        assert scores.shape == (features.shape[0],)
+        with pytest.raises(ModelError, match="score"):
+            service.score("ratings", features, fk)
+
+
+class TestBookkeeping:
+    def test_stats_accumulate_per_model(self, served, db):
+        service, spec, _, _ = served
+        features, fk = a_request(db, spec, n=20)
+        service.predict("clusters", features, fk)
+        service.predict("clusters", features, fk)
+        stats = service.stats("clusters")
+        assert stats.requests == 2
+        assert stats.rows == 40
+        assert stats.wall_seconds > 0
+        assert stats.rows_per_second > 0
+        # The other model's counters are untouched.
+        assert service.stats("ratings").requests == 0
+
+    def test_io_attributed_to_the_serving_model(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        db.buffer_pool.clear()  # cold pages: the request must pay reads
+        service = ModelService(db)
+        service.register_gmm("clusters", gmm, binary_star.spec)
+        features, fk = a_request(db, binary_star.spec)
+        service.predict("clusters", features, fk)
+        io = service.stats("clusters").io
+        assert isinstance(io, IOSnapshot)
+        assert io.pages_read > 0
+        assert "R1" in io.reads_by_relation
+
+    def test_cache_stats_exposed_for_factorized_models(self, served, db):
+        service, spec, _, _ = served
+        features, fk = a_request(db, spec)
+        service.predict("ratings", features, fk)
+        service.predict("ratings", features, fk)
+        (cache,) = service.cache_stats("ratings")
+        assert cache.misses > 0
+        assert cache.hits >= cache.misses  # second request fully warm
+
+    def test_materialized_models_have_no_caches(self, db, binary_star):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        service = ModelService(db)
+        service.register_nn(
+            "m", nn, binary_star.spec, strategy="materialized"
+        )
+        assert service.cache_stats("m") == []

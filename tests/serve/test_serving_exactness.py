@@ -1,0 +1,291 @@
+"""Serving exactness: factorized predictions equal dense predictions.
+
+The invariant mirrors the training side: the factorized predictor and
+the materialized predictor must produce the same outputs as running the
+fitted dense model over the materialized join — on binary *and*
+multi-way star joins, for whole-table scoring and for request batches,
+with pinned and with bounded partial caches.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_gmm, fit_nn, predict_gmm, predict_nn
+from repro.data.synthetic import (
+    DimensionSpec,
+    StarSchemaConfig,
+    generate_star,
+)
+from repro.errors import ModelError
+from repro.join.reference import nested_loop_join
+from repro.nn.network import MLP
+from repro.serve.predictor import (
+    FactorizedGMMPredictor,
+    FactorizedNNPredictor,
+    MaterializedGMMPredictor,
+    MaterializedNNPredictor,
+)
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture(params=["binary", "multiway"])
+def fitted(request, db):
+    """One fitted GMM + NN per join shape, with the dense join oracle."""
+    if request.param == "binary":
+        config = StarSchemaConfig.binary(
+            n_s=500, n_r=25, d_s=3, d_r=5, with_target=True, seed=7
+        )
+    else:
+        config = StarSchemaConfig(
+            n_s=400,
+            d_s=3,
+            dimensions=(DimensionSpec(15, 4), DimensionSpec(9, 2)),
+            with_target=True,
+            seed=11,
+        )
+    star = generate_star(db, config)
+    gmm = fit_gmm(db, star.spec, n_components=3, max_iter=3, seed=1)
+    nn = fit_nn(db, star.spec, hidden_sizes=(8,), epochs=2, seed=1)
+    oracle = nested_loop_join(db, star.spec)
+    return star.spec, gmm, nn, oracle
+
+
+def request_slice(db, spec, stop):
+    """The first ``stop`` fact tuples as a (features, fks) request."""
+    fact = spec.resolve(db).fact
+    rows = fact.scan()[:stop]
+    features = fact.project_features(rows)
+    fks = {
+        dim.relation: rows[:, fact.schema.fk_position(dim.relation)]
+        .astype(np.int64)
+        for dim in spec.dimensions
+    }
+    return features, fks
+
+
+class TestGMMExactness:
+    def test_predict_all_matches_dense_model(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        dense_labels = gmm.model.predict(oracle.features)
+        factorized = FactorizedGMMPredictor(db, spec, gmm.model)
+        materialized = MaterializedGMMPredictor(db, spec, gmm.model)
+        np.testing.assert_array_equal(
+            factorized.predict_all(), dense_labels
+        )
+        np.testing.assert_array_equal(
+            materialized.predict_all(), dense_labels
+        )
+
+    def test_log_gaussians_match_to_float_associativity(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        features, fks = request_slice(db, spec, 64)
+        factorized = FactorizedGMMPredictor(db, spec, gmm.model)
+        np.testing.assert_allclose(
+            factorized.log_gaussians(features, fks),
+            gmm.model.log_gaussians(oracle.features[:64]),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_score_samples_match(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        features, fks = request_slice(db, spec, 50)
+        factorized = FactorizedGMMPredictor(db, spec, gmm.model)
+        np.testing.assert_allclose(
+            factorized.score_samples(features, fks),
+            gmm.model.score_samples(oracle.features[:50]),
+            rtol=1e-9, atol=1e-9,
+        )
+
+    def test_bounded_cache_is_still_exact(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        factorized = FactorizedGMMPredictor(
+            db, spec, gmm.model, cache_entries=3
+        )
+        np.testing.assert_array_equal(
+            factorized.predict_all(), gmm.model.predict(oracle.features)
+        )
+        assert any(cache.evictions > 0 for cache in factorized.caches)
+
+    def test_api_strategies_agree(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        dense_labels = gmm.model.predict(oracle.features)
+        for strategy in ("factorized", "materialized", "F", "M"):
+            np.testing.assert_array_equal(
+                predict_gmm(db, spec, gmm, strategy=strategy),
+                dense_labels,
+            )
+
+
+class TestNNExactness:
+    def test_predict_all_matches_dense_model(self, db, fitted):
+        spec, _, nn, oracle = fitted
+        dense_outputs = nn.predict(oracle.features)
+        factorized = FactorizedNNPredictor(db, spec, nn.model)
+        materialized = MaterializedNNPredictor(db, spec, nn.model)
+        np.testing.assert_allclose(
+            factorized.predict_all(), dense_outputs,
+            rtol=1e-12, atol=1e-12,
+        )
+        np.testing.assert_array_equal(
+            materialized.predict_all(), dense_outputs
+        )
+
+    def test_request_batch_matches_whole_table_scoring(self, db, fitted):
+        spec, _, nn, oracle = fitted
+        features, fks = request_slice(db, spec, 40)
+        factorized = FactorizedNNPredictor(db, spec, nn.model)
+        np.testing.assert_allclose(
+            factorized.predict(features, fks),
+            nn.predict(oracle.features[:40]),
+            rtol=1e-12, atol=1e-12,
+        )
+
+    def test_bounded_cache_is_still_exact(self, db, fitted):
+        spec, _, nn, oracle = fitted
+        factorized = FactorizedNNPredictor(
+            db, spec, nn.model, cache_entries=2
+        )
+        np.testing.assert_allclose(
+            factorized.predict_all(), nn.predict(oracle.features),
+            rtol=1e-12, atol=1e-12,
+        )
+        assert any(cache.evictions > 0 for cache in factorized.caches)
+
+    def test_api_strategies_agree(self, db, fitted):
+        spec, _, nn, oracle = fitted
+        dense_outputs = nn.predict(oracle.features)
+        np.testing.assert_allclose(
+            predict_nn(db, spec, nn), dense_outputs,
+            rtol=1e-12, atol=1e-12,
+        )
+        np.testing.assert_array_equal(
+            predict_nn(db, spec, nn, strategy="materialized"),
+            dense_outputs,
+        )
+
+
+class TestRequestForms:
+    """All accepted foreign-key spellings resolve identically."""
+
+    def test_fk_spellings_agree(self, db, multiway_star):
+        spec = multiway_star.spec
+        nn = fit_nn(db, spec, hidden_sizes=(4,), epochs=1, seed=1)
+        predictor = FactorizedNNPredictor(db, spec, nn.model)
+        features, fks_dict = request_slice(db, spec, 20)
+        as_list = [fks_dict[d.relation] for d in spec.dimensions]
+        as_matrix = np.column_stack(as_list)
+        reference = predictor.predict(features, fks_dict)
+        np.testing.assert_array_equal(
+            predictor.predict(features, as_list), reference
+        )
+        np.testing.assert_array_equal(
+            predictor.predict(features, as_matrix), reference
+        )
+
+    def test_sequence_form_with_batch_size_equal_to_arity(
+        self, db, multiway_star
+    ):
+        # A batch of exactly q rows must not be mistaken for an (n, q)
+        # matrix when FKs arrive as the sequence-of-q-arrays form.
+        spec = multiway_star.spec
+        nn = fit_nn(db, spec, hidden_sizes=(4,), epochs=1, seed=1)
+        predictor = FactorizedNNPredictor(db, spec, nn.model)
+        features, fks_dict = request_slice(db, spec, spec.num_dimensions)
+        as_list = [fks_dict[d.relation] for d in spec.dimensions]
+        np.testing.assert_array_equal(
+            predictor.predict(features, as_list),
+            predictor.predict(features, fks_dict),
+        )
+        # ... and a nested Python list is row-major (n, q), also at
+        # n == q: only lists of 1-D *numpy arrays* mean sequence form.
+        as_nested = np.column_stack(as_list).tolist()
+        np.testing.assert_array_equal(
+            predictor.predict(features, as_nested),
+            predictor.predict(features, fks_dict),
+        )
+
+    def test_binary_accepts_flat_fk_array(self, db, binary_star):
+        spec = binary_star.spec
+        gmm = fit_gmm(db, spec, n_components=2, max_iter=2, seed=1)
+        predictor = FactorizedGMMPredictor(db, spec, gmm.model)
+        features, fks = request_slice(db, spec, 15)
+        (flat,) = fks.values()
+        np.testing.assert_array_equal(
+            predictor.predict(features, flat),
+            predictor.predict(features, fks),
+        )
+
+    def test_single_row_request(self, db, binary_star):
+        spec = binary_star.spec
+        gmm = fit_gmm(db, spec, n_components=2, max_iter=2, seed=1)
+        predictor = FactorizedGMMPredictor(db, spec, gmm.model)
+        features, fks = request_slice(db, spec, 1)
+        labels = predictor.predict(features[0], fks)
+        assert labels.shape == (1,)
+
+    def test_empty_request_batch(self, db, binary_star):
+        # A serving tier can legitimately receive an empty batch.
+        spec = binary_star.spec
+        gmm = fit_gmm(db, spec, n_components=2, max_iter=2, seed=1)
+        nn = fit_nn(db, spec, hidden_sizes=(4,), epochs=1, seed=1)
+        no_rows = np.zeros((0, 3))
+        no_keys = np.zeros(0, dtype=np.int64)
+        assert FactorizedGMMPredictor(db, spec, gmm.model).predict(
+            no_rows, no_keys
+        ).shape == (0,)
+        assert FactorizedNNPredictor(db, spec, nn.model).predict(
+            no_rows, no_keys
+        ).shape == (0, 1)
+
+
+class TestValidation:
+    def test_wrong_fact_width_rejected(self, db, binary_star):
+        spec = binary_star.spec
+        gmm = fit_gmm(db, spec, n_components=2, max_iter=2, seed=1)
+        predictor = FactorizedGMMPredictor(db, spec, gmm.model)
+        with pytest.raises(ModelError, match="width"):
+            predictor.predict(np.zeros((4, 7)), np.zeros(4, dtype=int))
+
+    def test_fk_length_mismatch_rejected(self, db, binary_star):
+        spec = binary_star.spec
+        nn = fit_nn(db, spec, hidden_sizes=(4,), epochs=1, seed=1)
+        predictor = FactorizedNNPredictor(db, spec, nn.model)
+        with pytest.raises(ModelError, match="foreign keys"):
+            predictor.predict(np.zeros((4, 3)), np.zeros(3, dtype=int))
+
+    def test_missing_dimension_keys_rejected(self, db, multiway_star):
+        spec = multiway_star.spec
+        nn = fit_nn(db, spec, hidden_sizes=(4,), epochs=1, seed=1)
+        predictor = FactorizedNNPredictor(db, spec, nn.model)
+        with pytest.raises(ModelError, match="missing foreign keys"):
+            predictor.predict(
+                np.zeros((2, 3)), {"R1": np.zeros(2, dtype=int)}
+            )
+
+    def test_model_join_width_mismatch_rejected(self, db, binary_star):
+        # The binary_star join yields 8 features; this net expects 5.
+        model = MLP((5, 4, 1))
+        with pytest.raises(ModelError, match="inputs"):
+            FactorizedNNPredictor(db, binary_star.spec, model)
+
+    def test_streaming_strategy_rejected_for_serving(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        with pytest.raises(ModelError, match="training-only"):
+            predict_gmm(db, binary_star.spec, gmm, strategy="streaming")
+
+    def test_half_specified_request_rejected(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        with pytest.raises(ModelError, match="both"):
+            predict_gmm(db, binary_star.spec, gmm, np.zeros((2, 3)))

@@ -85,6 +85,27 @@ class TestIOSnapshot:
         assert "R" not in delta.reads_by_relation
         assert delta.reads_by_relation == {"S": 1}
 
+    def test_snapshot_sum_accumulates_deltas(self):
+        a = IOSnapshot(
+            pages_read=2, pages_written=1,
+            reads_by_relation={"R": 2}, writes_by_relation={"T": 1},
+        )
+        b = IOSnapshot(
+            pages_read=3, pages_written=0,
+            reads_by_relation={"R": 1, "S": 2},
+        )
+        total = a + b
+        assert total.pages_read == 5
+        assert total.pages_written == 1
+        assert total.reads_by_relation == {"R": 3, "S": 2}
+        assert total.writes_by_relation == {"T": 1}
+
+    def test_sum_with_empty_is_identity(self):
+        delta = IOSnapshot(pages_read=4, reads_by_relation={"R": 4})
+        total = IOSnapshot() + delta
+        assert total.pages_read == 4
+        assert total.reads_by_relation == {"R": 4}
+
     def test_total_pages(self):
         snap = IOSnapshot(pages_read=3, pages_written=4)
         assert snap.total_pages == 7
