@@ -1,0 +1,197 @@
+"""Runtime scaling: rows/sec vs worker count and micro-batch size.
+
+The concurrency twin of ``bench_serving_throughput``: the same
+normalized point-request traffic is served three ways — the
+single-threaded :class:`~repro.serve.service.ModelService` baseline,
+and the :func:`~repro.core.api.serve_runtime` worker pool across worker
+counts and ``max_batch_rows`` settings, driven by several submitting
+client threads (the "millions of users" shape at laptop scale).
+
+Acceptance: with ≥ 2 workers the runtime must beat the single-threaded
+baseline's rows/sec — micro-batch coalescing plus GIL-releasing NumPy
+kernels are what make the worker pool pay.
+
+Scale follows ``REPRO_BENCH_SCALE`` (tiny / small / paper).
+Run standalone:  PYTHONPATH=src python benchmarks/bench_runtime_scaling.py
+"""
+
+import os
+import sys
+import threading
+import time
+import warnings
+
+import numpy as np
+
+from repro.core.api import fit_nn, serve, serve_runtime
+from repro.data.synthetic import StarSchemaConfig, generate_star
+from repro.storage.catalog import Database
+
+_SCALES = {
+    "tiny": dict(n_s=6_000, n_r=120, request_rows=128, n_h=32, clients=2),
+    "small": dict(n_s=30_000, n_r=600, request_rows=256, n_h=64, clients=4),
+    "paper": dict(n_s=120_000, n_r=1_200, request_rows=512, n_h=128,
+                  clients=6),
+}
+SCALE = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
+D_S, D_R = 5, 15
+WORKERS = (1, 2, 4)
+BATCH_ROWS = (256, 2048)
+
+
+def _requests(db, spec, request_rows):
+    fact = spec.resolve(db).fact
+    rows = fact.scan()
+    features = fact.project_features(rows)
+    fks = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+    return [
+        (features[i:i + request_rows], fks[i:i + request_rows])
+        for i in range(0, rows.shape[0], request_rows)
+    ]
+
+
+def _baseline_rows_per_sec(db, spec, nn, requests):
+    service = serve(db)
+    service.register_nn("nn", nn, spec)
+    outputs = []
+    tick = time.perf_counter()
+    for features, fks in requests:
+        outputs.append(service.predict("nn", features, fks))
+    elapsed = time.perf_counter() - tick
+    total_rows = sum(f.shape[0] for f, _ in requests)
+    return total_rows / elapsed, np.concatenate(outputs)
+
+
+def _runtime_rows_per_sec(db, spec, nn, requests, workers, batch_rows,
+                          clients):
+    futures: list = [None] * len(requests)
+    with serve_runtime(
+        db,
+        num_workers=workers,
+        max_batch_rows=batch_rows,
+        max_wait_ms=1.0,
+        queue_depth=4096,
+    ) as runtime:
+        runtime.register_nn("nn", nn, spec)
+
+        def client(client_id):
+            for index in range(client_id, len(requests), clients):
+                features, fks = requests[index]
+                futures[index] = runtime.submit("nn", features, fks)
+
+        threads = [
+            threading.Thread(target=client, args=(c,))
+            for c in range(clients)
+        ]
+        tick = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        outputs = [future.result(120.0) for future in futures]
+        elapsed = time.perf_counter() - tick
+        snapshot = runtime.runtime_stats()
+    total_rows = sum(f.shape[0] for f, _ in requests)
+    return total_rows / elapsed, np.concatenate(outputs), snapshot
+
+
+def run_runtime_scaling():
+    results = {"configs": []}
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        with Database() as db:
+            star = generate_star(
+                db,
+                StarSchemaConfig.binary(
+                    n_s=SCALE["n_s"], n_r=SCALE["n_r"], d_s=D_S, d_r=D_R,
+                    with_target=True, seed=5,
+                ),
+            )
+            nn = fit_nn(
+                db, star.spec, hidden_sizes=(SCALE["n_h"],), epochs=1,
+                seed=1,
+            )
+            requests = _requests(db, star.spec, SCALE["request_rows"])
+            baseline, expected = _baseline_rows_per_sec(
+                db, star.spec, nn, requests
+            )
+            results["baseline_rows_per_sec"] = baseline
+            for workers in WORKERS:
+                for batch_rows in BATCH_ROWS:
+                    throughput, outputs, snapshot = _runtime_rows_per_sec(
+                        db, star.spec, nn, requests, workers, batch_rows,
+                        SCALE["clients"],
+                    )
+                    # Exactness travels with the benchmark.
+                    assert np.allclose(
+                        outputs, expected, rtol=1e-9, atol=1e-9
+                    )
+                    results["configs"].append(
+                        {
+                            "workers": workers,
+                            "batch_rows": batch_rows,
+                            "rows_per_sec": throughput,
+                            "speedup": throughput / baseline,
+                            "batches": snapshot.batches,
+                            "planner": dict(
+                                snapshot.planner_decisions.get("nn", {})
+                            ),
+                        }
+                    )
+    return results
+
+
+def format_table(results):
+    lines = [
+        "== runtime scaling: rows/sec vs workers and micro-batch size ==",
+        f"baseline (single-threaded ModelService): "
+        f"{results['baseline_rows_per_sec']:>12,.0f} rows/s",
+        f"{'workers':>8}  {'batch_rows':>10}  {'rows/s':>12}  "
+        f"{'speedup':>8}  {'batches':>8}  planner",
+    ]
+    for config in results["configs"]:
+        lines.append(
+            f"{config['workers']:>8}  {config['batch_rows']:>10}  "
+            f"{config['rows_per_sec']:>12,.0f}  "
+            f"{config['speedup']:>7.2f}x  {config['batches']:>8}  "
+            f"{config['planner']}"
+        )
+    lines.append(
+        f"   n_S={SCALE['n_s']}, d_S={D_S}, d_R={D_R}, "
+        f"n_h={SCALE['n_h']}, request_rows={SCALE['request_rows']}, "
+        f"clients={SCALE['clients']}, cpus={os.cpu_count()}"
+    )
+    lines.append(
+        "   single-core hosts gain from coalescing only; worker "
+        "parallelism needs cpus > 1"
+    )
+    return "\n".join(lines)
+
+
+def check_acceptance(results):
+    """≥ 2 workers must beat the single-threaded service baseline."""
+    multi = [
+        config["rows_per_sec"]
+        for config in results["configs"]
+        if config["workers"] >= 2
+    ]
+    assert max(multi) > results["baseline_rows_per_sec"], (
+        f"no multi-worker config beat the baseline "
+        f"({max(multi):,.0f} vs {results['baseline_rows_per_sec']:,.0f})"
+    )
+
+
+def test_runtime_scaling(benchmark, results_dir):
+    results = benchmark.pedantic(run_runtime_scaling, rounds=1, iterations=1)
+    check_acceptance(results)
+    text = format_table(results)
+    sys.__stdout__.write("\n" + text + "\n")
+    with open(results_dir / "runtime_scaling.txt", "w") as handle:
+        handle.write(text + "\n")
+
+
+if __name__ == "__main__":
+    outcome = run_runtime_scaling()
+    print(format_table(outcome))
+    check_acceptance(outcome)
+    print("acceptance ok: multi-worker runtime beats the baseline")

@@ -103,6 +103,28 @@ def main() -> None:
               f"{stats.wall_seconds:.3f}s "
               f"({stats.rows_per_second:,.0f} rows/s)")
 
+        # --- Concurrent serving: the worker-pool runtime --------------
+        # Point requests enter a bounded queue, coalesce into
+        # micro-batches, and are scored by a thread pool over sharded
+        # partial caches; each batch's strategy (materialized vs
+        # factorized) is planned from the inference cost model, and
+        # dimension-row updates (db.update_rows) evict the affected
+        # cached partials automatically.  See
+        # examples/concurrent_serving_demo.py for a multi-client run.
+        with repro.serve_runtime(db, num_workers=4) as runtime:
+            runtime.register_nn("ratings", nn, star.spec)
+            futures = [
+                runtime.submit("ratings", xs[i:i + 50], fks[i:i + 50])
+                for i in range(0, 1000, 50)
+            ]
+            outputs = np.concatenate([f.result() for f in futures])
+            snapshot = runtime.runtime_stats()
+            print(f"[runtime] {len(futures)} point requests -> "
+                  f"{snapshot.batches} micro-batches; planner chose "
+                  f"{dict(snapshot.planner_decisions['ratings'])}")
+            print(f"[runtime] outputs head: "
+                  f"{outputs[:3].ravel().round(3)}")
+
 
 if __name__ == "__main__":
     main()

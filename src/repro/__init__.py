@@ -35,6 +35,22 @@ Quick start — train, then serve, without ever materializing the join::
     service.register_nn("ratings", nn, star.spec)
     outputs = service.predict("ratings", xs, fks)
     service.stats("ratings").rows_per_second
+
+Concurrent serving — the same registry behind a bounded queue, a
+micro-batcher that coalesces point requests, a worker pool over
+RID-hash-sharded partial caches, and a per-batch planner choosing
+materialized vs factorized from the inference cost model
+(:mod:`repro.runtime`).  Updates to dimension rows
+(``db.update_rows``) evict the affected cached partials
+automatically, so predictions always reflect the current rows::
+
+    with repro.serve_runtime(db, num_workers=4) as runtime:
+        runtime.register_nn("ratings", nn, star.spec)
+        futures = [runtime.submit("ratings", x, fk)
+                   for x, fk in point_requests]
+        outputs = [f.result() for f in futures]
+        runtime.runtime_stats()     # queue depth, batch histogram,
+                                    # planner decisions, cache shards
 """
 
 from repro.core.api import (
@@ -52,6 +68,7 @@ from repro.core.api import (
     predict_gmm,
     predict_nn,
     serve,
+    serve_runtime,
 )
 from repro.data.hamlet import HAMLET_PROFILES, load_hamlet, load_movies_3way
 from repro.data.synthetic import (
@@ -74,6 +91,8 @@ from repro.join.spec import DimensionJoin, JoinSpec
 from repro.linear.models import LinearModel, fit_logistic, fit_ridge
 from repro.nn.base import NNConfig
 from repro.nn.network import MLP
+from repro.runtime.service import RuntimeConfig, RuntimeStats, ServingRuntime
+from repro.runtime.sharding import ShardedPartialCache
 from repro.serve.cache import PartialCache
 from repro.serve.predictor import (
     FactorizedGMMPredictor,
@@ -83,6 +102,7 @@ from repro.serve.predictor import (
 )
 from repro.serve.service import ModelService, ServingStats
 from repro.storage.catalog import Database
+from repro.storage.events import RowVersionEvent
 from repro.storage.schema import (
     Schema,
     feature,
@@ -123,11 +143,16 @@ __all__ = [
     "NotFittedError",
     "PartialCache",
     "ReproError",
+    "RowVersionEvent",
+    "RuntimeConfig",
+    "RuntimeStats",
     "SERVING_STRATEGIES",
     "STREAMING",
     "Schema",
+    "ServingRuntime",
     "ServingStats",
     "SchemaError",
+    "ShardedPartialCache",
     "StarSchemaConfig",
     "StorageError",
     "StrategyComparison",
@@ -145,5 +170,6 @@ __all__ = [
     "predict_gmm",
     "predict_nn",
     "serve",
+    "serve_runtime",
     "target",
 ]

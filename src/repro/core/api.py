@@ -38,6 +38,7 @@ from repro.join.spec import JoinSpec
 from repro.nn.algorithms import fit_f_nn, fit_m_nn, fit_s_nn
 from repro.nn.base import NNConfig, NNFitResult
 from repro.nn.network import MLP
+from repro.runtime.service import RuntimeConfig, ServingRuntime
 from repro.serve.predictor import make_predictor
 from repro.serve.service import ModelService
 from repro.storage.catalog import Database
@@ -314,8 +315,55 @@ def serve(
         service = serve(db)
         service.register_nn("ratings", nn_result, spec)
         outputs = service.predict("ratings", fact_features, fk_values)
+
+    The service listens for dimension-row updates
+    (:meth:`Database.update_rows`) to keep its partial caches fresh;
+    call ``service.close()`` to detach a service you discard before
+    the database itself is closed.
     """
     return ModelService(db, block_pages=block_pages)
+
+
+def serve_runtime(
+    db: Database,
+    *,
+    num_workers: int = 2,
+    max_batch_rows: int = 2048,
+    max_wait_ms: float = 2.0,
+    queue_depth: int = 1024,
+    cache_shards: int | None = None,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+) -> ServingRuntime:
+    """A concurrent :class:`~repro.runtime.service.ServingRuntime`.
+
+    Where :func:`serve` answers requests synchronously on the calling
+    thread, this spins up ``num_workers`` worker threads behind a
+    bounded request queue (``queue_depth``): point requests coalesce
+    into micro-batches (up to ``max_batch_rows`` rows, lingering at
+    most ``max_wait_ms`` for stragglers), each batch's strategy is
+    planned adaptively from the inference cost model, and partial
+    caches are sharded by RID hash (``cache_shards``, default one per
+    worker) so workers never contend on one LRU.  Dimension-row
+    updates via :meth:`Database.update_rows` evict the affected RIDs
+    automatically.  Close the runtime (or use it as a context manager)
+    to stop the workers::
+
+        with serve_runtime(db, num_workers=4) as runtime:
+            runtime.register_nn("ratings", nn_result, spec)
+            future = runtime.submit("ratings", features, fks)
+            outputs = future.result()
+    """
+    return ServingRuntime(
+        db,
+        RuntimeConfig(
+            num_workers=num_workers,
+            max_batch_rows=max_batch_rows,
+            max_wait_ms=max_wait_ms,
+            queue_depth=queue_depth,
+            cache_shards=cache_shards,
+            block_pages=block_pages,
+        ),
+    )
 
 
 def compare_nn_strategies(

@@ -1,0 +1,48 @@
+"""Concurrent batch-serving runtime over normalized data.
+
+:mod:`repro.serve` (PR 1) made factorized inference exact and cheap;
+this package makes it *concurrent*: a bounded request queue feeds a
+micro-batcher that coalesces point requests into batches, a thread
+worker pool scores batches in parallel over RID-hash-sharded partial
+caches, an adaptive planner picks materialized vs factorized per batch
+from the inference cost model, and the catalog's row-version events
+evict stale partials when dimension rows change.
+
+Layers:
+
+* :mod:`~repro.runtime.queue` — bounded request queue + micro-batch
+  coalescing;
+* :mod:`~repro.runtime.sharding` — per-shard-locked partial caches;
+* :mod:`~repro.runtime.planner` — per-batch strategy planning;
+* :mod:`~repro.runtime.service` — the worker-pool runtime facade.
+
+Entry point: :func:`repro.core.api.serve_runtime` /
+``repro.serve_runtime``.
+"""
+
+from repro.runtime.planner import BatchPlanner, PlanDecision, PlannerStats
+from repro.runtime.queue import Request, RequestQueue
+from repro.runtime.service import (
+    ADAPTIVE,
+    RuntimeConfig,
+    RuntimeModel,
+    RuntimeStats,
+    ServingRuntime,
+    WorkerStats,
+)
+from repro.runtime.sharding import ShardedPartialCache
+
+__all__ = [
+    "ADAPTIVE",
+    "BatchPlanner",
+    "PlanDecision",
+    "PlannerStats",
+    "Request",
+    "RequestQueue",
+    "RuntimeConfig",
+    "RuntimeModel",
+    "RuntimeStats",
+    "ServingRuntime",
+    "ShardedPartialCache",
+    "WorkerStats",
+]

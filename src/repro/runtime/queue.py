@@ -1,0 +1,185 @@
+"""A bounded request queue with micro-batch coalescing.
+
+The runtime's admission path: producers :meth:`RequestQueue.put`
+normalized point requests (blocking while the queue is full — natural
+backpressure toward callers), workers :meth:`RequestQueue.take_batch`
+*micro-batches*: the oldest request plus every queued request for the
+same (model, op), up to a row budget, waiting up to a deadline for
+stragglers to coalesce.  Batching is what makes factorized serving pay
+under point-lookup traffic — a single fact row rarely repeats a RID,
+but a few milliseconds of coalesced traffic almost always does.
+
+The queue is deliberately its own data structure rather than
+``queue.Queue`` because coalescing needs targeted removal: a worker
+pulls matching requests out of the middle of the backlog, leaving
+requests for other models in arrival order for the next worker.  The
+backlog is a plain list, not a deque: coalescing is indexing-heavy
+(O(1) on a list, O(n) on a deque) while the queue depth is bounded
+small enough that the occasional O(n) front-pop memmove is noise.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass
+class Request:
+    """One normalized point request, ready to coalesce.
+
+    ``features``/``fks`` are already validated and canonicalized (2-D
+    fact features, one int64 array per dimension), so concatenating
+    requests of the same batch key is plain ``np.concatenate``.
+    """
+
+    batch_key: tuple[str, str]       # (model name, op: "predict" | "score")
+    features: np.ndarray
+    fks: list[np.ndarray]
+    future: Future = field(default_factory=Future)
+
+    @property
+    def rows(self) -> int:
+        return self.features.shape[0]
+
+
+class RequestQueue:
+    """Bounded FIFO of :class:`Request` with coalescing batch removal."""
+
+    def __init__(self, max_requests: int) -> None:
+        if max_requests <= 0:
+            raise ModelError(
+                f"queue depth must be positive, got {max_requests}"
+            )
+        self.max_requests = max_requests
+        self._items: list[Request] = []
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.enqueued = 0
+        self.max_depth_seen = 0
+
+    @property
+    def depth(self) -> int:
+        """Requests currently queued (racy by nature; for stats only)."""
+        return len(self._items)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- producer side -------------------------------------------------------
+
+    def put(self, request: Request, timeout: float | None = None) -> None:
+        """Enqueue, blocking while the queue is full (backpressure).
+
+        Raises :class:`~repro.errors.ModelError` when the queue is
+        closed or the timeout expires while full.
+        """
+        with self._not_full:
+            if self._closed:
+                raise ModelError("request queue is closed")
+            deadline = (
+                None if timeout is None else time.monotonic() + timeout
+            )
+            while len(self._items) >= self.max_requests:
+                remaining = (
+                    None if deadline is None
+                    else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    raise ModelError(
+                        f"request queue full ({self.max_requests} requests) "
+                        f"for {timeout}s; the workers are not keeping up"
+                    )
+                self._not_full.wait(remaining)
+                if self._closed:
+                    raise ModelError("request queue is closed")
+            self._items.append(request)
+            self.enqueued += 1
+            self.max_depth_seen = max(self.max_depth_seen, len(self._items))
+            # notify_all, not notify: a single wakeup could be consumed
+            # by a lingering worker whose batch key does not match this
+            # request, leaving an idle worker asleep while the request
+            # waits out the linger.
+            self._not_empty.notify_all()
+
+    # -- consumer side -------------------------------------------------------
+
+    def take_batch(
+        self, max_rows: int, max_wait: float
+    ) -> list[Request] | None:
+        """The next micro-batch, or ``None`` when closed and drained.
+
+        Blocks until at least one request is available, then coalesces
+        every queued request sharing its batch key until ``max_rows``
+        total rows are gathered or ``max_wait`` seconds have passed
+        since the first request was claimed.  Requests with other batch
+        keys are left queued, in order, for other workers.
+        """
+        with self._not_empty:
+            while not self._items:
+                if self._closed:
+                    return None
+                self._not_empty.wait()
+            first = self._items.pop(0)
+            self._not_full.notify()
+            batch = [first]
+            rows = first.rows
+            deadline = time.monotonic() + max_wait
+            # `scanned` marks how many queued items this call has
+            # already examined and found non-matching, so each item is
+            # inspected once per take_batch, not once per coalesced
+            # request.  Other workers may remove items while we wait,
+            # shifting unexamined items below the mark; those simply
+            # coalesce into a later batch instead.
+            scanned = 0
+            while rows < max_rows:
+                index = min(scanned, len(self._items))
+                while index < len(self._items) and rows < max_rows:
+                    item = self._items[index]
+                    if item.batch_key == first.batch_key:
+                        del self._items[index]
+                        self._not_full.notify()
+                        batch.append(item)
+                        rows += item.rows
+                    else:
+                        index += 1
+                scanned = index
+                if rows >= max_rows:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or self._closed:
+                    break
+                self._not_empty.wait(remaining)
+            return batch
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Refuse new requests; queued ones still drain via take_batch."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()
+
+    def drain(self) -> list[Request]:
+        """Remove and return everything queued (for failing fast on close)."""
+        with self._lock:
+            items = list(self._items)
+            self._items.clear()
+            self._not_full.notify_all()
+            return items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RequestQueue(depth={self.depth}/{self.max_requests}, "
+            f"closed={self._closed})"
+        )

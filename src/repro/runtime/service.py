@@ -1,0 +1,580 @@
+"""The concurrent batch-serving runtime.
+
+:class:`ServingRuntime` layers four mechanisms over :mod:`repro.serve`
+to turn the single-threaded :class:`~repro.serve.service.ModelService`
+into a serving tier:
+
+* a bounded :class:`~repro.runtime.queue.RequestQueue` of normalized
+  point requests (admission control / backpressure);
+* micro-batching — workers coalesce queued requests for the same model
+  into one batch (``max_batch_rows`` rows, ``max_wait_ms`` linger), so
+  factorized reuse sees the RID repetition that point requests hide;
+* a thread worker pool scoring batches concurrently over
+  RID-hash-sharded partial caches
+  (:class:`~repro.runtime.sharding.ShardedPartialCache`) — the NumPy
+  kernels and page reads that dominate a batch release the GIL;
+* per-batch adaptive planning — each model registered with the default
+  ``"adaptive"`` strategy carries *both* predictors, and a
+  :class:`~repro.runtime.planner.BatchPlanner` picks materialized or
+  factorized from the batch's distinct-RID counts and live cache hit
+  rates.
+
+The runtime also subscribes to the catalog's
+:class:`~repro.storage.events.RowVersionEvent` stream: an in-place
+update to a dimension relation evicts exactly the affected RIDs from
+every cache shard of every model joined to it, so the next prediction
+reflects the new rows (see :mod:`repro.runtime.sharding` for why this
+is race-free against in-flight batches).
+
+Bookkeeping mirrors ``ModelService``: per-model
+:class:`~repro.serve.service.ServingStats`, plus runtime-level queue
+depth, a batch-size histogram, per-worker execution counters, per-shard
+cache stats and the planner's decision log
+(:meth:`ServingRuntime.runtime_stats`).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.strategies import (
+    FACTORIZED,
+    MATERIALIZED,
+    resolve_serving_strategy,
+)
+from repro.errors import ModelError
+from repro.join.bnl import DEFAULT_BLOCK_PAGES
+from repro.join.spec import JoinSpec
+from repro.runtime.planner import BatchPlanner, PlannerStats
+from repro.runtime.queue import Request, RequestQueue
+from repro.runtime.sharding import ShardedPartialCache
+from repro.serve.cache import CacheStats
+from repro.serve.predictor import (
+    coerce_gmm_model,
+    coerce_nn_model,
+    make_predictor,
+)
+from repro.serve.service import ServingStats
+from repro.storage.catalog import Database
+from repro.storage.events import RowVersionEvent
+
+ADAPTIVE = "adaptive"
+
+
+def _batch_size_bucket(rows: int) -> int:
+    """Power-of-two histogram bucket (upper bound) for a batch size."""
+    bucket = 1
+    while bucket < rows:
+        bucket *= 2
+    return bucket
+
+
+@dataclass(frozen=True)
+class RuntimeConfig:
+    """Knobs of the serving runtime."""
+
+    num_workers: int = 2
+    max_batch_rows: int = 2048
+    max_wait_ms: float = 2.0
+    queue_depth: int = 1024
+    cache_shards: int | None = None     # default: num_workers
+    block_pages: int = DEFAULT_BLOCK_PAGES
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise ModelError(
+                f"num_workers must be positive, got {self.num_workers}"
+            )
+        if self.max_batch_rows <= 0:
+            raise ModelError(
+                f"max_batch_rows must be positive, got {self.max_batch_rows}"
+            )
+        if self.max_wait_ms < 0:
+            raise ModelError(
+                f"max_wait_ms must be >= 0, got {self.max_wait_ms}"
+            )
+        if self.cache_shards is not None and self.cache_shards <= 0:
+            raise ModelError(
+                f"cache_shards must be positive, got {self.cache_shards}"
+            )
+
+
+@dataclass
+class WorkerStats:
+    """Execution counters for one worker thread."""
+
+    batches: int = 0
+    rows: int = 0
+    wall_seconds: float = 0.0
+
+
+@dataclass
+class RuntimeModel:
+    """One servable model inside the runtime."""
+
+    name: str
+    kind: str                        # "gmm" | "nn"
+    strategy: str                    # "adaptive" | fixed serving strategy
+    factorized: object | None
+    materialized: object | None
+    caches: list[ShardedPartialCache]
+    planner: BatchPlanner | None
+    dimension_names: list[str]
+    stats: ServingStats = field(default_factory=ServingStats)
+    planner_stats: PlannerStats = field(default_factory=PlannerStats)
+    invalidated_rids: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def base(self):
+        """The predictor used for request normalization."""
+        return self.factorized or self.materialized
+
+    def cache_stats(self) -> list[CacheStats]:
+        """Aggregate partial-cache counters, one entry per dimension."""
+        return [cache.stats() for cache in self.caches]
+
+    def shard_cache_stats(self) -> list[list[CacheStats]]:
+        """Per-dimension, per-shard cache counters."""
+        return [cache.shard_stats() for cache in self.caches]
+
+
+@dataclass
+class RuntimeStats:
+    """A point-in-time snapshot of runtime-level bookkeeping."""
+
+    queue_depth: int
+    queue_max_depth: int
+    requests_enqueued: int
+    batches: int
+    batch_size_histogram: dict[int, int]
+    workers: list[WorkerStats]
+    planner_decisions: dict[str, dict[str, int]]
+    cache_stats: dict[str, list[CacheStats]]
+    invalidated_rids: dict[str, int]
+
+
+class ServingRuntime:
+    """Concurrent micro-batching serving over normalized relations.
+
+    >>> runtime = serve_runtime(db, num_workers=4)
+    >>> runtime.register_nn("ratings", nn_result, spec)
+    >>> future = runtime.submit("ratings", features, fks)
+    >>> outputs = future.result()
+    >>> runtime.close()
+
+    ``submit`` returns a :class:`concurrent.futures.Future`;
+    ``predict``/``score`` are the blocking conveniences.  The runtime
+    is a context manager — leaving the block drains and stops the
+    workers.
+    """
+
+    def __init__(
+        self, db: Database, config: RuntimeConfig | None = None
+    ) -> None:
+        self.db = db
+        self.config = config or RuntimeConfig()
+        self._models: dict[str, RuntimeModel] = {}
+        self._dimension_index: dict[str, list[tuple[RuntimeModel, int]]] = {}
+        # Guards registry mutation vs iteration (stats snapshots,
+        # invalidation fan-out) — registration can race live traffic.
+        self._registry_lock = threading.Lock()
+        self._queue = RequestQueue(self.config.queue_depth)
+        self._stats_lock = threading.Lock()
+        self._batches = 0
+        self._batch_histogram: Counter = Counter()
+        self._closed = False
+        self._worker_stats = [
+            WorkerStats() for _ in range(self.config.num_workers)
+        ]
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(i,),
+                name=f"repro-runtime-worker-{i}",
+                daemon=True,
+            )
+            for i in range(self.config.num_workers)
+        ]
+        self.db.subscribe(self._on_row_version)
+        for worker in self._workers:
+            worker.start()
+
+    # -- registration --------------------------------------------------------
+
+    def register_gmm(
+        self,
+        name: str,
+        model,
+        spec: JoinSpec,
+        *,
+        strategy: str = ADAPTIVE,
+        cache_entries: int | None = None,
+        cache_floats: int | None = None,
+    ) -> RuntimeModel:
+        """Register a fitted mixture (a ``GMMResult`` or the bare model)."""
+        return self._register(
+            name, "gmm", spec, model, strategy, cache_entries, cache_floats
+        )
+
+    def register_nn(
+        self,
+        name: str,
+        model,
+        spec: JoinSpec,
+        *,
+        strategy: str = ADAPTIVE,
+        cache_entries: int | None = None,
+        cache_floats: int | None = None,
+    ) -> RuntimeModel:
+        """Register a trained network (an ``NNResult`` or the bare MLP)."""
+        return self._register(
+            name, "nn", spec, model, strategy, cache_entries, cache_floats
+        )
+
+    def _register(
+        self, name, kind, spec, model, strategy, cache_entries, cache_floats
+    ) -> RuntimeModel:
+        if self._closed:
+            raise ModelError("runtime is closed")
+        if name in self._models:
+            raise ModelError(f"model {name!r} is already registered")
+        if strategy != ADAPTIVE:
+            strategy = resolve_serving_strategy(strategy)
+        make = lambda s: make_predictor(  # noqa: E731
+            self.db, spec, model, kind=kind, strategy=s,
+            block_pages=self.config.block_pages,
+        )
+        factorized = (
+            make(FACTORIZED) if strategy in (ADAPTIVE, FACTORIZED) else None
+        )
+        materialized = (
+            make(MATERIALIZED)
+            if strategy in (ADAPTIVE, MATERIALIZED) else None
+        )
+        caches: list[ShardedPartialCache] = []
+        planner = None
+        if factorized is not None:
+            num_shards = self.config.cache_shards or self.config.num_workers
+            caches = [
+                ShardedPartialCache(
+                    num_shards, cache_entries, capacity_floats=cache_floats
+                )
+                for _ in factorized.caches
+            ]
+            # The factorized predictors consult self.caches through
+            # get_many() only, so the sharded caches drop straight in.
+            factorized.caches = caches
+        elif cache_entries is not None or cache_floats is not None:
+            raise ModelError(
+                "cache capacities apply to factorized serving only; "
+                "the materialized path keeps no partials to cache"
+            )
+        base = factorized or materialized
+        resolved = base.resolved
+        if strategy == ADAPTIVE:
+            layout = resolved.layout
+            if kind == "gmm":
+                width_param = coerce_gmm_model(model).params.n_components
+            else:
+                width_param = coerce_nn_model(
+                    model
+                ).first_layer.weights.shape[0]
+            planner = BatchPlanner(
+                kind,
+                layout.sizes[0],
+                tuple(layout.sizes[1:]),
+                width_param,
+            )
+        registered = RuntimeModel(
+            name=name,
+            kind=kind,
+            strategy=strategy,
+            factorized=factorized,
+            materialized=materialized,
+            caches=caches,
+            planner=planner,
+            dimension_names=[
+                dim.relation.name for dim in resolved.dimensions
+            ],
+        )
+        with self._registry_lock:
+            if name in self._models:
+                raise ModelError(f"model {name!r} is already registered")
+            self._models[name] = registered
+            for index, dim_name in enumerate(registered.dimension_names):
+                self._dimension_index.setdefault(dim_name, []).append(
+                    (registered, index)
+                )
+        return registered
+
+    def unregister(self, name: str) -> None:
+        with self._registry_lock:
+            registered = self._models.pop(name, None)
+            if registered is None:
+                raise ModelError(f"no model {name!r} to unregister")
+            for dim_name in registered.dimension_names:
+                self._dimension_index[dim_name] = [
+                    entry
+                    for entry in self._dimension_index.get(dim_name, [])
+                    if entry[0] is not registered
+                ]
+
+    # -- lookup --------------------------------------------------------------
+
+    @property
+    def model_names(self) -> list[str]:
+        return sorted(self._models)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def model(self, name: str) -> RuntimeModel:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise ModelError(
+                f"no registered model {name!r}; have {sorted(self._models)}"
+            ) from None
+
+    # -- request admission ---------------------------------------------------
+
+    def submit(
+        self,
+        name: str,
+        fact_features,
+        fk_values,
+        *,
+        op: str = "predict",
+        timeout: float | None = None,
+    ) -> Future:
+        """Enqueue one point request; returns a future of its outputs.
+
+        Validation (feature width, FK shape) happens here, on the
+        caller's thread, so malformed requests fail fast.  Failures
+        that only surface during scoring (e.g. a dangling foreign key)
+        fail their own future without poisoning requests they
+        coalesced with.  ``timeout`` bounds how long to wait for queue
+        space when the runtime is saturated.
+        """
+        registered = self.model(name)
+        if op not in ("predict", "score"):
+            raise ModelError(f"unknown op {op!r}; use 'predict'|'score'")
+        if op == "score" and registered.kind != "gmm":
+            raise ModelError(
+                f"model {name!r} is a {registered.kind!r} model; "
+                "score() is defined for GMMs"
+            )
+        if self._closed:
+            raise ModelError("runtime is closed")
+        base = registered.base
+        features = base._fact_features(fact_features)
+        fks = base._fk_arrays(fk_values, features.shape[0])
+        request = Request((name, op), features, fks)
+        self._queue.put(request, timeout=timeout)
+        return request.future
+
+    def predict(
+        self, name: str, fact_features, fk_values,
+        *, timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking submit: model outputs for one normalized request."""
+        return self.submit(
+            name, fact_features, fk_values, op="predict"
+        ).result(timeout)
+
+    def score(
+        self, name: str, fact_features, fk_values,
+        *, timeout: float | None = None,
+    ) -> np.ndarray:
+        """Blocking submit: per-tuple log-likelihoods (GMM only)."""
+        return self.submit(
+            name, fact_features, fk_values, op="score"
+        ).result(timeout)
+
+    # -- the worker pool -----------------------------------------------------
+
+    def _worker_loop(self, worker_id: int) -> None:
+        stats = self._worker_stats[worker_id]
+        while True:
+            batch = self._queue.take_batch(
+                self.config.max_batch_rows,
+                self.config.max_wait_ms / 1000.0,
+            )
+            if batch is None:
+                return
+            self._execute(batch, stats)
+
+    def _execute(self, batch: list[Request], stats: WorkerStats) -> None:
+        name, op = batch[0].batch_key
+        rows = sum(request.rows for request in batch)
+        try:
+            registered = self.model(name)
+            features = (
+                batch[0].features if len(batch) == 1
+                else np.concatenate([r.features for r in batch], axis=0)
+            )
+            fks = [
+                batch[0].fks[i] if len(batch) == 1
+                else np.concatenate([r.fks[i] for r in batch])
+                for i in range(len(batch[0].fks))
+            ]
+            before = self.db.stats.snapshot()
+            tick = time.perf_counter()
+            predictor = self._plan(registered, fks)
+            call = (
+                predictor.predict if op == "predict"
+                else predictor.score_samples
+            )
+            outputs = call(features, fks)
+            elapsed = time.perf_counter() - tick
+            io = self.db.stats.snapshot() - before
+        except BaseException as error:
+            # Shape errors are caught at submit time, but data-dependent
+            # failures (e.g. a dangling foreign key) only surface during
+            # scoring.  Retry the requests one by one so a single bad
+            # request cannot poison the others it coalesced with.
+            if len(batch) > 1:
+                for request in batch:
+                    self._execute([request], stats)
+                return
+            for request in batch:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(error)
+            return
+        with registered.lock:
+            # Note: under concurrency the I/O delta can double-count
+            # pages read by overlapping batches of other models; it is
+            # an attribution estimate, exactly like shared-disk stats
+            # in any multi-tenant server.
+            registered.stats.record(rows, elapsed, io)
+        with self._stats_lock:
+            self._batches += 1
+            self._batch_histogram[_batch_size_bucket(rows)] += 1
+            stats.batches += 1
+            stats.rows += rows
+            stats.wall_seconds += elapsed
+        offset = 0
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                offset += request.rows
+                continue
+            request.future.set_result(
+                outputs[offset:offset + request.rows]
+            )
+            offset += request.rows
+
+    def _plan(self, registered: RuntimeModel, fks: list[np.ndarray]):
+        """Pick this batch's predictor (and log the decision)."""
+        if registered.planner is None:
+            return registered.base
+        hit_rates = tuple(
+            cache.approx_hit_rate() for cache in registered.caches
+        )
+        decision = registered.planner.plan(fks, hit_rates)
+        with registered.lock:
+            registered.planner_stats.record(decision)
+        if decision.strategy == FACTORIZED:
+            return registered.factorized
+        return registered.materialized
+
+    # -- invalidation --------------------------------------------------------
+
+    def _on_row_version(self, event: RowVersionEvent) -> None:
+        """Evict updated RIDs' partials from every shard of every model."""
+        with self._registry_lock:
+            affected = list(self._dimension_index.get(event.relation, []))
+        for registered, dim_index in affected:
+            if not registered.caches:
+                continue
+            dropped = registered.caches[dim_index].invalidate(event.rids)
+            with registered.lock:
+                registered.invalidated_rids += dropped
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def stats(self, name: str) -> ServingStats:
+        return self.model(name).stats
+
+    def cache_stats(self, name: str) -> list[CacheStats]:
+        return self.model(name).cache_stats()
+
+    def planner_stats(self, name: str) -> PlannerStats:
+        return self.model(name).planner_stats
+
+    def runtime_stats(self) -> RuntimeStats:
+        """Snapshot of queue, batch, worker, cache and planner counters."""
+        with self._stats_lock:
+            histogram = dict(sorted(self._batch_histogram.items()))
+            workers = [
+                WorkerStats(w.batches, w.rows, w.wall_seconds)
+                for w in self._worker_stats
+            ]
+            batches = self._batches
+        with self._registry_lock:
+            models = dict(self._models)
+        return RuntimeStats(
+            queue_depth=self._queue.depth,
+            queue_max_depth=self._queue.max_depth_seen,
+            requests_enqueued=self._queue.enqueued,
+            batches=batches,
+            batch_size_histogram=histogram,
+            workers=workers,
+            planner_decisions={
+                name: dict(model.planner_stats.decisions)
+                for name, model in models.items()
+                if model.planner is not None
+            },
+            cache_stats={
+                name: model.cache_stats()
+                for name, model in models.items()
+                if model.caches
+            },
+            invalidated_rids={
+                name: model.invalidated_rids
+                for name, model in models.items()
+                if model.caches
+            },
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, *, timeout: float | None = None) -> None:
+        """Drain queued requests, stop the workers, unsubscribe.
+
+        Idempotent.  Requests already queued are still served; new
+        submits fail immediately.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.close()
+        for worker in self._workers:
+            worker.join(timeout)
+        # Anything a worker could not claim before exiting fails fast.
+        for request in self._queue.drain():
+            if request.future.set_running_or_notify_cancel():
+                request.future.set_exception(
+                    ModelError("runtime closed before serving this request")
+                )
+        self.db.unsubscribe(self._on_row_version)
+
+    def __enter__(self) -> "ServingRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ServingRuntime(models={self.model_names}, "
+            f"workers={self.config.num_workers}, "
+            f"queue={self._queue.depth}/{self.config.queue_depth})"
+        )

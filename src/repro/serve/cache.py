@@ -7,15 +7,27 @@ partials for hot RIDs stay resident (the Zipf-skewed FK distributions of
 :mod:`repro.data.synthetic` make this the common case), cold RIDs are
 recomputed from the base relation on demand.
 
-The cache is deliberately model-agnostic: values are flat float64 rows
-(whatever a :mod:`~repro.serve.partials` builder produced), keys are
-RIDs.  Hit/miss/eviction counters feed the
+Capacity can be bounded two ways, separately or together: by *entries*
+(distinct RIDs) and by *floats* (``capacity_floats``, the number of
+cached float64 values — the honest memory unit when partial rows have
+very different widths across models).  Either bound evicts LRU-first.
+
+The cache is thread-safe: one internal lock serializes lookups,
+invalidations and counter reads, so dimension-update events arriving
+on an updater thread can evict safely while a serving thread is
+mid-lookup.  It is deliberately model-agnostic: values are flat
+float64 rows (whatever a :mod:`~repro.serve.partials` builder
+produced), keys are RIDs.  Hit/miss/eviction counters feed the
 :class:`~repro.serve.service.ModelService` bookkeeping, mirroring how
 :class:`~repro.storage.buffer.BufferPool` accounts page caching.
+:meth:`PartialCache.invalidate` supports the dimension-update
+eviction path of :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable
@@ -23,6 +35,8 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ModelError
+
+_FLOAT_BYTES = 8
 
 
 @dataclass(frozen=True)
@@ -34,6 +48,9 @@ class CacheStats:
     evictions: int = 0
     entries: int = 0
     capacity: int | None = None
+    capacity_floats: int | None = None
+    bytes_resident: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -43,32 +60,96 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
+    def __add__(self, other: "CacheStats") -> "CacheStats":
+        """Aggregate counters across shards (capacities add too)."""
+
+        def _add_caps(a: int | None, b: int | None) -> int | None:
+            if a is None or b is None:
+                return None
+            return a + b
+
+        return CacheStats(
+            hits=self.hits + other.hits,
+            misses=self.misses + other.misses,
+            evictions=self.evictions + other.evictions,
+            entries=self.entries + other.entries,
+            capacity=_add_caps(self.capacity, other.capacity),
+            capacity_floats=_add_caps(
+                self.capacity_floats, other.capacity_floats
+            ),
+            bytes_resident=self.bytes_resident + other.bytes_resident,
+            invalidations=self.invalidations + other.invalidations,
+        )
+
 
 class PartialCache:
-    """Fixed-capacity LRU map of ``rid -> partial row``.
+    """Bounded LRU map of ``rid -> partial row``.
 
-    ``capacity`` counts entries (distinct RIDs); ``None`` means
-    unbounded — the pinned case.  All lookups go through
-    :meth:`get_many`, which resolves hits, computes every miss in one
-    vectorized call, and returns rows aligned with the requested keys.
+    ``capacity`` counts entries (distinct RIDs), ``capacity_floats``
+    counts resident float64 values; ``None`` for both means unbounded —
+    the pinned case.  All lookups go through :meth:`get_many`, which
+    resolves hits, computes every miss in one vectorized call, and
+    returns rows aligned with the requested keys.
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int | None = None,
+        *,
+        capacity_floats: int | None = None,
+    ) -> None:
         if capacity is not None and capacity <= 0:
             raise ModelError(
                 f"cache capacity must be positive or None, got {capacity}"
             )
+        if capacity_floats is not None and capacity_floats <= 0:
+            raise ModelError(
+                f"cache capacity_floats must be positive or None, "
+                f"got {capacity_floats}"
+            )
         self.capacity = capacity
+        self.capacity_floats = capacity_floats
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._floats_resident = 0
+        # Serializes lookups against invalidations: dimension-update
+        # events arrive on the updater's thread while a service thread
+        # may be mid-get_many.  The lock also makes the compute-insert
+        # cycle atomic w.r.t. invalidate (see repro.runtime.sharding).
+        self._lock = threading.RLock()
+        self._warned_row_too_wide = False
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._rows)
 
     def __contains__(self, key: int) -> bool:
         return int(key) in self._rows
+
+    @property
+    def floats_resident(self) -> int:
+        """Cached float64 values currently held."""
+        return self._floats_resident
+
+    @property
+    def bytes_resident(self) -> int:
+        """Resident cache payload in bytes (8 per float64)."""
+        return self._floats_resident * _FLOAT_BYTES
+
+    def _over_capacity(self) -> bool:
+        if self.capacity is not None and len(self._rows) > self.capacity:
+            return True
+        return (
+            self.capacity_floats is not None
+            and self._floats_resident > self.capacity_floats
+        )
+
+    def _evict_one(self) -> None:
+        _, row = self._rows.popitem(last=False)
+        self._floats_resident -= row.size
+        self.evictions += 1
 
     def get_many(
         self,
@@ -86,36 +167,71 @@ class PartialCache:
         keys = np.asarray(keys)
         if keys.ndim != 1:
             raise ModelError(f"keys must be 1-D, got shape {keys.shape}")
-        missing = [k for k in keys.tolist() if k not in self._rows]
-        if missing:
-            computed = np.asarray(
-                compute(np.asarray(missing, dtype=np.int64)),
-                dtype=np.float64,
-            )
-            if computed.shape[0] != len(missing):
-                raise ModelError(
-                    f"compute returned {computed.shape[0]} rows for "
-                    f"{len(missing)} missing keys"
+        with self._lock:
+            missing = [k for k in keys.tolist() if k not in self._rows]
+            if missing:
+                computed = np.asarray(
+                    compute(np.asarray(missing, dtype=np.int64)),
+                    dtype=np.float64,
                 )
-            fresh = dict(zip(missing, computed))
-        else:
-            fresh = {}
-        self.hits += keys.size - len(missing)
-        self.misses += len(missing)
-        out = np.empty((keys.size, self._row_width(fresh)), dtype=np.float64)
-        for position, key in enumerate(keys.tolist()):
-            cached = self._rows.get(key)
-            if cached is not None:
-                self._rows.move_to_end(key)
-                out[position] = cached
+                if computed.shape[0] != len(missing):
+                    raise ModelError(
+                        f"compute returned {computed.shape[0]} rows for "
+                        f"{len(missing)} missing keys"
+                    )
+                fresh = dict(zip(missing, computed))
             else:
-                out[position] = fresh[key]
-        for key, row in fresh.items():
-            self._rows[key] = row
-            if self.capacity is not None and len(self._rows) > self.capacity:
-                self._rows.popitem(last=False)
-                self.evictions += 1
-        return out
+                fresh = {}
+            self.hits += keys.size - len(missing)
+            self.misses += len(missing)
+            out = np.empty(
+                (keys.size, self._row_width(fresh)), dtype=np.float64
+            )
+            for position, key in enumerate(keys.tolist()):
+                cached = self._rows.get(key)
+                if cached is not None:
+                    self._rows.move_to_end(key)
+                    out[position] = cached
+                else:
+                    out[position] = fresh[key]
+            for key, row in fresh.items():
+                if (
+                    self.capacity_floats is not None
+                    and row.size > self.capacity_floats
+                    and not self._warned_row_too_wide
+                ):
+                    self._warned_row_too_wide = True
+                    warnings.warn(
+                        f"partial rows are {row.size} floats but the "
+                        f"cache holds at most {self.capacity_floats}; "
+                        "nothing will stay resident (if this cache is a "
+                        "shard, the total capacity_floats is split "
+                        "across shards)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                self._rows[key] = row
+                self._floats_resident += row.size
+                while self._over_capacity() and self._rows:
+                    self._evict_one()
+            return out
+
+    def invalidate(self, keys: np.ndarray) -> int:
+        """Drop the given RIDs if cached; returns how many were resident.
+
+        Used by the dimension-update eviction path: unlike capacity
+        evictions, invalidations are counted separately because they
+        signal data change, not memory pressure.
+        """
+        dropped = 0
+        with self._lock:
+            for key in np.asarray(keys).ravel().tolist():
+                row = self._rows.pop(int(key), None)
+                if row is not None:
+                    self._floats_resident -= row.size
+                    dropped += 1
+            self.invalidations += dropped
+        return dropped
 
     def _row_width(self, fresh: dict[int, np.ndarray]) -> int:
         if fresh:
@@ -125,20 +241,27 @@ class PartialCache:
         return 0
 
     def stats(self) -> CacheStats:
-        return CacheStats(
-            hits=self.hits,
-            misses=self.misses,
-            evictions=self.evictions,
-            entries=len(self._rows),
-            capacity=self.capacity,
-        )
+        with self._lock:
+            return CacheStats(
+                hits=self.hits,
+                misses=self.misses,
+                evictions=self.evictions,
+                entries=len(self._rows),
+                capacity=self.capacity,
+                capacity_floats=self.capacity_floats,
+                bytes_resident=self.bytes_resident,
+                invalidations=self.invalidations,
+            )
 
     def clear(self) -> None:
         """Drop all entries and zero the counters."""
-        self._rows.clear()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
+        with self._lock:
+            self._rows.clear()
+            self._floats_resident = 0
+            self.hits = 0
+            self.misses = 0
+            self.evictions = 0
+            self.invalidations = 0
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats()

@@ -10,7 +10,9 @@ training side watches per-algorithm cost — the ROADMAP's
 
 from __future__ import annotations
 
+import threading
 import time
+import weakref
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,6 +27,14 @@ from repro.storage.catalog import Database
 from repro.storage.iostats import IOSnapshot
 
 
+# The monotonic clock's stated resolution: the floor for any recorded
+# request duration.  ``perf_counter`` deltas on very fast batches can
+# round to (near) zero, which would undercount wall time and report
+# absurd rows/sec; clamping each accumulation to one clock tick keeps
+# the throughput estimate conservative instead of divergent.
+_MIN_TICK = time.get_clock_info("perf_counter").resolution
+
+
 @dataclass
 class ServingStats:
     """Rolling bookkeeping for one registered model."""
@@ -33,6 +43,22 @@ class ServingStats:
     rows: int = 0
     wall_seconds: float = 0.0
     io: IOSnapshot = field(default_factory=IOSnapshot)
+
+    def record(
+        self, rows: int, seconds: float, io: IOSnapshot | None = None
+    ) -> None:
+        """Fold one timed request in, guarding sub-resolution durations.
+
+        ``seconds`` must come from a monotonic clock
+        (``time.perf_counter``); each delta is clamped below by the
+        clock's resolution so a burst of fast batches cannot accumulate
+        (near-)zero wall time.
+        """
+        self.requests += 1
+        self.rows += rows
+        self.wall_seconds += max(seconds, _MIN_TICK)
+        if io is not None:
+            self.io = self.io + io
 
     @property
     def rows_per_second(self) -> float:
@@ -73,6 +99,23 @@ class ModelService:
         self.db = db
         self.block_pages = block_pages
         self._models: dict[str, RegisteredModel] = {}
+        # Guards registry mutation against the update-event callback,
+        # which arrives on the updater's thread.
+        self._registry_lock = threading.Lock()
+        # Dimension-row updates must evict the affected cached partials
+        # here too, or a long-lived factorized service would silently
+        # keep serving pre-update predictions.  The subscription holds
+        # only a weak reference, so a service dropped without close()
+        # can still be garbage collected; its shim then no-ops.
+        self_ref = weakref.ref(self)
+
+        def _dispatch(event, _ref=self_ref):
+            service = _ref()
+            if service is not None:
+                service._on_row_version(event)
+
+        self._subscription = _dispatch
+        self.db.subscribe(_dispatch)
 
     # -- registration ------------------------------------------------------
 
@@ -117,13 +160,15 @@ class ModelService:
             name=name, kind=kind, strategy=predictor.strategy,
             predictor=predictor,
         )
-        self._models[name] = registered
+        with self._registry_lock:
+            self._models[name] = registered
         return registered
 
     def unregister(self, name: str) -> None:
-        if name not in self._models:
-            raise ModelError(f"no model {name!r} to unregister")
-        del self._models[name]
+        with self._registry_lock:
+            if name not in self._models:
+                raise ModelError(f"no model {name!r} to unregister")
+            del self._models[name]
 
     # -- lookup ------------------------------------------------------------
 
@@ -148,11 +193,10 @@ class ModelService:
         before = self.db.stats.snapshot()
         tick = time.perf_counter()
         result = call()
-        registered.stats.wall_seconds += time.perf_counter() - tick
-        registered.stats.requests += 1
-        registered.stats.rows += rows
-        registered.stats.io = registered.stats.io + (
-            self.db.stats.snapshot() - before
+        registered.stats.record(
+            rows,
+            time.perf_counter() - tick,
+            self.db.stats.snapshot() - before,
         )
         return result
 
@@ -193,6 +237,27 @@ class ModelService:
             registered.predictor.resolved.num_rows,
             lambda: registered.predictor.predict_all(),
         )
+
+    # -- invalidation ------------------------------------------------------
+
+    def _on_row_version(self, event) -> None:
+        """Evict updated RIDs' partials from every factorized model
+        joined to the updated relation (materialized models hold no
+        derived state and read fresh pages on the next request)."""
+        with self._registry_lock:
+            models = list(self._models.values())
+        for registered in models:
+            caches = getattr(registered.predictor, "caches", None)
+            if not caches:
+                continue
+            resolved = registered.predictor.resolved
+            for index, dim in enumerate(resolved.dimensions):
+                if dim.relation.name == event.relation:
+                    caches[index].invalidate(event.rids)
+
+    def close(self) -> None:
+        """Detach from the database's update notifications (idempotent)."""
+        self.db.unsubscribe(self._subscription)
 
     # -- bookkeeping -------------------------------------------------------
 

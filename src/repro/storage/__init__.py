@@ -8,6 +8,7 @@ counters that make the paper's page-cost analysis measurable.
 
 from repro.storage.buffer import BufferPool
 from repro.storage.catalog import Database
+from repro.storage.events import RowVersionEvent
 from repro.storage.heapfile import DEFAULT_PAGE_SIZE_BYTES, HeapFile, rows_per_page
 from repro.storage.iostats import IOSnapshot, IOStats
 from repro.storage.relation import Relation
@@ -32,6 +33,7 @@ __all__ = [
     "IOSnapshot",
     "IOStats",
     "Relation",
+    "RowVersionEvent",
     "Schema",
     "feature",
     "features",

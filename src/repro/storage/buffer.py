@@ -6,11 +6,25 @@ point probes into the inner relation benefit from page caching.  The
 buffer pool sits in front of a :class:`~repro.storage.heapfile.HeapFile`
 and only charges I/O for misses, so measured page counts reflect a
 bounded-memory execution rather than unlimited re-reading.
+
+All public methods are guarded by one re-entrant lock so that the
+concurrent serving runtime (:mod:`repro.runtime`) can probe pages from
+several worker threads at once; contention is short (a dict lookup per
+hit).  Misses deliberately read the page *inside* the lock: besides
+deduplicating loads, it serializes a miss against
+:meth:`BufferPool.invalidate_pages`, so a page read racing an in-place
+update can never be re-inserted after its invalidation (the update's
+eviction either waits for the insert or the read sees the new bytes).
+The cost is that concurrent cold misses serialize their I/O; if that
+ever dominates multi-core profiles, the fix is per-page in-flight
+guards with version re-checks, not dropping the lock (see ROADMAP).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from typing import Iterable
 
 import numpy as np
 
@@ -28,6 +42,7 @@ class BufferPool:
             )
         self.capacity_pages = capacity_pages
         self._pages: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
@@ -41,31 +56,43 @@ class BufferPool:
         between callers); we enforce this by clearing the writeable flag.
         """
         cache_key = (str(heap.path), page_no)
-        cached = self._pages.get(cache_key)
-        if cached is not None:
-            self._pages.move_to_end(cache_key)
-            self.hits += 1
-            return cached
-        self.misses += 1
-        page = heap.read_page(page_no)
-        page.flags.writeable = False
-        self._pages[cache_key] = page
-        if len(self._pages) > self.capacity_pages:
-            self._pages.popitem(last=False)
-        return page
+        with self._lock:
+            cached = self._pages.get(cache_key)
+            if cached is not None:
+                self._pages.move_to_end(cache_key)
+                self.hits += 1
+                return cached
+            self.misses += 1
+            page = heap.read_page(page_no)
+            page.flags.writeable = False
+            self._pages[cache_key] = page
+            if len(self._pages) > self.capacity_pages:
+                self._pages.popitem(last=False)
+            return page
 
     def invalidate(self, heap: HeapFile) -> None:
         """Drop all cached pages belonging to ``heap``."""
         path = str(heap.path)
-        stale = [k for k in self._pages if k[0] == path]
-        for cache_key in stale:
-            del self._pages[cache_key]
+        with self._lock:
+            stale = [k for k in self._pages if k[0] == path]
+            for cache_key in stale:
+                del self._pages[cache_key]
+
+    def invalidate_pages(
+        self, heap: HeapFile, page_nos: Iterable[int]
+    ) -> None:
+        """Drop specific cached pages of ``heap`` (after in-place updates)."""
+        path = str(heap.path)
+        with self._lock:
+            for page_no in page_nos:
+                self._pages.pop((path, int(page_no)), None)
 
     def clear(self) -> None:
         """Drop everything and reset hit/miss counters."""
-        self._pages.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._pages.clear()
+            self.hits = 0
+            self.misses = 0
 
     @property
     def hit_rate(self) -> float:

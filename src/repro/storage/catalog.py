@@ -12,12 +12,16 @@ from __future__ import annotations
 import json
 import shutil
 import tempfile
+import threading
 from pathlib import Path
 
 import numpy as np
 
+from typing import Callable
+
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
+from repro.storage.events import RowVersionEvent
 from repro.storage.heapfile import DEFAULT_PAGE_SIZE_BYTES, HeapFile
 from repro.storage.iostats import IOStats
 from repro.storage.relation import Relation
@@ -47,6 +51,13 @@ class Database:
         self.stats = IOStats()
         self.buffer_pool = BufferPool(buffer_pages)
         self._relations: dict[str, Relation] = {}
+        self._row_versions: dict[str, int] = {}
+        self._subscribers: list[Callable[[RowVersionEvent], None]] = []
+        # Serializes whole update cycles (RMW + pool invalidation +
+        # version bump + notification) across updater threads, so
+        # concurrent updates to one page cannot lose writes and row
+        # versions/events stay in emission order.
+        self._update_lock = threading.Lock()
         self._load_catalog()
 
     # -- persistence ---------------------------------------------------------
@@ -110,6 +121,131 @@ class Database:
         relation.drop()
         self._save_catalog()
 
+    # -- in-place updates and change notification ---------------------------
+
+    def subscribe(
+        self, callback: Callable[[RowVersionEvent], None]
+    ) -> None:
+        """Register a callback for :class:`RowVersionEvent` notifications.
+
+        Callbacks run synchronously on the updating thread, after pages
+        are written and stale buffer-pool pages dropped, so they always
+        observe the post-update rows.
+        """
+        if callback not in self._subscribers:
+            self._subscribers.append(callback)
+
+    def unsubscribe(
+        self, callback: Callable[[RowVersionEvent], None]
+    ) -> None:
+        """Remove a previously registered callback (missing ok)."""
+        try:
+            self._subscribers.remove(callback)
+        except ValueError:
+            pass
+
+    def row_version(self, name: str) -> int:
+        """How many times ``name`` has been updated in place (0 = never)."""
+        self.relation(name)  # raise on unknown relations
+        return self._row_versions.get(name, 0)
+
+    def update_rows(
+        self,
+        name: str,
+        positions: np.ndarray,
+        rows: np.ndarray,
+    ) -> RowVersionEvent:
+        """Overwrite rows of ``name`` in place and notify subscribers.
+
+        ``positions`` are heap row numbers (use
+        :meth:`~repro.storage.relation.Relation.positions_of_keys` to go
+        from primary-key values); ``rows`` are full replacement rows.
+        Primary-key values must not change — serving-side lookups index
+        dimension rows by key and do not re-scan on update.
+
+        The emitted event carries the updated rows' primary-key values
+        (heap positions for keyless relations), which is what
+        partial-result caches are keyed by.
+        """
+        relation = self.relation(name)
+        positions = np.asarray(positions).ravel().astype(np.int64)
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.ndim != 2 or rows.shape[1] != relation.schema.width:
+            raise StorageError(
+                f"rows for {name!r} must be (n, {relation.schema.width}), "
+                f"got {rows.shape}"
+            )
+        if rows.shape[0] != positions.size:
+            raise StorageError(
+                f"{positions.size} positions but {rows.shape[0]} rows"
+            )
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= relation.nrows
+        ):
+            raise StorageError(
+                f"row positions must lie in [0, {relation.nrows}), got "
+                f"range [{positions.min()}, {positions.max()}]"
+            )
+        key_column = relation.schema.key_column
+        key_position = (
+            relation.schema.key_position if key_column is not None else None
+        )
+        with self._update_lock:
+            if key_position is not None and positions.size:
+                current = self._rows_at(relation, positions)
+                if not np.array_equal(
+                    current[:, key_position], rows[:, key_position]
+                ):
+                    raise StorageError(
+                        f"update to {name!r} would change primary-key "
+                        "values; serving lookups index rows by key"
+                    )
+            relation.update_rows(positions, rows)
+            pages = np.unique(positions // relation.heap.rows_per_page)
+            self.buffer_pool.invalidate_pages(relation.heap, pages)
+            version = self._row_versions.get(name, 0) + 1
+            self._row_versions[name] = version
+            if key_position is not None:
+                rids = rows[:, key_position].astype(np.int64)
+            else:
+                rids = positions
+            event = RowVersionEvent(relation=name, rids=rids, version=version)
+            # Callbacks run inside the update lock so events reach
+            # subscribers in version order even under concurrent
+            # updaters; subscribers must therefore never call back
+            # into update_rows.  Delivery is exception-isolated: the
+            # rows are already durable, so every subscriber must hear
+            # about them even if an earlier one fails — the first
+            # failure re-raises only after full fan-out.
+            first_error = None
+            for callback in list(self._subscribers):
+                try:
+                    callback(event)
+                except Exception as error:
+                    if first_error is None:
+                        first_error = error
+            if first_error is not None:
+                raise first_error
+        return event
+
+    def _rows_at(self, relation: Relation, positions: np.ndarray) -> np.ndarray:
+        """Current rows at ``positions``, read through the buffer pool.
+
+        Going through the pool keeps the primary-key integrity check
+        from double-charging page reads: the pages an update touches
+        are usually resident (the serving path just read them), and a
+        miss charges exactly the one read it performs.
+        """
+        heap = relation.heap
+        pages = positions // heap.rows_per_page
+        slots = positions % heap.rows_per_page
+        out = np.empty((positions.size, relation.schema.width))
+        for page_no in np.unique(pages):
+            mask = pages == page_no
+            page = self.buffer_pool.get_page(heap, int(page_no))
+            out[mask] = page[slots[mask]]
+        return out
+
     def relation(self, name: str) -> Relation:
         try:
             return self._relations[name]
@@ -136,9 +272,14 @@ class Database:
         self.buffer_pool.clear()
 
     def close(self, *, delete: bool | None = None) -> None:
-        """Release resources; delete the directory if we created it."""
+        """Release resources; delete the directory if we created it.
+
+        Also detaches every update subscriber, so services that were
+        never explicitly closed do not outlive their database.
+        """
         if delete is None:
             delete = self._owns_directory
+        self._subscribers.clear()
         self._relations.clear()
         self.buffer_pool.clear()
         if delete and self.directory.exists():

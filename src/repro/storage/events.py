@@ -1,0 +1,46 @@
+"""Row-version events: the catalog's change-notification channel.
+
+Serving layers cache derived state keyed by dimension RIDs (partial
+rows, buffer-pool pages); an in-place update to a dimension relation
+silently invalidates that state.  The catalog therefore stamps every
+relation with a monotonically increasing *row version* and, on each
+update, emits a :class:`RowVersionEvent` naming the affected RIDs to
+every subscriber — the serving runtime uses it to evict exactly those
+partials from its cache shards.
+
+Events are delivered synchronously on the updating thread, *after* the
+pages have been written and the buffer pool invalidated, so a
+subscriber that recomputes on notification always sees the new rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass(frozen=True, eq=False)
+class RowVersionEvent:
+    """One in-place update to a relation's rows.
+
+    ``rids`` holds the primary-key values of the updated rows (the heap
+    row positions when the relation declares no key column) — the
+    vocabulary serving caches are keyed by.  ``version`` is the
+    relation's row version *after* this update; versions start at 0 for
+    a never-updated relation and increase by 1 per update call.
+    """
+
+    relation: str
+    rids: np.ndarray = field(default_factory=lambda: np.empty(0, np.int64))
+    version: int = 0
+
+    def __post_init__(self) -> None:
+        rids = np.asarray(self.rids).ravel().astype(np.int64)
+        object.__setattr__(self, "rids", rids)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RowVersionEvent({self.relation!r}, "
+            f"rids={self.rids.tolist()}, version={self.version})"
+        )

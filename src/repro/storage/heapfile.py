@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Iterator
 
@@ -40,7 +41,11 @@ def rows_per_page(ncols: int, page_size_bytes: int = DEFAULT_PAGE_SIZE_BYTES) ->
 
 
 class HeapFile:
-    """A paged, append-only file of fixed-width float64 rows."""
+    """A paged file of fixed-width float64 rows.
+
+    Rows are appended at the end and may be overwritten in place
+    (:meth:`update_rows`); there is no delete or compaction.
+    """
 
     def __init__(
         self,
@@ -58,6 +63,10 @@ class HeapFile:
         self.stats = stats if stats is not None else IOStats()
         self.stats_name = stats_name or self.path.stem
         self._nrows = 0
+        # Serializes file reads against in-place writes so a concurrent
+        # reader can never observe a torn (half-written) page — the
+        # invariant the serving runtime's invalidation story rests on.
+        self._io_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -174,12 +183,55 @@ class HeapFile:
         if rows.shape[0] == 0:
             return
         first_page = self._nrows // self.rows_per_page
-        with open(self.path, "ab") as handle:
-            rows.tofile(handle)
+        with self._io_lock:
+            with open(self.path, "ab") as handle:
+                rows.tofile(handle)
         self._nrows += rows.shape[0]
         last_page = (self._nrows - 1) // self.rows_per_page
         self.stats.record_write(self.stats_name, last_page - first_page + 1)
         self._write_meta()
+
+    def update_rows(self, positions: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite existing rows in place, page-at-a-time.
+
+        ``positions`` are heap row numbers; ``rows`` supplies one
+        replacement row per position.  Each touched page pays one read
+        (the untouched rows must be preserved) and one write — the
+        standard read-modify-write cycle, visible to the I/O accounting
+        like every other page access.
+        """
+        positions = np.asarray(positions).ravel().astype(np.int64)
+        rows = np.ascontiguousarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.ncols:
+            raise StorageError(
+                f"replacement rows must be (n, {self.ncols}), "
+                f"got {rows.shape}"
+            )
+        if rows.shape[0] != positions.size:
+            raise StorageError(
+                f"{positions.size} positions but {rows.shape[0]} rows"
+            )
+        if positions.size == 0:
+            return
+        if positions.min() < 0 or positions.max() >= self._nrows:
+            raise StorageError(
+                f"row positions must lie in [0, {self._nrows}), got "
+                f"range [{positions.min()}, {positions.max()}]"
+            )
+        pages = positions // self.rows_per_page
+        slots = positions % self.rows_per_page
+        touched = np.unique(pages)
+        with self._io_lock:
+            with open(self.path, "r+b") as handle:
+                for page_no in touched:
+                    start, stop = self._page_row_range(int(page_no))
+                    page = self._read_row_range_unlocked(start, stop)
+                    mask = pages == page_no
+                    page[slots[mask]] = rows[mask]
+                    handle.seek(start * self.ncols * _FLOAT_BYTES)
+                    page.tofile(handle)
+        self.stats.record_read(self.stats_name, len(touched))
+        self.stats.record_write(self.stats_name, len(touched))
 
     # -- reads -------------------------------------------------------------
 
@@ -208,6 +260,10 @@ class HeapFile:
         return self.read_pages(0, self.npages)
 
     def _read_row_range(self, start: int, stop: int) -> np.ndarray:
+        with self._io_lock:
+            return self._read_row_range_unlocked(start, stop)
+
+    def _read_row_range_unlocked(self, start: int, stop: int) -> np.ndarray:
         count = (stop - start) * self.ncols
         offset = start * self.ncols * _FLOAT_BYTES
         with open(self.path, "rb") as handle:

@@ -11,6 +11,7 @@ of a :class:`~repro.storage.catalog.Database`.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 
 
@@ -65,9 +66,15 @@ class IOSnapshot:
 
 
 class IOStats:
-    """Mutable page I/O counters with per-relation breakdown."""
+    """Mutable page I/O counters with per-relation breakdown.
+
+    Recording and snapshotting are lock-guarded so concurrent serving
+    workers (:mod:`repro.runtime`) never lose increments to racing
+    read-modify-write cycles.
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.Lock()
         self._pages_read = 0
         self._pages_written = 0
         self._reads_by_relation: dict[str, int] = {}
@@ -85,19 +92,21 @@ class IOStats:
         """Record ``pages`` page reads attributed to ``relation``."""
         if pages < 0:
             raise ValueError(f"cannot record negative page reads: {pages}")
-        self._pages_read += pages
-        self._reads_by_relation[relation] = (
-            self._reads_by_relation.get(relation, 0) + pages
-        )
+        with self._lock:
+            self._pages_read += pages
+            self._reads_by_relation[relation] = (
+                self._reads_by_relation.get(relation, 0) + pages
+            )
 
     def record_write(self, relation: str, pages: int = 1) -> None:
         """Record ``pages`` page writes attributed to ``relation``."""
         if pages < 0:
             raise ValueError(f"cannot record negative page writes: {pages}")
-        self._pages_written += pages
-        self._writes_by_relation[relation] = (
-            self._writes_by_relation.get(relation, 0) + pages
-        )
+        with self._lock:
+            self._pages_written += pages
+            self._writes_by_relation[relation] = (
+                self._writes_by_relation.get(relation, 0) + pages
+            )
 
     def reads_for(self, relation: str) -> int:
         return self._reads_by_relation.get(relation, 0)
@@ -107,19 +116,21 @@ class IOStats:
 
     def snapshot(self) -> IOSnapshot:
         """Return an immutable copy of the current counters."""
-        return IOSnapshot(
-            pages_read=self._pages_read,
-            pages_written=self._pages_written,
-            reads_by_relation=dict(self._reads_by_relation),
-            writes_by_relation=dict(self._writes_by_relation),
-        )
+        with self._lock:
+            return IOSnapshot(
+                pages_read=self._pages_read,
+                pages_written=self._pages_written,
+                reads_by_relation=dict(self._reads_by_relation),
+                writes_by_relation=dict(self._writes_by_relation),
+            )
 
     def reset(self) -> None:
         """Zero all counters."""
-        self._pages_read = 0
-        self._pages_written = 0
-        self._reads_by_relation.clear()
-        self._writes_by_relation.clear()
+        with self._lock:
+            self._pages_read = 0
+            self._pages_written = 0
+            self._reads_by_relation.clear()
+            self._writes_by_relation.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -69,6 +69,33 @@ class Relation:
             )
         self.heap.append(rows)
 
+    def update_rows(self, positions: np.ndarray, rows: np.ndarray) -> None:
+        """Overwrite existing rows in place (read-modify-write per page).
+
+        Callers that keep derived state (buffer pools, partial caches)
+        must be told — prefer :meth:`~repro.storage.catalog.Database.
+        update_rows`, which invalidates and notifies.
+        """
+        rows = np.asarray(rows, dtype=np.float64)
+        if rows.ndim != 2 or rows.shape[1] != self.schema.width:
+            raise StorageError(
+                f"rows for {self.name!r} must be (n, {self.schema.width}), "
+                f"got {rows.shape}"
+            )
+        self.heap.update_rows(positions, rows)
+
+    def positions_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Heap row numbers holding the given primary-key values.
+
+        Scans the key column (charged like any scan) and raises
+        :class:`~repro.errors.ModelError` on dangling keys.
+        """
+        from repro.linalg.groupsum import codes_for_keys
+
+        return codes_for_keys(
+            np.asarray(keys).ravel().astype(np.int64), self.keys()
+        )
+
     def drop(self) -> None:
         """Delete the backing file."""
         self.heap.delete()

@@ -1,0 +1,124 @@
+"""BatchPlanner: cost-model-driven per-batch strategy choice."""
+
+import numpy as np
+import pytest
+
+from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.errors import ModelError
+from repro.runtime.planner import BatchPlanner, PlannerStats
+from repro.serve.cost_model import (
+    gmm_serving_mults_dense,
+    gmm_serving_mults_factorized,
+    nn_serving_mults_dense,
+    nn_serving_mults_factorized,
+)
+
+
+def fks_with_distinct(n, m):
+    """n FK values drawing from m distinct RIDs (every RID appears)."""
+    return [np.arange(n, dtype=np.int64) % m]
+
+
+class TestCostCounts:
+    """The planner's multi-way generalization must reduce to the
+    published binary-join counts of repro.serve.cost_model."""
+
+    @pytest.mark.parametrize("n,m", [(100, 5), (64, 64), (1, 1)])
+    def test_nn_binary_counts_match_cost_model(self, n, m):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        assert planner.dense_mults(n) == nn_serving_mults_dense(n, 5, 15, 32)
+        assert planner.factorized_mults(n, (m,), (0.0,)) == (
+            nn_serving_mults_factorized(n, m, 5, 15, 32)
+        )
+
+    @pytest.mark.parametrize("n,m", [(100, 5), (64, 64)])
+    def test_gmm_binary_counts_match_cost_model(self, n, m):
+        planner = BatchPlanner("gmm", d_s=5, dim_widths=(15,), width_param=3)
+        assert planner.dense_mults(n) == gmm_serving_mults_dense(n, 5, 15, 3)
+        assert planner.factorized_mults(n, (m,), (0.0,)) == (
+            gmm_serving_mults_factorized(n, m, 5, 15, 3)
+        )
+
+    def test_warm_cache_discounts_dimension_work(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        cold = planner.factorized_mults(100, (10,), (0.0,))
+        warm = planner.factorized_mults(100, (10,), (1.0,))
+        assert warm < cold
+        assert warm == 100 * 32 * 5  # fact-side work only
+
+
+class TestDecisions:
+    def test_redundant_batch_plans_factorized(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        decision = planner.plan(fks_with_distinct(128, 4))
+        assert decision.strategy == FACTORIZED
+        assert decision.rows == 128
+        assert decision.distinct == (4,)
+        assert decision.factorized_mults < decision.dense_mults
+        assert 0 < decision.saving_rate < 1
+
+    def test_all_distinct_cold_nn_batch_plans_materialized(self):
+        # With m == n and a cold cache the NN counts tie exactly; the
+        # tie goes to the dense path (no cache maintenance).
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        decision = planner.plan(fks_with_distinct(64, 64))
+        assert decision.strategy == MATERIALIZED
+        assert decision.factorized_mults == decision.dense_mults
+
+    def test_warm_cache_flips_the_tie_to_factorized(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        decision = planner.plan(fks_with_distinct(64, 64), (0.9,))
+        assert decision.strategy == FACTORIZED
+
+    def test_multiway_redundant_batch_plans_factorized(self):
+        planner = BatchPlanner(
+            "gmm", d_s=3, dim_widths=(4, 2), width_param=3
+        )
+        fks = [
+            np.arange(90, dtype=np.int64) % 3,
+            np.arange(90, dtype=np.int64) % 5,
+        ]
+        decision = planner.plan(fks)
+        assert decision.strategy == FACTORIZED
+        assert decision.distinct == (3, 5)
+
+    def test_empty_batch_short_circuits(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        decision = planner.plan([np.zeros(0, dtype=np.int64)])
+        assert decision.rows == 0
+        assert decision.dense_mults == 0
+
+    def test_hit_rates_clamped_to_unit_interval(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        decision = planner.plan(fks_with_distinct(64, 64), (7.0,))
+        assert decision.factorized_mults == 64 * 32 * 5
+
+    def test_fk_arity_mismatch_rejected(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15, 3), width_param=8)
+        with pytest.raises(ModelError, match="FK arrays"):
+            planner.plan(fks_with_distinct(10, 2))
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(kind="svm", d_s=5, dim_widths=(15,), width_param=8),
+            dict(kind="nn", d_s=0, dim_widths=(15,), width_param=8),
+            dict(kind="nn", d_s=5, dim_widths=(), width_param=8),
+        ],
+    )
+    def test_invalid_construction_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            BatchPlanner(**kwargs)
+
+
+class TestPlannerStats:
+    def test_decisions_accumulate_and_recent_is_bounded(self):
+        planner = BatchPlanner("nn", d_s=5, dim_widths=(15,), width_param=32)
+        stats = PlannerStats(recent_limit=4)
+        for _ in range(6):
+            stats.record(planner.plan(fks_with_distinct(32, 2)))
+        stats.record(planner.plan(fks_with_distinct(8, 8)))
+        assert stats.decisions[FACTORIZED] == 6
+        assert stats.decisions[MATERIALIZED] == 1
+        assert len(stats.recent) == 4
+        assert stats.recent[-1].strategy == MATERIALIZED

@@ -1,0 +1,163 @@
+"""RequestQueue: bounded admission and micro-batch coalescing."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.runtime.queue import Request, RequestQueue
+
+
+def a_request(name="m", op="predict", rows=4):
+    return Request(
+        (name, op),
+        np.zeros((rows, 2)),
+        [np.zeros(rows, dtype=np.int64)],
+    )
+
+
+class TestAdmission:
+    def test_fifo_within_a_key(self):
+        queue = RequestQueue(8)
+        first, second = a_request(rows=1), a_request(rows=2)
+        queue.put(first)
+        queue.put(second)
+        batch = queue.take_batch(max_rows=100, max_wait=0.0)
+        assert batch == [first, second]
+
+    def test_depth_and_counters(self):
+        queue = RequestQueue(8)
+        for _ in range(3):
+            queue.put(a_request())
+        assert queue.depth == 3
+        assert queue.enqueued == 3
+        assert queue.max_depth_seen == 3
+        queue.take_batch(max_rows=1, max_wait=0.0)
+        assert queue.depth == 2
+        assert queue.max_depth_seen == 3
+
+    def test_full_queue_times_out(self):
+        queue = RequestQueue(1)
+        queue.put(a_request())
+        with pytest.raises(ModelError, match="full"):
+            queue.put(a_request(), timeout=0.01)
+
+    def test_full_queue_unblocks_when_drained(self):
+        queue = RequestQueue(1)
+        queue.put(a_request())
+        done = threading.Event()
+
+        def producer():
+            queue.put(a_request(), timeout=5.0)
+            done.set()
+
+        thread = threading.Thread(target=producer)
+        thread.start()
+        queue.take_batch(max_rows=1, max_wait=0.0)
+        assert done.wait(5.0)
+        thread.join()
+
+    def test_put_after_close_rejected(self):
+        queue = RequestQueue(4)
+        queue.close()
+        with pytest.raises(ModelError, match="closed"):
+            queue.put(a_request())
+
+    def test_nonpositive_depth_rejected(self):
+        with pytest.raises(ModelError, match="depth"):
+            RequestQueue(0)
+
+
+class TestCoalescing:
+    def test_same_key_requests_coalesce(self):
+        queue = RequestQueue(16)
+        for _ in range(5):
+            queue.put(a_request(rows=3))
+        batch = queue.take_batch(max_rows=100, max_wait=0.0)
+        assert len(batch) == 5
+        assert sum(r.rows for r in batch) == 15
+        assert queue.depth == 0
+
+    def test_max_rows_bounds_the_batch(self):
+        queue = RequestQueue(16)
+        for _ in range(5):
+            queue.put(a_request(rows=3))
+        batch = queue.take_batch(max_rows=7, max_wait=0.0)
+        # Stop at the first request that reaches/overruns the budget.
+        assert len(batch) == 3
+        assert queue.depth == 2
+
+    def test_other_keys_left_queued_in_order(self):
+        queue = RequestQueue(16)
+        queue.put(a_request("a"))
+        queue.put(a_request("b", rows=1))
+        queue.put(a_request("a"))
+        queue.put(a_request("b", rows=2))
+        batch = queue.take_batch(max_rows=100, max_wait=0.0)
+        assert all(r.batch_key == ("a", "predict") for r in batch)
+        assert len(batch) == 2
+        remainder = queue.take_batch(max_rows=100, max_wait=0.0)
+        assert [r.rows for r in remainder] == [1, 2]
+
+    def test_predict_and_score_never_mix(self):
+        queue = RequestQueue(16)
+        queue.put(a_request("m", op="predict"))
+        queue.put(a_request("m", op="score"))
+        batch = queue.take_batch(max_rows=100, max_wait=0.0)
+        assert len(batch) == 1
+        assert batch[0].batch_key == ("m", "predict")
+
+    def test_lingering_collects_stragglers(self):
+        queue = RequestQueue(16)
+        queue.put(a_request(rows=1))
+
+        def late_producer():
+            time.sleep(0.02)
+            queue.put(a_request(rows=1))
+
+        thread = threading.Thread(target=late_producer)
+        thread.start()
+        batch = queue.take_batch(max_rows=100, max_wait=1.0)
+        thread.join()
+        assert len(batch) == 2
+
+    def test_zero_wait_returns_immediately(self):
+        queue = RequestQueue(16)
+        queue.put(a_request())
+        tick = time.perf_counter()
+        batch = queue.take_batch(max_rows=10**6, max_wait=0.0)
+        assert time.perf_counter() - tick < 0.5
+        assert len(batch) == 1
+
+
+class TestLifecycle:
+    def test_take_batch_returns_none_when_closed_and_drained(self):
+        queue = RequestQueue(4)
+        queue.put(a_request())
+        queue.close()
+        assert queue.take_batch(max_rows=10, max_wait=0.0) is not None
+        assert queue.take_batch(max_rows=10, max_wait=0.0) is None
+
+    def test_close_wakes_blocked_consumer(self):
+        queue = RequestQueue(4)
+        results = []
+
+        def consumer():
+            results.append(queue.take_batch(max_rows=10, max_wait=0.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        time.sleep(0.02)
+        queue.close()
+        thread.join(5.0)
+        assert results == [None]
+
+    def test_drain_empties_the_queue(self):
+        queue = RequestQueue(4)
+        queue.put(a_request())
+        queue.put(a_request("b"))
+        drained = queue.drain()
+        assert len(drained) == 2
+        assert queue.depth == 0

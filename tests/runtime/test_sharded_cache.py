@@ -1,0 +1,161 @@
+"""ShardedPartialCache: placement, concurrency, invalidation, stats."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.runtime.sharding import ShardedPartialCache
+
+
+def rows_for(keys):
+    keys = np.asarray(keys, dtype=np.float64)
+    return np.column_stack([keys, keys * 10.0])
+
+
+class TestPlacement:
+    def test_rid_hash_routes_to_one_shard(self):
+        cache = ShardedPartialCache(4)
+        cache.get_many(np.arange(8), rows_for)
+        for key in range(8):
+            shard = cache.shard_of(key)
+            assert key in cache.shards[shard]
+            for other, shard_cache in enumerate(cache.shards):
+                if other != shard:
+                    assert key not in shard_cache
+
+    def test_results_align_with_requested_order(self):
+        cache = ShardedPartialCache(3)
+        keys = np.array([7, 2, 9, 2, 0, 11])
+        np.testing.assert_array_equal(
+            cache.get_many(keys, rows_for), rows_for(keys)
+        )
+        # warm pass, shuffled order
+        np.testing.assert_array_equal(
+            cache.get_many(keys[::-1], rows_for), rows_for(keys[::-1])
+        )
+
+    def test_empty_keys(self):
+        assert ShardedPartialCache(2).get_many(
+            np.zeros(0, dtype=np.int64), rows_for
+        ).shape == (0, 0)
+
+    def test_capacity_splits_across_shards(self):
+        cache = ShardedPartialCache(2, capacity=4)
+        assert all(shard.capacity == 2 for shard in cache.shards)
+        cache_floats = ShardedPartialCache(2, capacity_floats=10)
+        assert all(
+            shard.capacity_floats == 5 for shard in cache_floats.shards
+        )
+
+    def test_invalid_shard_count_rejected(self):
+        with pytest.raises(ModelError, match="num_shards"):
+            ShardedPartialCache(0)
+
+
+class TestInvalidation:
+    def test_invalidate_evicts_exactly_the_given_rids(self):
+        cache = ShardedPartialCache(4)
+        cache.get_many(np.arange(12), rows_for)
+        dropped = cache.invalidate(np.array([3, 7]))
+        assert dropped == 2
+        assert len(cache) == 10
+        assert 3 not in cache and 7 not in cache
+        assert all(
+            k in cache for k in range(12) if k not in (3, 7)
+        )
+
+    def test_invalidate_missing_rids_is_a_noop(self):
+        cache = ShardedPartialCache(2)
+        cache.get_many(np.array([1]), rows_for)
+        assert cache.invalidate(np.array([99])) == 0
+        assert len(cache) == 1
+
+    def test_invalidation_counted_separately_from_evictions(self):
+        cache = ShardedPartialCache(2)
+        cache.get_many(np.array([1, 2]), rows_for)
+        cache.invalidate(np.array([1]))
+        stats = cache.stats()
+        assert stats.invalidations == 1
+        assert stats.evictions == 0
+
+
+class TestStats:
+    def test_shard_stats_and_aggregate(self):
+        cache = ShardedPartialCache(2, capacity=8)
+        cache.get_many(np.arange(6), rows_for)
+        cache.get_many(np.arange(6), rows_for)   # warm
+        per_shard = cache.shard_stats()
+        assert len(per_shard) == 2
+        total = cache.stats()
+        assert total.misses == 6 and total.hits == 6
+        assert total.entries == 6
+        assert total.capacity == 8
+        assert total.bytes_resident == 6 * 2 * 8
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_unbounded_aggregate_capacity_is_none(self):
+        assert ShardedPartialCache(3).stats().capacity is None
+
+    def test_clear(self):
+        cache = ShardedPartialCache(2)
+        cache.get_many(np.arange(4), rows_for)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats().misses == 0
+
+
+class TestConcurrency:
+    def test_parallel_get_many_is_exact_and_loses_no_counts(self):
+        cache = ShardedPartialCache(4)
+        errors = []
+
+        def hammer(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(30):
+                keys = rng.integers(0, 40, size=16)
+                out = cache.get_many(keys, rows_for)
+                if not np.array_equal(out, rows_for(keys)):
+                    errors.append(keys)
+
+        threads = [
+            threading.Thread(target=hammer, args=(s,)) for s in range(6)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.stats()
+        assert stats.lookups == 6 * 30 * 16
+
+    def test_invalidate_races_with_lookups(self):
+        cache = ShardedPartialCache(4)
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            rng = np.random.default_rng(0)
+            while not stop.is_set():
+                keys = rng.integers(0, 20, size=8)
+                out = cache.get_many(keys, rows_for)
+                if not np.array_equal(out, rows_for(keys)):
+                    errors.append(keys)
+
+        def invalidator():
+            rng = np.random.default_rng(1)
+            for _ in range(200):
+                cache.invalidate(rng.integers(0, 20, size=2))
+            stop.set()
+
+        threads = [
+            threading.Thread(target=reader),
+            threading.Thread(target=reader),
+            threading.Thread(target=invalidator),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors

@@ -89,6 +89,59 @@ class TestEviction:
         assert cache.evictions == 0
 
 
+class TestSizeAwareCapacity:
+    def test_capacity_floats_bounds_resident_floats(self):
+        cache = PartialCache(capacity_floats=5)   # rows are 2 floats wide
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+        assert cache.floats_resident <= 5
+        assert len(cache) == 2
+        assert cache.evictions == 1
+
+    def test_floats_and_entries_bounds_compose(self):
+        cache = PartialCache(capacity=10, capacity_floats=4)
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+        assert len(cache) == 2     # the float bound binds first
+
+    def test_single_row_wider_than_float_capacity_still_served(self):
+        cache = PartialCache(capacity_floats=1)
+        out = cache.get_many(np.array([1]), rows_for)
+        np.testing.assert_array_equal(out, rows_for([1]))
+        assert len(cache) == 0     # immediately evicted, result intact
+
+    def test_bytes_resident_tracks_insertions_and_evictions(self):
+        cache = PartialCache(capacity=2)
+        cache.get_many(np.array([1, 2]), rows_for)
+        assert cache.bytes_resident == 2 * 2 * 8
+        assert cache.stats().bytes_resident == 32
+        cache.get_many(np.array([3]), rows_for)   # evicts one row
+        assert cache.bytes_resident == 32
+        cache.clear()
+        assert cache.bytes_resident == 0
+
+    def test_invalidate_releases_bytes(self):
+        cache = PartialCache()
+        cache.get_many(np.array([1, 2]), rows_for)
+        assert cache.invalidate(np.array([1, 99])) == 1
+        assert cache.bytes_resident == 16
+        assert cache.stats().invalidations == 1
+        assert 1 not in cache and 2 in cache
+
+    @pytest.mark.parametrize("capacity_floats", [0, -2])
+    def test_nonpositive_float_capacity_rejected(self, capacity_floats):
+        with pytest.raises(ModelError, match="capacity_floats"):
+            PartialCache(capacity_floats=capacity_floats)
+
+    def test_row_wider_than_float_capacity_warns_once(self):
+        cache = PartialCache(capacity_floats=1)
+        with pytest.warns(RuntimeWarning, match="capacity_floats"):
+            cache.get_many(np.array([1]), rows_for)
+        import warnings as _warnings
+
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")   # a repeat would raise
+            cache.get_many(np.array([2]), rows_for)
+
+
 class TestStats:
     def test_stats_snapshot(self):
         cache = PartialCache(capacity=2)

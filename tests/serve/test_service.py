@@ -146,6 +146,138 @@ class TestServing:
             service.score("ratings", features, fk)
 
 
+class TestInvalidation:
+    def test_dimension_update_evicts_and_next_predict_is_fresh(
+        self, db, binary_star
+    ):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(6,), epochs=1, seed=1
+        )
+        service = ModelService(db)
+        service.register_nn("n", nn, binary_star.spec)
+        fact = binary_star.spec.resolve(db).fact
+        rows = fact.scan()[:40]
+        features = fact.project_features(rows)
+        fks = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+        before = service.predict("n", features, fks)
+
+        relation = db["R1"]
+        victim = int(fks[0])
+        position = relation.positions_of_keys(np.array([victim]))
+        new_row = relation.scan()[position[0]].copy()
+        new_row[1:] += 5.0
+        db.update_rows("R1", position, new_row[None, :])
+        (cache_stats,) = service.cache_stats("n")
+        assert cache_stats.invalidations == 1
+
+        after = service.predict("n", features, fks)
+        oracle = MaterializedNNPredictor(
+            db, binary_star.spec, nn.model
+        ).predict(features, fks)
+        np.testing.assert_allclose(after, oracle, rtol=1e-9, atol=1e-9)
+        assert not np.allclose(before[fks == victim], after[fks == victim])
+
+    def test_dropped_service_is_garbage_collectable(self, db, binary_star):
+        # The event subscription must not pin a service the caller
+        # discarded without close(): only a weakref shim stays behind.
+        import gc
+        import weakref
+
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        service = ModelService(db)
+        service.register_nn("n", nn, binary_star.spec)
+        ref = weakref.ref(service)
+        del service
+        gc.collect()
+        assert ref() is None
+        # ... and an update after collection is a harmless no-op.
+        relation = db["R1"]
+        row = relation.scan()[0].copy()
+        db.update_rows(
+            "R1", np.array([0]), row[None, :]
+        )
+
+    def test_failing_subscriber_does_not_starve_later_ones(
+        self, db, binary_star
+    ):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+
+        def bad_listener(event):
+            raise RuntimeError("listener bug")
+
+        db.subscribe(bad_listener)   # registered before the service
+        service = ModelService(db)
+        service.register_nn("n", nn, binary_star.spec)
+        fact = binary_star.spec.resolve(db).fact
+        rows = fact.scan()[:10]
+        features = fact.project_features(rows)
+        fks = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+        service.predict("n", features, fks)   # warm the cache
+
+        relation = db["R1"]
+        position = relation.positions_of_keys(np.array([int(fks[0])]))
+        row = relation.scan()[position[0]].copy()
+        row[1:] += 1.0
+        with pytest.raises(RuntimeError, match="listener bug"):
+            db.update_rows("R1", position, row[None, :])
+        # The write landed and the service still heard about it.
+        assert db.row_version("R1") == 1
+        assert service.cache_stats("n")[0].invalidations == 1
+
+    def test_close_detaches_from_update_notifications(
+        self, db, binary_star
+    ):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1, seed=1
+        )
+        service = ModelService(db)
+        service.register_nn("n", nn, binary_star.spec)
+        fact = binary_star.spec.resolve(db).fact
+        rows = fact.scan()[:10]
+        features = fact.project_features(rows)
+        fks = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+        service.predict("n", features, fks)
+        service.close()
+        service.close()   # idempotent
+        relation = db["R1"]
+        position = relation.positions_of_keys(np.array([int(fks[0])]))
+        db.update_rows("R1", position, relation.scan()[position[0]][None, :])
+        assert service.cache_stats("n")[0].invalidations == 0
+
+
+class TestServingStatsGuard:
+    def test_sub_resolution_durations_cannot_zero_wall_time(self):
+        from repro.serve.service import ServingStats
+
+        stats = ServingStats()
+        for _ in range(1000):
+            stats.record(10, 0.0)   # faster than the clock can see
+        assert stats.wall_seconds > 0
+        assert stats.rows == 10_000
+        assert np.isfinite(stats.rows_per_second)
+
+    def test_measurable_durations_accumulate_unclamped(self):
+        from repro.serve.service import ServingStats
+
+        stats = ServingStats()
+        stats.record(100, 0.5)
+        stats.record(100, 0.25)
+        assert stats.wall_seconds == pytest.approx(0.75)
+        assert stats.rows_per_second == pytest.approx(200 / 0.75)
+
+    def test_record_accumulates_io(self):
+        from repro.serve.service import ServingStats
+
+        stats = ServingStats()
+        stats.record(1, 0.1, IOSnapshot(pages_read=3))
+        stats.record(1, 0.1, IOSnapshot(pages_read=4))
+        assert stats.io.pages_read == 7
+
+
 class TestBookkeeping:
     def test_stats_accumulate_per_model(self, served, db):
         service, spec, _, _ = served

@@ -1,0 +1,176 @@
+"""In-place row updates: heap read-modify-write, catalog events,
+buffer-pool invalidation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.catalog import Database
+from repro.storage.events import RowVersionEvent
+from repro.storage.heapfile import HeapFile
+from repro.storage.schema import Schema, features, key
+
+
+@pytest.fixture
+def heap(tmp_path):
+    heap = HeapFile.create(tmp_path / "t.tbl", 3, page_size_bytes=96)
+    heap.append(np.arange(30, dtype=np.float64).reshape(10, 3))
+    return heap  # 96B pages / 24B rows = 4 rows per page, 3 pages
+
+
+class TestHeapUpdateRows:
+    def test_rows_are_overwritten_in_place(self, heap):
+        replacement = np.full((2, 3), -1.0)
+        heap.update_rows(np.array([1, 9]), replacement)
+        data = heap.read_all()
+        np.testing.assert_array_equal(data[1], [-1.0, -1.0, -1.0])
+        np.testing.assert_array_equal(data[9], [-1.0, -1.0, -1.0])
+        untouched = [i for i in range(10) if i not in (1, 9)]
+        np.testing.assert_array_equal(
+            data[untouched],
+            np.arange(30, dtype=np.float64).reshape(10, 3)[untouched],
+        )
+
+    def test_io_charged_per_touched_page(self, heap):
+        before = heap.stats.snapshot()
+        # rows 0, 1 live on page 0; row 9 on page 2 -> 2 pages touched
+        heap.update_rows(np.array([0, 1, 9]), np.zeros((3, 3)))
+        delta = heap.stats.snapshot() - before
+        assert delta.pages_read == 2
+        assert delta.pages_written == 2
+
+    def test_row_count_and_geometry_unchanged(self, heap):
+        heap.update_rows(np.array([5]), np.ones((1, 3)))
+        assert heap.nrows == 10
+        assert heap.npages == 3
+
+    def test_empty_update_is_a_noop(self, heap):
+        before = heap.stats.snapshot()
+        heap.update_rows(np.zeros(0, dtype=np.int64), np.zeros((0, 3)))
+        assert (heap.stats.snapshot() - before).total_pages == 0
+
+    def test_out_of_range_positions_rejected(self, heap):
+        with pytest.raises(StorageError, match="positions"):
+            heap.update_rows(np.array([10]), np.zeros((1, 3)))
+        with pytest.raises(StorageError, match="positions"):
+            heap.update_rows(np.array([-1]), np.zeros((1, 3)))
+
+    def test_shape_mismatches_rejected(self, heap):
+        with pytest.raises(StorageError, match="rows"):
+            heap.update_rows(np.array([0]), np.zeros((1, 4)))
+        with pytest.raises(StorageError, match="positions"):
+            heap.update_rows(np.array([0, 1]), np.zeros((1, 3)))
+
+
+@pytest.fixture
+def dim_db(tmp_path):
+    database = Database(tmp_path / "db", page_size_bytes=128)
+    rows = np.column_stack(
+        [np.arange(8, dtype=np.float64), np.arange(16).reshape(8, 2)]
+    )
+    database.create_relation(
+        "R", Schema([key("rid"), *features("a", 2)]), rows
+    )
+    yield database
+    database.close(delete=True)
+
+
+class TestDatabaseUpdateRows:
+    def test_event_carries_rids_and_version(self, dim_db):
+        rows = dim_db["R"].scan()[[2, 5]]
+        rows[:, 1:] += 10.0
+        event = dim_db.update_rows("R", np.array([2, 5]), rows)
+        assert isinstance(event, RowVersionEvent)
+        assert event.relation == "R"
+        np.testing.assert_array_equal(event.rids, [2, 5])
+        assert event.version == 1
+        assert dim_db.row_version("R") == 1
+
+    def test_subscribers_notified_after_the_write(self, dim_db):
+        seen = []
+
+        def listener(event):
+            # The new values must already be visible to a reader.
+            current = dim_db["R"].scan()
+            seen.append((event.rids.tolist(), current[3, 1]))
+
+        dim_db.subscribe(listener)
+        row = dim_db["R"].scan()[3].copy()
+        row[1] = 99.0
+        dim_db.update_rows("R", np.array([3]), row[None, :])
+        assert seen == [([3], 99.0)]
+        dim_db.unsubscribe(listener)
+        dim_db.update_rows("R", np.array([3]), row[None, :])
+        assert len(seen) == 1
+
+    def test_unsubscribe_missing_listener_is_a_noop(self, dim_db):
+        dim_db.unsubscribe(lambda event: None)
+
+    def test_buffer_pool_serves_fresh_pages_after_update(self, dim_db):
+        relation = dim_db["R"]
+        page_before = dim_db.buffer_pool.get_page(relation.heap, 0).copy()
+        row = relation.scan()[0].copy()
+        row[1:] = 123.0
+        dim_db.update_rows("R", np.array([0]), row[None, :])
+        page_after = dim_db.buffer_pool.get_page(relation.heap, 0)
+        assert not np.array_equal(page_before, page_after)
+        np.testing.assert_array_equal(page_after[0, 1:], [123.0, 123.0])
+
+    def test_key_change_rejected(self, dim_db):
+        row = dim_db["R"].scan()[0].copy()
+        row[0] = 42.0
+        with pytest.raises(StorageError, match="primary-key"):
+            dim_db.update_rows("R", np.array([0]), row[None, :])
+        assert dim_db.row_version("R") == 0
+
+    def test_out_of_range_positions_raise_storage_error(self, dim_db):
+        # Must be a clear StorageError even on keyed relations, where
+        # the primary-key check reads pages before the heap layer's
+        # own bounds validation would run.
+        with pytest.raises(StorageError, match="positions"):
+            dim_db.update_rows("R", np.array([8]), np.zeros((1, 3)))
+        with pytest.raises(StorageError, match="positions"):
+            dim_db.update_rows("R", np.array([-1]), np.zeros((1, 3)))
+
+    def test_database_close_detaches_subscribers(self, tmp_path):
+        database = Database(tmp_path / "subdb")
+        database.create_relation(
+            "R",
+            Schema([key("rid"), *features("a", 2)]),
+            np.column_stack(
+                [np.arange(3, dtype=np.float64), np.zeros((3, 2))]
+            ),
+        )
+        database.subscribe(lambda event: None)
+        database.close(delete=True)
+        assert database._subscribers == []
+
+    def test_malformed_rows_rejected_before_the_key_check(self, dim_db):
+        # Shape problems must surface as shape errors, not as a bogus
+        # "primary-key changed" complaint (or a raw IndexError).
+        with pytest.raises(StorageError, match="rows"):
+            dim_db.update_rows("R", np.array([0]), np.zeros((1, 2)))
+        with pytest.raises(StorageError, match="positions"):
+            dim_db.update_rows("R", np.array([0, 1]), np.zeros((1, 3)))
+        assert dim_db.row_version("R") == 0
+
+    def test_unknown_relation_rejected(self, dim_db):
+        with pytest.raises(StorageError, match="no relation"):
+            dim_db.update_rows("nope", np.array([0]), np.zeros((1, 3)))
+        with pytest.raises(StorageError, match="no relation"):
+            dim_db.row_version("nope")
+
+    def test_positions_of_keys_roundtrip(self, dim_db):
+        relation = dim_db["R"]
+        positions = relation.positions_of_keys(np.array([5, 0, 3]))
+        np.testing.assert_array_equal(
+            relation.scan()[positions][:, 0], [5.0, 0.0, 3.0]
+        )
+
+    def test_keyless_relation_events_use_positions(self, dim_db):
+        rows = np.arange(6, dtype=np.float64).reshape(3, 2)
+        dim_db.create_relation("F", Schema(features("x", 2)), rows)
+        event = dim_db.update_rows(
+            "F", np.array([1]), np.zeros((1, 2))
+        )
+        np.testing.assert_array_equal(event.rids, [1])
