@@ -8,7 +8,6 @@ workload.
 import pytest
 
 from repro.bench.experiments import active_scale, figure3a, figure3b, figure3c
-from repro.core.api import compare_gmm_strategies
 from repro.data.synthetic import StarSchemaConfig, generate_star
 from repro.gmm.algorithms import GMM_ALGORITHMS
 from repro.gmm.base import EMConfig

@@ -4,7 +4,6 @@ including the M-vs-S BlockSize crossover."""
 import sys
 import warnings
 
-import pytest
 
 from repro.data.synthetic import StarSchemaConfig, generate_star
 from repro.gmm.algorithms import fit_m_gmm, fit_s_gmm

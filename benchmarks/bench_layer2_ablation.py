@@ -5,7 +5,6 @@ import sys
 import time
 
 import numpy as np
-import pytest
 
 from repro.linalg.design import FactorizedDesign
 from repro.linalg.groupsum import GroupIndex

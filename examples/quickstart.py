@@ -37,11 +37,14 @@ def main() -> None:
         print(f"join spec: {star.spec}")
 
         # --- Gaussian mixture over the (virtual) join -----------------
+        # algorithm="auto" asks the unified cost model (repro.fx.costs)
+        # to pick materialized vs factorized from the join's actual
+        # cardinalities; "factorized"/"materialized"/"streaming" pin it.
         gmm = repro.fit_gmm(
             db,
             star.spec,
             n_components=5,
-            algorithm="factorized",   # F-GMM; try "materialized"/"streaming"
+            algorithm="auto",         # resolves to F-GMM at rr = 100
             max_iter=8,
             tol=1e-4,
             seed=1,
@@ -103,13 +106,30 @@ def main() -> None:
               f"{stats.wall_seconds:.3f}s "
               f"({stats.rows_per_second:,.0f} rows/s)")
 
+        # --- Cross-model cache sharing (repro.fx) ---------------------
+        # Registering the same fitted model under a second name (a
+        # blue/green deploy, an A/B control arm) shares its cached
+        # dimension partials through the service's PartialStore —
+        # partials are keyed by (fingerprint, RID), so value-identical
+        # models hold ONE resident copy and warm each other's caches.
+        service.register_nn("ratings-canary", nn, star.spec)
+        service.predict("ratings-canary", xs, fks)     # warm from start
+        store = service.store_stats()
+        print(f"[store] {store.caches} cache for "
+              f"{store.attachments} registrations "
+              f"({store.bytes_resident:,} bytes resident, "
+              f"hit rate {store.cache.hit_rate:.0%})")
+
         # --- Concurrent serving: the worker-pool runtime --------------
         # Point requests enter a bounded queue, coalesce into
         # micro-batches, and are scored by a thread pool over sharded
-        # partial caches; each batch's strategy (materialized vs
-        # factorized) is planned from the inference cost model, and
-        # dimension-row updates (db.update_rows) evict the affected
-        # cached partials automatically.  See
+        # partial caches; each batch's FKs are deduplicated exactly
+        # once into a DedupPlan that the cost-model planner and the
+        # chosen predictor both consume, and dimension-row updates
+        # (db.update_rows) evict the affected cached partials
+        # automatically.  Zipf-skewed traffic can pass
+        # cache_admission="tinylfu" to keep one-hit wonders from
+        # evicting hot partials.  See
         # examples/concurrent_serving_demo.py for a multi-client run.
         with repro.serve_runtime(db, num_workers=4) as runtime:
             runtime.register_nn("ratings", nn, star.spec)
@@ -121,7 +141,9 @@ def main() -> None:
             snapshot = runtime.runtime_stats()
             print(f"[runtime] {len(futures)} point requests -> "
                   f"{snapshot.batches} micro-batches; planner chose "
-                  f"{dict(snapshot.planner_decisions['ratings'])}")
+                  f"{dict(snapshot.planner_decisions['ratings'])}; "
+                  f"dedup ratio "
+                  f"{snapshot.dedup_ratio['ratings']:.1f}x")
             print(f"[runtime] outputs head: "
                   f"{outputs[:3].ravel().round(3)}")
 

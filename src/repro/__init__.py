@@ -51,13 +51,36 @@ automatically, so predictions always reflect the current rows::
         outputs = [f.result() for f in futures]
         runtime.runtime_stats()     # queue depth, batch histogram,
                                     # planner decisions, cache shards
+
+The shared execution core (:mod:`repro.fx`) is what makes all of the
+above one mechanism rather than three: every batch's foreign keys are
+deduplicated exactly once into a :class:`~repro.fx.dedup.DedupPlan`
+(the planner and the chosen predictor consume the same plan), every
+cost question goes through one :class:`~repro.fx.costs.CostModel`
+interface (``fit_gmm(..., algorithm="auto")`` resolves the training
+strategy from it; the runtime's per-batch planner charges batches with
+it), and cached dimension partials live in a
+:class:`~repro.fx.store.PartialStore` keyed by partial fingerprint —
+so two registered models with value-identical partials over the same
+join share one cache instead of holding two copies::
+
+    service = repro.serve(db)
+    service.register_nn("ratings-a", nn, star.spec)
+    service.register_nn("ratings-b", nn, star.spec)   # shares slabs
+    service.store_stats().shared_attachments          # -> 1
+
+Cache-sharing semantics: sharing keys on a digest of the model
+parameters entering the partial computation plus the dimension
+relation, so only bit-identical partials ever share; predictions are
+unchanged.  The first registration's capacity bounds win; invalidation
+by one sharer evicts for all.  Opt out with ``share_partials=False``
+(runtime) or a private ``PartialStore``.  Zipf-skewed FK traffic can
+additionally enable TinyLFU cache admission
+(``cache_admission="tinylfu"``): a count-min frequency sketch keeps
+one-hit wonders from evicting hot partials.
 """
 
 from repro.core.api import (
-    FACTORIZED,
-    MATERIALIZED,
-    SERVING_STRATEGIES,
-    STREAMING,
     GMMResult,
     NNResult,
     StrategyComparison,
@@ -69,6 +92,13 @@ from repro.core.api import (
     predict_nn,
     serve,
     serve_runtime,
+)
+from repro.core.strategies import (
+    AUTO,
+    FACTORIZED,
+    MATERIALIZED,
+    SERVING_STRATEGIES,
+    STREAMING,
 )
 from repro.data.hamlet import HAMLET_PROFILES, load_hamlet, load_movies_3way
 from repro.data.synthetic import (
@@ -85,6 +115,10 @@ from repro.errors import (
     SchemaError,
     StorageError,
 )
+from repro.fx.costs import serving_cost_model, training_cost_model
+from repro.fx.dedup import DedupPlan
+from repro.fx.sketch import FrequencySketch
+from repro.fx.store import PartialStore, StoreStats
 from repro.gmm.base import EMConfig
 from repro.gmm.model import GaussianMixtureModel, GMMParams
 from repro.join.spec import DimensionJoin, JoinSpec
@@ -115,12 +149,15 @@ from repro.storage.schema import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "AUTO",
     "ConvergenceWarning",
     "Database",
+    "DedupPlan",
     "DimensionJoin",
     "DimensionSpec",
     "EMConfig",
     "FACTORIZED",
+    "FrequencySketch",
     "FactorizedGMMPredictor",
     "FactorizedNNPredictor",
     "GMMParams",
@@ -142,6 +179,7 @@ __all__ = [
     "NNResult",
     "NotFittedError",
     "PartialCache",
+    "PartialStore",
     "ReproError",
     "RowVersionEvent",
     "RuntimeConfig",
@@ -155,6 +193,7 @@ __all__ = [
     "ShardedPartialCache",
     "StarSchemaConfig",
     "StorageError",
+    "StoreStats",
     "StrategyComparison",
     "compare_gmm_strategies",
     "compare_nn_strategies",
@@ -171,5 +210,7 @@ __all__ = [
     "predict_nn",
     "serve",
     "serve_runtime",
+    "serving_cost_model",
     "target",
+    "training_cost_model",
 ]

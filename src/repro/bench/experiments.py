@@ -15,11 +15,7 @@ from dataclasses import dataclass
 
 from repro.bench.harness import SweepResult, run_gmm_sweep, run_nn_sweep
 from repro.data.hamlet import load_hamlet, load_movies_3way
-from repro.data.synthetic import (
-    DimensionSpec,
-    StarSchemaConfig,
-    generate_star,
-)
+from repro.data.synthetic import StarSchemaConfig, generate_star
 from repro.gmm.base import EMConfig
 from repro.nn.base import NNConfig
 

@@ -2,10 +2,6 @@
 relations."""
 
 from repro.core.api import (
-    FACTORIZED,
-    MATERIALIZED,
-    SERVING_STRATEGIES,
-    STREAMING,
     GMMResult,
     NNResult,
     StrategyComparison,
@@ -15,12 +11,20 @@ from repro.core.api import (
     fit_nn,
     predict_gmm,
     predict_nn,
+    serve,
+)
+from repro.core.strategies import (
+    AUTO,
+    FACTORIZED,
+    MATERIALIZED,
+    SERVING_STRATEGIES,
+    STREAMING,
     resolve_serving_strategy,
     resolve_strategy,
-    serve,
 )
 
 __all__ = [
+    "AUTO",
     "FACTORIZED",
     "GMMResult",
     "MATERIALIZED",

@@ -22,14 +22,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.strategies import (
+    AUTO,
     FACTORIZED,
     MATERIALIZED,
-    SERVING_STRATEGIES,
     STREAMING,
-    resolve_serving_strategy,
     resolve_strategy,
 )
 from repro.errors import ModelError
+from repro.fx.costs import recommend_training_strategy
 from repro.gmm.algorithms import fit_f_gmm, fit_m_gmm, fit_s_gmm
 from repro.gmm.base import EMConfig, GMMFitResult
 from repro.gmm.model import GaussianMixtureModel
@@ -101,6 +101,28 @@ class NNResult:
         return self.model.predict(features)
 
 
+def _resolve_training_strategy(
+    algorithm: str, db: Database, spec: JoinSpec, kind: str,
+    width_param: int,
+) -> str:
+    """Resolve a training algorithm name, settling ``"auto"`` from the
+    unified cost-model interface (:mod:`repro.fx.costs`) against the
+    workload's actual cardinalities and feature widths."""
+    strategy = resolve_strategy(algorithm)
+    if strategy != AUTO:
+        return strategy
+    resolved = spec.resolve(db)
+    layout = resolved.layout
+    return recommend_training_strategy(
+        kind,
+        rows=resolved.num_rows,
+        distinct=tuple(d.relation.nrows for d in resolved.dimensions),
+        d_s=layout.sizes[0],
+        dim_widths=tuple(layout.sizes[1:]),
+        width_param=width_param,
+    )
+
+
 _GMM_FITTERS = {
     MATERIALIZED: fit_m_gmm,
     STREAMING: fit_s_gmm,
@@ -131,9 +153,10 @@ def fit_gmm(
 
     Parameters mirror :class:`~repro.gmm.base.EMConfig`; pass ``config``
     directly for full control.  ``algorithm`` picks the execution
-    strategy (all produce identical models; they differ in cost).
+    strategy (all produce identical models; they differ in cost);
+    ``"auto"`` resolves materialized-vs-factorized from the unified
+    cost model against the join's cardinalities.
     """
-    strategy = resolve_strategy(algorithm)
     if config is None:
         config = EMConfig(
             n_components=n_components,
@@ -142,6 +165,9 @@ def fit_gmm(
             reg_covar=reg_covar,
             seed=seed,
         )
+    strategy = _resolve_training_strategy(
+        algorithm, db, spec, "gmm", config.n_components
+    )
     fit_result = _GMM_FITTERS[strategy](
         db, spec, config, block_pages=block_pages
     )
@@ -171,8 +197,9 @@ def fit_nn(
     The fact relation must declare a TARGET column (the ``Y`` attribute
     of Section IV).  Parameters mirror
     :class:`~repro.nn.base.NNConfig`; pass ``config`` for full control.
+    ``algorithm="auto"`` resolves materialized-vs-factorized from the
+    unified cost model against the join's cardinalities.
     """
-    strategy = resolve_strategy(algorithm)
     if config is None:
         config = NNConfig(
             hidden_sizes=tuple(hidden_sizes),
@@ -183,6 +210,9 @@ def fit_nn(
             shuffle=shuffle,
             seed=seed,
         )
+    strategy = _resolve_training_strategy(
+        algorithm, db, spec, "nn", config.hidden_sizes[0]
+    )
     fit_result = _NN_FITTERS[strategy](
         db, spec, config, block_pages=block_pages
     )
@@ -229,6 +259,11 @@ def compare_gmm_strategies(
     comparison = StrategyComparison()
     for name in strategies:
         strategy = resolve_strategy(name)
+        if strategy == AUTO:
+            raise ModelError(
+                "'auto' resolves to a single strategy; name the "
+                "concrete strategies to compare"
+            )
         comparison.results[strategy] = _GMM_FITTERS[strategy](
             db, spec, config, block_pages=block_pages
         )
@@ -305,7 +340,10 @@ def predict_nn(
 
 
 def serve(
-    db: Database, *, block_pages: int = DEFAULT_BLOCK_PAGES
+    db: Database,
+    *,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    store=None,
 ) -> ModelService:
     """A :class:`~repro.serve.service.ModelService` over ``db``.
 
@@ -316,12 +354,16 @@ def serve(
         service.register_nn("ratings", nn_result, spec)
         outputs = service.predict("ratings", fact_features, fk_values)
 
-    The service listens for dimension-row updates
+    Factorized models draw their partial caches from a shared
+    :class:`~repro.fx.store.PartialStore` — models with
+    value-identical partials over the same join reuse one cache; pass
+    ``store`` to share it across services (or to pick a TinyLFU
+    admission policy).  The service listens for dimension-row updates
     (:meth:`Database.update_rows`) to keep its partial caches fresh;
     call ``service.close()`` to detach a service you discard before
     the database itself is closed.
     """
-    return ModelService(db, block_pages=block_pages)
+    return ModelService(db, block_pages=block_pages, store=store)
 
 
 def serve_runtime(
@@ -332,6 +374,8 @@ def serve_runtime(
     max_wait_ms: float = 2.0,
     queue_depth: int = 1024,
     cache_shards: int | None = None,
+    cache_admission: str = "lru",
+    share_partials: bool = True,
     block_pages: int = DEFAULT_BLOCK_PAGES,
 ) -> ServingRuntime:
     """A concurrent :class:`~repro.runtime.service.ServingRuntime`.
@@ -343,8 +387,12 @@ def serve_runtime(
     most ``max_wait_ms`` for stragglers), each batch's strategy is
     planned adaptively from the inference cost model, and partial
     caches are sharded by RID hash (``cache_shards``, default one per
-    worker) so workers never contend on one LRU.  Dimension-row
-    updates via :meth:`Database.update_rows` evict the affected RIDs
+    worker) so workers never contend on one LRU.  Caches come from a
+    shared :class:`~repro.fx.store.PartialStore`: fingerprint-identical
+    models reuse one cache (disable with ``share_partials=False``), and
+    ``cache_admission="tinylfu"`` turns on frequency-sketch admission
+    for Zipf-skewed FK traffic.  Dimension-row updates via
+    :meth:`Database.update_rows` evict the affected RIDs
     automatically.  Close the runtime (or use it as a context manager)
     to stop the workers::
 
@@ -361,6 +409,8 @@ def serve_runtime(
             max_wait_ms=max_wait_ms,
             queue_depth=queue_depth,
             cache_shards=cache_shards,
+            cache_admission=cache_admission,
+            share_partials=share_partials,
             block_pages=block_pages,
         ),
     )
@@ -378,6 +428,11 @@ def compare_nn_strategies(
     comparison = StrategyComparison()
     for name in strategies:
         strategy = resolve_strategy(name)
+        if strategy == AUTO:
+            raise ModelError(
+                "'auto' resolves to a single strategy; name the "
+                "concrete strategies to compare"
+            )
         comparison.results[strategy] = _NN_FITTERS[strategy](
             db, spec, config, block_pages=block_pages
         )

@@ -19,8 +19,14 @@ from repro.errors import ModelError
 MATERIALIZED = "materialized"
 STREAMING = "streaming"
 FACTORIZED = "factorized"
+# Training-only: resolve materialized-vs-factorized from the unified
+# cost-model interface (repro.fx.costs) against the workload's actual
+# cardinalities and widths.  Serving rejects it — the runtime's
+# per-batch "adaptive" planning is the inference-time equivalent.
+AUTO = "auto"
 
 _STRATEGY_ALIASES = {
+    "auto": AUTO,
     "materialized": MATERIALIZED,
     "m": MATERIALIZED,
     "m-gmm": MATERIALIZED,
@@ -54,8 +60,9 @@ def resolve_serving_strategy(strategy: str) -> str:
 
     Serving supports ``"materialized"`` (expand each request to wide
     joined rows) and ``"factorized"`` (score over the normalized form);
-    ``"streaming"`` is a training-only notion and is rejected with a
-    clear error.
+    ``"streaming"`` and ``"auto"`` are training-only notions and are
+    rejected with a clear error (the runtime's ``"adaptive"`` strategy
+    is the serving-side analogue of ``"auto"``).
     """
     resolved = resolve_strategy(strategy)
     if resolved not in SERVING_STRATEGIES:

@@ -1,0 +1,65 @@
+"""repro.fx — the factorized execution core.
+
+Everything the paper's trick needs at run time, implemented exactly
+once and shared by training, serving, and the concurrent runtime:
+
+* :mod:`repro.fx.dedup` — :class:`DedupPlan`: one ``(unique, inverse)``
+  FK sort per batch per dimension, computed at batch assembly and
+  threaded through planner and predictors so nobody re-deduplicates;
+* :mod:`repro.fx.gather` — the dedup/gather engine: expand per-distinct
+  partials (or dimension rows) back to request rows from a plan;
+* :mod:`repro.fx.store` — :class:`PartialStore`: dimension partials
+  shared *across* registered models, keyed by
+  ``(partial fingerprint, RID)``, so two models over the same join
+  reuse each other's cached slabs;
+* :mod:`repro.fx.sharding` — the RID-hash sharded partial cache the
+  store hands out (re-exported by :mod:`repro.runtime.sharding`);
+* :mod:`repro.fx.costs` — one :class:`CostModel` interface with
+  serving and training adapters over the paper's published counts;
+* :mod:`repro.fx.sketch` — the count-min frequency sketch behind the
+  TinyLFU cache-admission policy.
+
+Exports resolve lazily (PEP 562): the execution core sits *below* the
+serving layer in some modules (``serve.cache`` uses the sketch) and
+*above* it in others (the store hands out caches to predictors), so an
+eager ``__init__`` would re-enter itself during bootstrap.
+"""
+
+from __future__ import annotations
+
+_EXPORTS = {
+    "CostModel": "repro.fx.costs",
+    "GMMServingCost": "repro.fx.costs",
+    "GMMTrainingCost": "repro.fx.costs",
+    "NNServingCost": "repro.fx.costs",
+    "NNTrainingCost": "repro.fx.costs",
+    "recommend_training_strategy": "repro.fx.costs",
+    "serving_cost_model": "repro.fx.costs",
+    "training_cost_model": "repro.fx.costs",
+    "DedupPlan": "repro.fx.dedup",
+    "DimensionDedup": "repro.fx.dedup",
+    "densify_request": "repro.fx.gather",
+    "gather_partials": "repro.fx.gather",
+    "ShardedPartialCache": "repro.fx.sharding",
+    "FrequencySketch": "repro.fx.sketch",
+    "PartialStore": "repro.fx.store",
+    "StoreStats": "repro.fx.store",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        ) from None
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,345 @@
+"""One cost-model interface over the paper's published counts.
+
+Three divergent cost-model implementations grew up around the same
+idea: :mod:`repro.gmm.cost_model` (training, Sections V-A/V-B),
+:mod:`repro.nn.cost_model` (training, Section VI) and
+:mod:`repro.serve.cost_model` (inference) each expose free functions
+with their own argument orders, and the runtime's batch planner carried
+a *fourth* copy — the multi-way generalization — inline.  This module
+is the single interface those callers now share:
+
+* :class:`CostModel` — the protocol: ``dense_mults(n)`` vs
+  ``factorized_mults(n, distinct, hit_rates)`` for one workload shape,
+  plus ``choose()``/``saving_rate()`` built on top;
+* :class:`NNServingCost` / :class:`GMMServingCost` — inference
+  adapters; binary joins delegate to the published
+  :mod:`repro.serve.cost_model` formulas exactly (asserted by the
+  tests), multi-way joins use the additive generalization that used to
+  live in :class:`repro.runtime.planner.BatchPlanner`;
+* :class:`NNTrainingCost` / :class:`GMMTrainingCost` — per-pass
+  training adapters over the Section V-B / VI-A1 counts, consumed by
+  the ``algorithm="auto"`` training strategy resolution.
+
+Ties go to the dense path everywhere: when factorization saves
+nothing, the wide batch avoids gather bookkeeping and cache
+maintenance.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.errors import ModelError
+from repro.gmm.cost_model import dense_outer_cost, factorized_outer_cost
+from repro.nn.cost_model import (
+    layer1_forward_mults_dense,
+    layer1_forward_mults_factorized,
+)
+from repro.serve.cost_model import (
+    gmm_serving_mults_dense,
+    gmm_serving_mults_factorized,
+    nn_serving_mults_dense,
+    nn_serving_mults_factorized,
+)
+
+
+@runtime_checkable
+class CostModel(Protocol):
+    """Multiplication counts for one model over one join layout.
+
+    Implementations fix the static layout (fact width ``d_s``, one
+    width per dimension, and the model's per-row work multiplier —
+    hidden width ``n_h`` for networks, component count ``K`` for
+    mixtures); calls supply the per-batch quantities: ``n`` rows,
+    per-dimension ``distinct`` RID counts, and optionally the current
+    per-dimension cache hit rates.
+    """
+
+    kind: str
+
+    def dense_mults(self, n: int) -> int: ...
+
+    def factorized_mults(
+        self,
+        n: int,
+        distinct: tuple[int, ...],
+        hit_rates: tuple[float, ...] | None = None,
+    ) -> int: ...
+
+    def choose(
+        self,
+        n: int,
+        distinct: tuple[int, ...],
+        hit_rates: tuple[float, ...] | None = None,
+    ) -> str: ...
+
+
+class _CostModelBase:
+    """Layout validation plus the decision logic shared by adapters."""
+
+    kind = "?"
+
+    def __init__(
+        self, d_s: int, dim_widths: tuple[int, ...], width_param: int
+    ) -> None:
+        if d_s <= 0 or width_param <= 0 or not dim_widths:
+            raise ModelError(
+                "cost model needs positive d_s, width_param and at "
+                "least one dimension"
+            )
+        if any(w <= 0 for w in dim_widths):
+            raise ModelError(
+                f"dimension widths must be positive, got {dim_widths}"
+            )
+        self.d_s = int(d_s)
+        self.dim_widths = tuple(int(w) for w in dim_widths)
+        self.width_param = int(width_param)
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dim_widths)
+
+    def _normalize(self, n, distinct, hit_rates):
+        distinct = tuple(int(m) for m in distinct)
+        if len(distinct) != self.num_dimensions:
+            raise ModelError(
+                f"got {len(distinct)} distinct counts for "
+                f"{self.num_dimensions} dimensions"
+            )
+        if hit_rates is None:
+            hit_rates = tuple(0.0 for _ in distinct)
+        if len(hit_rates) != self.num_dimensions:
+            raise ModelError(
+                f"got {len(hit_rates)} hit rates for "
+                f"{self.num_dimensions} dimensions"
+            )
+        hit_rates = tuple(min(1.0, max(0.0, float(h))) for h in hit_rates)
+        return int(n), distinct, hit_rates
+
+    def choose(self, n, distinct, hit_rates=None) -> str:
+        """The strategy with strictly fewer expected multiplications
+        (ties → materialized: no gather or cache bookkeeping)."""
+        if n == 0:
+            return FACTORIZED
+        factorized = self.factorized_mults(n, distinct, hit_rates)
+        return FACTORIZED if factorized < self.dense_mults(n) else (
+            MATERIALIZED
+        )
+
+    def saving_rate(self, n, distinct, hit_rates=None) -> float:
+        """Fraction of multiplications the factorized path removes."""
+        dense = self.dense_mults(n)
+        if not dense:
+            return 0.0
+        return (dense - self.factorized_mults(n, distinct, hit_rates)) / (
+            dense
+        )
+
+
+# -- serving adapters ----------------------------------------------------------
+
+
+class NNServingCost(_CostModelBase):
+    """First-layer inference counts (Section VI-A1, one forward pass)."""
+
+    kind = "nn"
+
+    def dense_mults(self, n: int) -> int:
+        # Dense scoring only sees the total width, so the cost model's
+        # binary formula covers every join shape.
+        if n == 0:
+            return 0
+        return nn_serving_mults_dense(
+            n, self.d_s, sum(self.dim_widths), self.width_param
+        )
+
+    def factorized_mults(self, n, distinct, hit_rates=None) -> int:
+        n, distinct, hit_rates = self._normalize(n, distinct, hit_rates)
+        if n == 0:
+            return 0
+        if self.num_dimensions == 1:
+            return nn_serving_mults_factorized(
+                n, max(distinct[0], 1), self.d_s, self.dim_widths[0],
+                self.width_param, hit_rate=hit_rates[0],
+            )
+        total = n * self.width_param * self.d_s
+        for m, d_r, hit in zip(distinct, self.dim_widths, hit_rates):
+            total += (1.0 - hit) * m * self.width_param * d_r
+        return round(total)
+
+
+class GMMServingCost(_CostModelBase):
+    """Mahalanobis scoring counts (Eq. 9–12/19, one scoring pass)."""
+
+    kind = "gmm"
+
+    def dense_mults(self, n: int) -> int:
+        if n == 0:
+            return 0
+        return gmm_serving_mults_dense(
+            n, self.d_s, sum(self.dim_widths), self.width_param
+        )
+
+    def factorized_mults(self, n, distinct, hit_rates=None) -> int:
+        n, distinct, hit_rates = self._normalize(n, distinct, hit_rates)
+        if n == 0:
+            return 0
+        k = self.width_param
+        if self.num_dimensions == 1:
+            return gmm_serving_mults_factorized(
+                n, max(distinct[0], 1), self.d_s, self.dim_widths[0], k,
+                hit_rate=hit_rates[0],
+            )
+        # Per fact row, the UL block + one cross dot per dimension +
+        # one coupling dot per dimension pair (Eq. 9-12/19); per
+        # distinct RID of dimension i, the cross product, the LR form
+        # and the coupling factors against later dimensions.
+        widths = self.dim_widths
+        total = n * k * (self.d_s * self.d_s + self.d_s)
+        total += n * k * self.d_s * len(widths)        # cross dots
+        for i in range(len(widths)):
+            for j in range(i + 1, len(widths)):
+                total += n * k * widths[j]             # coupling dots
+        for i, (m, d_r, hit) in enumerate(
+            zip(distinct, widths, hit_rates)
+        ):
+            later = sum(widths[i + 1:])
+            per_distinct = (
+                d_r * self.d_s + d_r * d_r + d_r + d_r * later
+            )
+            total += (1.0 - hit) * m * k * per_distinct
+        return round(total)
+
+
+# -- training adapters ---------------------------------------------------------
+
+
+class NNTrainingCost(_CostModelBase):
+    """Per-pass first-layer training counts (Section VI-A1).
+
+    Binary joins reproduce
+    :func:`repro.nn.cost_model.layer1_forward_mults_factorized`
+    exactly; multi-way joins subtract each dimension's saved products
+    ``(n − m_i)·n_h·d_Ri`` from the dense count — the same additive
+    structure the serving adapters use.  ``hit_rates`` are accepted for
+    interface uniformity but training holds no partial caches, so they
+    are ignored.
+    """
+
+    kind = "nn"
+
+    def dense_mults(self, n: int) -> int:
+        if n == 0:
+            return 0
+        return layer1_forward_mults_dense(
+            n, self.d_s + sum(self.dim_widths), self.width_param
+        )
+
+    def factorized_mults(self, n, distinct, hit_rates=None) -> int:
+        n, distinct, _ = self._normalize(n, distinct, hit_rates)
+        if n == 0:
+            return 0
+        if self.num_dimensions == 1:
+            return layer1_forward_mults_factorized(
+                n, max(distinct[0], 1), self.d_s, self.dim_widths[0],
+                self.width_param,
+            )
+        total = self.dense_mults(n)
+        for m, d_r in zip(distinct, self.dim_widths):
+            total -= (n - m) * self.width_param * d_r
+        return total
+
+
+class GMMTrainingCost(_CostModelBase):
+    """Per-pass Σ-update outer-product counts (Eq. 14, Section V-B).
+
+    Binary joins reproduce the multiplication counts of
+    :func:`repro.gmm.cost_model.dense_outer_cost` /
+    :func:`~repro.gmm.cost_model.factorized_outer_cost` times the
+    component count; multi-way joins run each dimension's diagonal
+    block at distinct cardinality, i.e. subtract ``(n − m_i)·d_Ri²``
+    per dimension.  ``width_param`` is the component count ``K``;
+    ``hit_rates`` are ignored (training holds no partial caches).
+    """
+
+    kind = "gmm"
+
+    def dense_mults(self, n: int) -> int:
+        # dense_outer_cost only sees the total width, so the binary
+        # formula covers every join shape (d_r = Σ d_Ri).
+        if n == 0:
+            return 0
+        per_component = dense_outer_cost(
+            n, self.d_s, sum(self.dim_widths)
+        ).multiplications
+        return self.width_param * int(per_component)
+
+    def factorized_mults(self, n, distinct, hit_rates=None) -> int:
+        n, distinct, _ = self._normalize(n, distinct, hit_rates)
+        if n == 0:
+            return 0
+        if self.num_dimensions == 1:
+            per_component = factorized_outer_cost(
+                n, max(distinct[0], 1), self.d_s, self.dim_widths[0]
+            ).multiplications
+            return self.width_param * int(per_component)
+        total = self.dense_mults(n)
+        for m, d_r in zip(distinct, self.dim_widths):
+            total -= self.width_param * (n - m) * d_r * d_r
+        return total
+
+
+# -- factories and strategy recommendation ------------------------------------
+
+
+_SERVING = {"gmm": GMMServingCost, "nn": NNServingCost}
+_TRAINING = {"gmm": GMMTrainingCost, "nn": NNTrainingCost}
+
+
+def _make(registry, kind, d_s, dim_widths, width_param):
+    try:
+        cls = registry[kind]
+    except KeyError:
+        raise ModelError(
+            f"unknown cost-model kind {kind!r}; use 'gmm'|'nn'"
+        ) from None
+    return cls(d_s, dim_widths, width_param)
+
+
+def serving_cost_model(
+    kind: str, *, d_s: int, dim_widths: tuple[int, ...], width_param: int
+) -> CostModel:
+    """The inference cost adapter for ``kind`` ("gmm" | "nn")."""
+    return _make(_SERVING, kind, d_s, dim_widths, width_param)
+
+
+def training_cost_model(
+    kind: str, *, d_s: int, dim_widths: tuple[int, ...], width_param: int
+) -> CostModel:
+    """The per-pass training cost adapter for ``kind`` ("gmm" | "nn")."""
+    return _make(_TRAINING, kind, d_s, dim_widths, width_param)
+
+
+def recommend_training_strategy(
+    kind: str,
+    *,
+    rows: int,
+    distinct: tuple[int, ...],
+    d_s: int,
+    dim_widths: tuple[int, ...],
+    width_param: int,
+) -> str:
+    """Materialized vs factorized for a training workload, by count.
+
+    ``rows`` is the join cardinality and ``distinct`` the dimension
+    relation cardinalities — the static estimate of the per-batch
+    tuple ratio.  Streaming is never recommended: it trades compute
+    identically with materialized and differs only in I/O, which the
+    caller can reason about via :mod:`repro.gmm.cost_model`'s page
+    formulas.
+    """
+    model = training_cost_model(
+        kind, d_s=d_s, dim_widths=dim_widths, width_param=width_param
+    )
+    return model.choose(rows, distinct)

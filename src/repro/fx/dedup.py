@@ -1,0 +1,125 @@
+"""Per-batch foreign-key deduplication, computed exactly once.
+
+Every factorized code path starts the same way: sort each dimension's
+FK column into ``(unique, inverse)`` so dimension-side work runs at
+distinct-tuple cardinality ``m`` and is gathered back to the ``n``
+request rows.  Before this module existed that sort happened twice per
+batch — once in the runtime's :class:`~repro.runtime.planner.
+BatchPlanner` (to count distinct RIDs) and again inside the chosen
+predictor's gather/densify.  A :class:`DedupPlan` is the sort's result
+as a first-class value: the batch assembler computes it once and
+threads it through ``plan() → predict()``, and anything downstream
+(cost models, cache lookups, grouped reductions) reads it instead of
+calling ``np.unique`` again.
+
+The plan is also the bridge to the training-side primitives: each
+dimension's ``inverse`` array *is* a codes array in the sense of
+:class:`repro.linalg.groupsum.GroupIndex`, so grouped reductions can be
+built from a plan without another sort (:meth:`DimensionDedup.
+group_index`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.linalg.groupsum import GroupIndex
+
+
+@dataclass(frozen=True)
+class DimensionDedup:
+    """One dimension's ``(unique, inverse)`` FK sort.
+
+    ``unique`` holds the sorted distinct RIDs (int64); ``inverse`` maps
+    each of the batch's fact rows to its position in ``unique``, so
+    ``unique[inverse]`` reproduces the raw FK column.
+    """
+
+    unique: np.ndarray
+    inverse: np.ndarray
+
+    @property
+    def m(self) -> int:
+        """Distinct-RID count (the paper's ``m``)."""
+        return int(self.unique.size)
+
+    def gather(self, per_distinct: np.ndarray) -> np.ndarray:
+        """Expand per-distinct rows back to request rows."""
+        per_distinct = np.asarray(per_distinct)
+        if per_distinct.shape[0] != self.m:
+            raise ModelError(
+                f"per-distinct values have {per_distinct.shape[0]} rows, "
+                f"the plan holds {self.m} distinct RIDs"
+            )
+        return per_distinct[self.inverse]
+
+    def group_index(self) -> GroupIndex:
+        """The training-side grouped-reduction view of this dedup.
+
+        ``inverse`` is already a codes array mapping fact rows to
+        ``[0, m)``, so the :class:`~repro.linalg.groupsum.GroupIndex`
+        is built without re-sorting the keys.
+        """
+        return GroupIndex.from_inverse(self.inverse, self.m)
+
+
+@dataclass(frozen=True)
+class DedupPlan:
+    """The per-batch dedup of every dimension's FK column.
+
+    Built once per assembled batch via :meth:`for_batch`; the planner
+    reads :attr:`distinct` for its cost estimates and the predictors
+    read each dimension's ``(unique, inverse)`` for cache lookups and
+    gathers — one ``np.unique`` per batch per dimension, total.
+    """
+
+    rows: int
+    dims: tuple[DimensionDedup, ...]
+
+    @classmethod
+    def for_batch(cls, fks) -> "DedupPlan":
+        """Dedup one batch's canonical per-dimension FK arrays."""
+        arrays = [np.asarray(fk).ravel() for fk in fks]
+        rows = int(arrays[0].shape[0]) if arrays else 0
+        dims = []
+        for fk in arrays:
+            if fk.shape[0] != rows:
+                raise ModelError(
+                    f"FK arrays disagree on batch size: {fk.shape[0]} "
+                    f"vs {rows}"
+                )
+            unique, inverse = np.unique(fk, return_inverse=True)
+            dims.append(
+                DimensionDedup(
+                    unique.astype(np.int64),
+                    np.asarray(inverse, dtype=np.int64).ravel(),
+                )
+            )
+        return cls(rows=rows, dims=tuple(dims))
+
+    @property
+    def num_dimensions(self) -> int:
+        return len(self.dims)
+
+    @cached_property
+    def distinct(self) -> tuple[int, ...]:
+        """Per-dimension distinct-RID counts, in spec order."""
+        return tuple(dim.m for dim in self.dims)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """How much the dedup shrank the batch: FK references per
+        distinct RID, across all dimensions (1.0 for an empty batch —
+        no shrink happened)."""
+        total_distinct = sum(self.distinct)
+        if total_distinct == 0:
+            return 1.0
+        return self.rows * self.num_dimensions / total_distinct
+
+    def matches(self, rows: int, num_dimensions: int) -> bool:
+        """Whether this plan describes a batch of the given shape."""
+        return self.rows == rows and self.num_dimensions == num_dimensions

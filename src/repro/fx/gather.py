@@ -1,0 +1,73 @@
+"""The dedup/gather engine shared by every factorized execution path.
+
+Serving previously carried two private copies of the same loop: the
+factorized predictors' partial gather and the materialized predictors'
+request densify, each starting with its own ``np.unique`` over the FK
+columns.  Both now consume a :class:`~repro.fx.dedup.DedupPlan`
+computed once per batch:
+
+* :func:`gather_partials` — resolve each dimension's *distinct* RIDs
+  through a partial cache (misses read base-relation pages and run the
+  model's partial builder) and expand the rows back to request order;
+* :func:`densify_request` — fetch each dimension's distinct feature
+  rows once and expand them into the wide ``[x_S | x_R1 | …]`` block
+  the dense models score.
+
+Caches may be plain :class:`~repro.serve.cache.PartialCache` shards,
+RID-hash :class:`~repro.runtime.sharding.ShardedPartialCache` ones, or
+views handed out by a :class:`~repro.fx.store.PartialStore` — anything
+``get_many()``-compatible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fx.dedup import DedupPlan
+
+
+def gather_partials(
+    lookups,
+    caches,
+    builders,
+    plan: DedupPlan,
+) -> list[np.ndarray]:
+    """Per-dimension partial rows gathered to request rows.
+
+    Distinct RIDs come from the plan (no re-dedup); misses read
+    base-relation pages through ``lookups`` and run the ``builders``;
+    the builder's known row width keeps empty request batches
+    well-shaped.
+    """
+    gathered = []
+    for lookup, cache, builder, dim in zip(
+        lookups, caches, builders, plan.dims
+    ):
+        if dim.m == 0:
+            gathered.append(np.zeros((0, builder.width)))
+            continue
+        rows = cache.get_many(
+            dim.unique,
+            lambda keys, build=builder, look=lookup: build.compute(
+                look.features_for(keys)
+            ),
+        )
+        gathered.append(dim.gather(rows))
+    return gathered
+
+
+def densify_request(
+    features: np.ndarray,
+    lookups,
+    plan: DedupPlan,
+) -> np.ndarray:
+    """Expand a normalized request to wide joined rows.
+
+    Each dimension's feature rows are fetched once per *distinct* RID
+    and gathered — the dense strategy enjoys the same single dedup as
+    the factorized one; only the downstream math differs.
+    """
+    parts = [features]
+    for lookup, dim in zip(lookups, plan.dims):
+        parts.append(dim.gather(lookup.features_for(dim.unique)))
+    return np.concatenate(parts, axis=1)

@@ -1,0 +1,178 @@
+"""RID-hash sharded partial caches for concurrent workers.
+
+A single :class:`~repro.serve.cache.PartialCache` under one lock would
+serialize every factorized batch on cache maintenance.  Instead the
+execution core shards by RID hash: shard ``rid % num_shards``, one
+:class:`PartialCache` plus one lock per shard, so workers touching
+disjoint RID ranges never contend on the same LRU — and a batch only
+holds the locks of the shards its distinct RIDs map to, one at a time.
+
+The coarse per-shard lock is also what makes dimension-update
+invalidation race-free: a miss computes its partial *inside* the shard
+lock, so an :meth:`invalidate` for that shard serializes either wholly
+before the insert (the compute then reads the already-updated pages —
+events fire after the write) or wholly after it (the fresh-but-stale
+row is evicted).  A stale partial can never survive an invalidation.
+
+``ShardedPartialCache`` is get_many()-compatible with ``PartialCache``,
+so the factorized predictors use either interchangeably; a
+:class:`~repro.fx.store.PartialStore` hands out shared instances to
+models with matching partial fingerprints.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.serve.cache import LRU_ADMISSION, CacheStats, PartialCache
+
+
+class ShardedPartialCache:
+    """``num_shards`` independently locked LRU shards keyed by RID hash.
+
+    ``capacity`` / ``capacity_floats`` are *totals*, split evenly
+    across shards (rounded up, so the aggregate bound is approximate by
+    at most ``num_shards - 1`` entries/rows — the usual sharding
+    trade).  ``admission`` selects each shard's policy
+    (``"lru"`` | ``"tinylfu"``, see :class:`PartialCache`); with hash
+    placement every RID always maps to the same shard, so per-shard
+    frequency sketches see that RID's full access stream.
+    """
+
+    def __init__(
+        self,
+        num_shards: int,
+        capacity: int | None = None,
+        *,
+        capacity_floats: int | None = None,
+        admission: str = LRU_ADMISSION,
+    ) -> None:
+        if num_shards <= 0:
+            raise ModelError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        self.num_shards = num_shards
+
+        def _split(total: int | None) -> int | None:
+            if total is None:
+                return None
+            return max(1, -(-total // num_shards))
+
+        self.shards = [
+            PartialCache(
+                _split(capacity),
+                capacity_floats=_split(capacity_floats),
+                admission=admission,
+            )
+            for _ in range(num_shards)
+        ]
+        self.admission = self.shards[0].admission
+        self._locks = [threading.Lock() for _ in range(num_shards)]
+
+    def shard_of(self, key: int) -> int:
+        """Which shard holds ``key`` (stable RID-hash placement)."""
+        return int(key) % self.num_shards
+
+    def get_many(
+        self,
+        keys: np.ndarray,
+        compute: Callable[[np.ndarray], np.ndarray],
+    ) -> np.ndarray:
+        """Rows for ``keys``, shard by shard, misses computed per shard.
+
+        Same contract as :meth:`PartialCache.get_many`; the compute
+        callback may be invoked once per shard that has misses (still
+        vectorized within each shard).
+        """
+        keys = np.asarray(keys)
+        if keys.ndim != 1:
+            raise ModelError(f"keys must be 1-D, got shape {keys.shape}")
+        if keys.size == 0:
+            return np.zeros((0, 0))
+        shard_ids = keys.astype(np.int64) % self.num_shards
+        out: np.ndarray | None = None
+        for shard_id in np.unique(shard_ids):
+            mask = shard_ids == shard_id
+            with self._locks[shard_id]:
+                rows = self.shards[shard_id].get_many(keys[mask], compute)
+            if out is None:
+                out = np.empty((keys.size, rows.shape[1]))
+            out[mask] = rows
+        return out
+
+    def invalidate(self, keys: np.ndarray) -> int:
+        """Evict the given RIDs from every shard; returns rows dropped.
+
+        With hash placement each RID lives in exactly one shard, but
+        sweeping all shards keeps the operation correct even if the
+        shard count ever changes between runs — eviction must never
+        miss a stale partial.
+        """
+        dropped = 0
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                dropped += shard.invalidate(keys)
+        return dropped
+
+    def clear(self) -> None:
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                shard.clear()
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def __contains__(self, key: int) -> bool:
+        return int(key) in self.shards[self.shard_of(key)]
+
+    @property
+    def bytes_resident(self) -> int:
+        """Resident payload across all shards, in bytes."""
+        return sum(shard.bytes_resident for shard in self.shards)
+
+    def shard_stats(self) -> list[CacheStats]:
+        """Per-shard counters, in shard order."""
+        out = []
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                out.append(shard.stats())
+        return out
+
+    def stats(self) -> CacheStats:
+        """Aggregate counters across shards (duck-types ``PartialCache``)."""
+        total = CacheStats(
+            capacity=0 if self.shards[0].capacity is not None else None,
+            capacity_floats=(
+                0 if self.shards[0].capacity_floats is not None else None
+            ),
+        )
+        for stats in self.shard_stats():
+            total = total + stats
+        return total
+
+    @property
+    def hit_rate(self) -> float:
+        return self.stats().hit_rate
+
+    def approx_hit_rate(self) -> float:
+        """Lock-free hit-rate estimate for the batch planner's hot path.
+
+        Reads the shard counters without taking their locks — a torn
+        read skews an estimate that only discounts a cost model, never
+        correctness, and skipping the locks keeps per-batch planning
+        from contending with concurrent ``get_many`` calls.
+        """
+        hits = sum(shard.hits for shard in self.shards)
+        lookups = hits + sum(shard.misses for shard in self.shards)
+        return hits / lookups if lookups else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"ShardedPartialCache(shards={self.num_shards}, "
+            f"entries={stats.entries}, hit_rate={stats.hit_rate:.2f})"
+        )

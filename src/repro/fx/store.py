@@ -1,0 +1,197 @@
+"""Cross-model sharing of cached dimension partials.
+
+Before the store existed, every registered model owned its partial
+caches outright: registering the same fitted model twice (a blue/green
+deploy, an A/B control arm, two services fronting one model) doubled
+the resident partial bytes and halved the effective hit rate.  The
+store fixes this by keying caches on *partial fingerprints*: a
+deterministic digest of everything a partial row's value depends on —
+the builder kind, the model parameters that enter the computation, and
+the dimension relation the rows come from.  Two models whose
+fingerprints match would compute bit-identical partial rows for every
+RID, so they can safely share one cache; models with different
+parameters get different fingerprints and never collide.
+
+:meth:`PartialStore.acquire` returns a
+:class:`~repro.fx.sharding.ShardedPartialCache` — the first acquirer
+of a fingerprint creates it (that acquirer's capacity bounds win),
+later acquirers attach to it.  :meth:`release` detaches; the cache and
+its resident rows are dropped when the last holder leaves.  Pass
+``shared=False`` to get the old per-model behavior (every acquire
+creates a private cache) — the A/B knob the shared-cache benchmark
+flips.
+
+Invalidation is unchanged: holders call ``invalidate`` on the caches
+they acquired.  With sharing, the first holder's invalidation already
+evicts the RIDs for everyone — later holders' calls find nothing and
+drop zero rows, which keeps per-model ``invalidated_rids`` counters
+approximate under sharing (a documented attribution trade, like shared
+buffer-pool stats).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.fx.sharding import ShardedPartialCache
+from repro.serve.cache import (
+    ADMISSION_POLICIES,
+    LRU_ADMISSION,
+    CacheStats,
+)
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """Point-in-time store counters.
+
+    ``caches`` counts live fingerprints; ``attachments`` the models
+    currently holding them; ``shared_attachments`` how many of those
+    attached to a cache someone else had already created — the direct
+    measure of cross-model reuse.  ``cache`` aggregates the usual
+    :class:`~repro.serve.cache.CacheStats` across every live cache.
+    """
+
+    caches: int
+    attachments: int
+    shared_attachments: int
+    cache: CacheStats
+
+    @property
+    def bytes_resident(self) -> int:
+        return self.cache.bytes_resident
+
+
+class _Entry:
+    __slots__ = ("cache", "refs")
+
+    def __init__(self, cache: ShardedPartialCache) -> None:
+        self.cache = cache
+        self.refs = 1
+
+
+class PartialStore:
+    """Fingerprint-keyed registry of shared partial caches.
+
+    ``num_shards`` and ``admission`` apply to every cache the store
+    creates; per-fingerprint ``capacity`` / ``capacity_floats`` come
+    from the first acquirer.  All bookkeeping is thread-safe — the
+    runtime registers models while traffic is live.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_shards: int = 1,
+        admission: str = LRU_ADMISSION,
+        shared: bool = True,
+    ) -> None:
+        if num_shards <= 0:
+            raise ModelError(
+                f"num_shards must be positive, got {num_shards}"
+            )
+        if admission not in ADMISSION_POLICIES:
+            raise ModelError(
+                f"unknown admission policy {admission!r}; use one of "
+                f"{list(ADMISSION_POLICIES)}"
+            )
+        self.num_shards = num_shards
+        self.admission = admission
+        self.shared = shared
+        self._entries: dict[str, _Entry] = {}
+        self._key_of_cache: dict[int, str] = {}
+        self._serial = 0
+        self._shared_attachments = 0
+        self._lock = threading.Lock()
+
+    def acquire(
+        self,
+        fingerprint: str,
+        *,
+        capacity: int | None = None,
+        capacity_floats: int | None = None,
+    ) -> ShardedPartialCache:
+        """The shared cache for ``fingerprint`` (created on first use).
+
+        Later acquirers of a live fingerprint share the existing cache
+        — their ``capacity`` arguments are ignored (the first
+        registration's bounds win; re-bounding a cache under live
+        traffic would evict another model's working set).
+        """
+        with self._lock:
+            if self.shared:
+                entry = self._entries.get(fingerprint)
+                if entry is not None:
+                    entry.refs += 1
+                    self._shared_attachments += 1
+                    return entry.cache
+                key = fingerprint
+            else:
+                self._serial += 1
+                key = f"{fingerprint}#{self._serial}"
+            cache = ShardedPartialCache(
+                self.num_shards,
+                capacity,
+                capacity_floats=capacity_floats,
+                admission=self.admission,
+            )
+            self._entries[key] = _Entry(cache)
+            self._key_of_cache[id(cache)] = key
+            return cache
+
+    def release(self, cache: ShardedPartialCache) -> None:
+        """Detach from a cache; drop it when the last holder leaves."""
+        with self._lock:
+            key = self._key_of_cache.get(id(cache))
+            if key is None:
+                raise ModelError(
+                    "cache was not acquired from this store (or was "
+                    "already fully released)"
+                )
+            entry = self._entries[key]
+            entry.refs -= 1
+            if entry.refs <= 0:
+                del self._entries[key]
+                del self._key_of_cache[id(cache)]
+
+    def __len__(self) -> int:
+        """Live caches (distinct fingerprints held)."""
+        return len(self._entries)
+
+    @property
+    def bytes_resident(self) -> int:
+        """Resident partial payload across every live cache, in bytes."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return sum(entry.cache.bytes_resident for entry in entries)
+
+    def stats(self) -> StoreStats:
+        with self._lock:
+            entries = list(self._entries.values())
+            shared_attachments = self._shared_attachments
+        total = CacheStats()
+        for entry in entries:
+            total = total + entry.cache.stats()
+        return StoreStats(
+            caches=len(entries),
+            attachments=sum(entry.refs for entry in entries),
+            shared_attachments=shared_attachments,
+            cache=total,
+        )
+
+    def clear(self) -> None:
+        """Drop every cache's entries (holders keep their handles)."""
+        with self._lock:
+            entries = list(self._entries.values())
+        for entry in entries:
+            entry.cache.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"PartialStore(caches={stats.caches}, "
+            f"attachments={stats.attachments}, "
+            f"bytes_resident={stats.bytes_resident})"
+        )

@@ -3,6 +3,12 @@
 These formulas are checked against *measured* page counts and operation
 counts by the test suite and the ``bench_io_cost`` benchmark — the
 reproduction validates the paper's analysis, not just its empirics.
+
+This module is the *formula layer*; the uniform training cost
+interface consumed by ``algorithm="auto"`` strategy resolution is
+:class:`repro.fx.costs.GMMTrainingCost`, which delegates to
+:func:`dense_outer_cost` / :func:`factorized_outer_cost` for binary
+joins.
 """
 
 from __future__ import annotations

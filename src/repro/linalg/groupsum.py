@@ -50,6 +50,26 @@ class GroupIndex:
             )
         self.codes = codes
         self.num_groups = int(num_groups)
+        self._build()
+
+    @classmethod
+    def from_inverse(
+        cls, inverse: np.ndarray, num_groups: int
+    ) -> "GroupIndex":
+        """Build from an ``np.unique(..., return_inverse=True)`` result.
+
+        The ``inverse`` array of a dedup *is* a codes array with values
+        in ``[0, num_groups)`` — this constructor only exists to name
+        that identity (see :meth:`repro.fx.dedup.DimensionDedup.
+        group_index`), so a batch deduplicated once is never re-sorted
+        to build its grouped reductions.  An empty dedup (``num_groups
+        == 0``) yields a single empty group, keeping zero-row batches
+        well-shaped.
+        """
+        return cls(np.asarray(inverse), max(int(num_groups), 1))
+
+    def _build(self) -> None:
+        codes = self.codes
         self._order = np.argsort(codes, kind="stable")
         sorted_codes = codes[self._order]
         # Segment starts within the sorted order, one per present group.
@@ -58,7 +78,7 @@ class GroupIndex:
         )
         self._segment_starts = first_of_group
         self._present_groups = sorted_codes[first_of_group]
-        self._counts = np.bincount(codes, minlength=num_groups)
+        self._counts = np.bincount(codes, minlength=self.num_groups)
 
     @property
     def n(self) -> int:

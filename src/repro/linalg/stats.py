@@ -23,7 +23,6 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.linalg.design import FactorizedDesign
-from repro.linalg.groupsum import GroupIndex
 
 
 @dataclass(frozen=True)

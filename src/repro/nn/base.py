@@ -20,8 +20,6 @@ import time
 from dataclasses import dataclass, field
 from typing import Protocol
 
-import numpy as np
-
 from repro.errors import ModelError
 from repro.nn.layers import LayerGrads
 from repro.nn.network import MLP

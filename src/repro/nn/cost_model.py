@@ -9,6 +9,11 @@ Three analyses from the paper, each validated by tests/benches:
   factorizing after the first layer;
 * backward I/O savings (Section VI-A3): reading base relations touches
   ``n_S·d_S + n_R·d_R`` fields instead of ``N·(d_S + d_R)``.
+
+This module is the *formula layer*; the uniform training cost
+interface consumed by ``algorithm="auto"`` strategy resolution is
+:class:`repro.fx.costs.NNTrainingCost`, which delegates to the
+layer-1 forward counts for binary joins.
 """
 
 from __future__ import annotations

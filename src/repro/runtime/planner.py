@@ -1,15 +1,17 @@
-"""Per-batch strategy planning from the inference cost model.
+"""Per-batch strategy planning from the unified cost-model interface.
 
 At registration time PR 1's :class:`~repro.serve.service.ModelService`
 fixes a strategy per model; under mixed traffic that is the wrong
 granularity.  The quantity that decides the winner — the tuple ratio
 ``n/m`` between batch rows and distinct RIDs — is known *before*
 scoring, at micro-batch assembly, so the runtime plans each batch
-individually: it counts distinct RIDs per dimension, reads the current
-cache hit rate (warm partials cost no dimension-side work at all), and
-charges both strategies with the multiplication counts of
-:mod:`repro.serve.cost_model`, generalized additively over dimensions
-for multi-way joins.
+individually from its :class:`~repro.fx.dedup.DedupPlan`: the dedup is
+computed once at assembly, the planner reads its distinct-RID counts
+(no second ``np.unique``), and the chosen predictor then gathers with
+the very same plan.  Multiplication charges come from
+:mod:`repro.fx.costs` — the one :class:`~repro.fx.costs.CostModel`
+interface shared with training strategy resolution — discounted by the
+live cache hit rate (warm partials cost no dimension-side work).
 
 Ties go to the materialized path: when factorization saves nothing,
 the dense batch avoids cache maintenance and shard locking.
@@ -24,12 +26,8 @@ import numpy as np
 
 from repro.core.strategies import FACTORIZED, MATERIALIZED
 from repro.errors import ModelError
-from repro.serve.cost_model import (
-    gmm_serving_mults_dense,
-    gmm_serving_mults_factorized,
-    nn_serving_mults_dense,
-    nn_serving_mults_factorized,
-)
+from repro.fx.costs import serving_cost_model
+from repro.fx.dedup import DedupPlan
 
 
 @dataclass(frozen=True)
@@ -51,7 +49,12 @@ class PlanDecision:
 
 @dataclass
 class PlannerStats:
-    """Rolling decision counters for one model."""
+    """Rolling decision counters for one model.
+
+    Dedup bookkeeping lives on :class:`~repro.runtime.service.
+    RuntimeModel` (every executed batch counts, planned or not);
+    this class only tracks the planner's *decisions*.
+    """
 
     decisions: Counter = field(default_factory=Counter)
     recent: list[PlanDecision] = field(default_factory=list)
@@ -70,7 +73,10 @@ class BatchPlanner:
     ``kind`` is ``"gmm"`` or ``"nn"``; ``d_s``/``dim_widths`` describe
     the join layout and ``width_param`` is the model's per-row work
     multiplier (hidden width ``n_h`` for networks, component count
-    ``K`` for mixtures).
+    ``K`` for mixtures).  All multiplication counts delegate to the
+    matching :mod:`repro.fx.costs` serving adapter; the binary-join
+    case reduces to the published :mod:`repro.serve.cost_model`
+    formulas exactly (asserted by the tests).
     """
 
     def __init__(
@@ -91,23 +97,13 @@ class BatchPlanner:
         self.d_s = d_s
         self.dim_widths = tuple(int(w) for w in dim_widths)
         self.width_param = width_param
-
-    # -- multiplication counts: repro.serve.cost_model states the
-    # binary-join case and is delegated to directly; multi-way joins
-    # use the additive generalization below (which reduces to the
-    # cost-model formulas at one dimension — asserted by the tests) --------
+        self.cost_model = serving_cost_model(
+            kind, d_s=d_s, dim_widths=self.dim_widths,
+            width_param=width_param,
+        )
 
     def dense_mults(self, n: int) -> int:
-        # Dense scoring only sees the total width, so the cost model's
-        # binary formulas cover every join shape here.
-        d_r_total = sum(self.dim_widths)
-        if self.kind == "nn":
-            return nn_serving_mults_dense(
-                n, self.d_s, d_r_total, self.width_param
-            )
-        return gmm_serving_mults_dense(
-            n, self.d_s, d_r_total, self.width_param
-        )
+        return self.cost_model.dense_mults(n)
 
     def factorized_mults(
         self,
@@ -121,65 +117,38 @@ class BatchPlanner:
         dimension's per-distinct term is discounted by its current
         cache hit rate — the planner's link to runtime state.
         """
-        k = self.width_param
-        if len(self.dim_widths) == 1:
-            fn = (
-                nn_serving_mults_factorized if self.kind == "nn"
-                else gmm_serving_mults_factorized
-            )
-            return fn(
-                n, max(distinct[0], 1), self.d_s, self.dim_widths[0], k,
-                hit_rate=hit_rates[0],
-            )
-        if self.kind == "nn":
-            total = n * k * self.d_s
-            for m, d_r, hit in zip(distinct, self.dim_widths, hit_rates):
-                total += (1.0 - hit) * m * k * d_r
-            return round(total)
-        # GMM: per fact row, the UL block + one cross dot per dimension
-        # + one coupling dot per dimension pair (Eq. 9-12/19); per
-        # distinct RID of dimension i, the cross product, the LR form
-        # and the coupling factors against later dimensions.
-        total = n * k * (self.d_s * self.d_s + self.d_s)
-        widths = self.dim_widths
-        total += n * k * self.d_s * len(widths)        # cross dots
-        for i in range(len(widths)):
-            for j in range(i + 1, len(widths)):
-                total += n * k * widths[j]             # coupling dots
-        for i, (m, d_r, hit) in enumerate(
-            zip(distinct, widths, hit_rates)
-        ):
-            later = sum(widths[i + 1:])
-            per_distinct = d_r * self.d_s + d_r * d_r + d_r + d_r * later
-            total += (1.0 - hit) * m * k * per_distinct
-        return round(total)
+        return self.cost_model.factorized_mults(n, distinct, hit_rates)
 
     # -- the decision --------------------------------------------------------
 
     def plan(
         self,
-        fks: list[np.ndarray],
+        batch,
         hit_rates: tuple[float, ...] | None = None,
     ) -> PlanDecision:
         """Pick a strategy for one assembled batch.
 
-        ``fks`` is the batch's canonical per-dimension FK arrays;
-        ``hit_rates`` the current per-dimension cache hit rates
-        (defaults to cold).  Factorized wins on strictly fewer expected
-        multiplications.
+        ``batch`` is either the batch's :class:`~repro.fx.dedup.
+        DedupPlan` (the runtime path — the dedup was already computed
+        at assembly) or its canonical per-dimension FK arrays (a plan
+        is built here).  ``hit_rates`` are the current per-dimension
+        cache hit rates (defaults to cold).  Factorized wins on
+        strictly fewer expected multiplications.
         """
-        if len(fks) != len(self.dim_widths):
+        if not isinstance(batch, DedupPlan):
+            batch = DedupPlan.for_batch(
+                [np.asarray(fk) for fk in batch]
+            )
+        if batch.num_dimensions != len(self.dim_widths):
             raise ModelError(
-                f"batch has {len(fks)} FK arrays for "
+                f"batch has {batch.num_dimensions} FK arrays for "
                 f"{len(self.dim_widths)} dimensions"
             )
-        n = fks[0].shape[0] if fks else 0
+        n = batch.rows
         if hit_rates is None:
             hit_rates = tuple(0.0 for _ in self.dim_widths)
         hit_rates = tuple(min(1.0, max(0.0, h)) for h in hit_rates)
-        distinct = tuple(
-            int(np.unique(fk).size) for fk in fks
-        )
+        distinct = batch.distinct
         if n == 0:
             return PlanDecision(FACTORIZED, 0, distinct, 0, 0)
         dense = self.dense_mults(n)

@@ -17,7 +17,12 @@ into a serving tier:
   ``"adaptive"`` strategy carries *both* predictors, and a
   :class:`~repro.runtime.planner.BatchPlanner` picks materialized or
   factorized from the batch's distinct-RID counts and live cache hit
-  rates.
+  rates.  Each batch's foreign keys are deduplicated exactly once into
+  a :class:`~repro.fx.dedup.DedupPlan` consumed by planner and
+  predictor alike, and all partial caches come from the runtime's
+  shared :class:`~repro.fx.store.PartialStore` — fingerprint-identical
+  models reuse one cache (``share_partials``), optionally behind
+  TinyLFU admission (``cache_admission="tinylfu"``).
 
 The runtime also subscribes to the catalog's
 :class:`~repro.storage.events.RowVersionEvent` stream: an in-place
@@ -49,12 +54,14 @@ from repro.core.strategies import (
     resolve_serving_strategy,
 )
 from repro.errors import ModelError
+from repro.fx.dedup import DedupPlan
+from repro.fx.sharding import ShardedPartialCache
+from repro.fx.store import PartialStore, StoreStats
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
 from repro.runtime.planner import BatchPlanner, PlannerStats
 from repro.runtime.queue import Request, RequestQueue
-from repro.runtime.sharding import ShardedPartialCache
-from repro.serve.cache import CacheStats
+from repro.serve.cache import LRU_ADMISSION, CacheStats
 from repro.serve.predictor import (
     coerce_gmm_model,
     coerce_nn_model,
@@ -84,6 +91,8 @@ class RuntimeConfig:
     max_wait_ms: float = 2.0
     queue_depth: int = 1024
     cache_shards: int | None = None     # default: num_workers
+    cache_admission: str = LRU_ADMISSION   # "lru" | "tinylfu"
+    share_partials: bool = True            # cross-model slab sharing
     block_pages: int = DEFAULT_BLOCK_PAGES
 
     def __post_init__(self) -> None:
@@ -129,7 +138,18 @@ class RuntimeModel:
     stats: ServingStats = field(default_factory=ServingStats)
     planner_stats: PlannerStats = field(default_factory=PlannerStats)
     invalidated_rids: int = 0
+    fk_references: int = 0         # rows × dimensions, accumulated
+    fk_distinct: int = 0           # Σ per-batch distinct RIDs
     lock: threading.Lock = field(default_factory=threading.Lock)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """FK references per distinct RID across every served batch —
+        how much redundancy micro-batching exposed for this model
+        (1.0 until the first batch)."""
+        if not self.fk_distinct:
+            return 1.0
+        return self.fk_references / self.fk_distinct
 
     @property
     def base(self):
@@ -158,6 +178,8 @@ class RuntimeStats:
     planner_decisions: dict[str, dict[str, int]]
     cache_stats: dict[str, list[CacheStats]]
     invalidated_rids: dict[str, int]
+    dedup_ratio: dict[str, float]
+    store: StoreStats
 
 
 class ServingRuntime:
@@ -180,6 +202,13 @@ class ServingRuntime:
     ) -> None:
         self.db = db
         self.config = config or RuntimeConfig()
+        self.store = PartialStore(
+            num_shards=(
+                self.config.cache_shards or self.config.num_workers
+            ),
+            admission=self.config.cache_admission,
+            shared=self.config.share_partials,
+        )
         self._models: dict[str, RuntimeModel] = {}
         self._dimension_index: dict[str, list[tuple[RuntimeModel, int]]] = {}
         # Guards registry mutation vs iteration (stats snapshots,
@@ -247,30 +276,32 @@ class ServingRuntime:
             raise ModelError(f"model {name!r} is already registered")
         if strategy != ADAPTIVE:
             strategy = resolve_serving_strategy(strategy)
-        make = lambda s: make_predictor(  # noqa: E731
-            self.db, spec, model, kind=kind, strategy=s,
-            block_pages=self.config.block_pages,
-        )
-        factorized = (
-            make(FACTORIZED) if strategy in (ADAPTIVE, FACTORIZED) else None
-        )
-        materialized = (
-            make(MATERIALIZED)
-            if strategy in (ADAPTIVE, MATERIALIZED) else None
-        )
+        factorized = None
+        if strategy in (ADAPTIVE, FACTORIZED):
+            # Factorized predictors draw their RID-hash-sharded caches
+            # from the runtime's shared store, keyed by partial
+            # fingerprint — fingerprint-identical models share slabs.
+            factorized = make_predictor(
+                self.db, spec, model, kind=kind, strategy=FACTORIZED,
+                cache_entries=cache_entries, cache_floats=cache_floats,
+                store=self.store, block_pages=self.config.block_pages,
+            )
+        materialized = None
+        if strategy in (ADAPTIVE, MATERIALIZED):
+            try:
+                materialized = make_predictor(
+                    self.db, spec, model, kind=kind,
+                    strategy=MATERIALIZED,
+                    block_pages=self.config.block_pages,
+                )
+            except BaseException:
+                if factorized is not None:
+                    factorized.close()     # give shared caches back
+                raise
         caches: list[ShardedPartialCache] = []
         planner = None
         if factorized is not None:
-            num_shards = self.config.cache_shards or self.config.num_workers
-            caches = [
-                ShardedPartialCache(
-                    num_shards, cache_entries, capacity_floats=cache_floats
-                )
-                for _ in factorized.caches
-            ]
-            # The factorized predictors consult self.caches through
-            # get_many() only, so the sharded caches drop straight in.
-            factorized.caches = caches
+            caches = factorized.caches
         elif cache_entries is not None or cache_floats is not None:
             raise ModelError(
                 "cache capacities apply to factorized serving only; "
@@ -304,14 +335,23 @@ class ServingRuntime:
                 dim.relation.name for dim in resolved.dimensions
             ],
         )
-        with self._registry_lock:
-            if name in self._models:
-                raise ModelError(f"model {name!r} is already registered")
-            self._models[name] = registered
-            for index, dim_name in enumerate(registered.dimension_names):
-                self._dimension_index.setdefault(dim_name, []).append(
-                    (registered, index)
-                )
+        try:
+            with self._registry_lock:
+                if name in self._models:
+                    raise ModelError(
+                        f"model {name!r} is already registered"
+                    )
+                self._models[name] = registered
+                for index, dim_name in enumerate(
+                    registered.dimension_names
+                ):
+                    self._dimension_index.setdefault(dim_name, []).append(
+                        (registered, index)
+                    )
+        except ModelError:
+            if factorized is not None:
+                factorized.close()     # give shared caches back
+            raise
         return registered
 
     def unregister(self, name: str) -> None:
@@ -325,6 +365,8 @@ class ServingRuntime:
                     for entry in self._dimension_index.get(dim_name, [])
                     if entry[0] is not registered
                 ]
+        if registered.factorized is not None:
+            registered.factorized.close()
 
     # -- lookup --------------------------------------------------------------
 
@@ -427,12 +469,15 @@ class ServingRuntime:
             ]
             before = self.db.stats.snapshot()
             tick = time.perf_counter()
-            predictor = self._plan(registered, fks)
+            # The batch's one and only FK dedup: planner and predictor
+            # both consume this plan, so each dimension is sorted once.
+            plan = DedupPlan.for_batch(fks)
+            predictor = self._plan(registered, plan)
             call = (
                 predictor.predict if op == "predict"
                 else predictor.score_samples
             )
-            outputs = call(features, fks)
+            outputs = call(features, fks, plan=plan)
             elapsed = time.perf_counter() - tick
             io = self.db.stats.snapshot() - before
         except BaseException as error:
@@ -455,6 +500,8 @@ class ServingRuntime:
             # an attribution estimate, exactly like shared-disk stats
             # in any multi-tenant server.
             registered.stats.record(rows, elapsed, io)
+            registered.fk_references += plan.rows * plan.num_dimensions
+            registered.fk_distinct += sum(plan.distinct)
         with self._stats_lock:
             self._batches += 1
             self._batch_histogram[_batch_size_bucket(rows)] += 1
@@ -471,14 +518,14 @@ class ServingRuntime:
             )
             offset += request.rows
 
-    def _plan(self, registered: RuntimeModel, fks: list[np.ndarray]):
+    def _plan(self, registered: RuntimeModel, plan: DedupPlan):
         """Pick this batch's predictor (and log the decision)."""
         if registered.planner is None:
             return registered.base
         hit_rates = tuple(
             cache.approx_hit_rate() for cache in registered.caches
         )
-        decision = registered.planner.plan(fks, hit_rates)
+        decision = registered.planner.plan(plan, hit_rates)
         with registered.lock:
             registered.planner_stats.record(decision)
         if decision.strategy == FACTORIZED:
@@ -542,6 +589,11 @@ class ServingRuntime:
                 for name, model in models.items()
                 if model.caches
             },
+            dedup_ratio={
+                name: model.dedup_ratio
+                for name, model in models.items()
+            },
+            store=self.store.stats(),
         )
 
     # -- lifecycle -----------------------------------------------------------

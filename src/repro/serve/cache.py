@@ -12,6 +12,19 @@ Capacity can be bounded two ways, separately or together: by *entries*
 cached float64 values — the honest memory unit when partial rows have
 very different widths across models).  Either bound evicts LRU-first.
 
+Two admission policies govern what a miss may insert:
+
+* ``"lru"`` (default) — classic LRU: every computed row is admitted,
+  evicting from the cold end when over capacity;
+* ``"tinylfu"`` — frequency-sketch admission for Zipf-skewed FK
+  traffic: a small count-min sketch
+  (:class:`~repro.fx.sketch.FrequencySketch`) tracks approximate
+  access counts, and a computed row is admitted *only if* its
+  estimated frequency beats the LRU victim it would evict.  One-hit
+  wonders stop displacing hot partials; rejected rows are still
+  returned to the caller (only reuse is lost), and rejections are
+  counted separately from evictions.
+
 The cache is thread-safe: one internal lock serializes lookups,
 invalidations and counter reads, so dimension-update events arriving
 on an updater thread can evict safely while a serving thread is
@@ -35,8 +48,20 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ModelError
+from repro.fx.sketch import FrequencySketch
 
 _FLOAT_BYTES = 8
+
+LRU_ADMISSION = "lru"
+TINYLFU_ADMISSION = "tinylfu"
+ADMISSION_POLICIES = (LRU_ADMISSION, TINYLFU_ADMISSION)
+
+# Sketch sizing: counters per cacheable entry.  8 columns per entry
+# keeps collision noise low at a few bytes per entry; capacity-less
+# caches fall back to a fixed small sketch (they never evict, so
+# admission only matters while bounded by capacity_floats).
+_SKETCH_COLUMNS_PER_ENTRY = 8
+_DEFAULT_SKETCH_WIDTH = 1024
 
 
 @dataclass(frozen=True)
@@ -51,6 +76,7 @@ class CacheStats:
     capacity_floats: int | None = None
     bytes_resident: int = 0
     invalidations: int = 0
+    admission_rejections: int = 0
 
     @property
     def lookups(self) -> int:
@@ -79,6 +105,9 @@ class CacheStats:
             ),
             bytes_resident=self.bytes_resident + other.bytes_resident,
             invalidations=self.invalidations + other.invalidations,
+            admission_rejections=(
+                self.admission_rejections + other.admission_rejections
+            ),
         )
 
 
@@ -87,7 +116,9 @@ class PartialCache:
 
     ``capacity`` counts entries (distinct RIDs), ``capacity_floats``
     counts resident float64 values; ``None`` for both means unbounded —
-    the pinned case.  All lookups go through :meth:`get_many`, which
+    the pinned case.  ``admission`` selects ``"lru"`` (admit
+    everything) or ``"tinylfu"`` (frequency-sketch admission; see the
+    module docstring).  All lookups go through :meth:`get_many`, which
     resolves hits, computes every miss in one vectorized call, and
     returns rows aligned with the requested keys.
     """
@@ -97,6 +128,7 @@ class PartialCache:
         capacity: int | None = None,
         *,
         capacity_floats: int | None = None,
+        admission: str = LRU_ADMISSION,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ModelError(
@@ -107,8 +139,22 @@ class PartialCache:
                 f"cache capacity_floats must be positive or None, "
                 f"got {capacity_floats}"
             )
+        if admission not in ADMISSION_POLICIES:
+            raise ModelError(
+                f"unknown admission policy {admission!r}; use one of "
+                f"{list(ADMISSION_POLICIES)}"
+            )
         self.capacity = capacity
         self.capacity_floats = capacity_floats
+        self.admission = admission
+        self._sketch: FrequencySketch | None = None
+        if admission == TINYLFU_ADMISSION:
+            width = (
+                capacity * _SKETCH_COLUMNS_PER_ENTRY
+                if capacity is not None
+                else _DEFAULT_SKETCH_WIDTH
+            )
+            self._sketch = FrequencySketch(width)
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._floats_resident = 0
         # Serializes lookups against invalidations: dimension-update
@@ -121,6 +167,7 @@ class PartialCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.admission_rejections = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -151,6 +198,26 @@ class PartialCache:
         self._floats_resident -= row.size
         self.evictions += 1
 
+    def _would_evict(self, row: np.ndarray) -> bool:
+        """Whether admitting ``row`` would push the cache over capacity."""
+        if self.capacity is not None and len(self._rows) + 1 > self.capacity:
+            return True
+        return (
+            self.capacity_floats is not None
+            and self._floats_resident + row.size > self.capacity_floats
+        )
+
+    def _admit(self, key: int, row: np.ndarray) -> bool:
+        """TinyLFU admission: a row that would evict must out-rank the
+        LRU victim's estimated access frequency (strictly — equal
+        frequencies keep the resident row, avoiding churn)."""
+        if self._sketch is None or not self._would_evict(row):
+            return True
+        victim = next(iter(self._rows), None)
+        if victim is None:
+            return True
+        return self._sketch.estimate(key) > self._sketch.estimate(victim)
+
     def get_many(
         self,
         keys: np.ndarray,
@@ -168,6 +235,11 @@ class PartialCache:
         if keys.ndim != 1:
             raise ModelError(f"keys must be 1-D, got shape {keys.shape}")
         with self._lock:
+            if self._sketch is not None:
+                # Every access counts toward admission frequency —
+                # hits included, or resident hot rows could never
+                # out-rank a burst of cold candidates.
+                self._sketch.record(keys)
             missing = [k for k in keys.tolist() if k not in self._rows]
             if missing:
                 computed = np.asarray(
@@ -210,6 +282,9 @@ class PartialCache:
                         RuntimeWarning,
                         stacklevel=2,
                     )
+                if not self._admit(key, row):
+                    self.admission_rejections += 1
+                    continue
                 self._rows[key] = row
                 self._floats_resident += row.size
                 while self._over_capacity() and self._rows:
@@ -251,6 +326,7 @@ class PartialCache:
                 capacity_floats=self.capacity_floats,
                 bytes_resident=self.bytes_resident,
                 invalidations=self.invalidations,
+                admission_rejections=self.admission_rejections,
             )
 
     def clear(self) -> None:
@@ -262,6 +338,9 @@ class PartialCache:
             self.misses = 0
             self.evictions = 0
             self.invalidations = 0
+            self.admission_rejections = 0
+            if self._sketch is not None:
+                self._sketch.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         stats = self.stats()

@@ -22,6 +22,12 @@ factorization pays (``rr ≳ 10``; at tiny ratios the GMM rate plateaus
 near ``1 − 1/rr`` for very large ``d_R``) — mirroring the training-side
 trends of Sections V-B and VI-A1.  A warm partial cache removes the
 dimension-side term entirely (``hit_rate → 1``).
+
+This module is the *formula layer*: free functions stating the
+published binary-join counts.  Callers that need a uniform interface —
+the runtime's batch planner, strategy recommendation — go through the
+:class:`~repro.fx.costs.CostModel` adapters, which delegate here for
+binary joins and own the multi-way generalization.
 """
 
 from __future__ import annotations

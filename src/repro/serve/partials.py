@@ -24,6 +24,8 @@ I/O accounting, optionally through its buffer pool).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.errors import ModelError
@@ -31,6 +33,27 @@ from repro.linalg.blocks import BlockLayout
 from repro.linalg.groupsum import codes_for_keys
 from repro.storage.buffer import BufferPool
 from repro.storage.relation import Relation
+
+
+def partial_fingerprint(*parts) -> str:
+    """A deterministic digest of everything a partial's value depends on.
+
+    Two builders with equal fingerprints compute bit-identical partial
+    rows for every input, which is the safety condition for
+    cross-model cache sharing in :class:`~repro.fx.store.PartialStore`.
+    Arrays hash by dtype, shape and exact bytes; everything else by its
+    ``str`` form.
+    """
+    digest = hashlib.sha1()
+    for part in parts:
+        if isinstance(part, np.ndarray):
+            digest.update(str(part.dtype).encode())
+            digest.update(str(part.shape).encode())
+            digest.update(np.ascontiguousarray(part).tobytes())
+        else:
+            digest.update(str(part).encode())
+        digest.update(b"|")
+    return digest.hexdigest()
 
 
 class DimensionLookup:
@@ -101,6 +124,16 @@ class NNPartialBuilder:
         """Floats per partial row (the hidden width ``n_h``)."""
         return self.weight_block.shape[0]
 
+    @property
+    def fingerprint(self) -> str:
+        """Value-identity of this builder's partials (see
+        :func:`partial_fingerprint`); computed lazily and cached."""
+        if not hasattr(self, "_fingerprint"):
+            self._fingerprint = partial_fingerprint(
+                "nn-layer1", self.weight_block
+            )
+        return self._fingerprint
+
     def compute(self, features: np.ndarray) -> np.ndarray:
         features = np.asarray(features, dtype=np.float64)
         if features.shape[1] != self.weight_block.shape[1]:
@@ -153,6 +186,10 @@ class GMMPartialBuilder:
             layout.split_vector(means[k])[dim_index]
             for k in range(self.n_components)
         ]
+        self._fingerprint = partial_fingerprint(
+            "gmm-quadform", dim_index, tuple(layout.sizes),
+            means, precisions,
+        )
         self._lr_block = []
         self._cross_fact_block = []
         self._cross_dim_block = []
@@ -191,6 +228,12 @@ class GMMPartialBuilder:
     def width(self) -> int:
         """Floats per partial row: ``K · per_component``."""
         return self.n_components * self.per_component
+
+    @property
+    def fingerprint(self) -> str:
+        """Value-identity of this builder's partials (see
+        :func:`partial_fingerprint`)."""
+        return self._fingerprint
 
     @property
     def lr_offset(self) -> int:

@@ -25,6 +25,13 @@ unambiguous form), a ``(n,)`` array (binary joins), a row-major
 ``q`` 1-D numpy arrays in spec order.  ``predict_all`` streams the
 fact relation in storage order, so its output aligns with the
 reference join oracle.
+
+Both strategies run off one :class:`~repro.fx.dedup.DedupPlan` — the
+batch's ``(unique, inverse)`` FK sort, computed once.  Callers that
+already hold a plan (the runtime's batch planner derives one for its
+cost estimates) pass it via the keyword-only ``plan`` argument of
+``predict(...)`` and no FK column is ever deduplicated twice; bare
+calls build the plan internally.
 """
 
 from __future__ import annotations
@@ -37,6 +44,8 @@ from repro.core.strategies import (
     resolve_serving_strategy,
 )
 from repro.errors import ModelError
+from repro.fx.dedup import DedupPlan
+from repro.fx.gather import densify_request, gather_partials
 from repro.gmm.model import (
     GaussianMixtureModel,
     log_gaussian_from_quadform,
@@ -154,10 +163,25 @@ class _ServingPredictor:
             fks = [rows[:, p].astype(np.int64) for p in positions]
             yield features, fks
 
-    def _request(self, fact_features, fk_values):
+    def _request(self, fact_features, fk_values, plan=None):
+        """Normalize one request and settle its dedup plan.
+
+        A caller-supplied ``plan`` (the runtime planner already
+        deduplicated this batch) is validated for shape and reused;
+        otherwise the plan is built here — either way the batch's FK
+        columns are sorted exactly once.
+        """
         features = self._fact_features(fact_features)
         fks = self._fk_arrays(fk_values, features.shape[0])
-        return features, fks
+        if plan is None:
+            plan = DedupPlan.for_batch(fks)
+        elif not plan.matches(features.shape[0], len(fks)):
+            raise ModelError(
+                f"dedup plan describes {plan.rows} rows × "
+                f"{plan.num_dimensions} dimensions, the request has "
+                f"{features.shape[0]} rows × {len(fks)}"
+            )
+        return features, plan
 
     def predict_all(self) -> np.ndarray:
         """Predictions for every stored fact tuple, in storage order."""
@@ -169,61 +193,79 @@ class _ServingPredictor:
             axis=0,
         )
 
+    def close(self) -> None:
+        """Detach from a shared partial store (no-op without one)."""
+
     # -- dense expansion (the materialized strategy) -----------------------
 
     def _densify_request(
-        self, features: np.ndarray, fks: list[np.ndarray]
+        self, features: np.ndarray, plan: DedupPlan
     ) -> np.ndarray:
-        parts = [features]
-        for lookup, fk in zip(self.lookups, fks):
-            unique, inverse = np.unique(fk, return_inverse=True)
-            parts.append(lookup.features_for(unique)[inverse])
-        return np.concatenate(parts, axis=1)
+        return densify_request(features, self.lookups, plan)
 
 
-def _make_caches(
+def _normalize_cache_entries(
     num_dimensions: int, cache_entries
-) -> list[PartialCache]:
+) -> list[int | None]:
+    """One capacity per dimension from an int / per-dimension list."""
     if cache_entries is None or isinstance(cache_entries, int):
-        return [PartialCache(cache_entries) for _ in range(num_dimensions)]
+        return [cache_entries] * num_dimensions
     entries = list(cache_entries)
     if len(entries) != num_dimensions:
         raise ModelError(
             f"got {len(entries)} cache capacities for "
             f"{num_dimensions} dimensions"
         )
-    return [PartialCache(e) for e in entries]
-
-
-def _gather_partials(
-    lookups: list[DimensionLookup],
-    caches: list[PartialCache],
-    builders,
-    fks: list[np.ndarray],
-) -> list[np.ndarray]:
-    """Per-dimension partial rows gathered to request rows.
-
-    Distinct RIDs resolve through the cache (misses read base-relation
-    pages and run the builder); the builder's known row width keeps
-    empty request batches well-shaped.
-    """
-    gathered = []
-    for lookup, cache, builder, fk in zip(lookups, caches, builders, fks):
-        unique, inverse = np.unique(fk, return_inverse=True)
-        if unique.size == 0:
-            gathered.append(np.zeros((0, builder.width)))
-            continue
-        rows = cache.get_many(
-            unique,
-            lambda keys, b=builder, l=lookup: b.compute(
-                l.features_for(keys)
-            ),
-        )
-        gathered.append(rows[inverse])
-    return gathered
+    return entries
 
 
 # -- neural networks ----------------------------------------------------------
+
+
+class _FactorizedCacheMixin:
+    """Partial-cache wiring shared by the factorized predictors.
+
+    Caches either come from a shared :class:`~repro.fx.store.
+    PartialStore` (keyed per dimension by the dimension relation's
+    heap path — which pins the owning database, so stores shared
+    across services never mix partials from different databases — plus
+    the builder's parameter digest) or are private
+    :class:`PartialCache` instances — the one-shot path.
+    """
+
+    def _setup_caches(self, cache_entries, cache_floats, store) -> None:
+        self.fingerprints = [
+            f"{dim.relation.heap.path}:{builder.fingerprint}"
+            for dim, builder in zip(
+                self.resolved.dimensions, self.builders
+            )
+        ]
+        self._store = store
+        entries = _normalize_cache_entries(
+            self.num_dimensions, cache_entries
+        )
+        if store is None:
+            self.caches = [
+                PartialCache(e, capacity_floats=cache_floats)
+                for e in entries
+            ]
+            return
+        self.caches = [
+            store.acquire(
+                fingerprint, capacity=e, capacity_floats=cache_floats
+            )
+            for fingerprint, e in zip(self.fingerprints, entries)
+        ]
+
+    def _gathered_partials(self, plan: DedupPlan) -> list[np.ndarray]:
+        return gather_partials(self.lookups, self.caches, self.builders, plan)
+
+    def close(self) -> None:
+        """Release shared caches back to the store (idempotent)."""
+        store, self._store = self._store, None
+        if store is not None:
+            for cache in self.caches:
+                store.release(cache)
 
 
 class MaterializedNNPredictor(_ServingPredictor):
@@ -247,13 +289,13 @@ class MaterializedNNPredictor(_ServingPredictor):
             )
         self.model = model
 
-    def predict(self, fact_features, fk_values) -> np.ndarray:
+    def predict(self, fact_features, fk_values, *, plan=None) -> np.ndarray:
         """Network outputs ``(n, n_out)`` for a normalized request."""
-        features, fks = self._request(fact_features, fk_values)
-        return self.model.predict(self._densify_request(features, fks))
+        features, plan = self._request(fact_features, fk_values, plan)
+        return self.model.predict(self._densify_request(features, plan))
 
 
-class FactorizedNNPredictor(_ServingPredictor):
+class FactorizedNNPredictor(_FactorizedCacheMixin, _ServingPredictor):
     """Serve the first layer from per-RID partials (Section VI-A1).
 
     ``a⁽¹⁾ = x_S W_Sᵀ + Σᵢ gather(X_{R_i} W_{R_i}ᵀ) + b``; everything
@@ -271,6 +313,8 @@ class FactorizedNNPredictor(_ServingPredictor):
         model: MLP,
         *,
         cache_entries: int | list[int] | None = None,
+        cache_floats: int | None = None,
+        store=None,
         block_pages: int = DEFAULT_BLOCK_PAGES,
     ) -> None:
         super().__init__(db, spec, block_pages=block_pages)
@@ -287,25 +331,22 @@ class FactorizedNNPredictor(_ServingPredictor):
         self.builders = [
             NNPartialBuilder(part) for part in weight_parts[1:]
         ]
-        self.caches = _make_caches(self.num_dimensions, cache_entries)
-
-    def _gathered_partials(self, fks: list[np.ndarray]) -> list[np.ndarray]:
-        return _gather_partials(self.lookups, self.caches, self.builders, fks)
+        self._setup_caches(cache_entries, cache_floats, store)
 
     def first_preactivations(
-        self, fact_features, fk_values
+        self, fact_features, fk_values, *, plan=None
     ) -> np.ndarray:
         """The factorized ``a⁽¹⁾`` for a normalized request."""
-        features, fks = self._request(fact_features, fk_values)
+        features, plan = self._request(fact_features, fk_values, plan)
         pre = features @ self._fact_weights.T
-        for partial in self._gathered_partials(fks):
+        for partial in self._gathered_partials(plan):
             pre += partial
         return pre + self.model.first_layer.bias
 
-    def predict(self, fact_features, fk_values) -> np.ndarray:
+    def predict(self, fact_features, fk_values, *, plan=None) -> np.ndarray:
         """Network outputs ``(n, n_out)`` for a normalized request."""
         outputs, _ = self.model.forward_from_first_preactivation(
-            self.first_preactivations(fact_features, fk_values)
+            self.first_preactivations(fact_features, fk_values, plan=plan)
         )
         return outputs
 
@@ -317,25 +358,31 @@ class _GMMPredictorMixin:
     """Everything downstream of the component log-densities is shared;
     strategies differ only in how ``log N(x|µ_k,Σ_k)`` is produced."""
 
-    def log_gaussians(self, fact_features, fk_values) -> np.ndarray:
+    def log_gaussians(self, fact_features, fk_values, *, plan=None):
         raise NotImplementedError
 
-    def responsibilities(self, fact_features, fk_values) -> np.ndarray:
+    def responsibilities(
+        self, fact_features, fk_values, *, plan=None
+    ) -> np.ndarray:
         """Posterior cluster memberships ``γ`` (Eq. 2)."""
         gamma, _ = log_responsibilities(
-            self.log_gaussians(fact_features, fk_values),
+            self.log_gaussians(fact_features, fk_values, plan=plan),
             self.params.weights,
         )
         return gamma
 
-    def predict(self, fact_features, fk_values) -> np.ndarray:
+    def predict(self, fact_features, fk_values, *, plan=None) -> np.ndarray:
         """Hard cluster assignments for a normalized request."""
-        return self.responsibilities(fact_features, fk_values).argmax(axis=1)
+        return self.responsibilities(
+            fact_features, fk_values, plan=plan
+        ).argmax(axis=1)
 
-    def score_samples(self, fact_features, fk_values) -> np.ndarray:
+    def score_samples(
+        self, fact_features, fk_values, *, plan=None
+    ) -> np.ndarray:
         """Per-tuple log-likelihood ``log p(x)``."""
         _, log_likelihoods = log_responsibilities(
-            self.log_gaussians(fact_features, fk_values),
+            self.log_gaussians(fact_features, fk_values, plan=plan),
             self.params.weights,
         )
         return log_likelihoods
@@ -372,14 +419,16 @@ class MaterializedGMMPredictor(_ServingPredictor, _GMMPredictorMixin):
         self.model = model
         self.params = model.params
 
-    def log_gaussians(self, fact_features, fk_values) -> np.ndarray:
-        features, fks = self._request(fact_features, fk_values)
+    def log_gaussians(self, fact_features, fk_values, *, plan=None):
+        features, plan = self._request(fact_features, fk_values, plan)
         return self.model.log_gaussians(
-            self._densify_request(features, fks)
+            self._densify_request(features, plan)
         )
 
 
-class FactorizedGMMPredictor(_ServingPredictor, _GMMPredictorMixin):
+class FactorizedGMMPredictor(
+    _FactorizedCacheMixin, _ServingPredictor, _GMMPredictorMixin
+):
     """Score the mixture from per-RID quadratic-form partials (Eq. 19).
 
     Per component, the quadratic form splits into the UL fact-block
@@ -398,6 +447,8 @@ class FactorizedGMMPredictor(_ServingPredictor, _GMMPredictorMixin):
         model: GaussianMixtureModel,
         *,
         cache_entries: int | list[int] | None = None,
+        cache_floats: int | None = None,
+        store=None,
         block_pages: int = DEFAULT_BLOCK_PAGES,
     ) -> None:
         super().__init__(db, spec, block_pages=block_pages)
@@ -425,14 +476,11 @@ class FactorizedGMMPredictor(_ServingPredictor, _GMMPredictorMixin):
             )
             for i in range(1, layout.nblocks)
         ]
-        self.caches = _make_caches(self.num_dimensions, cache_entries)
+        self._setup_caches(cache_entries, cache_floats, store)
 
-    def _gathered_partials(self, fks: list[np.ndarray]) -> list[np.ndarray]:
-        return _gather_partials(self.lookups, self.caches, self.builders, fks)
-
-    def log_gaussians(self, fact_features, fk_values) -> np.ndarray:
-        features, fks = self._request(fact_features, fk_values)
-        gathered = self._gathered_partials(fks)
+    def log_gaussians(self, fact_features, fk_values, *, plan=None):
+        features, plan = self._request(fact_features, fk_values, plan)
+        gathered = self._gathered_partials(plan)
         n = features.shape[0]
         d = self.resolved.total_features
         out = np.empty((n, self.params.n_components))
@@ -513,27 +561,35 @@ def make_predictor(
     kind: str,
     strategy: str = FACTORIZED,
     cache_entries: int | list[int] | None = None,
+    cache_floats: int | None = None,
+    store=None,
     block_pages: int = DEFAULT_BLOCK_PAGES,
 ):
     """Build the predictor for ``kind`` ("gmm" | "nn") and ``strategy``.
 
     The single dispatch point shared by :func:`repro.core.api.predict_gmm`
-    / ``predict_nn`` and :class:`~repro.serve.service.ModelService`;
-    ``model`` may be a fit result or the bare fitted model.
+    / ``predict_nn``, :class:`~repro.serve.service.ModelService` and the
+    runtime; ``model`` may be a fit result or the bare fitted model.
+    With ``store`` (a :class:`~repro.fx.store.PartialStore`) the
+    factorized predictor draws its per-dimension caches from the store
+    — sharing slabs with any fingerprint-identical model — instead of
+    creating private ones.
     """
     if kind not in _COERCERS:
         raise ModelError(f"unknown predictor kind {kind!r}; use 'gmm'|'nn'")
     strategy = resolve_serving_strategy(strategy)
     model = _COERCERS[kind](model)
     if strategy == MATERIALIZED:
-        if cache_entries is not None:
+        if cache_entries is not None or cache_floats is not None:
             raise ModelError(
-                "cache_entries applies to the factorized strategy only; "
-                "the materialized path keeps no partials to cache"
+                "cache_entries/cache_floats apply to the factorized "
+                "strategy only; the materialized path keeps no "
+                "partials to cache"
             )
         return _PREDICTORS[kind, strategy](
             db, spec, model, block_pages=block_pages
         )
     return _PREDICTORS[kind, strategy](
-        db, spec, model, cache_entries=cache_entries, block_pages=block_pages
+        db, spec, model, cache_entries=cache_entries,
+        cache_floats=cache_floats, store=store, block_pages=block_pages,
     )

@@ -6,6 +6,13 @@ is timed and its page I/O attributed to the model that served it, so a
 deployment can watch throughput and I/O per model exactly the way the
 training side watches per-algorithm cost — the ROADMAP's
 "serve heavy traffic" goal with the paper's bookkeeping discipline.
+
+Factorized models draw their partial caches from a shared
+:class:`~repro.fx.store.PartialStore` (one per service by default;
+pass your own to share across services): registering two models whose
+partials are value-identical — the same fitted parameters over the
+same join — makes them share cached slabs instead of each holding a
+private copy.
 """
 
 from __future__ import annotations
@@ -94,10 +101,20 @@ class ModelService:
     """
 
     def __init__(
-        self, db: Database, *, block_pages: int = DEFAULT_BLOCK_PAGES
+        self,
+        db: Database,
+        *,
+        block_pages: int = DEFAULT_BLOCK_PAGES,
+        store=None,
     ) -> None:
+        # Local import: the execution core's store hands caches *to*
+        # this layer but also builds on serve.cache, so a module-level
+        # import here would re-enter the serve package mid-bootstrap.
+        from repro.fx.store import PartialStore
+
         self.db = db
         self.block_pages = block_pages
+        self.store = store if store is not None else PartialStore()
         self._models: dict[str, RegisteredModel] = {}
         # Guards registry mutation against the update-event callback,
         # which arrives on the updater's thread.
@@ -154,13 +171,20 @@ class ModelService:
             raise ModelError(f"model {name!r} is already registered")
         predictor = make_predictor(
             self.db, spec, model, kind=kind, strategy=strategy,
-            cache_entries=cache_entries, block_pages=self.block_pages,
+            cache_entries=cache_entries, store=self.store,
+            block_pages=self.block_pages,
         )
         registered = RegisteredModel(
             name=name, kind=kind, strategy=predictor.strategy,
             predictor=predictor,
         )
         with self._registry_lock:
+            # Re-check under the lock: a concurrent registration of
+            # the same name must not be silently overwritten (which
+            # would also strand the loser's store-held caches).
+            if name in self._models:
+                predictor.close()
+                raise ModelError(f"model {name!r} is already registered")
             self._models[name] = registered
         return registered
 
@@ -168,7 +192,10 @@ class ModelService:
         with self._registry_lock:
             if name not in self._models:
                 raise ModelError(f"no model {name!r} to unregister")
-            del self._models[name]
+            registered = self._models.pop(name)
+        # Outside the registry lock: releasing shared caches takes the
+        # store's own lock and never needs the registry.
+        registered.predictor.close()
 
     # -- lookup ------------------------------------------------------------
 
@@ -256,8 +283,20 @@ class ModelService:
                     caches[index].invalidate(event.rids)
 
     def close(self) -> None:
-        """Detach from the database's update notifications (idempotent)."""
+        """Detach from update notifications and give every registered
+        model's caches back to the store (idempotent).
+
+        Releasing matters when the store is shared across services:
+        without it a closed service would pin its partial slabs (and
+        their refcounts) in the shared store forever.
+        """
         self.db.unsubscribe(self._subscription)
+        with self._registry_lock:
+            models = list(self._models.values())
+        for registered in models:
+            # Predictors keep their cache handles (the service stays
+            # readable after close); only the store's pins are dropped.
+            registered.predictor.close()
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -266,6 +305,12 @@ class ModelService:
 
     def cache_stats(self, name: str) -> list[CacheStats]:
         return self.model(name).cache_stats()
+
+    def store_stats(self):
+        """The shared partial store's counters
+        (:class:`~repro.fx.store.StoreStats`) — ``shared_attachments``
+        counts registrations that reused another model's cache."""
+        return self.store.stats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ModelService(models={self.model_names})"

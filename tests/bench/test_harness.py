@@ -7,7 +7,6 @@ import pytest
 from repro.bench.experiments import SCALES, BenchScale, active_scale
 from repro.bench.harness import (
     SweepPoint,
-    SweepResult,
     run_gmm_sweep,
     run_nn_sweep,
 )

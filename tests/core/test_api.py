@@ -6,13 +6,15 @@ import numpy as np
 import pytest
 
 from repro.core.api import (
-    FACTORIZED,
-    MATERIALIZED,
-    STREAMING,
     compare_gmm_strategies,
     compare_nn_strategies,
     fit_gmm,
     fit_nn,
+)
+from repro.core.strategies import (
+    FACTORIZED,
+    MATERIALIZED,
+    STREAMING,
     resolve_serving_strategy,
     resolve_strategy,
 )
@@ -143,7 +145,7 @@ class TestFitNN:
     def test_explicit_config(self, db, binary_star):
         config = NNConfig(hidden_sizes=(3, 3), epochs=1, seed=1)
         result = fit_nn(db, binary_star.spec, config=config)
-        assert [l.n_out for l in result.model.layers] == [3, 3, 1]
+        assert [layer.n_out for layer in result.model.layers] == [3, 3, 1]
 
 
 class TestComparisons:

@@ -1,0 +1,111 @@
+"""TinyLFU admission on PartialCache / ShardedPartialCache."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.fx.sharding import ShardedPartialCache
+from repro.serve.cache import PartialCache
+
+
+def rows_for(keys):
+    """Deterministic 1-wide rows so values are checkable."""
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys[:, None].astype(np.float64) * 10.0
+
+
+class TestPolicySelection:
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ModelError, match="admission"):
+            PartialCache(4, admission="clock")
+
+    def test_default_is_lru(self):
+        assert PartialCache(4).admission == "lru"
+
+    def test_sharded_cache_passes_the_policy_through(self):
+        sharded = ShardedPartialCache(3, 9, admission="tinylfu")
+        assert sharded.admission == "tinylfu"
+        assert all(s.admission == "tinylfu" for s in sharded.shards)
+
+
+class TestTinyLFUAdmission:
+    def test_results_are_correct_even_when_rejected(self):
+        cache = PartialCache(2, admission="tinylfu")
+        out = cache.get_many(np.array([1, 2, 3, 4]), rows_for)
+        np.testing.assert_array_equal(out, rows_for([1, 2, 3, 4]))
+
+    def test_one_hit_wonders_do_not_evict_hot_entries(self):
+        cache = PartialCache(2, admission="tinylfu")
+        hot = np.array([1, 2])
+        for _ in range(5):
+            cache.get_many(hot, rows_for)
+        # A parade of cold keys, each seen once: all should be refused
+        # admission because the LRU victim (a hot key) out-ranks them.
+        for cold in range(100, 120):
+            cache.get_many(np.array([cold]), rows_for)
+        assert 1 in cache
+        assert 2 in cache
+        assert cache.admission_rejections > 0
+        assert cache.stats().admission_rejections > 0
+
+    def test_lru_by_contrast_churns(self):
+        cache = PartialCache(2)     # plain LRU
+        for _ in range(5):
+            cache.get_many(np.array([1, 2]), rows_for)
+        for cold in range(100, 120):
+            cache.get_many(np.array([cold]), rows_for)
+        assert 1 not in cache and 2 not in cache
+        assert cache.admission_rejections == 0
+
+    def test_frequent_candidate_displaces_infrequent_resident(self):
+        cache = PartialCache(2, admission="tinylfu")
+        cache.get_many(np.array([1, 2]), rows_for)      # residents, once
+        # Key 9's frequency grows with each (miss) access; once it
+        # out-ranks the LRU victim it must be admitted.
+        for _ in range(4):
+            cache.get_many(np.array([9]), rows_for)
+        assert 9 in cache
+
+    def test_admission_fills_spare_capacity_unconditionally(self):
+        cache = PartialCache(4, admission="tinylfu")
+        cache.get_many(np.array([1, 2, 3]), rows_for)
+        assert len(cache) == 3                # no eviction, no gate
+        assert cache.admission_rejections == 0
+
+    def test_clear_resets_rejections_and_sketch(self):
+        cache = PartialCache(1, admission="tinylfu")
+        for _ in range(3):
+            cache.get_many(np.array([1]), rows_for)
+        cache.get_many(np.array([2]), rows_for)
+        assert cache.admission_rejections > 0
+        cache.clear()
+        assert cache.admission_rejections == 0
+        # Post-clear, old frequencies are forgotten: 2 is admitted
+        # once it earns frequency parity on an empty slate.
+        cache.get_many(np.array([2]), rows_for)
+        assert 2 in cache
+
+
+class TestZipfWorkload:
+    def test_tinylfu_beats_lru_hit_rate_on_skewed_traffic(self):
+        rng = np.random.default_rng(7)
+        universe = 400
+        # Zipf-ish skew: a small hot set dominates, a long cold tail.
+        raw = rng.zipf(1.3, size=6000) % universe
+        lru = PartialCache(32)
+        tiny = PartialCache(32, admission="tinylfu")
+        for start in range(0, raw.size, 64):
+            batch = np.unique(raw[start:start + 64])
+            lru.get_many(batch, rows_for)
+            tiny.get_many(batch, rows_for)
+        assert tiny.stats().hit_rate > lru.stats().hit_rate
+
+    def test_sharded_tinylfu_serves_correct_rows(self):
+        sharded = ShardedPartialCache(4, 16, admission="tinylfu")
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            keys = np.unique(rng.integers(0, 200, size=40))
+            np.testing.assert_array_equal(
+                sharded.get_many(keys, rows_for), rows_for(keys)
+            )
+        assert sharded.stats().admission_rejections > 0

@@ -1,0 +1,158 @@
+"""The unified CostModel interface and its adapters."""
+
+import pytest
+
+from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.errors import ModelError
+from repro.fx.costs import (
+    CostModel,
+    GMMServingCost,
+    GMMTrainingCost,
+    NNServingCost,
+    NNTrainingCost,
+    recommend_training_strategy,
+    serving_cost_model,
+    training_cost_model,
+)
+from repro.gmm.cost_model import dense_outer_cost, factorized_outer_cost
+from repro.nn.cost_model import (
+    layer1_forward_mults_dense,
+    layer1_forward_mults_factorized,
+)
+from repro.serve.cost_model import (
+    gmm_serving_mults_dense,
+    gmm_serving_mults_factorized,
+    nn_serving_mults_dense,
+    nn_serving_mults_factorized,
+)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize("factory", [serving_cost_model,
+                                         training_cost_model])
+    @pytest.mark.parametrize("kind", ["gmm", "nn"])
+    def test_adapters_satisfy_the_protocol(self, factory, kind):
+        model = factory(kind, d_s=3, dim_widths=(4,), width_param=2)
+        assert isinstance(model, CostModel)
+        assert model.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ModelError, match="kind"):
+            serving_cost_model("svm", d_s=3, dim_widths=(4,),
+                               width_param=2)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(d_s=0, dim_widths=(4,), width_param=2),
+            dict(d_s=3, dim_widths=(), width_param=2),
+            dict(d_s=3, dim_widths=(4, 0), width_param=2),
+            dict(d_s=3, dim_widths=(4,), width_param=0),
+        ],
+    )
+    def test_invalid_layouts_rejected(self, kwargs):
+        with pytest.raises(ModelError):
+            NNServingCost(**kwargs)
+
+    def test_distinct_arity_checked(self):
+        model = serving_cost_model(
+            "nn", d_s=3, dim_widths=(4, 5), width_param=2
+        )
+        with pytest.raises(ModelError, match="distinct"):
+            model.factorized_mults(10, (3,))
+
+
+class TestServingAdaptersReduceToPublishedCounts:
+    """Binary joins must match repro.serve.cost_model exactly."""
+
+    @pytest.mark.parametrize("n,m", [(100, 5), (64, 64), (1, 1)])
+    def test_nn_binary(self, n, m):
+        model = NNServingCost(5, (15,), 32)
+        assert model.dense_mults(n) == nn_serving_mults_dense(n, 5, 15, 32)
+        assert model.factorized_mults(n, (m,)) == (
+            nn_serving_mults_factorized(n, m, 5, 15, 32)
+        )
+        assert model.factorized_mults(n, (m,), (0.5,)) == (
+            nn_serving_mults_factorized(n, m, 5, 15, 32, hit_rate=0.5)
+        )
+
+    @pytest.mark.parametrize("n,m", [(100, 5), (64, 64)])
+    def test_gmm_binary(self, n, m):
+        model = GMMServingCost(5, (15,), 3)
+        assert model.dense_mults(n) == gmm_serving_mults_dense(n, 5, 15, 3)
+        assert model.factorized_mults(n, (m,)) == (
+            gmm_serving_mults_factorized(n, m, 5, 15, 3)
+        )
+
+    def test_multiway_warm_cache_removes_dimension_work(self):
+        model = NNServingCost(5, (15, 7), 32)
+        warm = model.factorized_mults(100, (10, 10), (1.0, 1.0))
+        assert warm == 100 * 32 * 5
+        assert warm < model.factorized_mults(100, (10, 10))
+
+    def test_hit_rates_clamped(self):
+        model = NNServingCost(5, (15,), 32)
+        assert model.factorized_mults(64, (64,), (7.0,)) == 64 * 32 * 5
+
+
+class TestTrainingAdaptersReduceToPublishedCounts:
+    def test_nn_binary(self):
+        model = NNTrainingCost(5, (15,), 32)
+        assert model.dense_mults(100) == (
+            layer1_forward_mults_dense(100, 20, 32)
+        )
+        assert model.factorized_mults(100, (10,)) == (
+            layer1_forward_mults_factorized(100, 10, 5, 15, 32)
+        )
+
+    def test_gmm_binary(self):
+        model = GMMTrainingCost(5, (15,), 3)
+        assert model.dense_mults(100) == (
+            3 * dense_outer_cost(100, 5, 15).multiplications
+        )
+        assert model.factorized_mults(100, (10,)) == (
+            3 * factorized_outer_cost(100, 10, 5, 15).multiplications
+        )
+
+    @pytest.mark.parametrize("cls", [NNTrainingCost, GMMTrainingCost])
+    def test_multiway_is_dense_minus_per_dimension_savings(self, cls):
+        # Additive structure: with every dimension at full cardinality
+        # (m_i = n) the factorized count equals the dense count.
+        model = cls(3, (4, 6), 2)
+        assert model.factorized_mults(50, (50, 50)) == (
+            model.dense_mults(50)
+        )
+        assert model.factorized_mults(50, (5, 5)) < model.dense_mults(50)
+
+
+class TestDecisions:
+    def test_redundant_workload_chooses_factorized(self):
+        model = serving_cost_model(
+            "nn", d_s=5, dim_widths=(15,), width_param=32
+        )
+        assert model.choose(128, (4,)) == FACTORIZED
+
+    def test_tie_goes_to_materialized(self):
+        # With m == n and a cold cache the NN counts tie exactly.
+        model = serving_cost_model(
+            "nn", d_s=5, dim_widths=(15,), width_param=32
+        )
+        assert model.choose(64, (64,)) == MATERIALIZED
+        assert model.choose(64, (64,), (0.9,)) == FACTORIZED
+
+    def test_saving_rate_in_unit_interval_when_winning(self):
+        model = serving_cost_model(
+            "gmm", d_s=5, dim_widths=(15,), width_param=3
+        )
+        assert 0 < model.saving_rate(128, (4,)) < 1
+
+    def test_recommendation_tracks_tuple_ratio(self):
+        assert recommend_training_strategy(
+            "gmm", rows=10_000, distinct=(100,), d_s=5,
+            dim_widths=(15,), width_param=3,
+        ) == FACTORIZED
+        # A "dimension" as large as the fact table has no redundancy.
+        assert recommend_training_strategy(
+            "gmm", rows=100, distinct=(100,), d_s=5,
+            dim_widths=(15,), width_param=3,
+        ) == MATERIALIZED

@@ -1,0 +1,83 @@
+"""DedupPlan: the once-per-batch FK sort."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.fx.dedup import DedupPlan, DimensionDedup
+
+
+class TestForBatch:
+    def test_unique_inverse_roundtrip(self):
+        fks = [np.array([7, 3, 7, 7, 3, 9])]
+        plan = DedupPlan.for_batch(fks)
+        (dim,) = plan.dims
+        assert dim.unique.tolist() == [3, 7, 9]
+        np.testing.assert_array_equal(dim.unique[dim.inverse], fks[0])
+        assert plan.rows == 6
+        assert plan.distinct == (3,)
+
+    def test_multiway_dims_in_spec_order(self):
+        plan = DedupPlan.for_batch(
+            [np.array([1, 1, 2]), np.array([5, 6, 5])]
+        )
+        assert plan.num_dimensions == 2
+        assert plan.distinct == (2, 2)
+
+    def test_empty_batch(self):
+        plan = DedupPlan.for_batch([np.zeros(0, dtype=np.int64)])
+        assert plan.rows == 0
+        assert plan.distinct == (0,)
+        assert plan.dedup_ratio == 1.0
+
+    def test_mismatched_fk_lengths_rejected(self):
+        with pytest.raises(ModelError, match="disagree"):
+            DedupPlan.for_batch([np.arange(4), np.arange(5)])
+
+    def test_dedup_ratio_counts_references_per_distinct(self):
+        # 8 rows × 2 dims = 16 references over 2 + 4 distinct RIDs.
+        plan = DedupPlan.for_batch(
+            [np.arange(8) % 2, np.arange(8) % 4]
+        )
+        assert plan.dedup_ratio == pytest.approx(16 / 6)
+
+    def test_matches_checks_shape(self):
+        plan = DedupPlan.for_batch([np.arange(5)])
+        assert plan.matches(5, 1)
+        assert not plan.matches(4, 1)
+        assert not plan.matches(5, 2)
+
+
+class TestDimensionDedup:
+    def test_gather_expands_per_distinct_rows(self):
+        plan = DedupPlan.for_batch([np.array([4, 2, 4])])
+        (dim,) = plan.dims
+        per_distinct = np.array([[10.0], [20.0]])   # for RIDs [2, 4]
+        np.testing.assert_array_equal(
+            dim.gather(per_distinct), [[20.0], [10.0], [20.0]]
+        )
+
+    def test_gather_rejects_wrong_cardinality(self):
+        (dim,) = DedupPlan.for_batch([np.array([1, 2])]).dims
+        with pytest.raises(ModelError, match="distinct"):
+            dim.gather(np.zeros((3, 1)))
+
+    def test_group_index_matches_manual_reduction(self):
+        fk = np.array([5, 9, 5, 5, 9])
+        (dim,) = DedupPlan.for_batch([fk]).dims
+        values = np.arange(10.0).reshape(5, 2)
+        group = dim.group_index()
+        expected = np.stack(
+            [values[fk == 5].sum(axis=0), values[fk == 9].sum(axis=0)]
+        )
+        np.testing.assert_allclose(group.sum_rows(values), expected)
+
+    def test_group_index_of_empty_batch_is_well_shaped(self):
+        (dim,) = DedupPlan.for_batch([np.zeros(0, dtype=np.int64)]).dims
+        group = dim.group_index()
+        assert group.sum_rows(np.zeros((0, 3))).shape == (1, 3)
+
+    def test_is_frozen(self):
+        dedup = DimensionDedup(np.array([1]), np.array([0]))
+        with pytest.raises(AttributeError):
+            dedup.unique = np.array([2])

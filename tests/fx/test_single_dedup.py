@@ -1,0 +1,143 @@
+"""The tentpole invariant: one FK dedup per batch per dimension.
+
+Before the execution core, the runtime deduplicated twice — once in
+the planner (distinct-RID counts) and again inside the chosen
+predictor's gather/densify.  These tests pin the contract from both
+ends: every execution path funnels through ``DedupPlan.for_batch``
+exactly once per batch, and the modules downstream of the plan carry
+no ``np.unique`` call of their own.
+"""
+
+import inspect
+import warnings
+
+import numpy as np
+import pytest
+
+import importlib
+
+from repro.core.api import fit_gmm, fit_nn, serve, serve_runtime
+from repro.fx.dedup import DedupPlan
+
+# importlib avoids the name shadowing of ``repro.serve`` (the package)
+# by ``repro.serve`` (the convenience function re-exported at top level).
+serve_predictor = importlib.import_module("repro.serve.predictor")
+fx_gather = importlib.import_module("repro.fx.gather")
+runtime_planner = importlib.import_module("repro.runtime.planner")
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture
+def count_dedups(monkeypatch):
+    """Patch DedupPlan.for_batch with a call counter."""
+    calls = []
+    original = DedupPlan.for_batch.__func__
+
+    def counting(cls, fks):
+        calls.append(1)
+        return original(cls, fks)
+
+    monkeypatch.setattr(DedupPlan, "for_batch", classmethod(counting))
+    return calls
+
+
+def a_request(db, spec, n=64):
+    fact = spec.resolve(db).fact
+    rows = fact.scan()[:n]
+    fk = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+    return fact.project_features(rows), fk
+
+
+class TestNoStrayUnique:
+    """Downstream modules must consume the plan, not re-dedup."""
+
+    @pytest.mark.parametrize(
+        "module",
+        [serve_predictor, fx_gather, runtime_planner],
+    )
+    def test_module_has_no_unique_call(self, module):
+        import ast
+
+        tree = ast.parse(inspect.getsource(module))
+        calls = [
+            node.lineno
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "unique"
+        ]
+        assert calls == [], (
+            f"{module.__name__} deduplicates on its own at lines "
+            f"{calls}; consume the DedupPlan instead"
+        )
+
+
+class TestOneDedupPerBatch:
+    def test_service_predict_builds_exactly_one_plan(
+        self, db, binary_star, count_dedups
+    ):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(6,), epochs=1, seed=1
+        )
+        service = serve(db)
+        service.register_nn("n", nn, binary_star.spec)
+        features, fk = a_request(db, binary_star.spec)
+        count_dedups.clear()
+        service.predict("n", features, fk)
+        assert len(count_dedups) == 1
+        service.close()
+
+    @pytest.mark.parametrize("strategy", ["adaptive", "factorized",
+                                          "materialized"])
+    def test_runtime_batch_builds_exactly_one_plan(
+        self, db, binary_star, count_dedups, strategy
+    ):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        features, fk = a_request(db, binary_star.spec)
+        with serve_runtime(db, num_workers=1) as rt:
+            rt.register_gmm("g", gmm, binary_star.spec,
+                            strategy=strategy)
+            count_dedups.clear()
+            rt.predict("g", features, fk)
+            # One plan per executed batch, shared by planner (adaptive
+            # only) and predictor alike.
+            assert len(count_dedups) == 1
+
+    def test_explicit_plan_matches_internal_dedup(self, db, binary_star):
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(6,), epochs=1, seed=1
+        )
+        from repro.serve.predictor import make_predictor
+
+        predictor = make_predictor(
+            db, binary_star.spec, nn, kind="nn"
+        )
+        features, fk = a_request(db, binary_star.spec)
+        plan = DedupPlan.for_batch([fk])
+        np.testing.assert_array_equal(
+            predictor.predict(features, fk, plan=plan),
+            predictor.predict(features, fk),
+        )
+
+    def test_mismatched_plan_rejected(self, db, binary_star):
+        from repro.errors import ModelError
+        from repro.serve.predictor import make_predictor
+
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(6,), epochs=1, seed=1
+        )
+        predictor = make_predictor(
+            db, binary_star.spec, nn, kind="nn"
+        )
+        features, fk = a_request(db, binary_star.spec)
+        stale = DedupPlan.for_batch([fk[:-1]])
+        with pytest.raises(ModelError, match="plan"):
+            predictor.predict(features, fk, plan=stale)

@@ -1,0 +1,67 @@
+"""FrequencySketch: count-min estimates with aging."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.fx.sketch import FrequencySketch
+
+
+class TestBasics:
+    def test_unseen_keys_estimate_zero(self):
+        sketch = FrequencySketch(256)
+        assert sketch.estimate(42) == 0
+
+    def test_counts_accumulate_per_key(self):
+        sketch = FrequencySketch(256)
+        sketch.record(np.array([7] * 10 + [9] * 2))
+        assert sketch.estimate(7) >= 10     # count-min over-estimates
+        assert sketch.estimate(7) > sketch.estimate(9)
+
+    def test_duplicates_in_one_record_call_count(self):
+        sketch = FrequencySketch(256)
+        sketch.record(np.array([5, 5, 5]))
+        assert sketch.estimate(5) >= 3
+
+    def test_estimate_many_matches_scalar_estimates(self):
+        sketch = FrequencySketch(256)
+        rng = np.random.default_rng(3)
+        sketch.record(rng.integers(0, 50, size=500))
+        keys = np.arange(50)
+        many = sketch.estimate_many(keys)
+        assert many.tolist() == [sketch.estimate(int(k)) for k in keys]
+
+    def test_empty_record_is_a_noop(self):
+        sketch = FrequencySketch(64)
+        sketch.record(np.zeros(0, dtype=np.int64))
+        assert sketch.estimate(0) == 0
+
+    def test_clear_resets(self):
+        sketch = FrequencySketch(64)
+        sketch.record(np.array([1, 1, 1]))
+        sketch.clear()
+        assert sketch.estimate(1) == 0
+
+
+class TestAging:
+    def test_counters_halve_after_sample_window(self):
+        sketch = FrequencySketch(64, sample_factor=1)   # window = width
+        sketch.record(np.array([3] * 60))
+        before = sketch.estimate(3)
+        # Push past the sample window with other keys: aging halves.
+        sketch.record(np.arange(100, 200))
+        assert sketch.estimate(3) <= before // 2 + 1
+
+    def test_width_rounded_to_power_of_two_with_floor(self):
+        assert FrequencySketch(100).width == 128
+        assert FrequencySketch(1).width == 64
+
+
+class TestValidation:
+    def test_rejects_bad_width(self):
+        with pytest.raises(ModelError, match="width"):
+            FrequencySketch(0)
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ModelError, match="depth"):
+            FrequencySketch(64, depth=9)

@@ -1,0 +1,121 @@
+"""PartialStore: fingerprint-keyed cache sharing and lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.fx.store import PartialStore
+
+
+def rows_for(keys):
+    keys = np.asarray(keys, dtype=np.int64)
+    return keys[:, None].astype(np.float64)
+
+
+class TestAcquireRelease:
+    def test_same_fingerprint_shares_one_cache(self):
+        store = PartialStore()
+        a = store.acquire("fp-1")
+        b = store.acquire("fp-1")
+        assert a is b
+        assert len(store) == 1
+        stats = store.stats()
+        assert stats.attachments == 2
+        assert stats.shared_attachments == 1
+
+    def test_different_fingerprints_never_collide(self):
+        store = PartialStore()
+        a = store.acquire("fp-1")
+        b = store.acquire("fp-2")
+        assert a is not b
+        assert len(store) == 2
+        assert store.stats().shared_attachments == 0
+
+    def test_cache_survives_until_last_release(self):
+        store = PartialStore()
+        a = store.acquire("fp-1")
+        store.acquire("fp-1")
+        a.get_many(np.array([1, 2]), rows_for)
+        store.release(a)
+        assert len(store) == 1          # one holder left
+        assert store.bytes_resident > 0
+        store.release(a)
+        assert len(store) == 0
+        assert store.bytes_resident == 0
+
+    def test_release_of_foreign_cache_rejected(self):
+        store = PartialStore()
+        other = PartialStore().acquire("fp-1")
+        with pytest.raises(ModelError, match="store"):
+            store.release(other)
+
+    def test_double_full_release_rejected(self):
+        store = PartialStore()
+        cache = store.acquire("fp-1")
+        store.release(cache)
+        with pytest.raises(ModelError):
+            store.release(cache)
+
+    def test_reacquire_after_drop_starts_cold(self):
+        store = PartialStore()
+        cache = store.acquire("fp-1")
+        cache.get_many(np.array([1]), rows_for)
+        store.release(cache)
+        fresh = store.acquire("fp-1")
+        assert len(fresh) == 0
+
+
+class TestSharingKnob:
+    def test_unshared_store_gives_private_caches(self):
+        store = PartialStore(shared=False)
+        a = store.acquire("fp-1")
+        b = store.acquire("fp-1")
+        assert a is not b
+        assert len(store) == 2
+        assert store.stats().shared_attachments == 0
+        store.release(a)
+        assert len(store) == 1          # b's cache is untouched
+
+
+class TestConfiguration:
+    def test_first_acquirers_capacity_wins(self):
+        store = PartialStore()
+        a = store.acquire("fp-1", capacity=2)
+        b = store.acquire("fp-1", capacity=999)
+        assert b is a
+        a.get_many(np.array([1, 2, 3]), rows_for)
+        assert len(a) == 2              # the first bound held
+
+    def test_num_shards_and_admission_apply_to_created_caches(self):
+        store = PartialStore(num_shards=3, admission="tinylfu")
+        cache = store.acquire("fp-1")
+        assert cache.num_shards == 3
+        assert cache.admission == "tinylfu"
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ModelError, match="num_shards"):
+            PartialStore(num_shards=0)
+        with pytest.raises(ModelError, match="admission"):
+            PartialStore(admission="clock")
+
+
+class TestStats:
+    def test_aggregates_across_caches(self):
+        store = PartialStore()
+        a = store.acquire("fp-1")
+        b = store.acquire("fp-2")
+        a.get_many(np.array([1, 2]), rows_for)
+        b.get_many(np.array([1]), rows_for)
+        stats = store.stats()
+        assert stats.caches == 2
+        assert stats.cache.misses == 3
+        assert stats.bytes_resident == 3 * 8
+
+    def test_clear_drops_rows_but_keeps_handles(self):
+        store = PartialStore()
+        cache = store.acquire("fp-1")
+        cache.get_many(np.array([1, 2]), rows_for)
+        store.clear()
+        assert store.bytes_resident == 0
+        assert len(store) == 1
+        cache.get_many(np.array([1]), rows_for)     # handle still live

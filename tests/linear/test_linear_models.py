@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.errors import ModelError
-from repro.join.reference import nested_loop_join
 from repro.linear.models import fit_logistic, fit_ridge
 from repro.storage.schema import (
     Schema,

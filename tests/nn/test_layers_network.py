@@ -89,8 +89,8 @@ class TestMLPForward:
         model = MLP((4, 8, 3, 1), activation="tanh", seed=0)
         assert model.n_inputs == 4
         assert model.n_outputs == 1
-        assert [l.n_in for l in model.layers] == [4, 8, 3]
-        assert [l.n_out for l in model.layers] == [8, 3, 1]
+        assert [layer.n_in for layer in model.layers] == [4, 8, 3]
+        assert [layer.n_out for layer in model.layers] == [8, 3, 1]
 
     def test_needs_two_sizes(self):
         with pytest.raises(ModelError):
