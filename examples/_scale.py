@@ -1,0 +1,20 @@
+"""Scale knob shared by the examples.
+
+Every example reads ``REPRO_EXAMPLE_SCALE``: unset (or anything other
+than ``tiny``) runs the full demo sizes; ``tiny`` shrinks the
+workloads to a few thousand rows so the whole directory executes in
+seconds — that is what the docs CI job runs on every push:
+
+    REPRO_EXAMPLE_SCALE=tiny python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+
+TINY = os.environ.get("REPRO_EXAMPLE_SCALE", "").lower() == "tiny"
+
+
+def scaled(full, tiny):
+    """``full`` normally, ``tiny`` under REPRO_EXAMPLE_SCALE=tiny."""
+    return tiny if TINY else full

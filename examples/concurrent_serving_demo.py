@@ -20,6 +20,8 @@ import numpy as np
 
 import repro
 
+from _scale import scaled
+
 N_CLIENTS = 4
 REQUESTS_PER_CLIENT = 50
 REQUEST_ROWS = 64
@@ -30,7 +32,8 @@ def main() -> None:
         star = repro.generate_star(
             db,
             repro.StarSchemaConfig.binary(
-                n_s=50_000, n_r=500, d_s=5, d_r=15,
+                n_s=scaled(50_000, 5_000), n_r=scaled(500, 100),
+                d_s=5, d_r=15,
                 with_target=True, seed=7,
             ),
         )

@@ -15,6 +15,8 @@ import numpy as np
 
 import repro
 
+from _scale import scaled
+
 
 def main() -> None:
     # A temporary on-disk database (deleted on close).
@@ -25,8 +27,8 @@ def main() -> None:
         star = repro.generate_star(
             db,
             repro.StarSchemaConfig.binary(
-                n_s=100_000,
-                n_r=1_000,
+                n_s=scaled(100_000, 5_000),
+                n_r=scaled(1_000, 100),
                 d_s=5,
                 d_r=15,
                 with_target=True,
@@ -45,7 +47,7 @@ def main() -> None:
             star.spec,
             n_components=5,
             algorithm="auto",         # resolves to F-GMM at rr = 100
-            max_iter=8,
+            max_iter=scaled(8, 2),
             tol=1e-4,
             seed=1,
         )

@@ -17,11 +17,13 @@ import numpy as np
 
 import repro
 
+from _scale import scaled
+
 
 def main() -> None:
     with repro.Database() as db:
         star = repro.load_movies_3way(
-            db, scale=0.05, with_target=True, seed=21
+            db, scale=scaled(0.05, 0.01), with_target=True, seed=21
         )
         resolved = star.spec.resolve(db)
         print("Relations:")
@@ -37,7 +39,7 @@ def main() -> None:
         config = repro.NNConfig(
             hidden_sizes=(50,),
             activation="sigmoid",
-            epochs=12,
+            epochs=scaled(12, 3),
             learning_rate=0.1,
             seed=2,
         )

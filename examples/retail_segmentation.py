@@ -19,12 +19,14 @@ from __future__ import annotations
 import numpy as np
 
 import repro
+
+from _scale import scaled
 from repro.storage import feature, foreign_key, key
 
 
 def build_schema(db: repro.Database, rng: np.random.Generator) -> repro.JoinSpec:
     """Orders ⋈ Items with three latent shopper segments."""
-    n_items, n_orders = 600, 120_000
+    n_items, n_orders = scaled(600, 120), scaled(120_000, 8_000)
 
     # Items: price, size, weight, rating plus a dozen derived catalog
     # attributes (margins, stock and popularity statistics) — the wide
@@ -109,7 +111,8 @@ def main() -> None:
               f"{db['items'].npages:,} pages\n")
 
         config = repro.EMConfig(
-            n_components=3, max_iter=12, tol=1e-5, seed=4
+            n_components=3, max_iter=scaled(12, 3), tol=1e-5,
+            seed=4
         )
         comparison = repro.compare_gmm_strategies(db, spec, config)
 

@@ -16,6 +16,8 @@ import numpy as np
 
 import repro
 
+from _scale import scaled
+
 
 def main() -> None:
     with repro.Database() as db:
@@ -23,8 +25,8 @@ def main() -> None:
         star = repro.generate_star(
             db,
             repro.StarSchemaConfig.binary(
-                n_s=50_000,
-                n_r=500,
+                n_s=scaled(50_000, 5_000),
+                n_r=scaled(500, 100),
                 d_s=5,
                 d_r=15,
                 with_target=True,

@@ -18,6 +18,8 @@ from __future__ import annotations
 import warnings
 
 import repro
+
+from _scale import scaled
 from repro.gmm.algorithms import fit_m_gmm, fit_s_gmm
 from repro.gmm.cost_model import streaming_wins_block_size
 
@@ -29,7 +31,8 @@ def main() -> None:
         star = repro.generate_star(
             db,
             repro.StarSchemaConfig.binary(
-                n_s=20_000, n_r=400, d_s=4, d_r=8, seed=5
+                n_s=scaled(20_000, 4_000), n_r=scaled(400, 80),
+                d_s=4, d_r=8, seed=5
             ),
         )
         config = repro.EMConfig(

@@ -54,12 +54,17 @@ automatically, so predictions always reflect the current rows::
 
 The shared execution core (:mod:`repro.fx`) is what makes all of the
 above one mechanism rather than three: every batch's foreign keys are
-deduplicated exactly once into a :class:`~repro.fx.dedup.DedupPlan`
-(the planner and the chosen predictor consume the same plan), every
-cost question goes through one :class:`~repro.fx.costs.CostModel`
+deduplicated exactly once into a :class:`~repro.fx.dedup.DedupPlan` —
+training batches assembled by the join access paths carry their plan
+into the GMM/NN engines exactly the way serving batches thread it
+through ``BatchPlanner → predict()``, and every fit reports the
+resulting ``dedup_ratio`` in ``result.fit.extra`` — every cost
+question goes through one :class:`~repro.fx.costs.CostModel`
 interface (``fit_gmm(..., algorithm="auto")`` resolves the training
-strategy from it; the runtime's per-batch planner charges batches with
-it), and cached dimension partials live in a
+strategy from its compute *and* page-I/O counts — factorized when
+reuse exists, streaming when materializing the join would bind on
+memory; the runtime's per-batch planner charges batches with it), and
+cached dimension partials live in a
 :class:`~repro.fx.store.PartialStore` keyed by partial fingerprint —
 so two registered models with value-identical partials over the same
 join share one cache instead of holding two copies::
@@ -78,6 +83,11 @@ by one sharer evicts for all.  Opt out with ``share_partials=False``
 additionally enable TinyLFU cache admission
 (``cache_admission="tinylfu"``): a count-min frequency sketch keeps
 one-hit wonders from evicting hot partials.
+
+Start with ``README.md`` for a quickstart and the package map;
+``docs/architecture.md`` maps the paper's sections onto the modules
+and walks one request through the runtime; ``docs/operations.md``
+covers cache sizing, admission, invalidation, and every stats field.
 """
 
 from repro.core.api import (
@@ -115,8 +125,13 @@ from repro.errors import (
     SchemaError,
     StorageError,
 )
-from repro.fx.costs import serving_cost_model, training_cost_model
-from repro.fx.dedup import DedupPlan
+from repro.fx.costs import (
+    TrainingPageProfile,
+    recommend_training_strategy,
+    serving_cost_model,
+    training_cost_model,
+)
+from repro.fx.dedup import DedupCounter, DedupPlan, distinct_values
 from repro.fx.sketch import FrequencySketch
 from repro.fx.store import PartialStore, StoreStats
 from repro.gmm.base import EMConfig
@@ -152,6 +167,7 @@ __all__ = [
     "AUTO",
     "ConvergenceWarning",
     "Database",
+    "DedupCounter",
     "DedupPlan",
     "DimensionJoin",
     "DimensionSpec",
@@ -195,8 +211,10 @@ __all__ = [
     "StorageError",
     "StoreStats",
     "StrategyComparison",
+    "TrainingPageProfile",
     "compare_gmm_strategies",
     "compare_nn_strategies",
+    "distinct_values",
     "feature",
     "features",
     "fit_gmm",
@@ -208,6 +226,7 @@ __all__ = [
     "load_movies_3way",
     "predict_gmm",
     "predict_nn",
+    "recommend_training_strategy",
     "serve",
     "serve_runtime",
     "serving_cost_model",

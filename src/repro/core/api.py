@@ -29,7 +29,7 @@ from repro.core.strategies import (
     resolve_strategy,
 )
 from repro.errors import ModelError
-from repro.fx.costs import recommend_training_strategy
+from repro.fx.costs import TrainingPageProfile, recommend_training_strategy
 from repro.gmm.algorithms import fit_f_gmm, fit_m_gmm, fit_s_gmm
 from repro.gmm.base import EMConfig, GMMFitResult
 from repro.gmm.model import GaussianMixtureModel
@@ -103,11 +103,18 @@ class NNResult:
 
 def _resolve_training_strategy(
     algorithm: str, db: Database, spec: JoinSpec, kind: str,
-    width_param: int,
+    width_param: int, iterations: int,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
 ) -> str:
     """Resolve a training algorithm name, settling ``"auto"`` from the
-    unified cost-model interface (:mod:`repro.fx.costs`) against the
-    workload's actual cardinalities and feature widths."""
+    unified cost-model interface (:mod:`repro.fx.costs`).
+
+    Compute counts (cardinalities × feature widths) pick factorized
+    vs dense; when dense wins, the folded-in page I/O models pick
+    materialized vs streaming for the run length ``iterations`` (EM
+    iterations / NN epochs), with the database's buffer-pool capacity
+    as the memory budget a materialized join result must fit in.
+    """
     strategy = resolve_strategy(algorithm)
     if strategy != AUTO:
         return strategy
@@ -120,6 +127,13 @@ def _resolve_training_strategy(
         d_s=layout.sizes[0],
         dim_widths=tuple(layout.sizes[1:]),
         width_param=width_param,
+        pages=TrainingPageProfile.for_join(
+            resolved,
+            page_size_bytes=db.page_size_bytes,
+            block_pages=block_pages,
+        ),
+        iterations=iterations,
+        memory_budget_pages=db.buffer_pool.capacity_pages,
     )
 
 
@@ -153,9 +167,20 @@ def fit_gmm(
 
     Parameters mirror :class:`~repro.gmm.base.EMConfig`; pass ``config``
     directly for full control.  ``algorithm`` picks the execution
-    strategy (all produce identical models; they differ in cost);
-    ``"auto"`` resolves materialized-vs-factorized from the unified
-    cost model against the join's cardinalities.
+    strategy (all produce identical models; they differ in cost):
+    ``"materialized"``/``"M"``, ``"streaming"``/``"S"``,
+    ``"factorized"``/``"F"``, or ``"auto"``, which resolves from the
+    unified cost model — factorized when the join's cardinalities give
+    computation reuse, otherwise materialized vs streaming by the
+    folded-in page I/O counts (streaming when materializing ``T``
+    would move more pages over ``max_iter`` iterations, or would not
+    fit the buffer pool).  The result's ``fit.extra`` carries the
+    run's dedup bookkeeping (``dedup_ratio`` et al.).
+
+    >>> gmm = fit_gmm(db, spec, n_components=3, algorithm="auto")
+    >>> gmm.algorithm                                # doctest: +SKIP
+    'F-GMM'
+    >>> clusters = predict_gmm(db, spec, gmm)    # serve it, no join
     """
     if config is None:
         config = EMConfig(
@@ -166,7 +191,8 @@ def fit_gmm(
             seed=seed,
         )
     strategy = _resolve_training_strategy(
-        algorithm, db, spec, "gmm", config.n_components
+        algorithm, db, spec, "gmm", config.n_components,
+        config.max_iter, block_pages,
     )
     fit_result = _GMM_FITTERS[strategy](
         db, spec, config, block_pages=block_pages
@@ -196,9 +222,17 @@ def fit_nn(
 
     The fact relation must declare a TARGET column (the ``Y`` attribute
     of Section IV).  Parameters mirror
-    :class:`~repro.nn.base.NNConfig`; pass ``config`` for full control.
-    ``algorithm="auto"`` resolves materialized-vs-factorized from the
-    unified cost model against the join's cardinalities.
+    :class:`~repro.nn.base.NNConfig`; pass ``config`` for full
+    control.  ``algorithm`` takes the same vocabulary as
+    :func:`fit_gmm`, including ``"auto"``: factorized when the
+    cardinalities give first-layer reuse, else materialized vs
+    streaming by page I/O over ``epochs`` passes.  ``fit.extra``
+    carries the run's dedup bookkeeping.
+
+    >>> nn = fit_nn(db, spec, hidden_sizes=(50,), epochs=5)
+    >>> nn.fit.extra["dedup_ratio"]              # doctest: +SKIP
+    20.0
+    >>> outputs = predict_nn(db, spec, nn, xs, fks)
     """
     if config is None:
         config = NNConfig(
@@ -211,7 +245,8 @@ def fit_nn(
             seed=seed,
         )
     strategy = _resolve_training_strategy(
-        algorithm, db, spec, "nn", config.hidden_sizes[0]
+        algorithm, db, spec, "nn", config.hidden_sizes[0],
+        config.epochs, block_pages,
     )
     fit_result = _NN_FITTERS[strategy](
         db, spec, config, block_pages=block_pages
@@ -221,7 +256,14 @@ def fit_nn(
 
 @dataclass
 class StrategyComparison:
-    """Side-by-side runs of all three strategies on one workload."""
+    """Side-by-side runs of all three strategies on one workload.
+
+    >>> comparison = compare_gmm_strategies(db, spec, config)
+    >>> comparison.wall_times()                  # doctest: +SKIP
+    {'materialized': 1.9, 'streaming': 1.7, 'factorized': 0.6}
+    >>> comparison.speedup_of_factorized()       # doctest: +SKIP
+    {'materialized': 3.2, 'streaming': 2.8}
+    """
 
     results: dict[str, object] = field(default_factory=dict)
 

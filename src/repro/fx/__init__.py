@@ -5,7 +5,13 @@ once and shared by training, serving, and the concurrent runtime:
 
 * :mod:`repro.fx.dedup` — :class:`DedupPlan`: one ``(unique, inverse)``
   FK sort per batch per dimension, computed at batch assembly and
-  threaded through planner and predictors so nobody re-deduplicates;
+  threaded through planner and predictors — and, since the training
+  refactor, through the join access paths, whose batches carry the
+  plan into the GMM/NN engines (:class:`DedupCounter` reports the
+  resulting ``dedup_ratio`` on every fit).  :func:`distinct_values`
+  is the sanctioned dedup for everything that is not an FK column
+  (page numbers, shard ids); ``np.unique`` exists nowhere else in the
+  package, AST-enforced;
 * :mod:`repro.fx.gather` — the dedup/gather engine: expand per-distinct
   partials (or dimension rows) back to request rows from a plan;
 * :mod:`repro.fx.store` — :class:`PartialStore`: dimension partials
@@ -15,7 +21,10 @@ once and shared by training, serving, and the concurrent runtime:
 * :mod:`repro.fx.sharding` — the RID-hash sharded partial cache the
   store hands out (re-exported by :mod:`repro.runtime.sharding`);
 * :mod:`repro.fx.costs` — one :class:`CostModel` interface with
-  serving and training adapters over the paper's published counts;
+  serving and training adapters over the paper's published counts,
+  including the page-level training I/O models
+  (:class:`TrainingPageProfile`) that let ``algorithm="auto"`` pick
+  streaming when memory, not compute, binds;
 * :mod:`repro.fx.sketch` — the count-min frequency sketch behind the
   TinyLFU cache-admission policy.
 
@@ -33,11 +42,14 @@ _EXPORTS = {
     "GMMTrainingCost": "repro.fx.costs",
     "NNServingCost": "repro.fx.costs",
     "NNTrainingCost": "repro.fx.costs",
+    "TrainingPageProfile": "repro.fx.costs",
     "recommend_training_strategy": "repro.fx.costs",
     "serving_cost_model": "repro.fx.costs",
     "training_cost_model": "repro.fx.costs",
+    "DedupCounter": "repro.fx.dedup",
     "DedupPlan": "repro.fx.dedup",
     "DimensionDedup": "repro.fx.dedup",
+    "distinct_values": "repro.fx.dedup",
     "densify_request": "repro.fx.gather",
     "gather_partials": "repro.fx.gather",
     "ShardedPartialCache": "repro.fx.sharding",

@@ -20,6 +20,18 @@ is the single interface those callers now share:
   training adapters over the Section V-B / VI-A1 counts, consumed by
   the ``algorithm="auto"`` training strategy resolution.
 
+The training adapters also fold in the paper's *page-level I/O*
+models (Section V-A and its NN twin): given a
+:class:`TrainingPageProfile` they answer
+``materialized_io_pages()`` / ``streaming_io_pages()`` — binary joins
+delegate to the published :mod:`repro.gmm.cost_model` /
+:mod:`repro.nn.cost_model` page formulas exactly, multi-way joins use
+the additive ``|S| + Σ|R_i|`` pass generalization.  That is what lets
+:func:`recommend_training_strategy` return ``"streaming"``: when the
+dense representation wins on compute but materializing ``T`` loses on
+pages (or ``T`` would blow a memory budget), streaming is the honest
+answer — memory, not compute, was the binding constraint.
+
 Ties go to the dense path everywhere: when factorization saves
 nothing, the wide batch avoids gather bookkeeping and cache
 maintenance.
@@ -27,11 +39,18 @@ maintenance.
 
 from __future__ import annotations
 
+import math
+from dataclasses import dataclass
+
 from typing import Protocol, runtime_checkable
 
-from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.core.strategies import FACTORIZED, MATERIALIZED, STREAMING
 from repro.errors import ModelError
-from repro.gmm.cost_model import dense_outer_cost, factorized_outer_cost
+from repro.gmm.cost_model import (
+    dense_outer_cost,
+    factorized_outer_cost,
+    join_pass_pages,
+)
 from repro.nn.cost_model import (
     layer1_forward_mults_dense,
     layer1_forward_mults_factorized,
@@ -42,6 +61,80 @@ from repro.serve.cost_model import (
     nn_serving_mults_dense,
     nn_serving_mults_factorized,
 )
+
+
+@dataclass(frozen=True)
+class TrainingPageProfile:
+    """The page geometry one training run reads and writes.
+
+    ``fact_pages`` / ``dim_pages`` are the base relations' heap sizes;
+    ``joined_pages`` is (an estimate of) the materialized join result
+    ``|T|``; ``block_pages`` is the BNL outer-block size the run will
+    use.  Built by ``algorithm="auto"`` resolution from the resolved
+    join (:func:`TrainingPageProfile.for_join`) and consumed by the
+    training adapters' I/O methods.
+    """
+
+    fact_pages: int
+    dim_pages: tuple[int, ...]
+    joined_pages: int
+    block_pages: int = 64
+
+    def __post_init__(self) -> None:
+        if (
+            self.fact_pages <= 0
+            or self.joined_pages <= 0
+            or self.block_pages <= 0
+            or not self.dim_pages
+            or any(p <= 0 for p in self.dim_pages)
+        ):
+            raise ModelError(
+                "a page profile needs positive page counts and at "
+                "least one dimension"
+            )
+
+    @classmethod
+    def for_join(cls, resolved, *, page_size_bytes: int,
+                 block_pages: int) -> "TrainingPageProfile":
+        """Profile a resolved join, estimating ``|T|`` from its schema.
+
+        ``resolved`` is a :class:`~repro.join.spec.ResolvedJoin`; the
+        joined table's width comes from ``output_schema()`` and its
+        page count from the database's page size — the same arithmetic
+        :class:`~repro.storage.heapfile.HeapFile` would apply had the
+        table been written.
+        """
+        from repro.storage.heapfile import rows_per_page
+
+        width = resolved.output_schema().width
+        joined_pages = max(
+            1,
+            math.ceil(
+                resolved.num_rows / rows_per_page(width, page_size_bytes)
+            ),
+        )
+        return cls(
+            fact_pages=resolved.fact.npages,
+            dim_pages=tuple(
+                d.relation.npages for d in resolved.dimensions
+            ),
+            joined_pages=joined_pages,
+            block_pages=block_pages,
+        )
+
+    def join_pass_pages(self) -> int:
+        """Pages one BNL pass over the base relations reads.
+
+        Binary joins follow Section V-A exactly
+        (``|R| + ceil(|R|/BlockSize)·|S|``); multi-way star joins read
+        each dimension once and stream the fact relation
+        (``|S| + Σ|R_i|``).
+        """
+        if len(self.dim_pages) == 1:
+            return join_pass_pages(
+                self.dim_pages[0], self.fact_pages, self.block_pages
+            )
+        return self.fact_pages + sum(self.dim_pages)
 
 
 @runtime_checkable
@@ -215,7 +308,56 @@ class GMMServingCost(_CostModelBase):
 # -- training adapters ---------------------------------------------------------
 
 
-class NNTrainingCost(_CostModelBase):
+class _TrainingIOBase(_CostModelBase):
+    """Page-level I/O shared by the training adapters.
+
+    ``passes_per_iteration`` is how many times one training iteration
+    reads the joined data: three for EM (E-step, ``Sum_µ``, ``Sum_Σ``
+    — Algorithm 1), one for an NN epoch (forward and backward share a
+    pass).  For binary joins these counts reproduce the published page
+    formulas (:func:`repro.gmm.cost_model.m_gmm_io_pages` /
+    :func:`~repro.gmm.cost_model.s_gmm_io_pages` and
+    :func:`repro.nn.cost_model.m_nn_io_pages` /
+    :func:`~repro.nn.cost_model.s_nn_io_pages`) exactly — asserted by
+    the tests; multi-way joins use the additive pass generalization of
+    :meth:`TrainingPageProfile.join_pass_pages`.
+    """
+
+    passes_per_iteration = 1
+
+    def _check_profile(self, profile: TrainingPageProfile) -> None:
+        if len(profile.dim_pages) != self.num_dimensions:
+            raise ModelError(
+                f"page profile covers {len(profile.dim_pages)} "
+                f"dimensions, the cost model has {self.num_dimensions}"
+            )
+
+    def materialized_io_pages(
+        self, profile: TrainingPageProfile, iterations: int
+    ) -> int:
+        """Pages the M- strategy moves: one join pass, ``|T|`` writes,
+        then ``passes_per_iteration`` reads of ``T`` per iteration."""
+        self._check_profile(profile)
+        return (
+            profile.join_pass_pages()
+            + profile.joined_pages
+            + self.passes_per_iteration * iterations * profile.joined_pages
+        )
+
+    def streaming_io_pages(
+        self, profile: TrainingPageProfile, iterations: int
+    ) -> int:
+        """Pages the S-/F- strategies read: one join pass per data
+        pass, nothing ever written."""
+        self._check_profile(profile)
+        return (
+            self.passes_per_iteration
+            * iterations
+            * profile.join_pass_pages()
+        )
+
+
+class NNTrainingCost(_TrainingIOBase):
     """Per-pass first-layer training counts (Section VI-A1).
 
     Binary joins reproduce
@@ -251,7 +393,7 @@ class NNTrainingCost(_CostModelBase):
         return total
 
 
-class GMMTrainingCost(_CostModelBase):
+class GMMTrainingCost(_TrainingIOBase):
     """Per-pass Σ-update outer-product counts (Eq. 14, Section V-B).
 
     Binary joins reproduce the multiplication counts of
@@ -264,6 +406,7 @@ class GMMTrainingCost(_CostModelBase):
     """
 
     kind = "gmm"
+    passes_per_iteration = 3
 
     def dense_mults(self, n: int) -> int:
         # dense_outer_cost only sees the total width, so the binary
@@ -329,17 +472,51 @@ def recommend_training_strategy(
     d_s: int,
     dim_widths: tuple[int, ...],
     width_param: int,
+    pages: TrainingPageProfile | None = None,
+    iterations: int | None = None,
+    memory_budget_pages: int | None = None,
 ) -> str:
-    """Materialized vs factorized for a training workload, by count.
+    """Pick a training strategy from compute *and* page I/O counts.
 
     ``rows`` is the join cardinality and ``distinct`` the dimension
     relation cardinalities — the static estimate of the per-batch
-    tuple ratio.  Streaming is never recommended: it trades compute
-    identically with materialized and differs only in I/O, which the
-    caller can reason about via :mod:`repro.gmm.cost_model`'s page
-    formulas.
+    tuple ratio.  Compute decides first: if factorization removes
+    multiplications, ``"factorized"`` wins outright (it also has the
+    cheapest I/O — the streaming page schedule, nothing written).
+
+    When the dense representation wins on compute, the remaining
+    question is *where the dense batches come from*, and that is pure
+    I/O: with a ``pages`` profile and the run length (``iterations`` —
+    EM iterations for ``"gmm"``, epochs for ``"nn"``), the adapter's
+    page counts settle materialize-once-read-many against
+    re-join-every-pass, and ``"streaming"`` is returned when it moves
+    fewer pages.  ``memory_budget_pages`` (e.g. the database's buffer
+    pool capacity) is the memory clamp: a materialized ``T`` bigger
+    than the budget cannot be served from cache, so streaming wins
+    regardless of raw page counts.  Without ``pages`` the decision is
+    compute-only, as before.
+
+    >>> recommend_training_strategy(
+    ...     "gmm", rows=500, distinct=(500,), d_s=2, dim_widths=(10,),
+    ...     width_param=3,
+    ...     pages=TrainingPageProfile(
+    ...         fact_pages=6, dim_pages=(11,), joined_pages=17),
+    ...     iterations=1)
+    'streaming'
     """
     model = training_cost_model(
         kind, d_s=d_s, dim_widths=dim_widths, width_param=width_param
     )
-    return model.choose(rows, distinct)
+    choice = model.choose(rows, distinct)
+    if choice == FACTORIZED or pages is None:
+        return choice
+    if (
+        memory_budget_pages is not None
+        and pages.joined_pages > memory_budget_pages
+    ):
+        return STREAMING
+    if iterations is None:
+        return choice
+    streaming = model.streaming_io_pages(pages, iterations)
+    materialized = model.materialized_io_pages(pages, iterations)
+    return STREAMING if streaming < materialized else MATERIALIZED

@@ -16,7 +16,17 @@ The plan is also the bridge to the training-side primitives: each
 dimension's ``inverse`` array *is* a codes array in the sense of
 :class:`repro.linalg.groupsum.GroupIndex`, so grouped reductions can be
 built from a plan without another sort (:meth:`DimensionDedup.
-group_index`).
+group_index`).  Training batches use exactly this bridge: the join
+access paths (:mod:`repro.join.bnl`) build one plan per assembled
+block, and the factorized design's dimension blocks and group indexes
+both derive from it — so one dedup per batch per dimension holds
+across training and serving alike.
+
+This module is the repository's *only* home for ``np.unique``:
+:meth:`DedupPlan.for_batch` dedups FK columns, and
+:func:`distinct_values` is the utility every other module uses when it
+needs sorted distinct integers (page numbers, shard ids).  The AST
+test ``tests/fx/test_single_dedup.py`` enforces the monopoly.
 """
 
 from __future__ import annotations
@@ -28,6 +38,20 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.linalg.groupsum import GroupIndex
+
+
+def distinct_values(values) -> np.ndarray:
+    """Sorted distinct values of an integer array.
+
+    The one deduplication primitive the rest of the repository is
+    allowed to use directly (page numbers, shard ids, row positions);
+    FK columns go through :meth:`DedupPlan.for_batch` instead, which
+    also keeps the inverse mapping.
+
+    >>> distinct_values([3, 1, 3, 2, 1])
+    array([1, 2, 3])
+    """
+    return np.unique(np.asarray(values))
 
 
 @dataclass(frozen=True)
@@ -123,3 +147,44 @@ class DedupPlan:
     def matches(self, rows: int, num_dimensions: int) -> bool:
         """Whether this plan describes a batch of the given shape."""
         return self.rows == rows and self.num_dimensions == num_dimensions
+
+
+@dataclass
+class DedupCounter:
+    """Accumulates dedup bookkeeping over a stream of planned batches.
+
+    The training drivers feed every batch's plan through one counter so
+    a fit result can report the same ``dedup_ratio`` the serving
+    runtime reports per model (:class:`repro.runtime.service.
+    RuntimeStats`): FK references per distinct RID, across all observed
+    batches.  ``1.0`` until the first non-empty batch — no shrink seen.
+    """
+
+    batches: int = 0
+    rows: int = 0
+    references: int = 0      # rows × dimensions, accumulated
+    distinct: int = 0        # Σ per-batch per-dimension distinct RIDs
+
+    def observe(self, plan: DedupPlan) -> None:
+        """Fold one batch's plan into the running counters."""
+        self.batches += 1
+        self.rows += plan.rows
+        self.references += plan.rows * plan.num_dimensions
+        self.distinct += sum(plan.distinct)
+
+    @property
+    def dedup_ratio(self) -> float:
+        """FK references per distinct RID across every observed batch."""
+        if not self.distinct:
+            return 1.0
+        return self.references / self.distinct
+
+    def as_extra(self) -> dict:
+        """The counters in fit-result ``extra`` form."""
+        return {
+            "dedup_batches": self.batches,
+            "dedup_rows": self.rows,
+            "dedup_references": self.references,
+            "dedup_distinct": self.distinct,
+            "dedup_ratio": self.dedup_ratio,
+        }

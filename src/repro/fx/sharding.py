@@ -28,6 +28,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ModelError
+from repro.fx.dedup import distinct_values
 from repro.serve.cache import LRU_ADMISSION, CacheStats, PartialCache
 
 
@@ -95,7 +96,7 @@ class ShardedPartialCache:
             return np.zeros((0, 0))
         shard_ids = keys.astype(np.int64) % self.num_shards
         out: np.ndarray | None = None
-        for shard_id in np.unique(shard_ids):
+        for shard_id in distinct_values(shard_ids):
             mask = shard_ids == shard_id
             with self._locks[shard_id]:
                 rows = self.shards[shard_id].get_many(keys[mask], compute)

@@ -19,6 +19,7 @@ from typing import Protocol
 import numpy as np
 
 from repro.errors import ConvergenceWarning, ModelError
+from repro.fx.dedup import DedupCounter
 from repro.gmm.init import DEFAULT_INIT_SAMPLE, initial_params
 from repro.gmm.model import ComponentPrecisions, GMMParams
 from repro.storage.iostats import IOSnapshot
@@ -120,10 +121,24 @@ def run_em(
     ``Sum_Σ`` (lines 16–21); ``π`` needs no data (line 22).  Convergence
     is declared when the per-tuple mean log-likelihood (Eq. 6) changes
     by less than ``tol``.
+
+    Every batch the join access paths assemble arrives carrying its
+    :class:`~repro.fx.dedup.DedupPlan`; the driver folds each executed
+    batch's plan into a :class:`~repro.fx.dedup.DedupCounter`, so the
+    fit result reports the same ``dedup_ratio`` bookkeeping the serving
+    runtime reports per model (``result.extra``).  Batches off the
+    join paths (a materialized table) carry no plan and count nothing.
     """
     start = time.perf_counter()
     estep_seconds = 0.0
     mstep_seconds = 0.0
+    dedup = DedupCounter()
+
+    def observed(batches):
+        for batch in batches:
+            if batch.plan is not None:
+                dedup.observe(batch.plan)
+            yield batch
 
     if initial is not None:
         params = initial.copy()
@@ -158,7 +173,7 @@ def run_em(
         tick = time.perf_counter()
         gammas: list[np.ndarray] = []
         log_likelihood = 0.0
-        for batch in engine.batches(pass_index=3 * iteration):
+        for batch in observed(engine.batches(pass_index=3 * iteration)):
             gamma, batch_ll = engine.estep_batch(batch, params, precisions)
             gammas.append(gamma)
             log_likelihood += float(batch_ll.sum())
@@ -175,14 +190,18 @@ def run_em(
                 "reduce n_components or change the seed"
             )
         mu_sums = np.zeros((config.n_components, d))
-        for batch, gamma in zip(engine.batches(3 * iteration + 1), gammas):
+        for batch, gamma in zip(
+            observed(engine.batches(3 * iteration + 1)), gammas
+        ):
             mu_sums += engine.mu_accumulate_batch(batch, gamma)
         new_means = mu_sums / component_mass[:, None]
 
         # M-step pass 2: Sum_Σ with the *updated* means (Algorithm 1
         # updates µ_k on line 15 before the Σ pass begins).
         sigma_sums = np.zeros((config.n_components, d, d))
-        for batch, gamma in zip(engine.batches(3 * iteration + 2), gammas):
+        for batch, gamma in zip(
+            observed(engine.batches(3 * iteration + 2)), gammas
+        ):
             sigma_sums += engine.sigma_accumulate_batch(
                 batch, gamma, new_means
             )
@@ -215,4 +234,5 @@ def run_em(
         wall_time_seconds=time.perf_counter() - start,
         estep_seconds=estep_seconds,
         mstep_seconds=mstep_seconds,
+        extra=dedup.as_extra(),
     )

@@ -8,7 +8,10 @@ This module is the *formula layer*; the uniform training cost
 interface consumed by ``algorithm="auto"`` strategy resolution is
 :class:`repro.fx.costs.GMMTrainingCost`, which delegates to
 :func:`dense_outer_cost` / :func:`factorized_outer_cost` for binary
-joins.
+joins and whose page-level I/O methods reproduce
+:func:`m_gmm_io_pages` / :func:`s_gmm_io_pages` exactly (three data
+passes per EM iteration) — that fold is what lets ``"auto"`` pick
+streaming when memory, not compute, binds.
 """
 
 from __future__ import annotations

@@ -122,7 +122,13 @@ class FactorizedEMEngine(_EngineBase):
     Dimension-only work runs at the distinct-tuple cardinality ``m_i``
     instead of the join cardinality ``n`` (Eq. 9–24); the results are
     numerically identical to :class:`DenseEMEngine` up to float
-    summation order.
+    summation order.  Each batch arrives with its
+    :class:`~repro.fx.dedup.DedupPlan` already threaded into the
+    design (``batch.plan``; dimension blocks at the plan's distinct
+    RIDs, group indexes from
+    :meth:`~repro.fx.dedup.DimensionDedup.group_index`), so the
+    kernels never re-deduplicate — the training mirror of
+    ``predict(..., plan=)`` on the serving side.
     """
 
     def _dense_rows(self, batch: FactorizedBatch) -> np.ndarray:

@@ -8,6 +8,14 @@ differ in the *representation* of a batch:
 * :class:`FactorizedBatch` — a
   :class:`~repro.linalg.design.FactorizedDesign` that keeps each
   dimension tuple once (F- algorithms).
+
+Batches assembled by the join access paths carry the block's
+:class:`~repro.fx.dedup.DedupPlan` — the per-dimension ``(unique,
+inverse)`` FK sort computed once in :mod:`repro.join.bnl` — so
+training consumers share the dedup the same way serving predictors
+share a request batch's plan.  Batches that never saw a join (rows
+read back from a materialized table, hand-built test batches) carry
+``plan=None``.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ModelError
+from repro.fx.dedup import DedupPlan
 from repro.linalg.design import FactorizedDesign
 from repro.linalg.groupsum import GroupIndex
 
@@ -28,6 +37,8 @@ class DenseBatch:
     sids: np.ndarray
     features: np.ndarray
     targets: np.ndarray | None = None
+    #: the assembling block's FK dedup; None off the join paths
+    plan: DedupPlan | None = None
 
     def __post_init__(self) -> None:
         self.sids = np.asarray(self.sids)
@@ -47,13 +58,24 @@ class DenseBatch:
                     f"targets shape {self.targets.shape} != "
                     f"({self.features.shape[0]},)"
                 )
+        if self.plan is not None and self.plan.rows != (
+            self.features.shape[0]
+        ):
+            raise ModelError(
+                f"dedup plan describes {self.plan.rows} rows, the "
+                f"batch has {self.features.shape[0]}"
+            )
 
     @property
     def n(self) -> int:
         return self.features.shape[0]
 
     def take(self, indices: np.ndarray) -> "DenseBatch":
-        """Row-subset / permutation of the batch."""
+        """Row-subset / permutation of the batch.
+
+        The dedup plan describes the *full* batch, so the subset
+        carries none; consumers that need one re-dedup the subset.
+        """
         return DenseBatch(
             self.sids[indices],
             self.features[indices],
@@ -68,6 +90,8 @@ class FactorizedBatch:
     sids: np.ndarray
     design: FactorizedDesign
     targets: np.ndarray | None = None
+    #: the assembling block's FK dedup; None for hand-built batches
+    plan: DedupPlan | None = None
 
     def __post_init__(self) -> None:
         self.sids = np.asarray(self.sids)
@@ -82,6 +106,14 @@ class FactorizedBatch:
                     f"targets shape {self.targets.shape} != "
                     f"({self.design.n},)"
                 )
+        if self.plan is not None and not self.plan.matches(
+            self.design.n, self.design.num_dimensions
+        ):
+            raise ModelError(
+                f"dedup plan describes {self.plan.rows} rows × "
+                f"{self.plan.num_dimensions} dimensions, the design has "
+                f"{self.design.n} rows × {self.design.num_dimensions}"
+            )
 
     @property
     def n(self) -> int:
@@ -96,7 +128,8 @@ class FactorizedBatch:
 
         Dimension blocks are shared, not copied: only the fact rows and
         the code arrays are re-indexed, preserving the factorized
-        storage advantage.
+        storage advantage.  The dedup plan describes the full batch and
+        is dropped from the subset.
         """
         design = self.design
         groups = [

@@ -14,18 +14,29 @@ pass and probed in memory while the fact relation streams by in blocks,
 costing ``|S| + Σ|R_i|`` reads per pass.
 
 Every joined tuple is emitted exactly once per pass, grouped into
-:class:`JoinBlock` units that downstream code either densifies
-(S- algorithms) or keeps factorized (F- algorithms).
+:class:`JoinBlock` units.  A block keeps the join in *normalized* form:
+the raw fact rows, each dimension's page-block feature rows with their
+keys, and — the factorized execution core's contract — one
+:class:`~repro.fx.dedup.DedupPlan` deduplicating the block's FK
+columns, built exactly once at assembly.  Downstream code either
+densifies the block (S- algorithms) or keeps it factorized
+(F- algorithms); both read the same plan, the same way serving batches
+thread their plan through ``BatchPlanner → predict()``.
+
+Blocks whose inner scan matched no fact tuples are not emitted: the
+page reads are already charged by the time emptiness is known, and an
+empty batch carries no work for any consumer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterator
 
 import numpy as np
 
 from repro.errors import JoinError
+from repro.fx.dedup import DedupPlan
 from repro.linalg.groupsum import codes_for_keys
 from repro.join.spec import ResolvedJoin
 
@@ -34,21 +45,42 @@ DEFAULT_BLOCK_PAGES = 64
 
 @dataclass
 class JoinBlock:
-    """One outer-block's worth of joined tuples, before densification.
+    """One outer-block's worth of joined tuples, in normalized form.
 
     ``fact_rows`` are raw fact-relation rows (all schema columns);
-    ``dim_features[i]`` holds the features of the ``i``-th dimension
-    batch at its distinct rows, and ``codes[i]`` maps each fact row to a
-    row of that batch.
+    ``dim_features[i]`` / ``dim_keys[i]`` hold the ``i``-th dimension
+    page-block's feature rows and primary keys; ``fks[i]`` is the raw
+    FK column of the block's fact rows, and ``plan`` is its
+    :class:`~repro.fx.dedup.DedupPlan` — the one ``(unique, inverse)``
+    sort per dimension that every consumer of this block shares.
     """
 
     fact_rows: np.ndarray
     dim_features: list[np.ndarray]
-    codes: list[np.ndarray]
+    dim_keys: list[np.ndarray]
+    fks: list[np.ndarray]
+    plan: DedupPlan
+    _distinct_rows: dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False
+    )
 
     @property
     def n(self) -> int:
         return self.fact_rows.shape[0]
+
+    def distinct_rows(self, dim_index: int) -> np.ndarray:
+        """Dimension ``dim_index``'s feature rows at the plan's distinct
+        RIDs (sorted-RID order), selected from the page block once and
+        cached — shared by densify and factorize alike."""
+        if dim_index not in self._distinct_rows:
+            positions = codes_for_keys(
+                self.plan.dims[dim_index].unique,
+                self.dim_keys[dim_index],
+            )
+            self._distinct_rows[dim_index] = (
+                self.dim_features[dim_index][positions]
+            )
+        return self._distinct_rows[dim_index]
 
 
 def iter_join_blocks(
@@ -63,7 +95,9 @@ def iter_join_blocks(
     With ``shuffle=True`` the outer block order and the tuple order
     within each block are permuted (the paper's per-epoch key
     permutation for SGD, Section VI); pass a seeded ``rng`` for
-    reproducibility.
+    reproducibility.  Each emitted block carries its
+    :class:`~repro.fx.dedup.DedupPlan`, built here exactly once (after
+    any permutation, so the plan's inverse maps the emitted row order).
     """
     if block_pages <= 0:
         raise JoinError(f"block_pages must be positive, got {block_pages}")
@@ -77,6 +111,30 @@ def iter_join_blocks(
 
 def _block_starts(npages: int, block_pages: int) -> list[int]:
     return list(range(0, npages, block_pages))
+
+
+def _assemble(
+    fact_rows: np.ndarray,
+    dim_features: list[np.ndarray],
+    dim_keys: list[np.ndarray],
+    fk_positions: list[int],
+    shuffle: bool,
+    rng: np.random.Generator | None,
+) -> JoinBlock:
+    """Permute (optionally), extract FK columns, dedup once, package."""
+    if shuffle and fact_rows.shape[0] > 1:
+        fact_rows = fact_rows[rng.permutation(fact_rows.shape[0])]
+    fks = [
+        fact_rows[:, position].astype(np.int64)
+        for position in fk_positions
+    ]
+    return JoinBlock(
+        fact_rows,
+        dim_features,
+        dim_keys,
+        fks,
+        DedupPlan.for_batch(fks),
+    )
 
 
 def _iter_binary(
@@ -105,14 +163,13 @@ def _iter_binary(
             mask = np.isin(fk_values, dim_keys)
             if mask.any():
                 matched_chunks.append(fact_chunk[mask])
-        if matched_chunks:
-            fact_rows = np.concatenate(matched_chunks, axis=0)
-        else:
-            fact_rows = np.empty((0, fact.schema.width))
-        fk_values = fact_rows[:, fk_position].astype(np.int64)
-        codes = codes_for_keys(fk_values, dim_keys)
-        block = JoinBlock(fact_rows, [dim_feats], [codes])
-        yield _maybe_permute(block, shuffle, rng)
+        if not matched_chunks:
+            continue
+        fact_rows = np.concatenate(matched_chunks, axis=0)
+        yield _assemble(
+            fact_rows, [dim_feats], [dim_keys], [fk_position],
+            shuffle, rng,
+        )
 
 
 def _iter_multiway(
@@ -137,22 +194,9 @@ def _iter_multiway(
     for first_page in starts:
         npages = min(block_pages, fact.npages - first_page)
         fact_rows = fact.heap.read_pages(first_page, npages)
-        codes = []
-        for keys, position in zip(dim_keys, fk_positions):
-            fk_values = fact_rows[:, position].astype(np.int64)
-            codes.append(codes_for_keys(fk_values, keys))
-        block = JoinBlock(fact_rows, list(dim_feats), codes)
-        yield _maybe_permute(block, shuffle, rng)
-
-
-def _maybe_permute(
-    block: JoinBlock, shuffle: bool, rng: np.random.Generator | None
-) -> JoinBlock:
-    if not shuffle or block.n <= 1:
-        return block
-    order = rng.permutation(block.n)
-    return JoinBlock(
-        block.fact_rows[order],
-        block.dim_features,
-        [c[order] for c in block.codes],
-    )
+        if fact_rows.shape[0] == 0:
+            continue
+        yield _assemble(
+            fact_rows, list(dim_feats), list(dim_keys), fk_positions,
+            shuffle, rng,
+        )

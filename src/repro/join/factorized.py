@@ -6,6 +6,16 @@ joined tuples: each batch keeps the dimension features at their
 *distinct* rows together with fact→dimension codes, packaged as a
 :class:`~repro.linalg.design.FactorizedDesign`.  All reuse the paper
 derives (Eq. 9–24, Section VI-A1) operates on this representation.
+
+The factorization itself is not private to this module: the block's
+:class:`~repro.fx.dedup.DedupPlan` (built once in
+:mod:`repro.join.bnl`) supplies both the distinct dimension rows and —
+via :meth:`~repro.fx.dedup.DimensionDedup.group_index` — the
+:class:`~repro.linalg.groupsum.GroupIndex` every grouped reduction
+runs on.  Dimension blocks therefore hold exactly the distinct RIDs
+the batch references, in sorted-RID order — the same rows a serving
+partial cache would key, which is what lets training and serving share
+one dedup machinery.
 """
 
 from __future__ import annotations
@@ -18,7 +28,6 @@ from repro.join.batches import FactorizedBatch
 from repro.join.bnl import DEFAULT_BLOCK_PAGES, JoinBlock, iter_join_blocks
 from repro.join.spec import JoinSpec, ResolvedJoin
 from repro.linalg.design import FactorizedDesign
-from repro.linalg.groupsum import GroupIndex
 from repro.storage.catalog import Database
 
 
@@ -26,14 +35,10 @@ def _factorize_block(
     resolved: ResolvedJoin, block: JoinBlock
 ) -> FactorizedBatch:
     fact = resolved.fact
-    groups = [
-        GroupIndex(codes, features.shape[0])
-        for codes, features in zip(block.codes, block.dim_features)
-    ]
-    design = FactorizedDesign(
+    design = FactorizedDesign.from_plan(
         fact.project_features(block.fact_rows),
-        list(block.dim_features),
-        groups,
+        [block.distinct_rows(i) for i in range(len(block.dim_features))],
+        block.plan,
     )
     sids = (
         fact.project_keys(block.fact_rows)
@@ -45,7 +50,7 @@ def _factorize_block(
         if fact.schema.target_column is not None
         else None
     )
-    return FactorizedBatch(sids, design, targets)
+    return FactorizedBatch(sids, design, targets, plan=block.plan)
 
 
 class FactorizedJoin:

@@ -5,6 +5,13 @@ re-executes the block-nested-loops join and feeds each joined batch to
 the model in denormalized form.  I/O per pass is the join cost; compute
 per pass is identical to the materialized baseline because every joined
 tuple is fully expanded.
+
+Expansion runs off the block's :class:`~repro.fx.dedup.DedupPlan`:
+each dimension's feature rows are selected once at the plan's distinct
+RIDs and gathered back to fact rows — the same single-dedup contract
+the serving tier's ``densify_request`` honours.  The emitted
+:class:`~repro.join.batches.DenseBatch` carries the plan for
+downstream bookkeeping.
 """
 
 from __future__ import annotations
@@ -23,8 +30,8 @@ def _densify_block(resolved: ResolvedJoin, block: JoinBlock) -> DenseBatch:
     """Expand a join block into wide ``[x_S | x_R1 | …]`` rows."""
     fact = resolved.fact
     parts = [fact.project_features(block.fact_rows)]
-    for features, codes in zip(block.dim_features, block.codes):
-        parts.append(features[codes])
+    for i, dim in enumerate(block.plan.dims):
+        parts.append(dim.gather(block.distinct_rows(i)))
     sids = (
         fact.project_keys(block.fact_rows)
         if fact.schema.key_column is not None
@@ -35,7 +42,9 @@ def _densify_block(resolved: ResolvedJoin, block: JoinBlock) -> DenseBatch:
         if fact.schema.target_column is not None
         else None
     )
-    return DenseBatch(sids, np.concatenate(parts, axis=1), targets)
+    return DenseBatch(
+        sids, np.concatenate(parts, axis=1), targets, plan=block.plan
+    )
 
 
 class StreamingJoin:

@@ -121,6 +121,35 @@ class FactorizedDesign:
         return np.concatenate(parts, axis=1)
 
     @classmethod
+    def from_plan(
+        cls,
+        fact_block: np.ndarray,
+        dim_blocks: list[np.ndarray],
+        plan,
+    ) -> "FactorizedDesign":
+        """Build from a batch's :class:`~repro.fx.dedup.DedupPlan`.
+
+        ``dim_blocks[i]`` must hold dimension ``i``'s feature rows at
+        the plan's distinct RIDs (sorted-RID order, ``m_i`` rows); the
+        group indexes come straight from the plan via
+        :meth:`~repro.fx.dedup.DimensionDedup.group_index`, so no FK
+        column is re-sorted.  This is the constructor the training
+        access path uses (:mod:`repro.join.factorized`) — the design's
+        grouped reductions and the serving predictors then share one
+        dedup per batch per dimension.
+        """
+        if len(dim_blocks) != plan.num_dimensions:
+            raise ModelError(
+                f"{len(dim_blocks)} dimension blocks for a plan of "
+                f"{plan.num_dimensions} dimensions"
+            )
+        return cls(
+            fact_block,
+            list(dim_blocks),
+            [dim.group_index() for dim in plan.dims],
+        )
+
+    @classmethod
     def from_dense(
         cls,
         dense: np.ndarray,

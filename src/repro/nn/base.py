@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Protocol
 
 from repro.errors import ModelError
+from repro.fx.dedup import DedupCounter
 from repro.nn.layers import LayerGrads
 from repro.nn.network import MLP
 from repro.storage.iostats import IOSnapshot
@@ -119,18 +120,32 @@ def run_training(
     *,
     algorithm: str,
 ) -> NNFitResult:
-    """The strategy-independent epoch loop."""
+    """The strategy-independent epoch loop.
+
+    Batches assembled by the join access paths carry their
+    :class:`~repro.fx.dedup.DedupPlan`; the driver folds every
+    executed batch's plan into a :class:`~repro.fx.dedup.DedupCounter`
+    and reports the counters in ``result.extra`` — the training twin
+    of the runtime's per-model ``dedup_ratio``.
+    """
     start = time.perf_counter()
     history: list[float] = []
     n_total = engine.n_rows
     if n_total == 0:
         raise ModelError("the join produced no tuples to train on")
+    dedup = DedupCounter()
+
+    def observed(batches):
+        for batch in batches:
+            if batch.plan is not None:
+                dedup.observe(batch.plan)
+            yield batch
 
     for epoch in range(config.epochs):
         epoch_loss = 0.0
         if config.batch_mode == "full":
             accumulated: list[LayerGrads] | None = None
-            for batch in engine.batches(epoch):
+            for batch in observed(engine.batches(epoch)):
                 loss, grads = engine.batch_gradients(batch, n_total)
                 epoch_loss += loss
                 accumulated = _accumulate(accumulated, grads)
@@ -139,7 +154,7 @@ def run_training(
             engine.model.apply_grads(accumulated, config.learning_rate)
         else:
             seen = 0
-            for batch in engine.batches(epoch):
+            for batch in observed(engine.batches(epoch)):
                 loss, grads = engine.batch_gradients(batch, batch.n)
                 engine.model.apply_grads(grads, config.learning_rate)
                 epoch_loss += loss * batch.n
@@ -154,4 +169,5 @@ def run_training(
         model=engine.model,
         loss_history=history,
         wall_time_seconds=time.perf_counter() - start,
+        extra=dedup.as_extra(),
     )

@@ -8,7 +8,11 @@ Three analyses from the paper, each validated by tests/benches:
   costs at least as much as the standard path — the reason F-NN stops
   factorizing after the first layer;
 * backward I/O savings (Section VI-A3): reading base relations touches
-  ``n_S·d_S + n_R·d_R`` fields instead of ``N·(d_S + d_R)``.
+  ``n_S·d_S + n_R·d_R`` fields instead of ``N·(d_S + d_R)``;
+* page-level training I/O (:func:`m_nn_io_pages` /
+  :func:`s_nn_io_pages`): the materialize-vs-stream page counts that
+  :class:`repro.fx.costs.NNTrainingCost` folds into
+  ``algorithm="auto"`` resolution.
 
 This module is the *formula layer*; the uniform training cost
 interface consumed by ``algorithm="auto"`` strategy resolution is
@@ -106,6 +110,44 @@ def layer2_reuse_overhead(n: int, m: int, n_h: int, n_l: int) -> int:
         layer2_ops_with_reuse(n, m, n_h, n_l).total
         - layer2_ops_standard(n, n_h, n_l).total
     )
+
+
+# -- page-level training I/O ---------------------------------------------------
+
+
+def m_nn_io_pages(
+    pages_r: int,
+    pages_s: int,
+    pages_t: int,
+    block_pages: int,
+    epochs: int,
+) -> int:
+    """Total M-NN page I/O for a binary join.
+
+    One BNL join pass to build ``T``, ``|T|`` writes to materialize it,
+    and one read of ``T`` per training epoch (forward and backward run
+    in the same pass).  The GMM twin is
+    :func:`repro.gmm.cost_model.m_gmm_io_pages`; the shared BNL pass
+    formula lives there (Section V-A applies to both model families).
+    """
+    from repro.gmm.cost_model import join_pass_pages
+
+    _check_positive(pages_t=pages_t, epochs=epochs)
+    return (
+        join_pass_pages(pages_r, pages_s, block_pages)
+        + pages_t
+        + epochs * pages_t
+    )
+
+
+def s_nn_io_pages(
+    pages_r: int, pages_s: int, block_pages: int, epochs: int
+) -> int:
+    """Total S-NN (= F-NN) page I/O: one join pass per epoch."""
+    from repro.gmm.cost_model import join_pass_pages
+
+    _check_positive(epochs=epochs)
+    return epochs * join_pass_pages(pages_r, pages_s, block_pages)
 
 
 # -- backward I/O (Section VI-A3) ---------------------------------------------

@@ -66,7 +66,14 @@ class DenseNNEngine(_NNEngineBase):
 
 
 class FactorizedNNEngine(_NNEngineBase):
-    """Factorized first layer — F-NN (binary and multi-way alike)."""
+    """Factorized first layer — F-NN (binary and multi-way alike).
+
+    Batches arrive with their :class:`~repro.fx.dedup.DedupPlan`
+    threaded into the design (``batch.plan``): the group indexes the
+    gathers below run on come from the plan's ``(unique, inverse)``
+    sort, built once at batch assembly — the training mirror of the
+    serving predictors' ``predict(..., plan=)`` contract.
+    """
 
     def __init__(
         self, access, model: MLP, *, grouped_backward: bool = False

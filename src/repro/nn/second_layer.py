@@ -69,6 +69,8 @@ def second_layer_with_reuse(
     first: DenseLayer,
     second: DenseLayer,
     activation: str | Activation,
+    *,
+    plan=None,
 ) -> tuple[np.ndarray, int]:
     """Eq. 27's T1/T2/T3 scheme over a binary factorized design.
 
@@ -76,6 +78,12 @@ def second_layer_with_reuse(
     with sigmoid/tanh to *measure* the deviation, which is the point of
     the exactness tests).  Returns the second-layer activations and the
     multiplication count.
+
+    Callers holding the batch's :class:`~repro.fx.dedup.DedupPlan`
+    pass it via ``plan=`` — the same keyword the serving predictors
+    take — and the reused terms are gathered through the plan instead
+    of the design's group index (identical values, no second dedup
+    anywhere in sight).
     """
     activation = get_activation(activation)
     if design.num_dimensions != 1:
@@ -83,9 +91,18 @@ def second_layer_with_reuse(
             "the second-layer analysis follows the paper's binary-join "
             f"exposition; got q={design.num_dimensions}"
         )
+    if plan is not None:
+        if not plan.matches(design.n, design.num_dimensions):
+            raise ModelError(
+                f"dedup plan describes {plan.rows} rows × "
+                f"{plan.num_dimensions} dimensions, the design has "
+                f"{design.n} rows × {design.num_dimensions}"
+            )
+        group = plan.dims[0]
+    else:
+        group = design.groups[0]
     layout = design.layout
     weight_parts = layout.split_columns(first.weights)
-    group = design.groups[0]
     m = design.dim_blocks[0].shape[0]
     n = design.n
     n_h = first.n_out
@@ -115,19 +132,22 @@ def compare_second_layer(
     first: DenseLayer,
     second: DenseLayer,
     activation: str | Activation,
+    *,
+    plan=None,
 ) -> SecondLayerOutputs:
     """Run both paths and report values + measured multiplication counts.
 
     For additive activations ``max_deviation`` is ~0 while the reused
     path still performs *more* multiplications whenever ``m·n_l·n_h``
     exceeds the layer-1 savings — the paper's Section VI-A2 conclusion.
+    ``plan=`` threads a batch's dedup plan through to the reuse path.
     """
     activation = get_activation(activation)
     standard, standard_mults = second_layer_standard(
         design, first, second, activation
     )
     reused, reused_mults = second_layer_with_reuse(
-        design, first, second, activation
+        design, first, second, activation, plan=plan
     )
     return SecondLayerOutputs(
         standard=standard,

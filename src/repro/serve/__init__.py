@@ -6,18 +6,30 @@ prediction request arrives in normalized form — fact features plus
 foreign keys — and is scored either by hand-materializing the wide rows
 (the baseline) or by gathering cached per-distinct-RID partial results
 (the paper's reuse argument applied at inference time).  Both paths are
-exact: they agree with the dense model on the joined rows.
+exact: they agree with the dense model on the joined rows, and both
+consume one :class:`~repro.fx.dedup.DedupPlan` per request batch —
+the same single-dedup contract training batches honour.
 
-Layers:
+Layers (the execution core underneath is :mod:`repro.fx`):
 
 * :mod:`~repro.serve.partials` — per-RID partial results and keyed
   dimension-row lookups;
-* :mod:`~repro.serve.cache` — bounded LRU cache of partial rows;
+* :mod:`~repro.serve.cache` — bounded cache of partial rows: capacity
+  by entries and/or by floats (``capacity_floats``), LRU or TinyLFU
+  admission, invalidation hooks for dimension-row updates;
 * :mod:`~repro.serve.predictor` — exact factorized / materialized
-  predictors per model family;
-* :mod:`~repro.serve.service` — the registry facade with throughput
-  and I/O bookkeeping;
-* :mod:`~repro.serve.cost_model` — inference-side operation counts.
+  predictors per model family; factorized predictors draw their
+  caches from a shared :class:`~repro.fx.store.PartialStore`, so
+  fingerprint-identical models hold one resident copy;
+* :mod:`~repro.serve.service` — the registry facade with throughput,
+  I/O and store bookkeeping (``stats()``, ``cache_stats()``,
+  ``store_stats()``), subscribed to catalog row-version events;
+* :mod:`~repro.serve.cost_model` — inference-side operation counts
+  (the unified adapter view lives in :mod:`repro.fx.costs`).
+
+Sizing, admission and invalidation semantics are documented in
+``docs/operations.md``; the concurrent tier on top is
+:mod:`repro.runtime`.
 """
 
 from repro.serve.cache import CacheStats, PartialCache

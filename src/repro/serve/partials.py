@@ -30,6 +30,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.linalg.blocks import BlockLayout
+from repro.fx.dedup import distinct_values
 from repro.linalg.groupsum import codes_for_keys
 from repro.storage.buffer import BufferPool
 from repro.storage.relation import Relation
@@ -91,7 +92,7 @@ class DimensionLookup:
         rows = np.empty(
             (positions.size, self.relation.schema.width), dtype=np.float64
         )
-        for page_no in np.unique(pages):
+        for page_no in distinct_values(pages):
             mask = pages == page_no
             if self.buffer_pool is not None:
                 page = self.buffer_pool.get_page(heap, int(page_no))

@@ -20,6 +20,7 @@ import numpy as np
 from typing import Callable
 
 from repro.errors import StorageError
+from repro.fx.dedup import distinct_values
 from repro.storage.buffer import BufferPool
 from repro.storage.events import RowVersionEvent
 from repro.storage.heapfile import DEFAULT_PAGE_SIZE_BYTES, HeapFile
@@ -201,7 +202,7 @@ class Database:
                         "values; serving lookups index rows by key"
                     )
             relation.update_rows(positions, rows)
-            pages = np.unique(positions // relation.heap.rows_per_page)
+            pages = distinct_values(positions // relation.heap.rows_per_page)
             self.buffer_pool.invalidate_pages(relation.heap, pages)
             version = self._row_versions.get(name, 0) + 1
             self._row_versions[name] = version
@@ -240,7 +241,7 @@ class Database:
         pages = positions // heap.rows_per_page
         slots = positions % heap.rows_per_page
         out = np.empty((positions.size, relation.schema.width))
-        for page_no in np.unique(pages):
+        for page_no in distinct_values(pages):
             mask = pages == page_no
             page = self.buffer_pool.get_page(heap, int(page_no))
             out[mask] = page[slots[mask]]

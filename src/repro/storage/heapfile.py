@@ -21,6 +21,7 @@ from typing import Iterator
 import numpy as np
 
 from repro.errors import StorageError
+from repro.fx.dedup import distinct_values
 from repro.storage.iostats import IOStats
 
 DEFAULT_PAGE_SIZE_BYTES = 8192
@@ -220,7 +221,7 @@ class HeapFile:
             )
         pages = positions // self.rows_per_page
         slots = positions % self.rows_per_page
-        touched = np.unique(pages)
+        touched = distinct_values(pages)
         with self._io_lock:
             with open(self.path, "r+b") as handle:
                 for page_no in touched:

@@ -115,6 +115,53 @@ class TestFitGMM:
         assert results[1].fit.params.allclose(results[2].fit.params)
 
 
+class TestAutoResolution:
+    def test_redundant_workload_resolves_factorized(self, db,
+                                                    binary_star):
+        # binary_star: 500 facts over 25 dimension rows — rr = 20.
+        result = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0,
+            algorithm="auto",
+        )
+        assert result.algorithm == "F-GMM"
+
+    def test_flat_short_run_resolves_streaming(self, db):
+        # No redundancy (every dimension row referenced once) and a
+        # single EM iteration: the dense representation wins compute,
+        # and the folded-in page models make materializing T a loss —
+        # memory, not compute, binds.
+        from repro.data.synthetic import StarSchemaConfig, generate_star
+
+        star = generate_star(
+            db,
+            StarSchemaConfig.binary(
+                n_s=500, n_r=500, d_s=2, d_r=10, with_target=True,
+                seed=5,
+            ),
+        )
+        result = fit_gmm(
+            db, star.spec, n_components=2, max_iter=1, tol=0.0,
+            algorithm="auto",
+        )
+        assert result.algorithm == "S-GMM"
+
+    def test_flat_long_run_resolves_materialized(self, db):
+        from repro.data.synthetic import StarSchemaConfig, generate_star
+
+        star = generate_star(
+            db,
+            StarSchemaConfig.binary(
+                n_s=500, n_r=500, d_s=2, d_r=10, with_target=True,
+                seed=5,
+            ),
+        )
+        result = fit_nn(
+            db, star.spec, hidden_sizes=(4,), epochs=40,
+            algorithm="auto",
+        )
+        assert result.algorithm == "M-NN"
+
+
 class TestFitNN:
     def test_returns_usable_model(self, db, binary_star):
         result = fit_nn(

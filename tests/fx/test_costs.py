@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.core.strategies import FACTORIZED, MATERIALIZED, STREAMING
 from repro.errors import ModelError
 from repro.fx.costs import (
     CostModel,
@@ -10,14 +10,22 @@ from repro.fx.costs import (
     GMMTrainingCost,
     NNServingCost,
     NNTrainingCost,
+    TrainingPageProfile,
     recommend_training_strategy,
     serving_cost_model,
     training_cost_model,
 )
-from repro.gmm.cost_model import dense_outer_cost, factorized_outer_cost
+from repro.gmm.cost_model import (
+    dense_outer_cost,
+    factorized_outer_cost,
+    m_gmm_io_pages,
+    s_gmm_io_pages,
+)
 from repro.nn.cost_model import (
     layer1_forward_mults_dense,
     layer1_forward_mults_factorized,
+    m_nn_io_pages,
+    s_nn_io_pages,
 )
 from repro.serve.cost_model import (
     gmm_serving_mults_dense,
@@ -155,4 +163,118 @@ class TestDecisions:
         assert recommend_training_strategy(
             "gmm", rows=100, distinct=(100,), d_s=5,
             dim_widths=(15,), width_param=3,
+        ) == MATERIALIZED
+
+
+class TestTrainingIOReducesToPublishedPages:
+    """Binary page counts reproduce the Section V-A formulas (and the
+    NN twin) exactly; multi-way uses the additive pass generalization."""
+
+    PROFILE = TrainingPageProfile(
+        fact_pages=40, dim_pages=(12,), joined_pages=90, block_pages=4
+    )
+
+    def test_gmm_binary(self):
+        model = training_cost_model(
+            "gmm", d_s=5, dim_widths=(15,), width_param=3
+        )
+        for iterations in (1, 4, 10):
+            assert model.materialized_io_pages(
+                self.PROFILE, iterations
+            ) == m_gmm_io_pages(12, 40, 90, 4, iterations)
+            assert model.streaming_io_pages(
+                self.PROFILE, iterations
+            ) == s_gmm_io_pages(12, 40, 4, iterations)
+
+    def test_nn_binary(self):
+        model = training_cost_model(
+            "nn", d_s=5, dim_widths=(15,), width_param=32
+        )
+        for epochs in (1, 4, 10):
+            assert model.materialized_io_pages(
+                self.PROFILE, epochs
+            ) == m_nn_io_pages(12, 40, 90, 4, epochs)
+            assert model.streaming_io_pages(
+                self.PROFILE, epochs
+            ) == s_nn_io_pages(12, 40, 4, epochs)
+
+    def test_multiway_pass_is_additive(self):
+        profile = TrainingPageProfile(
+            fact_pages=40, dim_pages=(6, 3), joined_pages=90,
+            block_pages=4,
+        )
+        assert profile.join_pass_pages() == 40 + 6 + 3
+        model = training_cost_model(
+            "gmm", d_s=5, dim_widths=(4, 2), width_param=3
+        )
+        assert model.streaming_io_pages(profile, 2) == 3 * 2 * 49
+        assert model.materialized_io_pages(profile, 2) == (
+            49 + 90 + 3 * 2 * 90
+        )
+
+    def test_profile_arity_checked(self):
+        model = training_cost_model(
+            "gmm", d_s=5, dim_widths=(4, 2), width_param=3
+        )
+        with pytest.raises(ModelError, match="dimensions"):
+            model.materialized_io_pages(self.PROFILE, 1)
+
+    def test_invalid_profile_rejected(self):
+        with pytest.raises(ModelError):
+            TrainingPageProfile(
+                fact_pages=0, dim_pages=(1,), joined_pages=1
+            )
+
+
+class TestIOAwareRecommendation:
+    LAYOUT = dict(d_s=5, dim_widths=(15,), width_param=3)
+
+    def test_factorized_wins_regardless_of_pages(self):
+        # Compute decides first: redundancy means factorized, which
+        # already runs the cheapest (streaming) page schedule.
+        assert recommend_training_strategy(
+            "gmm", rows=10_000, distinct=(100,), **self.LAYOUT,
+            pages=TrainingPageProfile(
+                fact_pages=40, dim_pages=(12,), joined_pages=90
+            ),
+            iterations=1,
+        ) == FACTORIZED
+
+    def test_short_run_with_wide_join_streams(self):
+        # One EM iteration: materializing T costs pass + 4·|T| against
+        # streaming's 3 passes — T is wide, streaming wins.
+        assert recommend_training_strategy(
+            "gmm", rows=100, distinct=(100,), **self.LAYOUT,
+            pages=TrainingPageProfile(
+                fact_pages=10, dim_pages=(8,), joined_pages=40,
+                block_pages=64,
+            ),
+            iterations=1,
+        ) == STREAMING
+
+    def test_long_run_amortizes_materialization(self):
+        assert recommend_training_strategy(
+            "gmm", rows=100, distinct=(100,), **self.LAYOUT,
+            pages=TrainingPageProfile(
+                fact_pages=10, dim_pages=(8,), joined_pages=12,
+                block_pages=64,
+            ),
+            iterations=50,
+        ) == MATERIALIZED
+
+    def test_memory_budget_clamps_to_streaming(self):
+        # Same long run, but T does not fit the budget.
+        assert recommend_training_strategy(
+            "gmm", rows=100, distinct=(100,), **self.LAYOUT,
+            pages=TrainingPageProfile(
+                fact_pages=10, dim_pages=(8,), joined_pages=12,
+                block_pages=64,
+            ),
+            iterations=50,
+            memory_budget_pages=10,
+        ) == STREAMING
+
+    def test_without_pages_decision_is_compute_only(self):
+        assert recommend_training_strategy(
+            "gmm", rows=100, distinct=(100,), **self.LAYOUT,
         ) == MATERIALIZED

@@ -2,28 +2,28 @@
 
 Before the execution core, the runtime deduplicated twice — once in
 the planner (distinct-RID counts) and again inside the chosen
-predictor's gather/densify.  These tests pin the contract from both
-ends: every execution path funnels through ``DedupPlan.for_batch``
-exactly once per batch, and the modules downstream of the plan carry
-no ``np.unique`` call of their own.
+predictor's gather/densify; the training access paths then kept a
+third private factorization inside ``join/factorized.py``.  These
+tests pin the contract from both ends: every execution path — serving
+*and* training — funnels through ``DedupPlan.for_batch`` exactly once
+per batch, and no module in the package outside ``fx/dedup.py``
+deduplicates on its own (``np.unique`` is AST-banned repo-wide).
 """
 
-import inspect
+import ast
 import warnings
+from pathlib import Path
 
 import numpy as np
 import pytest
 
-import importlib
-
+import repro
 from repro.core.api import fit_gmm, fit_nn, serve, serve_runtime
 from repro.fx.dedup import DedupPlan
 
-# importlib avoids the name shadowing of ``repro.serve`` (the package)
-# by ``repro.serve`` (the convenience function re-exported at top level).
-serve_predictor = importlib.import_module("repro.serve.predictor")
-fx_gather = importlib.import_module("repro.fx.gather")
-runtime_planner = importlib.import_module("repro.runtime.planner")
+SRC_ROOT = Path(repro.__file__).resolve().parent
+#: the one module allowed to call ``np.unique``
+DEDUP_HOME = SRC_ROOT / "fx" / "dedup.py"
 
 
 @pytest.fixture(autouse=True)
@@ -54,28 +54,45 @@ def a_request(db, spec, n=64):
     return fact.project_features(rows), fk
 
 
+def _unique_call_lines(path: Path) -> list[int]:
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return [
+        node.lineno
+        for node in ast.walk(tree)
+        if isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr == "unique"
+    ]
+
+
 class TestNoStrayUnique:
-    """Downstream modules must consume the plan, not re-dedup."""
+    """No module outside ``fx/dedup.py`` may deduplicate on its own.
+
+    Covers serving (``serve/``, ``runtime/``, ``fx/``) and — since the
+    training refactor — the training stack too (``join/``, ``linalg/``,
+    ``gmm/``, ``nn/``), plus ``storage/``: page-number dedups go
+    through ``fx.dedup.distinct_values``, FK columns through
+    ``DedupPlan.for_batch``.
+    """
 
     @pytest.mark.parametrize(
-        "module",
-        [serve_predictor, fx_gather, runtime_planner],
+        "path",
+        sorted(SRC_ROOT.rglob("*.py")),
+        ids=lambda p: str(p.relative_to(SRC_ROOT)),
     )
-    def test_module_has_no_unique_call(self, module):
-        import ast
-
-        tree = ast.parse(inspect.getsource(module))
-        calls = [
-            node.lineno
-            for node in ast.walk(tree)
-            if isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr == "unique"
-        ]
+    def test_module_has_no_unique_call(self, path):
+        if path == DEDUP_HOME:
+            pytest.skip("fx/dedup.py is the dedup home")
+        calls = _unique_call_lines(path)
         assert calls == [], (
-            f"{module.__name__} deduplicates on its own at lines "
-            f"{calls}; consume the DedupPlan instead"
+            f"{path.relative_to(SRC_ROOT)} deduplicates on its own at "
+            f"lines {calls}; consume a DedupPlan (FK columns) or "
+            f"fx.dedup.distinct_values (page numbers, shard ids)"
         )
+
+    def test_dedup_home_still_dedups(self):
+        """Guard the scanner itself: the home module must register."""
+        assert _unique_call_lines(DEDUP_HOME)
 
 
 class TestOneDedupPerBatch:
@@ -141,3 +158,76 @@ class TestOneDedupPerBatch:
         stale = DedupPlan.for_batch([fk[:-1]])
         with pytest.raises(ModelError, match="plan"):
             predictor.predict(features, fk, plan=stale)
+
+
+class TestOneDedupPerTrainingBatch:
+    """Training batches share the serving dedup: one plan per assembled
+    block per pass, threaded through the engines untouched."""
+
+    @pytest.mark.parametrize("access_name", ["factorized", "streaming"])
+    def test_one_plan_per_block_per_pass(
+        self, db, binary_star, count_dedups, access_name
+    ):
+        from repro.join.factorized import FactorizedJoin
+        from repro.join.stream import StreamingJoin
+
+        cls = (
+            FactorizedJoin if access_name == "factorized" else
+            StreamingJoin
+        )
+        access = cls(db, binary_star.spec, block_pages=2)
+        count_dedups.clear()
+        batches = list(access.batches())
+        assert len(count_dedups) == len(batches)
+        assert all(batch.plan is not None for batch in batches)
+
+    def test_engine_kernels_never_rededup(self, db, binary_star,
+                                          count_dedups):
+        from repro.gmm.engines import FactorizedEMEngine
+        from repro.gmm.init import initial_params
+        from repro.gmm.model import ComponentPrecisions
+        from repro.join.factorized import FactorizedJoin
+
+        engine = FactorizedEMEngine(
+            FactorizedJoin(db, binary_star.spec, block_pages=2),
+            n_features=8,
+        )
+        params = initial_params(engine.init_sample(200), 2, seed=0)
+        precisions = ComponentPrecisions(params.covariances, 1e-6)
+        batches = list(engine.batches(0))
+        count_dedups.clear()
+        for batch in batches:
+            gamma, _ = engine.estep_batch(batch, params, precisions)
+            engine.mu_accumulate_batch(batch, gamma)
+            engine.sigma_accumulate_batch(batch, gamma, params.means)
+        assert count_dedups == []
+
+    def test_gmm_fit_reports_dedup_counters(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, seed=1
+        )
+        extra = gmm.fit.extra
+        assert extra["dedup_batches"] > 0
+        # binary_star has n_s=500 over n_r=25: real redundancy.
+        assert extra["dedup_ratio"] > 1.0
+        assert extra["dedup_references"] == (
+            extra["dedup_ratio"] * extra["dedup_distinct"]
+        )
+
+    def test_nn_fit_reports_dedup_counters(self, db, binary_star):
+        for algorithm in ("factorized", "streaming"):
+            nn = fit_nn(
+                db, binary_star.spec, hidden_sizes=(4,), epochs=2,
+                algorithm=algorithm, seed=1,
+            )
+            assert nn.fit.extra["dedup_ratio"] > 1.0
+
+    def test_materialized_fit_sees_no_plans(self, db, binary_star):
+        """Batches read back from T never went through join assembly,
+        so the counter stays empty — and honest."""
+        nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(4,), epochs=1,
+            algorithm="materialized", seed=1,
+        )
+        assert nn.fit.extra["dedup_batches"] == 0
+        assert nn.fit.extra["dedup_ratio"] == 1.0

@@ -8,6 +8,8 @@ from repro.join.batches import DenseBatch, FactorizedBatch
 from repro.linalg.design import FactorizedDesign
 from repro.linalg.groupsum import GroupIndex
 
+from tests.conftest import make_binary_relations
+
 
 def make_factorized(rng, n=20, d_s=2, m=4, d_r=3, with_target=True):
     design = FactorizedDesign(
@@ -93,3 +95,63 @@ class TestFactorizedBatch:
         assert (
             taken.design.dim_blocks[0] is batch.design.dim_blocks[0]
         )
+
+
+class TestBatchPlans:
+    def test_join_batches_carry_plans(self, tiny_db, rng):
+        from repro.join.factorized import FactorizedJoin
+        from repro.join.stream import StreamingJoin
+
+        spec = make_binary_relations(tiny_db, rng)
+        for access in (
+            StreamingJoin(tiny_db, spec, block_pages=2),
+            FactorizedJoin(tiny_db, spec, block_pages=2),
+        ):
+            for batch in access.batches():
+                assert batch.plan is not None
+                assert batch.plan.matches(batch.n, 1)
+
+    def test_hand_built_batches_have_no_plan(self, rng):
+        dense = DenseBatch(np.arange(5), rng.normal(size=(5, 3)))
+        assert dense.plan is None
+        assert make_factorized(rng).plan is None
+
+    def test_mismatched_plan_rejected(self, rng):
+        from repro.fx.dedup import DedupPlan
+
+        batch = make_factorized(rng, n=20)
+        stale = DedupPlan.for_batch(
+            [rng.integers(0, 4, size=19).astype(np.int64)]
+        )
+        with pytest.raises(ModelError, match="plan"):
+            FactorizedBatch(
+                batch.sids, batch.design, batch.targets, plan=stale
+            )
+
+    def test_take_drops_the_plan(self, tiny_db, rng):
+        from repro.join.factorized import FactorizedJoin
+
+        spec = make_binary_relations(tiny_db, rng)
+        batch = next(
+            iter(FactorizedJoin(tiny_db, spec, block_pages=2).batches())
+        )
+        assert batch.plan is not None
+        assert batch.take(np.arange(3)).plan is None
+
+    def test_distinct_rows_match_unique_rids(self, tiny_db, rng):
+        """JoinBlock.distinct_rows(i) holds exactly the features of the
+        plan's sorted distinct RIDs."""
+        from repro.join.bnl import iter_join_blocks
+
+        spec = make_binary_relations(tiny_db, rng, n_s=120, n_r=10)
+        resolved = spec.resolve(tiny_db)
+        for block in iter_join_blocks(resolved, block_pages=2):
+            dim = block.plan.dims[0]
+            rows = block.distinct_rows(0)
+            assert rows.shape[0] == dim.m
+            key_to_row = {
+                int(k): block.dim_features[0][i]
+                for i, k in enumerate(block.dim_keys[0])
+            }
+            for rid, row in zip(dim.unique, rows):
+                np.testing.assert_array_equal(row, key_to_row[int(rid)])

@@ -120,3 +120,57 @@ class TestOperationCounts:
             outcome.reused_multiplications
             < outcome.standard_multiplications
         )
+
+
+class TestPlanThreading:
+    """``plan=`` mirrors the serving predictors' keyword: same values,
+    no second dedup, stale plans rejected."""
+
+    def make_plan_design(self, rng, n=60, d_s=3, d_r=4):
+        from repro.fx.dedup import DedupPlan
+
+        fks = rng.integers(100, 108, size=n).astype(np.int64)
+        plan = DedupPlan.for_batch([fks])
+        m = plan.dims[0].m
+        design = FactorizedDesign.from_plan(
+            rng.normal(size=(n, d_s)),
+            [rng.normal(size=(m, d_r))],
+            plan,
+        )
+        return design, plan
+
+    def test_plan_and_group_paths_agree_bitwise(self, rng):
+        design, plan = self.make_plan_design(rng)
+        first = DenseLayer.initialize(7, 5, rng)
+        second = DenseLayer.initialize(5, 3, rng)
+        with_plan, mults_plan = second_layer_with_reuse(
+            design, first, second, "identity", plan=plan
+        )
+        without, mults_plain = second_layer_with_reuse(
+            design, first, second, "identity"
+        )
+        np.testing.assert_array_equal(with_plan, without)
+        assert mults_plan == mults_plain
+
+    def test_stale_plan_rejected(self, rng):
+        from repro.fx.dedup import DedupPlan
+
+        design, _ = self.make_plan_design(rng)
+        first = DenseLayer.initialize(7, 5, rng)
+        second = DenseLayer.initialize(5, 3, rng)
+        stale = DedupPlan.for_batch(
+            [rng.integers(0, 4, size=design.n - 1).astype(np.int64)]
+        )
+        with pytest.raises(ModelError, match="plan"):
+            second_layer_with_reuse(
+                design, first, second, "identity", plan=stale
+            )
+
+    def test_compare_threads_plan(self, rng):
+        design, plan = self.make_plan_design(rng)
+        first = DenseLayer.initialize(7, 5, rng)
+        second = DenseLayer.initialize(5, 3, rng)
+        outputs = compare_second_layer(
+            design, first, second, "identity", plan=plan
+        )
+        assert outputs.max_deviation < 1e-9

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Verify internal links in the repo's markdown docs.
+
+Scans README.md and docs/*.md for markdown links.  External links
+(http/https/mailto) are ignored; relative links must point at an
+existing file or directory, and fragment links (``file.md#anchor`` or
+``#anchor``) must match a heading in the target document using
+GitHub's slug rules (lowercase, punctuation stripped, spaces to
+hyphens).  Exits non-zero listing every broken link — the docs CI job
+runs this on every push so the docs cannot rot.
+
+Run locally:  python tools/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = [REPO_ROOT / "README.md", *sorted(
+    (REPO_ROOT / "docs").glob("*.md")
+)]
+
+LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+HEADING = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    heading = heading.strip().lower().replace("`", "")
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def anchors_of(path: Path) -> set[str]:
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {github_slug(m.group(1)) for m in HEADING.finditer(text)}
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        base, _, fragment = target.partition("#")
+        resolved = (path.parent / base).resolve() if base else path
+        if not resolved.exists():
+            errors.append(f"{path.name}: broken link -> {target}")
+            continue
+        if fragment:
+            if resolved.is_dir() or resolved.suffix != ".md":
+                errors.append(
+                    f"{path.name}: fragment on non-markdown -> {target}"
+                )
+            elif github_slug(fragment) not in anchors_of(resolved):
+                errors.append(
+                    f"{path.name}: missing anchor -> {target}"
+                )
+    return errors
+
+
+def main() -> int:
+    missing = [p for p in DOC_FILES if not p.exists()]
+    if missing:
+        for path in missing:
+            print(f"missing doc file: {path.relative_to(REPO_ROOT)}")
+        return 1
+    errors = [e for path in DOC_FILES for e in check_file(path)]
+    for error in errors:
+        print(error)
+    checked = ", ".join(p.name for p in DOC_FILES)
+    if errors:
+        print(f"\n{len(errors)} broken link(s) across {checked}")
+        return 1
+    print(f"all internal links OK in {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
