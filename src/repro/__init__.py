@@ -77,17 +77,28 @@ join share one cache instead of holding two copies::
 Cache-sharing semantics: sharing keys on a digest of the model
 parameters entering the partial computation plus the dimension
 relation, so only bit-identical partials ever share; predictions are
-unchanged.  The first registration's capacity bounds win; invalidation
-by one sharer evicts for all.  Opt out with ``share_partials=False``
-(runtime) or a private ``PartialStore``.  Zipf-skewed FK traffic can
-additionally enable TinyLFU cache admission
-(``cache_admission="tinylfu"``): a count-min frequency sketch keeps
-one-hit wonders from evicting hot partials.
+unchanged.  A cache's bounds are fixed by the registration that
+creates it (later sharers passing conflicting bounds get an explicit
+error, never a silent ignore); invalidation by one sharer evicts for
+all.  Opt out with ``share_partials=False`` (runtime) or a private
+``PartialStore``.  Zipf-skewed FK traffic can additionally enable
+TinyLFU cache admission (``cache_admission="tinylfu"``): a count-min
+frequency sketch keeps one-hit wonders from evicting hot partials.
+
+Memory is governed store-wide, not per cache: ``serve(db,
+memory_budget=BYTES)`` / ``serve_runtime(db, memory_budget=BYTES)``
+cap the *total* resident partials across every registered model, and
+the store evicts the globally coldest unpinned rows across cache
+boundaries under pressure — multi-model deployments degrade to
+recomputation at bit-exact outputs instead of growing without bound.
+The buffer pool underneath overlaps concurrent cold page reads behind
+per-page in-flight guards while invalidation stays race-free.
 
 Start with ``README.md`` for a quickstart and the package map;
 ``docs/architecture.md`` maps the paper's sections onto the modules
 and walks one request through the runtime; ``docs/operations.md``
-covers cache sizing, admission, invalidation, and every stats field.
+covers cache sizing, admission, invalidation, and every stats field;
+``docs/tuning.md`` turns schema numbers into memory budgets.
 """
 
 from repro.core.api import (

@@ -386,13 +386,14 @@ def serve(
     *,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     store=None,
+    memory_budget: int | None = None,
 ) -> ModelService:
     """A :class:`~repro.serve.service.ModelService` over ``db``.
 
     Register fitted models once, then answer batched predict/score
     requests with per-model throughput and I/O bookkeeping::
 
-        service = serve(db)
+        service = serve(db, memory_budget=64 << 20)    # 64 MiB of partials
         service.register_nn("ratings", nn_result, spec)
         outputs = service.predict("ratings", fact_features, fk_values)
 
@@ -400,12 +401,20 @@ def serve(
     :class:`~repro.fx.store.PartialStore` — models with
     value-identical partials over the same join reuse one cache; pass
     ``store`` to share it across services (or to pick a TinyLFU
-    admission policy).  The service listens for dimension-row updates
+    admission policy).  ``memory_budget`` (bytes) installs a
+    store-wide cap on resident partials across *all* registered
+    models, enforced by cross-cache eviction of the globally coldest
+    rows (mutually exclusive with ``store`` — put ``capacity_floats``
+    on a store you share; sizing guidance in ``docs/tuning.md``).  The
+    service listens for dimension-row updates
     (:meth:`Database.update_rows`) to keep its partial caches fresh;
     call ``service.close()`` to detach a service you discard before
     the database itself is closed.
     """
-    return ModelService(db, block_pages=block_pages, store=store)
+    return ModelService(
+        db, block_pages=block_pages, store=store,
+        memory_budget=memory_budget,
+    )
 
 
 def serve_runtime(
@@ -418,6 +427,7 @@ def serve_runtime(
     cache_shards: int | None = None,
     cache_admission: str = "lru",
     share_partials: bool = True,
+    memory_budget: int | None = None,
     block_pages: int = DEFAULT_BLOCK_PAGES,
 ) -> ServingRuntime:
     """A concurrent :class:`~repro.runtime.service.ServingRuntime`.
@@ -431,9 +441,14 @@ def serve_runtime(
     caches are sharded by RID hash (``cache_shards``, default one per
     worker) so workers never contend on one LRU.  Caches come from a
     shared :class:`~repro.fx.store.PartialStore`: fingerprint-identical
-    models reuse one cache (disable with ``share_partials=False``), and
+    models reuse one cache (disable with ``share_partials=False``),
     ``cache_admission="tinylfu"`` turns on frequency-sketch admission
-    for Zipf-skewed FK traffic.  Dimension-row updates via
+    for Zipf-skewed FK traffic, and ``memory_budget`` (bytes) caps the
+    total resident partials across every registered model — the store
+    cross-cache-evicts the globally coldest rows under pressure, so a
+    multi-model deployment stays inside one honest bound instead of
+    each model believing its own (``docs/tuning.md`` has the sizing
+    arithmetic).  Dimension-row updates via
     :meth:`Database.update_rows` evict the affected RIDs
     automatically.  Close the runtime (or use it as a context manager)
     to stop the workers::
@@ -453,6 +468,7 @@ def serve_runtime(
             cache_shards=cache_shards,
             cache_admission=cache_admission,
             share_partials=share_partials,
+            memory_budget=memory_budget,
             block_pages=block_pages,
         ),
     )

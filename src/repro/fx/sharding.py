@@ -18,6 +18,17 @@ row is evicted).  A stale partial can never survive an invalidation.
 so the factorized predictors use either interchangeably; a
 :class:`~repro.fx.store.PartialStore` hands out shared instances to
 models with matching partial fingerprints.
+
+When the owning store carries a global ``capacity_floats`` budget, the
+sharded cache participates in store-wide governance: a ``clock``
+(shared :class:`~repro.serve.cache.AccessClock`) stamps every access
+so recency is comparable across caches, a batch :meth:`pin`\\ s its
+RIDs for the span of :meth:`get_many` (so concurrent batches cannot
+thrash each other's in-use rows out), and the batch calls the
+``governor``'s ``enforce_budget()`` once, after releasing every shard
+lock — the lock order is always governor → one shard at a time, never
+a shard held while asking for the governor, which is what keeps
+cross-cache eviction deadlock-free.
 """
 
 from __future__ import annotations
@@ -29,7 +40,12 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.fx.dedup import distinct_values
-from repro.serve.cache import LRU_ADMISSION, CacheStats, PartialCache
+from repro.serve.cache import (
+    LRU_ADMISSION,
+    AccessClock,
+    CacheStats,
+    PartialCache,
+)
 
 
 class ShardedPartialCache:
@@ -42,6 +58,13 @@ class ShardedPartialCache:
     (``"lru"`` | ``"tinylfu"``, see :class:`PartialCache`); with hash
     placement every RID always maps to the same shard, so per-shard
     frequency sketches see that RID's full access stream.
+
+    ``clock`` and ``governor`` are set by the owning
+    :class:`~repro.fx.store.PartialStore` when it carries a store-wide
+    ``capacity_floats`` budget: the clock stamps accesses with global
+    ticks and the governor's ``enforce_budget()`` is invoked once per
+    :meth:`get_many`, after all shard locks are released (see the
+    module docstring for the lock-order argument).
     """
 
     def __init__(
@@ -51,12 +74,15 @@ class ShardedPartialCache:
         *,
         capacity_floats: int | None = None,
         admission: str = LRU_ADMISSION,
+        clock: AccessClock | None = None,
+        governor=None,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
                 f"num_shards must be positive, got {num_shards}"
             )
         self.num_shards = num_shards
+        self._governor = governor
 
         def _split(total: int | None) -> int | None:
             if total is None:
@@ -68,6 +94,7 @@ class ShardedPartialCache:
                 _split(capacity),
                 capacity_floats=_split(capacity_floats),
                 admission=admission,
+                clock=clock,
             )
             for _ in range(num_shards)
         ]
@@ -88,6 +115,12 @@ class ShardedPartialCache:
         Same contract as :meth:`PartialCache.get_many`; the compute
         callback may be invoked once per shard that has misses (still
         vectorized within each shard).
+
+        Under store governance the batch's keys are pinned for the
+        whole multi-shard span — a concurrent batch's budget
+        enforcement can evict anything *except* rows this batch is
+        mid-way through using — and the governor runs once at the end,
+        with no shard lock held.
         """
         keys = np.asarray(keys)
         if keys.ndim != 1:
@@ -95,15 +128,47 @@ class ShardedPartialCache:
         if keys.size == 0:
             return np.zeros((0, 0))
         shard_ids = keys.astype(np.int64) % self.num_shards
+        batch_shards = distinct_values(shard_ids)
+        governed = self._governor is not None
         out: np.ndarray | None = None
-        for shard_id in distinct_values(shard_ids):
-            mask = shard_ids == shard_id
-            with self._locks[shard_id]:
-                rows = self.shards[shard_id].get_many(keys[mask], compute)
-            if out is None:
-                out = np.empty((keys.size, rows.shape[1]))
-            out[mask] = rows
+        if governed:
+            for shard_id in batch_shards:
+                self.shards[shard_id].pin(keys[shard_ids == shard_id])
+        try:
+            for shard_id in batch_shards:
+                mask = shard_ids == shard_id
+                with self._locks[shard_id]:
+                    rows = self.shards[shard_id].get_many(
+                        keys[mask], compute
+                    )
+                if out is None:
+                    out = np.empty((keys.size, rows.shape[1]))
+                out[mask] = rows
+        finally:
+            # Unpin even when compute raises (e.g. a dangling foreign
+            # key) — a leaked pin would shield its RIDs from budget
+            # eviction forever — and enforce the budget even then:
+            # shards processed before the failure already inserted
+            # their fresh rows.
+            if governed:
+                for shard_id in batch_shards:
+                    self.shards[shard_id].unpin(keys[shard_ids == shard_id])
+                self._governor.enforce_budget()
         return out
+
+    def pin(self, keys: np.ndarray) -> None:
+        """Pin ``keys`` in their shards (see :meth:`PartialCache.pin`)."""
+        keys = np.asarray(keys).astype(np.int64)
+        shard_ids = keys % self.num_shards
+        for shard_id in distinct_values(shard_ids):
+            self.shards[shard_id].pin(keys[shard_ids == shard_id])
+
+    def unpin(self, keys: np.ndarray) -> None:
+        """Release one pin reference per key (inverse of :meth:`pin`)."""
+        keys = np.asarray(keys).astype(np.int64)
+        shard_ids = keys % self.num_shards
+        for shard_id in distinct_values(shard_ids):
+            self.shards[shard_id].unpin(keys[shard_ids == shard_id])
 
     def invalidate(self, keys: np.ndarray) -> int:
         """Evict the given RIDs from every shard; returns rows dropped.
@@ -134,6 +199,12 @@ class ShardedPartialCache:
     def bytes_resident(self) -> int:
         """Resident payload across all shards, in bytes."""
         return sum(shard.bytes_resident for shard in self.shards)
+
+    @property
+    def floats_resident(self) -> int:
+        """Resident float64 values across all shards — the unit the
+        store-wide ``capacity_floats`` budget is enforced in."""
+        return sum(shard.floats_resident for shard in self.shards)
 
     def shard_stats(self) -> list[CacheStats]:
         """Per-shard counters, in shard order."""

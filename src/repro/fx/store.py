@@ -1,4 +1,4 @@
-"""Cross-model sharing of cached dimension partials.
+"""Cross-model sharing — and store-wide governance — of cached partials.
 
 Before the store existed, every registered model owned its partial
 caches outright: registering the same fitted model twice (a blue/green
@@ -14,31 +14,63 @@ parameters get different fingerprints and never collide.
 
 :meth:`PartialStore.acquire` returns a
 :class:`~repro.fx.sharding.ShardedPartialCache` — the first acquirer
-of a fingerprint creates it (that acquirer's capacity bounds win),
-later acquirers attach to it.  :meth:`release` detaches; the cache and
-its resident rows are dropped when the last holder leaves.  Pass
+of a fingerprint creates it, later acquirers attach to it.  Later
+acquirers may not silently re-bound a live cache: passing ``capacity``
+/ ``capacity_floats`` values that differ from the cache's existing
+bounds raises :class:`~repro.errors.ModelError` (pass ``None`` to
+attach without an opinion — re-bounding a cache under live traffic
+would evict another model's working set, so the conflict is surfaced
+instead of ignored).  :meth:`release` detaches; the cache and its
+resident rows are dropped when the last holder leaves.  Pass
 ``shared=False`` to get the old per-model behavior (every acquire
 creates a private cache) — the A/B knob the shared-cache benchmark
 flips.
 
+**Store-wide memory budget.**  Per-fingerprint bounds cannot keep a
+multi-model deployment honest: each cache only sees its own
+residency, so `q` fingerprints each "within bounds" can still sum to
+q× the memory the host has.  Constructing the store with
+``capacity_floats`` installs one global budget across *every* resident
+partial in *every* cache.  Enforcement is cross-cache: each access is
+stamped by a shared :class:`~repro.serve.cache.AccessClock`, and
+whenever an insert pushes the store over budget the governor
+(:meth:`enforce_budget`) evicts the globally coldest unpinned entries
+— oldest tick first under ``"lru"`` admission; under ``"tinylfu"``
+the lowest sketch frequency (tick-tie-broken) among each shard's
+LRU-tail sample — regardless of which cache they live in.  A hot fingerprint therefore naturally takes share from a
+cold one instead of each being boxed into a static slice.
+
+Eviction is refcount-aware at two levels: caches are only dropped
+wholesale when their last holder releases them (``_Entry.refs``), and
+rows a batch is actively gathering are pin-refcounted for the span of
+the batch (:meth:`~repro.serve.cache.PartialCache.pin`) so budget
+pressure can never evict a partial mid-use — concurrent batches under
+a tight budget evict each other's *cold* rows, never the rows a batch
+is currently standing on.  The budget may transiently overshoot while
+everything evictable is pinned; it converges as soon as a batch
+completes.  ``store_stats()`` reports the global ``bytes_resident``,
+the per-fingerprint shares, and the number of cross-cache evictions.
+
 Invalidation is unchanged: holders call ``invalidate`` on the caches
-they acquired.  With sharing, the first holder's invalidation already
-evicts the RIDs for everyone — later holders' calls find nothing and
-drop zero rows, which keeps per-model ``invalidated_rids`` counters
-approximate under sharing (a documented attribution trade, like shared
-buffer-pool stats).
+they acquired, and invalidation overrides pins (a stale partial must
+never outlive its updated source row).  With sharing, the first
+holder's invalidation already evicts the RIDs for everyone — later
+holders' calls find nothing and drop zero rows, which keeps per-model
+``invalidated_rids`` counters approximate under sharing (a documented
+attribution trade, like shared buffer-pool stats).
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.errors import ModelError
 from repro.fx.sharding import ShardedPartialCache
 from repro.serve.cache import (
     ADMISSION_POLICIES,
     LRU_ADMISSION,
+    AccessClock,
     CacheStats,
 )
 
@@ -52,12 +84,23 @@ class StoreStats:
     attached to a cache someone else had already created — the direct
     measure of cross-model reuse.  ``cache`` aggregates the usual
     :class:`~repro.serve.cache.CacheStats` across every live cache.
+
+    Governance fields: ``capacity_floats`` is the store-wide budget
+    (``None`` = ungoverned), ``cross_evictions`` how many rows the
+    budget governor evicted across cache boundaries (counted at the
+    store so the total survives caches being released), and
+    ``fingerprints`` the per-fingerprint resident-byte shares —
+    watching a hot fingerprint grow its share at a cold one's expense
+    is exactly the budget working as intended.
     """
 
     caches: int
     attachments: int
     shared_attachments: int
     cache: CacheStats
+    capacity_floats: int | None = None
+    cross_evictions: int = 0
+    fingerprints: dict[str, int] = field(default_factory=dict)
 
     @property
     def bytes_resident(self) -> int:
@@ -65,20 +108,34 @@ class StoreStats:
 
 
 class _Entry:
-    __slots__ = ("cache", "refs")
+    __slots__ = ("cache", "refs", "capacity", "capacity_floats")
 
-    def __init__(self, cache: ShardedPartialCache) -> None:
+    def __init__(
+        self,
+        cache: ShardedPartialCache,
+        capacity: int | None,
+        capacity_floats: int | None,
+    ) -> None:
         self.cache = cache
         self.refs = 1
+        # The bounds as *requested* (pre shard-split), kept so later
+        # acquirers' bounds can be reconciled against them.
+        self.capacity = capacity
+        self.capacity_floats = capacity_floats
 
 
 class PartialStore:
-    """Fingerprint-keyed registry of shared partial caches.
+    """Fingerprint-keyed registry of shared, globally budgeted caches.
 
     ``num_shards`` and ``admission`` apply to every cache the store
     creates; per-fingerprint ``capacity`` / ``capacity_floats`` come
-    from the first acquirer.  All bookkeeping is thread-safe — the
-    runtime registers models while traffic is live.
+    from the first acquirer (later acquirers must agree or pass
+    ``None`` — see :meth:`acquire`).  ``capacity_floats`` *on the
+    store* is the global budget across all fingerprints, enforced by
+    cross-cache eviction (see the module docstring); it composes with
+    any per-fingerprint bounds, whichever is tighter binding first.
+    All bookkeeping is thread-safe — the runtime registers models
+    while traffic is live.
     """
 
     def __init__(
@@ -87,6 +144,7 @@ class PartialStore:
         num_shards: int = 1,
         admission: str = LRU_ADMISSION,
         shared: bool = True,
+        capacity_floats: int | None = None,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
@@ -97,14 +155,27 @@ class PartialStore:
                 f"unknown admission policy {admission!r}; use one of "
                 f"{list(ADMISSION_POLICIES)}"
             )
+        if capacity_floats is not None and capacity_floats <= 0:
+            raise ModelError(
+                f"store capacity_floats must be positive or None, "
+                f"got {capacity_floats}"
+            )
         self.num_shards = num_shards
         self.admission = admission
         self.shared = shared
+        self.capacity_floats = capacity_floats
         self._entries: dict[str, _Entry] = {}
         self._key_of_cache: dict[int, str] = {}
         self._serial = 0
         self._shared_attachments = 0
+        self._cross_evictions = 0
+        self._clock = AccessClock()
         self._lock = threading.Lock()
+        # Serializes budget sweeps.  Lock order is strictly
+        # governor -> registry snapshot -> one shard at a time; no code
+        # path asks for this lock while holding a shard lock, which is
+        # what keeps cross-cache eviction deadlock-free.
+        self._governor_lock = threading.Lock()
 
     def acquire(
         self,
@@ -115,15 +186,38 @@ class PartialStore:
     ) -> ShardedPartialCache:
         """The shared cache for ``fingerprint`` (created on first use).
 
-        Later acquirers of a live fingerprint share the existing cache
-        — their ``capacity`` arguments are ignored (the first
-        registration's bounds win; re-bounding a cache under live
-        traffic would evict another model's working set).
+        Later acquirers of a live fingerprint share the existing cache.
+        Their bounds are reconciled explicitly: ``None`` means "no
+        opinion" and always attaches; an explicit ``capacity`` /
+        ``capacity_floats`` must equal the bound the cache was created
+        with, else :class:`~repro.errors.ModelError` is raised —
+        silently ignoring a later caller's bound (the old
+        first-acquirer-wins rule) let deployments believe a limit was
+        in force when it never was.
         """
         with self._lock:
             if self.shared:
                 entry = self._entries.get(fingerprint)
                 if entry is not None:
+                    for label, wanted, bound in (
+                        ("capacity", capacity, entry.capacity),
+                        (
+                            "capacity_floats",
+                            capacity_floats,
+                            entry.capacity_floats,
+                        ),
+                    ):
+                        if wanted is not None and wanted != bound:
+                            raise ModelError(
+                                f"cache for fingerprint "
+                                f"{fingerprint[:12]!r}… already exists "
+                                f"with {label}={bound}; a later acquirer "
+                                f"requested {label}={wanted}.  Re-bounding "
+                                "a live shared cache would evict another "
+                                "model's working set — pass None to "
+                                "attach to the existing bounds, or use "
+                                "a store-wide capacity_floats budget"
+                            )
                     entry.refs += 1
                     self._shared_attachments += 1
                     return entry.cache
@@ -131,18 +225,31 @@ class PartialStore:
             else:
                 self._serial += 1
                 key = f"{fingerprint}#{self._serial}"
+            governed = self.capacity_floats is not None
             cache = ShardedPartialCache(
                 self.num_shards,
                 capacity,
                 capacity_floats=capacity_floats,
                 admission=self.admission,
+                # Tick stamping costs one shared-clock acquire per
+                # get_many plus per-key tick writes; only governed
+                # stores ever read the ticks, so ungoverned ones skip
+                # the clock entirely.
+                clock=self._clock if governed else None,
+                governor=self if governed else None,
             )
-            self._entries[key] = _Entry(cache)
+            self._entries[key] = _Entry(cache, capacity, capacity_floats)
             self._key_of_cache[id(cache)] = key
             return cache
 
     def release(self, cache: ShardedPartialCache) -> None:
-        """Detach from a cache; drop it when the last holder leaves."""
+        """Detach from a cache; drop it when the last holder leaves.
+
+        Refcounting is what makes the budget story safe at the cache
+        granularity: a cache is only ever dropped wholesale here, by
+        its last holder — never by budget pressure, which works row by
+        row and skips pinned rows.
+        """
         with self._lock:
             key = self._key_of_cache.get(id(cache))
             if key is None:
@@ -155,6 +262,75 @@ class PartialStore:
             if entry.refs <= 0:
                 del self._entries[key]
                 del self._key_of_cache[id(cache)]
+
+    # -- the budget governor -----------------------------------------------
+
+    def enforce_budget(self) -> int:
+        """Evict globally coldest unpinned rows until within budget.
+
+        Called by every governed cache at the end of ``get_many`` (with
+        no shard lock held); safe to call manually.  Returns the number
+        of rows evicted.  Victims are chosen across *all* caches by
+        ``(frequency, tick)`` rank — pure global LRU under ``"lru"``
+        admission; least-frequent-then-oldest over each shard's
+        LRU-tail sample under ``"tinylfu"`` (see
+        :meth:`PartialCache.eviction_candidates
+        <repro.serve.cache.PartialCache.eviction_candidates>`) — and
+        rows pinned by in-flight batches are never taken, so the
+        budget can transiently overshoot while every resident row is
+        in use.
+        """
+        if self.capacity_floats is None:
+            return 0
+        evicted = 0
+        with self._governor_lock:
+            while True:
+                with self._lock:
+                    caches = [e.cache for e in self._entries.values()]
+                deficit = (
+                    sum(c.floats_resident for c in caches)
+                    - self.capacity_floats
+                )
+                if deficit <= 0:
+                    break
+                # One sweep: every shard offers deficit-covering
+                # LRU-tail candidates, pooled and evicted in global
+                # rank order until the deficit is gone — one scan per
+                # sweep, not one per evicted row.
+                candidates = []
+                for cache in caches:
+                    for shard in cache.shards:
+                        candidates.extend(
+                            shard.eviction_candidates(deficit)
+                        )
+                if not candidates:
+                    break  # everything evictable is pinned right now
+                candidates.sort(key=lambda c: c.rank)
+                swept = 0
+                for candidate in candidates:
+                    freed = candidate.cache.evict_if_coldest(candidate.key)
+                    if not freed:
+                        # The row vanished or got pinned between scan
+                        # and evict; the outer loop re-checks residency.
+                        continue
+                    swept += 1
+                    deficit -= freed
+                    if deficit <= 0:
+                        break
+                evicted += swept
+                if swept:
+                    with self._lock:
+                        self._cross_evictions += swept
+                else:
+                    break  # every candidate raced away; converge later
+        return evicted
+
+    @property
+    def floats_resident(self) -> int:
+        """Resident float64 values across every live cache."""
+        with self._lock:
+            entries = list(self._entries.values())
+        return sum(entry.cache.floats_resident for entry in entries)
 
     def __len__(self) -> int:
         """Live caches (distinct fingerprints held)."""
@@ -169,16 +345,22 @@ class PartialStore:
 
     def stats(self) -> StoreStats:
         with self._lock:
-            entries = list(self._entries.values())
+            entries = dict(self._entries)
             shared_attachments = self._shared_attachments
+            cross_evictions = self._cross_evictions
         total = CacheStats()
-        for entry in entries:
+        shares: dict[str, int] = {}
+        for key, entry in entries.items():
             total = total + entry.cache.stats()
+            shares[key] = entry.cache.bytes_resident
         return StoreStats(
             caches=len(entries),
-            attachments=sum(entry.refs for entry in entries),
+            attachments=sum(e.refs for e in entries.values()),
             shared_attachments=shared_attachments,
             cache=total,
+            capacity_floats=self.capacity_floats,
+            cross_evictions=cross_evictions,
+            fingerprints=shares,
         )
 
     def clear(self) -> None:
@@ -193,5 +375,6 @@ class PartialStore:
         return (
             f"PartialStore(caches={stats.caches}, "
             f"attachments={stats.attachments}, "
-            f"bytes_resident={stats.bytes_resident})"
+            f"bytes_resident={stats.bytes_resident}, "
+            f"capacity_floats={self.capacity_floats})"
         )

@@ -22,7 +22,10 @@ into a serving tier:
   predictor alike, and all partial caches come from the runtime's
   shared :class:`~repro.fx.store.PartialStore` — fingerprint-identical
   models reuse one cache (``share_partials``), optionally behind
-  TinyLFU admission (``cache_admission="tinylfu"``).
+  TinyLFU admission (``cache_admission="tinylfu"``), and an optional
+  ``memory_budget`` (bytes) makes the store evict the globally
+  coldest partials across every model's caches so the whole runtime's
+  partial residency stays bounded under multi-model pressure.
 
 The runtime also subscribes to the catalog's
 :class:`~repro.storage.events.RowVersionEvent` stream: an in-place
@@ -84,7 +87,15 @@ def _batch_size_bucket(rows: int) -> int:
 
 @dataclass(frozen=True)
 class RuntimeConfig:
-    """Knobs of the serving runtime."""
+    """Knobs of the serving runtime.
+
+    ``memory_budget`` (bytes, ``None`` = unbounded) caps the total
+    resident partial payload across *every* registered model: it
+    becomes the shared :class:`~repro.fx.store.PartialStore`'s global
+    ``capacity_floats`` (``memory_budget // 8``), enforced by
+    cross-cache eviction of the globally coldest partials.  Sizing
+    guidance lives in ``docs/tuning.md``.
+    """
 
     num_workers: int = 2
     max_batch_rows: int = 2048
@@ -93,6 +104,7 @@ class RuntimeConfig:
     cache_shards: int | None = None     # default: num_workers
     cache_admission: str = LRU_ADMISSION   # "lru" | "tinylfu"
     share_partials: bool = True            # cross-model slab sharing
+    memory_budget: int | None = None       # bytes across all models
     block_pages: int = DEFAULT_BLOCK_PAGES
 
     def __post_init__(self) -> None:
@@ -111,6 +123,11 @@ class RuntimeConfig:
         if self.cache_shards is not None and self.cache_shards <= 0:
             raise ModelError(
                 f"cache_shards must be positive, got {self.cache_shards}"
+            )
+        if self.memory_budget is not None and self.memory_budget <= 0:
+            raise ModelError(
+                f"memory_budget must be positive bytes, "
+                f"got {self.memory_budget}"
             )
 
 
@@ -208,6 +225,11 @@ class ServingRuntime:
             ),
             admission=self.config.cache_admission,
             shared=self.config.share_partials,
+            capacity_floats=(
+                None
+                if self.config.memory_budget is None
+                else max(1, self.config.memory_budget // 8)
+            ),
         )
         self._models: dict[str, RuntimeModel] = {}
         self._dimension_index: dict[str, list[tuple[RuntimeModel, int]]] = {}

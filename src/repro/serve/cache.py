@@ -35,6 +35,29 @@ produced), keys are RIDs.  Hit/miss/eviction counters feed the
 :class:`~repro.storage.buffer.BufferPool` accounts page caching.
 :meth:`PartialCache.invalidate` supports the dimension-update
 eviction path of :mod:`repro.runtime`.
+
+Beyond its own two capacity bounds, a cache can take part in a
+*store-wide* budget (:class:`~repro.fx.store.PartialStore` with
+``capacity_floats``).  Three small hooks make that possible:
+
+* an :class:`AccessClock` — a counter shared by every cache under one
+  store; each hit and insert stamps the entry with the next tick, so
+  recency is comparable *across* caches, not just within one LRU;
+* pin refcounts (:meth:`PartialCache.pin` / :meth:`unpin`) — a batch
+  in flight pins the RIDs it is using; pinned entries are skipped by
+  budget eviction (both the local capacity sweep and the store's
+  cross-cache sweep), so one batch can never thrash another batch's
+  working set out mid-request.  Pins guard *memory pressure* only:
+  :meth:`invalidate` still drops pinned rows, because a stale partial
+  must never outlive its source row;
+* the victim API (:meth:`eviction_candidates` /
+  :meth:`evict_if_coldest`) — the store's governor pools each
+  shard's deficit-covering LRU-tail candidates and evicts in global
+  ``(frequency, tick)`` order: strict global LRU under LRU admission;
+  under TinyLFU least-frequent-first over at least an
+  ``_TINYLFU_VICTIM_SAMPLE``-entry tail sample per shard,
+  tick-tie-broken.  Such evictions are counted as
+  ``cross_evictions``, separate from local capacity ``evictions``.
 """
 
 from __future__ import annotations
@@ -63,10 +86,65 @@ ADMISSION_POLICIES = (LRU_ADMISSION, TINYLFU_ADMISSION)
 _SKETCH_COLUMNS_PER_ENTRY = 8
 _DEFAULT_SKETCH_WIDTH = 1024
 
+# Under TinyLFU a store-budget victim is the least-frequent of this
+# many LRU-tail entries (the Caffeine-style bounded sample): a hot row
+# parked at the LRU head cannot shield the cold rows behind it, and
+# the scan stays O(sample) instead of O(entries) per eviction.
+_TINYLFU_VICTIM_SAMPLE = 8
+
+
+class AccessClock:
+    """A thread-safe monotonic counter shared by every cache of a store.
+
+    Each hit or insert stamps the touched entry with ``tick()``, which
+    is what makes "least recently used" well-defined *across* caches:
+    a store-wide budget sweep compares ticks from different caches and
+    evicts the globally coldest entry first.
+    """
+
+    def __init__(self) -> None:
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def tick(self) -> int:
+        """The next global timestamp (strictly increasing)."""
+        with self._lock:
+            self._value += 1
+            return self._value
+
+
+@dataclass(frozen=True)
+class EvictionCandidate:
+    """One shard's coldest unpinned entry, as seen by the governor.
+
+    ``frequency`` is the TinyLFU sketch estimate when the cache runs
+    frequency-sketch admission, else 0 — so sorting candidates by
+    ``(frequency, tick)`` degrades to pure global LRU for ``"lru"``
+    caches and to least-frequent-then-oldest for ``"tinylfu"`` ones.
+    """
+
+    cache: "PartialCache"
+    key: int
+    tick: int
+    frequency: int = 0
+
+    @property
+    def rank(self) -> tuple[int, int]:
+        return (self.frequency, self.tick)
+
 
 @dataclass(frozen=True)
 class CacheStats:
-    """Point-in-time cache counters."""
+    """Point-in-time cache counters.
+
+    ``evictions`` counts local capacity evictions,
+    ``cross_evictions`` the subset of memory-pressure evictions driven
+    by a store-wide budget (another cache's insert pushed the store
+    over its global ``capacity_floats``), and ``invalidations`` the
+    rows dropped by dimension-update events — three different causes,
+    counted separately so memory pressure is never mistaken for data
+    churn.
+    """
 
     hits: int = 0
     misses: int = 0
@@ -77,6 +155,7 @@ class CacheStats:
     bytes_resident: int = 0
     invalidations: int = 0
     admission_rejections: int = 0
+    cross_evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -108,6 +187,7 @@ class CacheStats:
             admission_rejections=(
                 self.admission_rejections + other.admission_rejections
             ),
+            cross_evictions=self.cross_evictions + other.cross_evictions,
         )
 
 
@@ -116,11 +196,16 @@ class PartialCache:
 
     ``capacity`` counts entries (distinct RIDs), ``capacity_floats``
     counts resident float64 values; ``None`` for both means unbounded —
-    the pinned case.  ``admission`` selects ``"lru"`` (admit
+    the fully-resident case.  ``admission`` selects ``"lru"`` (admit
     everything) or ``"tinylfu"`` (frequency-sketch admission; see the
-    module docstring).  All lookups go through :meth:`get_many`, which
-    resolves hits, computes every miss in one vectorized call, and
-    returns rows aligned with the requested keys.
+    module docstring).  ``clock`` — an :class:`AccessClock` shared
+    with sibling caches — opts this cache into a store-wide budget:
+    every hit and insert is stamped with a global tick so a
+    :class:`~repro.fx.store.PartialStore` governor can compare recency
+    across caches and evict the globally coldest entries first.  All
+    lookups go through :meth:`get_many`, which resolves hits, computes
+    every miss in one vectorized call, and returns rows aligned with
+    the requested keys.
     """
 
     def __init__(
@@ -129,6 +214,7 @@ class PartialCache:
         *,
         capacity_floats: int | None = None,
         admission: str = LRU_ADMISSION,
+        clock: AccessClock | None = None,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ModelError(
@@ -155,6 +241,9 @@ class PartialCache:
                 else _DEFAULT_SKETCH_WIDTH
             )
             self._sketch = FrequencySketch(width)
+        self._clock = clock
+        self._ticks: dict[int, int] = {}
+        self._pins: dict[int, int] = {}
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._floats_resident = 0
         # Serializes lookups against invalidations: dimension-update
@@ -168,6 +257,7 @@ class PartialCache:
         self.evictions = 0
         self.invalidations = 0
         self.admission_rejections = 0
+        self.cross_evictions = 0
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -193,10 +283,28 @@ class PartialCache:
             and self._floats_resident > self.capacity_floats
         )
 
-    def _evict_one(self) -> None:
-        _, row = self._rows.popitem(last=False)
+    def _remove(self, key: int) -> int:
+        """Drop ``key`` outright; returns the floats freed."""
+        row = self._rows.pop(key)
+        self._ticks.pop(key, None)
         self._floats_resident -= row.size
-        self.evictions += 1
+        return row.size
+
+    def _evict_over_capacity(self) -> None:
+        """LRU-evict until within the local bounds, skipping pinned keys.
+
+        A batch in flight pins the RIDs it is gathering, so the sweep
+        may find nothing evictable — the cache then transiently
+        overshoots its bound rather than thrash a live batch's rows.
+        """
+        while self._over_capacity():
+            victim = next(
+                (k for k in self._rows if not self._pins.get(k)), None
+            )
+            if victim is None:
+                return
+            self._remove(victim)
+            self.evictions += 1
 
     def _would_evict(self, row: np.ndarray) -> bool:
         """Whether admitting ``row`` would push the cache over capacity."""
@@ -209,11 +317,15 @@ class PartialCache:
 
     def _admit(self, key: int, row: np.ndarray) -> bool:
         """TinyLFU admission: a row that would evict must out-rank the
-        LRU victim's estimated access frequency (strictly — equal
-        frequencies keep the resident row, avoiding churn)."""
+        victim's estimated access frequency (strictly — equal
+        frequencies keep the resident row, avoiding churn).  The
+        victim consulted is the first *unpinned* LRU entry, matching
+        what :meth:`_evict_over_capacity` would actually evict."""
         if self._sketch is None or not self._would_evict(row):
             return True
-        victim = next(iter(self._rows), None)
+        victim = next(
+            (k for k in self._rows if not self._pins.get(k)), None
+        )
         if victim is None:
             return True
         return self._sketch.estimate(key) > self._sketch.estimate(victim)
@@ -235,6 +347,13 @@ class PartialCache:
         if keys.ndim != 1:
             raise ModelError(f"keys must be 1-D, got shape {keys.shape}")
         with self._lock:
+            # One global tick per call, stamped on every key this
+            # batch touches: batch-granular recency is plenty for
+            # eviction ordering, and it keeps traffic on the store's
+            # shared clock lock at O(1) per batch instead of O(keys).
+            batch_tick = (
+                self._clock.tick() if self._clock is not None else None
+            )
             if self._sketch is not None:
                 # Every access counts toward admission frequency —
                 # hits included, or resident hot rows could never
@@ -263,6 +382,8 @@ class PartialCache:
                 cached = self._rows.get(key)
                 if cached is not None:
                     self._rows.move_to_end(key)
+                    if batch_tick is not None:
+                        self._ticks[key] = batch_tick
                     out[position] = cached
                 else:
                     out[position] = fresh[key]
@@ -286,10 +407,93 @@ class PartialCache:
                     self.admission_rejections += 1
                     continue
                 self._rows[key] = row
+                if batch_tick is not None:
+                    self._ticks[key] = batch_tick
                 self._floats_resident += row.size
-                while self._over_capacity() and self._rows:
-                    self._evict_one()
+                self._evict_over_capacity()
             return out
+
+    # -- store-wide budget hooks (see the module docstring) ----------------
+
+    def pin(self, keys: np.ndarray) -> None:
+        """Refcount ``keys`` as in use by an in-flight batch.
+
+        Pinned keys are skipped by every memory-pressure eviction —
+        the local capacity sweep and a store governor's cross-cache
+        sweep — until :meth:`unpin` drops the last reference.  Pinning
+        a key that is not (yet) resident is fine: the pin protects the
+        row the batch is about to insert.  Pins do **not** protect
+        against :meth:`invalidate` (data change beats memory policy).
+        """
+        with self._lock:
+            for key in np.asarray(keys).ravel().tolist():
+                key = int(key)
+                self._pins[key] = self._pins.get(key, 0) + 1
+
+    def unpin(self, keys: np.ndarray) -> None:
+        """Release one pin reference per key (inverse of :meth:`pin`)."""
+        with self._lock:
+            for key in np.asarray(keys).ravel().tolist():
+                key = int(key)
+                refs = self._pins.get(key, 0) - 1
+                if refs > 0:
+                    self._pins[key] = refs
+                else:
+                    self._pins.pop(key, None)
+
+    def eviction_candidates(
+        self, deficit_floats: int
+    ) -> list[EvictionCandidate]:
+        """Unpinned LRU-tail candidates covering ``deficit_floats``.
+
+        The store's budget governor pools every shard's candidates
+        and evicts in global ``(frequency, tick)`` order until the
+        deficit is covered — see :class:`EvictionCandidate`.  Each
+        shard offers its LRU-coldest unpinned rows, just enough to
+        cover the whole deficit alone (the worst case: every victim
+        lives here).  Under ``"tinylfu"`` at least
+        ``_TINYLFU_VICTIM_SAMPLE`` entries are offered regardless, so
+        a hot row sitting at the LRU tail cannot shield the cold rows
+        right behind it from the frequency rank.
+        """
+        min_scan = 1 if self._sketch is None else _TINYLFU_VICTIM_SAMPLE
+        out: list[EvictionCandidate] = []
+        covered = 0
+        with self._lock:
+            for key, row in self._rows.items():
+                if self._pins.get(key):
+                    continue
+                frequency = (
+                    self._sketch.estimate(key)
+                    if self._sketch is not None
+                    else 0
+                )
+                out.append(
+                    EvictionCandidate(
+                        cache=self,
+                        key=key,
+                        tick=self._ticks.get(key, 0),
+                        frequency=int(frequency),
+                    )
+                )
+                covered += row.size
+                if covered >= deficit_floats and len(out) >= min_scan:
+                    break
+            return out
+
+    def evict_if_coldest(self, key: int) -> int:
+        """Cross-cache-evict ``key`` if still resident and unpinned.
+
+        Returns the floats freed (0 when the key was invalidated,
+        evicted, or pinned between the governor's scan and this call —
+        the governor then simply rescans).
+        """
+        with self._lock:
+            if key not in self._rows or self._pins.get(key):
+                return 0
+            freed = self._remove(key)
+            self.cross_evictions += 1
+            return freed
 
     def invalidate(self, keys: np.ndarray) -> int:
         """Drop the given RIDs if cached; returns how many were resident.
@@ -301,9 +505,10 @@ class PartialCache:
         dropped = 0
         with self._lock:
             for key in np.asarray(keys).ravel().tolist():
-                row = self._rows.pop(int(key), None)
-                if row is not None:
-                    self._floats_resident -= row.size
+                if int(key) in self._rows:
+                    # Pins do not protect here: a stale partial must
+                    # never outlive its updated source row.
+                    self._remove(int(key))
                     dropped += 1
             self.invalidations += dropped
         return dropped
@@ -327,18 +532,25 @@ class PartialCache:
                 bytes_resident=self.bytes_resident,
                 invalidations=self.invalidations,
                 admission_rejections=self.admission_rejections,
+                cross_evictions=self.cross_evictions,
             )
 
     def clear(self) -> None:
-        """Drop all entries and zero the counters."""
+        """Drop all entries and zero the counters.
+
+        Pin refcounts survive: they belong to batches still in flight,
+        whose keys must stay protected when recomputed after the clear.
+        """
         with self._lock:
             self._rows.clear()
+            self._ticks.clear()
             self._floats_resident = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0
             self.invalidations = 0
             self.admission_rejections = 0
+            self.cross_evictions = 0
             if self._sketch is not None:
                 self._sketch.clear()
 

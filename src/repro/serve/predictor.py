@@ -250,12 +250,24 @@ class _FactorizedCacheMixin:
                 for e in entries
             ]
             return
-        self.caches = [
-            store.acquire(
-                fingerprint, capacity=e, capacity_floats=cache_floats
-            )
-            for fingerprint, e in zip(self.fingerprints, entries)
-        ]
+        self.caches = []
+        try:
+            for fingerprint, e in zip(self.fingerprints, entries):
+                self.caches.append(
+                    store.acquire(
+                        fingerprint, capacity=e,
+                        capacity_floats=cache_floats,
+                    )
+                )
+        except BaseException:
+            # A mid-way failure (e.g. a bounds conflict on a later
+            # dimension's fingerprint) must give back the refs already
+            # taken, or those caches would stay pinned in the store
+            # forever.
+            for cache in self.caches:
+                store.release(cache)
+            self.caches = []
+            raise
 
     def _gathered_partials(self, plan: DedupPlan) -> list[np.ndarray]:
         return gather_partials(self.lookups, self.caches, self.builders, plan)

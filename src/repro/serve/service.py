@@ -12,7 +12,11 @@ Factorized models draw their partial caches from a shared
 pass your own to share across services): registering two models whose
 partials are value-identical — the same fitted parameters over the
 same join — makes them share cached slabs instead of each holding a
-private copy.
+private copy.  ``memory_budget`` (bytes) caps the *total* resident
+partial payload across every registered model — the store evicts the
+globally coldest partials across cache boundaries when an insert
+pushes past it, so multi-model deployments degrade to recomputation
+instead of unbounded growth (see ``docs/tuning.md`` for sizing).
 """
 
 from __future__ import annotations
@@ -106,6 +110,7 @@ class ModelService:
         *,
         block_pages: int = DEFAULT_BLOCK_PAGES,
         store=None,
+        memory_budget: int | None = None,
     ) -> None:
         # Local import: the execution core's store hands caches *to*
         # this layer but also builds on serve.cache, so a module-level
@@ -114,6 +119,21 @@ class ModelService:
 
         self.db = db
         self.block_pages = block_pages
+        if store is not None and memory_budget is not None:
+            # Reconfiguring a caller-owned (possibly shared) store
+            # behind its back would be the same silent-ignore trap as
+            # the old first-acquirer-wins capacity rule.
+            raise ModelError(
+                "pass either a store or a memory_budget, not both; "
+                "set capacity_floats on the store you share instead"
+            )
+        if memory_budget is not None:
+            if memory_budget <= 0:
+                raise ModelError(
+                    f"memory_budget must be positive bytes, "
+                    f"got {memory_budget}"
+                )
+            store = PartialStore(capacity_floats=max(1, memory_budget // 8))
         self.store = store if store is not None else PartialStore()
         self._models: dict[str, RegisteredModel] = {}
         # Guards registry mutation against the update-event callback,

@@ -11,6 +11,11 @@ partials from its cache shards.
 Events are delivered synchronously on the updating thread, *after* the
 pages have been written and the buffer pool invalidated, so a
 subscriber that recomputes on notification always sees the new rows.
+That ordering also covers reads in flight *during* the update: the
+pool's invalidation detaches any in-flight read guard for the touched
+pages and bumps their versions, so a racing cold read can return —
+but never re-cache — pre-update bytes, and every page fetched by a
+post-event recompute is fresh (see :mod:`repro.storage.buffer`).
 """
 
 from __future__ import annotations

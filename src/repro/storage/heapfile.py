@@ -15,6 +15,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
 
@@ -26,6 +27,58 @@ from repro.storage.iostats import IOStats
 
 DEFAULT_PAGE_SIZE_BYTES = 8192
 _FLOAT_BYTES = 8
+
+
+class _ReadWriteLock:
+    """Many concurrent readers xor one writer, writer-preferring.
+
+    Readers each open their own file handle, so reads of *different*
+    pages (or even the same bytes) are safe to run concurrently — the
+    only hazard is a read overlapping an in-place write, which could
+    observe a torn page.  A plain mutex (the old design) prevented
+    that by serializing every read too, which defeated the buffer
+    pool's parallel cold misses for pages of one heap.  This lock
+    keeps exactly the needed exclusion: reads share, writes exclude
+    everything, and a waiting writer blocks new readers so a steady
+    read stream cannot starve updates.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+                self._writing = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
 
 
 def rows_per_page(ncols: int, page_size_bytes: int = DEFAULT_PAGE_SIZE_BYTES) -> int:
@@ -46,6 +99,21 @@ class HeapFile:
 
     Rows are appended at the end and may be overwritten in place
     (:meth:`update_rows`); there is no delete or compaction.
+
+    ``page_size_bytes`` fixes the I/O granularity (every read/write is
+    charged in whole pages to ``stats``, an
+    :class:`~repro.storage.iostats.IOStats` shared across a database's
+    relations under ``stats_name``); ``rows_per_page`` follows from it
+    and the row width.  An internal readers-writer lock lets any
+    number of concurrent reads share the file (each opens its own
+    handle, so the buffer pool's parallel cold misses genuinely
+    overlap their I/O) while in-place writes take it exclusively — a
+    concurrent reader can never observe a torn (half-written) page,
+    the page-level atomicity that both the pool's in-flight cold reads
+    and the serving runtime's invalidation story build on.  The lock
+    covers single calls only: cross-page consistency during an update
+    cycle is the :class:`~repro.storage.catalog.Database` update
+    lock's job.
     """
 
     def __init__(
@@ -64,10 +132,11 @@ class HeapFile:
         self.stats = stats if stats is not None else IOStats()
         self.stats_name = stats_name or self.path.stem
         self._nrows = 0
-        # Serializes file reads against in-place writes so a concurrent
-        # reader can never observe a torn (half-written) page — the
-        # invariant the serving runtime's invalidation story rests on.
-        self._io_lock = threading.Lock()
+        # Readers share, writers exclude: a concurrent reader can never
+        # observe a torn (half-written) page — the invariant the
+        # serving runtime's invalidation story rests on — while reads
+        # of different pages run their I/O in parallel.
+        self._io_lock = _ReadWriteLock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -148,6 +217,7 @@ class HeapFile:
 
     @property
     def nrows(self) -> int:
+        """Rows currently stored (appends only ever grow this)."""
         return self._nrows
 
     @property
@@ -184,7 +254,7 @@ class HeapFile:
         if rows.shape[0] == 0:
             return
         first_page = self._nrows // self.rows_per_page
-        with self._io_lock:
+        with self._io_lock.write():
             with open(self.path, "ab") as handle:
                 rows.tofile(handle)
         self._nrows += rows.shape[0]
@@ -222,7 +292,7 @@ class HeapFile:
         pages = positions // self.rows_per_page
         slots = positions % self.rows_per_page
         touched = distinct_values(pages)
-        with self._io_lock:
+        with self._io_lock.write():
             with open(self.path, "r+b") as handle:
                 for page_no in touched:
                     start, stop = self._page_row_range(int(page_no))
@@ -237,7 +307,14 @@ class HeapFile:
     # -- reads -------------------------------------------------------------
 
     def read_page(self, page_no: int) -> np.ndarray:
-        """Read one page, returning its rows as a 2-D array."""
+        """Read one page, returning its rows as a 2-D array.
+
+        Charged as one page read.  Point probes should normally go
+        through :meth:`BufferPool.get_page
+        <repro.storage.buffer.BufferPool.get_page>` instead, which
+        only reaches here on a cold miss (and lets concurrent cold
+        misses for different pages run this read in parallel).
+        """
         start, stop = self._page_row_range(page_no)
         data = self._read_row_range(start, stop)
         self.stats.record_read(self.stats_name, 1)
@@ -261,7 +338,7 @@ class HeapFile:
         return self.read_pages(0, self.npages)
 
     def _read_row_range(self, start: int, stop: int) -> np.ndarray:
-        with self._io_lock:
+        with self._io_lock.read():
             return self._read_row_range_unlocked(start, stop)
 
     def _read_row_range_unlocked(self, start: int, stop: int) -> np.ndarray:

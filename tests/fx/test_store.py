@@ -78,13 +78,29 @@ class TestSharingKnob:
 
 
 class TestConfiguration:
-    def test_first_acquirers_capacity_wins(self):
+    def test_conflicting_capacity_raises_instead_of_silent_ignore(self):
+        store = PartialStore()
+        store.acquire("fp-1", capacity=2)
+        with pytest.raises(ModelError, match="capacity=2"):
+            store.acquire("fp-1", capacity=999)
+        with pytest.raises(ModelError, match="capacity_floats"):
+            store.acquire("fp-1", capacity=2, capacity_floats=64)
+
+    def test_matching_or_absent_bounds_attach(self):
         store = PartialStore()
         a = store.acquire("fp-1", capacity=2)
-        b = store.acquire("fp-1", capacity=999)
-        assert b is a
+        assert store.acquire("fp-1") is a               # no opinion
+        assert store.acquire("fp-1", capacity=2) is a   # same bound
         a.get_many(np.array([1, 2, 3]), rows_for)
-        assert len(a) == 2              # the first bound held
+        assert len(a) == 2              # the created bound held
+
+    def test_failed_reconcile_leaves_refcounts_untouched(self):
+        store = PartialStore()
+        a = store.acquire("fp-1", capacity=2)
+        with pytest.raises(ModelError):
+            store.acquire("fp-1", capacity=3)
+        store.release(a)
+        assert len(store) == 0          # sole holder; no leaked ref
 
     def test_num_shards_and_admission_apply_to_created_caches(self):
         store = PartialStore(num_shards=3, admission="tinylfu")

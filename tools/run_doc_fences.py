@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Execute the ```python code fences of a markdown document.
+
+The docs CI job runs this over ``docs/tuning.md`` so the tuning
+guide's snippets cannot rot: every ```python fence is executed, in
+order, in one shared namespace per file (later fences may build on
+earlier ones, the way a reader follows the document).  Fences tagged
+anything other than ``python`` (```text, ```bash, plain ```) are
+skipped — use them for output samples and shell lines.
+
+Snippets are expected to be tiny-scale (seconds, not minutes): the CI
+job exports ``REPRO_EXAMPLE_SCALE=tiny`` like the examples job, and
+documents should size their inline workloads accordingly.
+
+Run locally:  PYTHONPATH=src python tools/run_doc_fences.py docs/tuning.md
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^```python\s*$(.*?)^```\s*$", re.MULTILINE | re.DOTALL)
+
+
+def run_file(path: Path) -> int:
+    text = path.read_text(encoding="utf-8")
+    fences = [match.group(1) for match in FENCE.finditer(text)]
+    if not fences:
+        print(f"{path}: no ```python fences found")
+        return 0
+    namespace: dict = {"__name__": f"docfence:{path.name}"}
+    for index, source in enumerate(fences, start=1):
+        line_no = text[: text.index(source)].count("\n") + 1
+        print(f"== {path}: fence {index}/{len(fences)} (line {line_no})")
+        try:
+            exec(compile(source, f"{path}#fence{index}", "exec"), namespace)
+        except Exception:
+            print(
+                f"{path}: fence {index} (line {line_no}) failed",
+                file=sys.stderr,
+            )
+            raise
+    print(f"{path}: {len(fences)} fence(s) OK")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print("usage: run_doc_fences.py DOC.md [DOC.md ...]", file=sys.stderr)
+        return 2
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            print(f"missing document: {path}", file=sys.stderr)
+            return 1
+        run_file(path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
