@@ -8,6 +8,7 @@ path multiplies strictly less whenever ``rr ≥ 10`` (the acceptance
 regime; the model puts the actual break-even at ``rr ≈ 1``).
 """
 
+import json
 import sys
 import time
 import warnings
@@ -137,3 +138,19 @@ def test_serving_throughput(benchmark, results_dir):
     sys.__stdout__.write("\n" + text + "\n")
     with open(results_dir / "serving_throughput.txt", "w") as handle:
         handle.write(text + "\n")
+    # Machine-readable twin of the table: tools/bench_summary.py folds
+    # this into the checked-in BENCH_serving.json history.
+    payload = {
+        "bench": "serving_throughput",
+        "generated_at": time.time(),
+        "params": {
+            "n_s": N_S, "d_s": D_S, "d_r": D_R, "k": K, "n_h": N_H,
+        },
+        "rows": rows,
+    }
+    with open(results_dir / "serving_throughput.json", "w") as handle:
+        json.dump(
+            payload, handle, indent=2, sort_keys=True,
+            default=lambda value: value.item(),
+        )
+        handle.write("\n")

@@ -151,6 +151,17 @@ from repro.join.spec import DimensionJoin, JoinSpec
 from repro.linear.models import LinearModel, fit_logistic, fit_ridge
 from repro.nn.base import NNConfig
 from repro.nn.network import MLP
+from repro.obs import (
+    NULL_TELEMETRY,
+    MetricsRegistry,
+    Span,
+    Telemetry,
+    TelemetryServer,
+    Tracer,
+    as_telemetry,
+    parse_prometheus_text,
+    prometheus_text,
+)
 from repro.runtime.service import RuntimeConfig, RuntimeStats, ServingRuntime
 from repro.runtime.sharding import ShardedPartialCache
 from repro.serve.cache import PartialCache
@@ -198,8 +209,10 @@ __all__ = [
     "MLP",
     "MaterializedGMMPredictor",
     "MaterializedNNPredictor",
+    "MetricsRegistry",
     "ModelError",
     "ModelService",
+    "NULL_TELEMETRY",
     "fit_logistic",
     "fit_ridge",
     "NNConfig",
@@ -218,14 +231,21 @@ __all__ = [
     "ServingStats",
     "SchemaError",
     "ShardedPartialCache",
+    "Span",
     "StarSchemaConfig",
     "StorageError",
     "StoreStats",
     "StrategyComparison",
+    "Telemetry",
+    "TelemetryServer",
+    "Tracer",
     "TrainingPageProfile",
+    "as_telemetry",
     "compare_gmm_strategies",
     "compare_nn_strategies",
     "distinct_values",
+    "parse_prometheus_text",
+    "prometheus_text",
     "feature",
     "features",
     "fit_gmm",

@@ -162,6 +162,7 @@ def fit_gmm(
     seed: int = 0,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     config: EMConfig | None = None,
+    telemetry=None,
 ) -> GMMResult:
     """Train a Gaussian mixture over the star join described by ``spec``.
 
@@ -195,7 +196,7 @@ def fit_gmm(
         config.max_iter, block_pages,
     )
     fit_result = _GMM_FITTERS[strategy](
-        db, spec, config, block_pages=block_pages
+        db, spec, config, block_pages=block_pages, telemetry=telemetry
     )
     model = GaussianMixtureModel(
         fit_result.params, reg_covar=config.reg_covar
@@ -217,6 +218,7 @@ def fit_nn(
     seed: int = 0,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     config: NNConfig | None = None,
+    telemetry=None,
 ) -> NNResult:
     """Train a neural network over the star join described by ``spec``.
 
@@ -249,7 +251,7 @@ def fit_nn(
         config.epochs, block_pages,
     )
     fit_result = _NN_FITTERS[strategy](
-        db, spec, config, block_pages=block_pages
+        db, spec, config, block_pages=block_pages, telemetry=telemetry
     )
     return NNResult(model=fit_result.model, fit=fit_result)
 
@@ -387,6 +389,7 @@ def serve(
     block_pages: int = DEFAULT_BLOCK_PAGES,
     store=None,
     memory_budget: int | None = None,
+    telemetry=None,
 ) -> ModelService:
     """A :class:`~repro.serve.service.ModelService` over ``db``.
 
@@ -409,11 +412,13 @@ def serve(
     service listens for dimension-row updates
     (:meth:`Database.update_rows`) to keep its partial caches fresh;
     call ``service.close()`` to detach a service you discard before
-    the database itself is closed.
+    the database itself is closed.  ``telemetry`` (``True`` or a
+    :class:`~repro.obs.Telemetry`) turns on per-request metrics and
+    tracing — see ``docs/observability.md``.
     """
     return ModelService(
         db, block_pages=block_pages, store=store,
-        memory_budget=memory_budget,
+        memory_budget=memory_budget, telemetry=telemetry,
     )
 
 
@@ -429,6 +434,8 @@ def serve_runtime(
     share_partials: bool = True,
     memory_budget: int | None = None,
     block_pages: int = DEFAULT_BLOCK_PAGES,
+    telemetry=None,
+    telemetry_port: int | None = None,
 ) -> ServingRuntime:
     """A concurrent :class:`~repro.runtime.service.ServingRuntime`.
 
@@ -450,8 +457,14 @@ def serve_runtime(
     each model believing its own (``docs/tuning.md`` has the sizing
     arithmetic).  Dimension-row updates via
     :meth:`Database.update_rows` evict the affected RIDs
-    automatically.  Close the runtime (or use it as a context manager)
-    to stop the workers::
+    automatically.  ``telemetry`` (``True`` or a
+    :class:`~repro.obs.Telemetry`) turns on per-batch metrics and span
+    traces; ``telemetry_port`` additionally serves ``/metrics``
+    (Prometheus), ``/snapshot.json`` and ``/traces.json`` over HTTP
+    (``0`` picks an ephemeral port, read it off
+    ``runtime.telemetry_server.port``) and implies ``telemetry=True``
+    — see ``docs/observability.md``.  Close the runtime (or use it as
+    a context manager) to stop the workers::
 
         with serve_runtime(db, num_workers=4) as runtime:
             runtime.register_nn("ratings", nn_result, spec)
@@ -471,6 +484,8 @@ def serve_runtime(
             memory_budget=memory_budget,
             block_pages=block_pages,
         ),
+        telemetry=telemetry,
+        telemetry_port=telemetry_port,
     )
 
 

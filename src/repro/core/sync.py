@@ -1,0 +1,64 @@
+"""Shared synchronization primitives.
+
+Home of :class:`ReadWriteLock`, which grew up inside
+:mod:`repro.storage.heapfile` guarding page I/O and is now also the
+tear-free guard on :class:`~repro.fx.sharding.ShardedPartialCache`
+statistics: mutating calls hold the *read* side (they may overlap
+freely — each shard still has its own mutex for actual data safety)
+while ``stats()`` takes the *write* side, excluding every in-flight
+mutator so a multi-shard aggregate is a true point-in-time cut.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+
+
+class ReadWriteLock:
+    """Many concurrent readers xor one writer, writer-preferring.
+
+    ``read()`` sections share the lock; ``write()`` excludes
+    everything.  A waiting writer blocks *new* readers, so a steady
+    read stream cannot starve the writer — at the cost that a thread
+    already holding the read side must not re-acquire it (a writer
+    arriving in between would deadlock both).  Keep read sections
+    non-reentrant.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        with self._cond:
+            while self._writing or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if self._readers == 0:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writing or self._readers:
+                    self._cond.wait()
+                self._writing = True
+            finally:
+                self._writers_waiting -= 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()

@@ -24,6 +24,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.fx.dedup import DedupPlan
+from repro.obs.trace import NOOP_SPAN, current_span
 
 
 def gather_partials(
@@ -38,21 +39,31 @@ def gather_partials(
     base-relation pages through ``lookups`` and run the ``builders``;
     the builder's known row width keeps empty request batches
     well-shaped.
+
+    Under tracing each dimension gets a ``cache.get_many`` child span
+    (the cache attributes its hits/misses/evictions to it, and any
+    buffer-pool page reads the miss compute triggers land there too)
+    and a ``gather`` child for the expand-back step.
     """
+    parent = current_span() or NOOP_SPAN
     gathered = []
-    for lookup, cache, builder, dim in zip(
-        lookups, caches, builders, plan.dims
+    for index, (lookup, cache, builder, dim) in enumerate(
+        zip(lookups, caches, builders, plan.dims)
     ):
         if dim.m == 0:
             gathered.append(np.zeros((0, builder.width)))
             continue
-        rows = cache.get_many(
-            dim.unique,
-            lambda keys, build=builder, look=lookup: build.compute(
-                look.features_for(keys)
-            ),
-        )
-        gathered.append(dim.gather(rows))
+        with parent.child(
+            "cache.get_many", dimension=index, distinct=int(dim.m)
+        ):
+            rows = cache.get_many(
+                dim.unique,
+                lambda keys, build=builder, look=lookup: build.compute(
+                    look.features_for(keys)
+                ),
+            )
+        with parent.child("gather", dimension=index, rows=int(plan.rows)):
+            gathered.append(dim.gather(rows))
     return gathered
 
 
@@ -67,7 +78,11 @@ def densify_request(
     and gathered — the dense strategy enjoys the same single dedup as
     the factorized one; only the downstream math differs.
     """
-    parts = [features]
-    for lookup, dim in zip(lookups, plan.dims):
-        parts.append(dim.gather(lookup.features_for(dim.unique)))
-    return np.concatenate(parts, axis=1)
+    parent = current_span() or NOOP_SPAN
+    with parent.child(
+        "densify", dimensions=len(plan.dims), rows=int(plan.rows)
+    ):
+        parts = [features]
+        for lookup, dim in zip(lookups, plan.dims):
+            parts.append(dim.gather(lookup.features_for(dim.unique)))
+        return np.concatenate(parts, axis=1)

@@ -38,6 +38,7 @@ from typing import Callable
 
 import numpy as np
 
+from repro.core.sync import ReadWriteLock
 from repro.errors import ModelError
 from repro.fx.dedup import distinct_values
 from repro.serve.cache import (
@@ -100,6 +101,13 @@ class ShardedPartialCache:
         ]
         self.admission = self.shards[0].admission
         self._locks = [threading.Lock() for _ in range(num_shards)]
+        # Tear-free aggregate stats: multi-shard mutators (get_many,
+        # invalidate, clear) hold the *read* side for their whole
+        # multi-shard span — they overlap freely, per-shard locks
+        # still guard the data — while stats() takes the *write* side,
+        # so an aggregate can never observe a call half-applied
+        # (hits counted in shard 0, misses not yet in shard 1).
+        self._stats_guard = ReadWriteLock()
 
     def shard_of(self, key: int) -> int:
         """Which shard holds ``key`` (stable RID-hash placement)."""
@@ -131,28 +139,38 @@ class ShardedPartialCache:
         batch_shards = distinct_values(shard_ids)
         governed = self._governor is not None
         out: np.ndarray | None = None
-        if governed:
-            for shard_id in batch_shards:
-                self.shards[shard_id].pin(keys[shard_ids == shard_id])
         try:
-            for shard_id in batch_shards:
-                mask = shard_ids == shard_id
-                with self._locks[shard_id]:
-                    rows = self.shards[shard_id].get_many(
-                        keys[mask], compute
-                    )
-                if out is None:
-                    out = np.empty((keys.size, rows.shape[1]))
-                out[mask] = rows
+            with self._stats_guard.read():
+                if governed:
+                    for shard_id in batch_shards:
+                        self.shards[shard_id].pin(
+                            keys[shard_ids == shard_id]
+                        )
+                try:
+                    for shard_id in batch_shards:
+                        mask = shard_ids == shard_id
+                        with self._locks[shard_id]:
+                            rows = self.shards[shard_id].get_many(
+                                keys[mask], compute
+                            )
+                        if out is None:
+                            out = np.empty((keys.size, rows.shape[1]))
+                        out[mask] = rows
+                finally:
+                    # Unpin even when compute raises (e.g. a dangling
+                    # foreign key) — a leaked pin would shield its RIDs
+                    # from budget eviction forever.
+                    if governed:
+                        for shard_id in batch_shards:
+                            self.shards[shard_id].unpin(
+                                keys[shard_ids == shard_id]
+                            )
         finally:
-            # Unpin even when compute raises (e.g. a dangling foreign
-            # key) — a leaked pin would shield its RIDs from budget
-            # eviction forever — and enforce the budget even then:
-            # shards processed before the failure already inserted
-            # their fresh rows.
+            # Enforce the budget even on failure (shards processed
+            # before it already inserted fresh rows) — outside the
+            # stats guard, since the governor may evict from *other*
+            # caches and must never nest inside this cache's guard.
             if governed:
-                for shard_id in batch_shards:
-                    self.shards[shard_id].unpin(keys[shard_ids == shard_id])
                 self._governor.enforce_budget()
         return out
 
@@ -179,15 +197,17 @@ class ShardedPartialCache:
         miss a stale partial.
         """
         dropped = 0
-        for shard, lock in zip(self.shards, self._locks):
-            with lock:
-                dropped += shard.invalidate(keys)
+        with self._stats_guard.read():
+            for shard, lock in zip(self.shards, self._locks):
+                with lock:
+                    dropped += shard.invalidate(keys)
         return dropped
 
     def clear(self) -> None:
-        for shard, lock in zip(self.shards, self._locks):
-            with lock:
-                shard.clear()
+        with self._stats_guard.read():
+            for shard, lock in zip(self.shards, self._locks):
+                with lock:
+                    shard.clear()
 
     def __len__(self) -> int:
         return sum(len(shard) for shard in self.shards)
@@ -215,15 +235,23 @@ class ShardedPartialCache:
         return out
 
     def stats(self) -> CacheStats:
-        """Aggregate counters across shards (duck-types ``PartialCache``)."""
+        """Aggregate counters across shards (duck-types ``PartialCache``).
+
+        Tear-free: takes the stats guard's write side, which waits out
+        every in-flight multi-shard mutator and blocks new ones for
+        the (brief) duration of the aggregation — so cross-shard
+        invariants like ``hits + misses ≡ 0 (mod shards touched)`` and
+        ``bytes_resident == Σ entry widths`` hold in the result.
+        """
         total = CacheStats(
             capacity=0 if self.shards[0].capacity is not None else None,
             capacity_floats=(
                 0 if self.shards[0].capacity_floats is not None else None
             ),
         )
-        for stats in self.shard_stats():
-            total = total + stats
+        with self._stats_guard.write():
+            for stats in self.shard_stats():
+                total = total + stats
         return total
 
     @property

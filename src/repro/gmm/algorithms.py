@@ -39,6 +39,7 @@ def fit_m_gmm(
     table_name: str | None = None,
     keep_table: bool = False,
     initial: GMMParams | None = None,
+    telemetry=None,
 ) -> GMMFitResult:
     """Materialize-then-train baseline (Fig. 1(a), Algorithm 1).
 
@@ -59,7 +60,13 @@ def fit_m_gmm(
         engine = DenseEMEngine(
             access, n_features=table.schema.num_features
         )
-        result = run_em(engine, config, algorithm=M_GMM, initial=initial)
+        result = run_em(
+            engine,
+            config,
+            algorithm=M_GMM,
+            initial=initial,
+            telemetry=telemetry,
+        )
     finally:
         if not keep_table:
             db.drop_relation(name, missing_ok=True)
@@ -77,6 +84,7 @@ def fit_s_gmm(
     *,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     initial: GMMParams | None = None,
+    telemetry=None,
 ) -> GMMFitResult:
     """Join-on-the-fly baseline (Fig. 1(b)) — no materialization."""
     before = db.stats.snapshot()
@@ -84,7 +92,9 @@ def fit_s_gmm(
     engine = DenseEMEngine(
         access, n_features=access.resolved.total_features
     )
-    result = run_em(engine, config, algorithm=S_GMM, initial=initial)
+    result = run_em(
+        engine, config, algorithm=S_GMM, initial=initial, telemetry=telemetry
+    )
     result.io = db.stats.snapshot() - before
     return result
 
@@ -96,6 +106,7 @@ def fit_f_gmm(
     *,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     initial: GMMParams | None = None,
+    telemetry=None,
 ) -> GMMFitResult:
     """The paper's factorized algorithm (Fig. 1(c), Sections V-B/V-C).
 
@@ -107,7 +118,9 @@ def fit_f_gmm(
     engine = FactorizedEMEngine(
         access, n_features=access.resolved.total_features
     )
-    result = run_em(engine, config, algorithm=F_GMM, initial=initial)
+    result = run_em(
+        engine, config, algorithm=F_GMM, initial=initial, telemetry=telemetry
+    )
     result.io = db.stats.snapshot() - before
     return result
 

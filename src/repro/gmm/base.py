@@ -22,6 +22,7 @@ from repro.errors import ConvergenceWarning, ModelError
 from repro.fx.dedup import DedupCounter
 from repro.gmm.init import DEFAULT_INIT_SAMPLE, initial_params
 from repro.gmm.model import ComponentPrecisions, GMMParams
+from repro.obs import as_telemetry
 from repro.storage.iostats import IOSnapshot
 
 
@@ -113,6 +114,7 @@ def run_em(
     *,
     algorithm: str,
     initial: GMMParams | None = None,
+    telemetry=None,
 ) -> GMMFitResult:
     """Algorithm 1's outer loop, strategy-independent.
 
@@ -128,11 +130,35 @@ def run_em(
     fit result reports the same ``dedup_ratio`` bookkeeping the serving
     runtime reports per model (``result.extra``).  Batches off the
     join paths (a materialized table) carry no plan and count nothing.
+
+    ``telemetry`` (see :func:`repro.obs.as_telemetry`) additionally
+    streams per-iteration wall seconds and the running dedup ratio
+    into the registry under the ``algorithm`` label; the fit result's
+    ``extra`` carries the same series (``iteration_seconds``,
+    ``dedup_ratio_series``) either way.
     """
     start = time.perf_counter()
     estep_seconds = 0.0
     mstep_seconds = 0.0
     dedup = DedupCounter()
+    registry = as_telemetry(telemetry).registry
+    m_iteration_seconds = registry.histogram(
+        "repro_training_iteration_seconds",
+        help="Wall seconds per training iteration/epoch",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    m_iterations = registry.counter(
+        "repro_training_iterations_total",
+        help="Training iterations/epochs completed",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    m_dedup_ratio = registry.gauge(
+        "repro_training_dedup_ratio",
+        help="FK references per distinct value observed so far",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    iteration_seconds: list[float] = []
+    dedup_ratio_series: list[float] = []
 
     def observed(batches):
         for batch in batches:
@@ -165,6 +191,7 @@ def run_em(
 
     for iteration in range(config.max_iter):
         iterations = iteration + 1
+        iter_tick = time.perf_counter()
         precisions = ComponentPrecisions(
             params.covariances, config.reg_covar
         )
@@ -211,6 +238,12 @@ def run_em(
         mstep_seconds += time.perf_counter() - tick
 
         history.append(log_likelihood)
+        elapsed_iter = time.perf_counter() - iter_tick
+        iteration_seconds.append(elapsed_iter)
+        m_iteration_seconds.observe(elapsed_iter)
+        m_iterations.inc()
+        dedup_ratio_series.append(dedup.dedup_ratio)
+        m_dedup_ratio.set(dedup.dedup_ratio)
         if iteration > 0:
             delta = abs(history[-1] - history[-2]) / max(n, 1)
             if delta < config.tol:
@@ -225,6 +258,9 @@ def run_em(
             stacklevel=2,
         )
 
+    extra = dedup.as_extra()
+    extra["iteration_seconds"] = iteration_seconds
+    extra["dedup_ratio_series"] = dedup_ratio_series
     return GMMFitResult(
         algorithm=algorithm,
         params=params,
@@ -234,5 +270,5 @@ def run_em(
         wall_time_seconds=time.perf_counter() - start,
         estep_seconds=estep_seconds,
         mstep_seconds=mstep_seconds,
-        extra=dedup.as_extra(),
+        extra=extra,
     )

@@ -56,6 +56,7 @@ def fit_m_nn(
     table_name: str | None = None,
     keep_table: bool = False,
     model: MLP | None = None,
+    telemetry=None,
 ) -> NNFitResult:
     """Materialize-then-train baseline; wall time includes the join."""
     before = db.stats.snapshot()
@@ -78,7 +79,9 @@ def fit_m_nn(
             access,
             model or build_model(table.schema.num_features, config),
         )
-        result = run_training(engine, config, algorithm=M_NN)
+        result = run_training(
+            engine, config, algorithm=M_NN, telemetry=telemetry
+        )
     finally:
         if not keep_table:
             db.drop_relation(name, missing_ok=True)
@@ -96,6 +99,7 @@ def fit_s_nn(
     *,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     model: MLP | None = None,
+    telemetry=None,
 ) -> NNFitResult:
     """Join-on-the-fly baseline — dense batches, no materialization."""
     before = db.stats.snapshot()
@@ -111,7 +115,9 @@ def fit_s_nn(
         access,
         model or build_model(access.resolved.total_features, config),
     )
-    result = run_training(engine, config, algorithm=S_NN)
+    result = run_training(
+        engine, config, algorithm=S_NN, telemetry=telemetry
+    )
     result.io = db.stats.snapshot() - before
     return result
 
@@ -123,6 +129,7 @@ def fit_f_nn(
     *,
     block_pages: int = DEFAULT_BLOCK_PAGES,
     model: MLP | None = None,
+    telemetry=None,
 ) -> NNFitResult:
     """The paper's factorized algorithm (Sections VI-A1/VI-A3/VI-B)."""
     before = db.stats.snapshot()
@@ -139,7 +146,9 @@ def fit_f_nn(
         model or build_model(access.resolved.total_features, config),
         grouped_backward=config.grouped_backward,
     )
-    result = run_training(engine, config, algorithm=F_NN)
+    result = run_training(
+        engine, config, algorithm=F_NN, telemetry=telemetry
+    )
     result.io = db.stats.snapshot() - before
     return result
 

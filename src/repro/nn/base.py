@@ -24,6 +24,7 @@ from repro.errors import ModelError
 from repro.fx.dedup import DedupCounter
 from repro.nn.layers import LayerGrads
 from repro.nn.network import MLP
+from repro.obs import as_telemetry
 from repro.storage.iostats import IOSnapshot
 
 
@@ -119,6 +120,7 @@ def run_training(
     config: NNConfig,
     *,
     algorithm: str,
+    telemetry=None,
 ) -> NNFitResult:
     """The strategy-independent epoch loop.
 
@@ -127,6 +129,12 @@ def run_training(
     executed batch's plan into a :class:`~repro.fx.dedup.DedupCounter`
     and reports the counters in ``result.extra`` — the training twin
     of the runtime's per-model ``dedup_ratio``.
+
+    ``telemetry`` (see :func:`repro.obs.as_telemetry`) additionally
+    streams per-epoch wall seconds and the running dedup ratio into
+    the registry under the ``algorithm`` label; the fit result's
+    ``extra`` carries the same series (``epoch_seconds``,
+    ``dedup_ratio_series``) either way.
     """
     start = time.perf_counter()
     history: list[float] = []
@@ -134,6 +142,24 @@ def run_training(
     if n_total == 0:
         raise ModelError("the join produced no tuples to train on")
     dedup = DedupCounter()
+    registry = as_telemetry(telemetry).registry
+    m_epoch_seconds = registry.histogram(
+        "repro_training_iteration_seconds",
+        help="Wall seconds per training iteration/epoch",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    m_epochs = registry.counter(
+        "repro_training_iterations_total",
+        help="Training iterations/epochs completed",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    m_dedup_ratio = registry.gauge(
+        "repro_training_dedup_ratio",
+        help="FK references per distinct value observed so far",
+        labelnames=("algorithm",),
+    ).labels(algorithm=algorithm)
+    epoch_seconds: list[float] = []
+    dedup_ratio_series: list[float] = []
 
     def observed(batches):
         for batch in batches:
@@ -142,6 +168,7 @@ def run_training(
             yield batch
 
     for epoch in range(config.epochs):
+        epoch_tick = time.perf_counter()
         epoch_loss = 0.0
         if config.batch_mode == "full":
             accumulated: list[LayerGrads] | None = None
@@ -163,11 +190,20 @@ def run_training(
                 raise ModelError("the access path yielded no batches")
             epoch_loss /= seen
         history.append(epoch_loss)
+        elapsed_epoch = time.perf_counter() - epoch_tick
+        epoch_seconds.append(elapsed_epoch)
+        m_epoch_seconds.observe(elapsed_epoch)
+        m_epochs.inc()
+        dedup_ratio_series.append(dedup.dedup_ratio)
+        m_dedup_ratio.set(dedup.dedup_ratio)
 
+    extra = dedup.as_extra()
+    extra["epoch_seconds"] = epoch_seconds
+    extra["dedup_ratio_series"] = dedup_ratio_series
     return NNFitResult(
         algorithm=algorithm,
         model=engine.model,
         loss_history=history,
         wall_time_seconds=time.perf_counter() - start,
-        extra=dedup.as_extra(),
+        extra=extra,
     )

@@ -1,0 +1,277 @@
+"""Exporters: Prometheus text exposition, JSON snapshots, HTTP server.
+
+Rendering is pure — both exporters take a
+:class:`~repro.obs.metrics.MetricsSnapshot` and return a string — so
+they can be unit-tested round-trip without sockets.  The optional
+:class:`TelemetryServer` wraps them in a stdlib
+``http.server.ThreadingHTTPServer`` on a daemon thread; it exists so
+``serve_runtime(telemetry_port=...)`` can expose live metrics with no
+third-party dependency.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    HistogramValue,
+    MetricsSnapshot,
+)
+
+_ESCAPES = {"\\": "\\\\", "\n": "\\n", '"': '\\"'}
+
+
+def _escape_label(value: str) -> str:
+    return "".join(_ESCAPES.get(c, c) for c in value)
+
+
+def _format_value(value: float) -> str:
+    # Prometheus renders integral samples without the trailing .0.
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_str(labels) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label(value)}"' for name, value in labels
+    )
+    return "{" + inner + "}"
+
+
+def prometheus_text(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus text exposition format.
+
+    Families are grouped under one ``# HELP`` / ``# TYPE`` header;
+    counters get the conventional ``_total`` suffix when not already
+    present; histograms expand to ``_bucket{le=...}`` cumulative
+    series plus ``_sum`` and ``_count``.
+    """
+    by_name: dict[str, list] = {}
+    order: list[str] = []
+    for sample in snapshot.samples:
+        if sample.name not in by_name:
+            by_name[sample.name] = []
+            order.append(sample.name)
+        by_name[sample.name].append(sample)
+
+    lines: list[str] = []
+    for name in order:
+        samples = by_name[name]
+        kind = samples[0].kind
+        help_text = next((s.help for s in samples if s.help), "")
+        exposed = name
+        if kind == COUNTER and not exposed.endswith("_total"):
+            exposed = exposed + "_total"
+        if help_text:
+            lines.append(f"# HELP {exposed} {help_text}")
+        lines.append(f"# TYPE {exposed} {kind}")
+        for sample in samples:
+            if kind == HISTOGRAM:
+                value = sample.value
+                assert isinstance(value, HistogramValue)
+                cumulative = value.cumulative
+                for bound, count in zip(value.buckets, cumulative):
+                    le = _format_value(bound)
+                    labels = sample.labels + (("le", le),)
+                    lines.append(
+                        f"{exposed}_bucket{_label_str(labels)} {count}"
+                    )
+                inf_labels = sample.labels + (("le", "+Inf"),)
+                lines.append(
+                    f"{exposed}_bucket{_label_str(inf_labels)} "
+                    f"{value.count}"
+                )
+                lines.append(
+                    f"{exposed}_sum{_label_str(sample.labels)} "
+                    f"{_format_value(value.sum)}"
+                )
+                lines.append(
+                    f"{exposed}_count{_label_str(sample.labels)} "
+                    f"{value.count}"
+                )
+            else:
+                lines.append(
+                    f"{exposed}{_label_str(sample.labels)} "
+                    f"{_format_value(sample.value)}"
+                )
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_to_json(snapshot: MetricsSnapshot, indent: int | None = None) -> str:
+    """Render a snapshot as a JSON document.
+
+    Schema: ``{"metrics": {name: [{labels, value | histogram}, ...]}}``
+    — one entry per family, one element per label combination, with
+    histograms expanded to buckets/counts/sum/count.
+    """
+    metrics: dict[str, list] = {}
+    for sample in snapshot.samples:
+        entry: dict = {
+            "kind": sample.kind,
+            "labels": dict(sample.labels),
+        }
+        if isinstance(sample.value, HistogramValue):
+            entry["histogram"] = {
+                "buckets": list(sample.value.buckets),
+                "cumulative": list(sample.value.cumulative),
+                "sum": sample.value.sum,
+                "count": sample.value.count,
+            }
+        else:
+            entry["value"] = sample.value
+        metrics.setdefault(sample.name, []).append(entry)
+    return json.dumps({"metrics": metrics}, indent=indent, sort_keys=True)
+
+
+def parse_prometheus_text(text: str) -> dict:
+    """Parse text exposition back into ``{name: {labels_key: value}}``.
+
+    A deliberately strict reader used by the round-trip tests (and by
+    anyone scraping without a Prometheus server): unknown line shapes
+    raise rather than skip, so format regressions cannot hide.
+    """
+    out: dict[str, dict] = {}
+    types: dict[str, str] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# HELP "):
+            continue
+        if line.startswith("# TYPE "):
+            _, _, rest = line.partition("# TYPE ")
+            name, _, kind = rest.partition(" ")
+            if kind not in (COUNTER, GAUGE, HISTOGRAM):
+                raise ValueError(f"unknown metric type line: {raw!r}")
+            types[name] = kind
+            continue
+        if line.startswith("#"):
+            raise ValueError(f"unexpected comment line: {raw!r}")
+        if "{" in line:
+            name, _, rest = line.partition("{")
+            labels_part, _, value_part = rest.rpartition("} ")
+            if not _:
+                raise ValueError(f"malformed labeled sample: {raw!r}")
+            labels = {}
+            for pair in _split_labels(labels_part):
+                key, _, quoted = pair.partition("=")
+                if not quoted.startswith('"') or not quoted.endswith('"'):
+                    raise ValueError(f"malformed label value in: {raw!r}")
+                labels[key] = (
+                    quoted[1:-1]
+                    .replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+        else:
+            name, _, value_part = line.rpartition(" ")
+            if not name:
+                raise ValueError(f"malformed sample line: {raw!r}")
+            labels = {}
+        value = float(value_part) if value_part != "+Inf" else float("inf")
+        key = tuple(sorted(labels.items()))
+        out.setdefault(name, {})[key] = value
+    return {"series": out, "types": types}
+
+
+def _split_labels(text: str) -> list[str]:
+    """Split ``a="x",b="y,z"`` on commas outside quoted values."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_quotes = False
+    escaped = False
+    for c in text:
+        if escaped:
+            current.append(c)
+            escaped = False
+        elif c == "\\":
+            current.append(c)
+            escaped = True
+        elif c == '"':
+            current.append(c)
+            in_quotes = not in_quotes
+        elif c == "," and not in_quotes:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(c)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+class _Handler(BaseHTTPRequestHandler):
+    # Set as a class attribute per server instance via type() below.
+    telemetry = None
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0]
+        if path == "/metrics":
+            body = prometheus_text(self.telemetry.snapshot())
+            ctype = "text/plain; version=0.0.4; charset=utf-8"
+        elif path == "/snapshot.json":
+            body = self.telemetry.to_json(indent=2)
+            ctype = "application/json"
+        elif path == "/traces.json":
+            body = json.dumps(
+                {
+                    "recent": self.telemetry.tracer.to_dicts(),
+                    "slow": self.telemetry.tracer.to_dicts(slow=True),
+                },
+                indent=2,
+            )
+            ctype = "application/json"
+        else:
+            self.send_error(404, "unknown path")
+            return
+        payload = body.encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", ctype)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes should not spam the serving process's stderr
+
+
+class TelemetryServer:
+    """A daemon-thread HTTP endpoint over one :class:`Telemetry`.
+
+    Serves ``/metrics`` (Prometheus text), ``/snapshot.json`` and
+    ``/traces.json``.  ``port=0`` binds an ephemeral port — read it
+    back from :attr:`port` (tests rely on this).
+    """
+
+    def __init__(self, telemetry, port: int = 0, host: str = "127.0.0.1"):
+        handler = type("_BoundHandler", (_Handler,), {"telemetry": telemetry})
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-telemetry",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self._httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)

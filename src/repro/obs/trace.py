@@ -1,0 +1,257 @@
+"""Structured request tracing: per-request span trees.
+
+Metrics (:mod:`repro.obs.metrics`) answer *how much* — requests per
+second, cache hit ratio, p99 batch latency.  They cannot answer *where
+one slow request spent its time*.  A trace can: the runtime opens a
+root span per served batch, and every layer the batch passes through
+— queue wait, plan decision, dedup, per-dimension cache ``get_many``,
+gather, buffer-pool page reads, predict — either opens a child span or
+attributes counts (cache hits, pages read) to whichever span is
+active.
+
+**Propagation is thread-local.**  A batch is executed start-to-finish
+on one worker thread, but the layers it crosses (``gather_partials``,
+``PartialCache.get_many``, ``BufferPool.get_page``) have no runtime
+handle to thread a span through.  Instead the active span lives in a
+``threading.local``; deep layers call :func:`current_span` and get
+either the active span or ``None`` (tracing off / not in a request),
+so instrumentation at depth is one function call and a ``None`` check.
+
+**Retention is bounded.**  The tracer keeps two ring buffers: the last
+``capacity`` finished root spans, and separately the last
+``slow_capacity`` roots whose duration exceeded ``slow_threshold_s``
+(slow-trace exemplars — the traces worth reading survive even when
+the recent ring has churned past them).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+_ACTIVE = threading.local()
+
+
+def current_span() -> "Span | None":
+    """The span active on this thread, or ``None``.
+
+    This is the hook deep layers use to attribute work to whatever
+    request is in flight without holding a tracer reference.
+    """
+    return getattr(_ACTIVE, "span", None)
+
+
+class Span:
+    """One timed operation in a request's tree.
+
+    Used as a context manager: entering installs the span as the
+    thread's active span, exiting restores the parent, records the end
+    time, and — for root spans — hands the finished tree to the
+    tracer's ring buffers.  An exception propagating out is recorded
+    as the span's ``error`` attribute and re-raised.
+
+    A span tree is built single-threaded (one batch, one worker), so
+    spans themselves are unlocked; only the tracer's ring buffers take
+    a lock, once per finished root.
+    """
+
+    __slots__ = (
+        "name", "attrs", "counts", "children", "start", "end",
+        "_tracer", "_parent",
+    )
+
+    def __init__(self, name: str, tracer=None, parent=None, **attrs):
+        self.name = name
+        self.attrs: dict = dict(attrs)
+        self.counts: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.start = time.perf_counter()
+        self.end: float | None = None
+        self._tracer = tracer
+        self._parent = parent
+
+    # -- tree construction ---------------------------------------------------
+
+    def child(self, name: str, **attrs) -> "Span":
+        """Open a child span (use as a context manager)."""
+        span = Span(name, tracer=self._tracer, parent=self, **attrs)
+        self.children.append(span)
+        return span
+
+    def record(self, name: str, start: float, end: float, **attrs) -> None:
+        """Attach an already-finished child covering [start, end).
+
+        For phases measured before the span tree existed — e.g. queue
+        wait, whose clock starts at ``Request.enqueued_at``, before any
+        worker picked the batch up.
+        """
+        span = Span(name, parent=self, **attrs)
+        span.start = start
+        span.end = end
+        self.children.append(span)
+
+    # -- attribution ---------------------------------------------------------
+
+    def add(self, key: str, value: float = 1.0) -> None:
+        """Accumulate a count on this span (cache hits, pages read)."""
+        self.counts[key] = self.counts.get(key, 0.0) + value
+
+    def set(self, key: str, value) -> None:
+        """Set a descriptive attribute (strategy chosen, batch rows)."""
+        self.attrs[key] = value
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def duration_s(self) -> float:
+        end = self.end if self.end is not None else time.perf_counter()
+        return end - self.start
+
+    def __enter__(self) -> "Span":
+        _ACTIVE.span = self
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.end = time.perf_counter()
+        if exc is not None:
+            self.attrs["error"] = f"{exc_type.__name__}: {exc}"
+        _ACTIVE.span = self._parent
+        if self._parent is None and self._tracer is not None:
+            self._tracer._finish(self)
+        return False  # never swallow
+
+    # -- export --------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """A JSON-ready recursive rendering of the subtree."""
+        out: dict = {
+            "name": self.name,
+            "start": self.start,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.counts:
+            out["counts"] = dict(self.counts)
+        if self.children:
+            out["children"] = [c.to_dict() for c in self.children]
+        return out
+
+    def find(self, name: str) -> "Span | None":
+        """Depth-first search of the subtree by span name."""
+        if self.name == name:
+            return self
+        for child in self.children:
+            found = child.find(name)
+            if found is not None:
+                return found
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "open" if self.end is None else f"{self.duration_s:.6f}s"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class _NoopSpan:
+    """Shared inert span for disabled tracers.
+
+    Never touches the thread-local, so a disabled ``trace()`` context
+    costs two method calls and nothing else — and ``current_span()``
+    still returns ``None`` inside it, keeping deep-layer attribution
+    on its no-op path too.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+    def child(self, name: str, **attrs):
+        return self
+
+    def record(self, name, start, end, **attrs):
+        pass
+
+    def add(self, key, value=1.0):
+        pass
+
+    def set(self, key, value):
+        pass
+
+    def find(self, name):
+        return None
+
+    def to_dict(self):
+        return {}
+
+    @property
+    def duration_s(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class Tracer:
+    """Owns the ring buffers of finished traces.
+
+    ``capacity`` bounds the recent-trace ring; roots slower than
+    ``slow_threshold_s`` are additionally kept in a ``slow_capacity``
+    ring so exemplars of pathological requests survive ring churn.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 64,
+        slow_threshold_s: float = 0.25,
+        slow_capacity: int = 16,
+        enabled: bool = True,
+    ) -> None:
+        if capacity < 1 or slow_capacity < 1:
+            raise ValueError("trace ring capacities must be >= 1")
+        self.enabled = enabled
+        self.slow_threshold_s = float(slow_threshold_s)
+        self._lock = threading.Lock()
+        self._recent: deque[Span] = deque(maxlen=capacity)
+        self._slow: deque[Span] = deque(maxlen=slow_capacity)
+        self._finished = 0
+
+    def trace(self, name: str, **attrs) -> Span | _NoopSpan:
+        """Open a root span (context manager).  No-op when disabled."""
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(name, tracer=self, **attrs)
+
+    def _finish(self, root: Span) -> None:
+        with self._lock:
+            self._finished += 1
+            self._recent.append(root)
+            if root.duration_s >= self.slow_threshold_s:
+                self._slow.append(root)
+
+    def recent(self) -> list[Span]:
+        """The most recent finished roots, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow_traces(self) -> list[Span]:
+        """Retained slow-trace exemplars, oldest first."""
+        with self._lock:
+            return list(self._slow)
+
+    @property
+    def finished(self) -> int:
+        """Total root spans ever finished (survives ring churn)."""
+        with self._lock:
+            return self._finished
+
+    def to_dicts(self, slow: bool = False) -> list[dict]:
+        spans = self.slow_traces() if slow else self.recent()
+        return [span.to_dict() for span in spans]
+
+
+NULL_TRACER = Tracer(enabled=False)

@@ -43,10 +43,20 @@ class Request:
     features: np.ndarray
     fks: list[np.ndarray]
     future: Future = field(default_factory=Future)
+    # Stamped at construction — before put() blocks on backpressure —
+    # so the queue-wait clock includes time spent waiting for a slot,
+    # which is exactly the latency the caller experiences.
+    enqueued_at: float = field(default_factory=time.perf_counter)
 
     @property
     def rows(self) -> int:
         return self.features.shape[0]
+
+    def wait_seconds(self, now: float | None = None) -> float:
+        """Seconds since this request was created (queue wait)."""
+        if now is None:
+            now = time.perf_counter()
+        return max(0.0, now - self.enqueued_at)
 
 
 class RequestQueue:

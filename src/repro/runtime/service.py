@@ -62,6 +62,9 @@ from repro.fx.sharding import ShardedPartialCache
 from repro.fx.store import PartialStore, StoreStats
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
+from repro.obs import TelemetryServer, as_telemetry
+from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.trace import current_span
 from repro.runtime.planner import BatchPlanner, PlannerStats
 from repro.runtime.queue import Request, RequestQueue
 from repro.serve.cache import LRU_ADMISSION, CacheStats
@@ -184,7 +187,15 @@ class RuntimeModel:
 
 @dataclass
 class RuntimeStats:
-    """A point-in-time snapshot of runtime-level bookkeeping."""
+    """A point-in-time snapshot of runtime-level bookkeeping.
+
+    Each field group is read atomically under its owning component's
+    lock (worker counters under the stats lock, each cache aggregate
+    under its sharded cache's stats guard), so no group can mix values
+    from two instants.  For one consistent cut across *everything* —
+    queue, planner, caches, store, buffer pool, training — use the
+    runtime's ``telemetry.snapshot()`` instead.
+    """
 
     queue_depth: int
     queue_max_depth: int
@@ -215,10 +226,20 @@ class ServingRuntime:
     """
 
     def __init__(
-        self, db: Database, config: RuntimeConfig | None = None
+        self,
+        db: Database,
+        config: RuntimeConfig | None = None,
+        *,
+        telemetry=None,
+        telemetry_port: int | None = None,
     ) -> None:
         self.db = db
         self.config = config or RuntimeConfig()
+        # Asking for the HTTP endpoint implies wanting telemetry on.
+        if telemetry is None and telemetry_port is not None:
+            telemetry = True
+        self.telemetry = as_telemetry(telemetry)
+        self._make_instruments()
         self.store = PartialStore(
             num_shards=(
                 self.config.cache_shards or self.config.num_workers
@@ -254,8 +275,211 @@ class ServingRuntime:
             for i in range(self.config.num_workers)
         ]
         self.db.subscribe(self._on_row_version)
+        # Queue/worker/cache/store/page-I/O state is *sampled* at
+        # snapshot time rather than double-counted per event.
+        self.telemetry.registry.register_collector(self._collect)
+        self.telemetry_server: TelemetryServer | None = None
+        if telemetry_port is not None:
+            self.telemetry_server = TelemetryServer(
+                self.telemetry, port=telemetry_port
+            )
         for worker in self._workers:
             worker.start()
+
+    def _make_instruments(self) -> None:
+        """Create the owned (per-event) instruments once.
+
+        With telemetry disabled every handle is the shared no-op
+        singleton, so the hot path pays one method call per event.
+        """
+        registry = self.telemetry.registry
+        self._m_requests = registry.counter(
+            "repro_requests_total",
+            help="Point requests completed, by model and op",
+            labelnames=("model", "op"),
+        )
+        self._m_batches = registry.counter(
+            "repro_batches_total",
+            help="Micro-batches executed",
+            labelnames=("model",),
+        )
+        self._m_batch_failures = registry.counter(
+            "repro_batch_failures_total",
+            help="Requests failed during scoring",
+            labelnames=("model",),
+        )
+        self._m_batch_rows = registry.histogram(
+            "repro_batch_rows",
+            buckets=SIZE_BUCKETS,
+            help="Rows per executed micro-batch",
+        )
+        self._m_batch_seconds = registry.histogram(
+            "repro_batch_seconds",
+            help="Batch execution wall seconds",
+            labelnames=("model",),
+        )
+        self._m_queue_wait = registry.histogram(
+            "repro_queue_wait_seconds",
+            help="Per-request wait from submit to batch claim",
+        )
+        self._m_planner_decisions = registry.counter(
+            "repro_planner_decisions_total",
+            help="Adaptive planner strategy choices",
+            labelnames=("model", "strategy"),
+        )
+        self._m_planner_dense_mults = registry.counter(
+            "repro_planner_dense_mults_total",
+            help="Cost-model multiplications the dense path would pay",
+            labelnames=("model",),
+        )
+        self._m_planner_factorized_mults = registry.counter(
+            "repro_planner_factorized_mults_total",
+            help="Cost-model multiplications the factorized path "
+                 "would pay (cache-discounted)",
+            labelnames=("model",),
+        )
+        self._m_invalidated_rids = registry.counter(
+            "repro_invalidated_rids_total",
+            help="Cached partial rows dropped by dimension updates",
+            labelnames=("model",),
+        )
+
+    def _collect(self, buffer) -> None:
+        """Sample component state into a registry snapshot.
+
+        Invoked outside the registry lock (see
+        :meth:`repro.obs.metrics.MetricsRegistry.snapshot`); every
+        group below is read atomically under its own component's lock,
+        so each group is internally consistent.
+        """
+        buffer.gauge(
+            "repro_queue_depth", self._queue.depth,
+            help="Requests currently queued",
+        )
+        buffer.gauge(
+            "repro_queue_max_depth", self._queue.max_depth_seen,
+            help="High-water queue depth",
+        )
+        buffer.counter(
+            "repro_requests_enqueued_total", self._queue.enqueued,
+            help="Requests ever admitted to the queue",
+        )
+        with self._stats_lock:
+            batches = sum(w.batches for w in self._worker_stats)
+            busy = sum(w.wall_seconds for w in self._worker_stats)
+        buffer.counter(
+            "repro_worker_batches_total", batches,
+            help="Batches executed across all workers",
+        )
+        buffer.counter(
+            "repro_worker_busy_seconds_total", busy,
+            help="Accumulated batch execution seconds across workers",
+        )
+        store = self.store.stats()
+        buffer.gauge(
+            "repro_store_caches", store.caches,
+            help="Live partial-cache fingerprints in the store",
+        )
+        buffer.gauge(
+            "repro_store_bytes_resident", store.bytes_resident,
+            help="Resident partial payload across every cache (bytes)",
+        )
+        if store.capacity_floats is not None:
+            buffer.gauge(
+                "repro_store_capacity_floats", store.capacity_floats,
+                help="Store-wide partial budget (float64 values)",
+            )
+        buffer.counter(
+            "repro_store_cross_evictions_total", store.cross_evictions,
+            help="Rows evicted across cache boundaries by the budget "
+                 "governor",
+        )
+        with self._registry_lock:
+            models = list(self._models.items())
+        for name, model in models:
+            with model.lock:
+                dedup_ratio = model.dedup_ratio
+            buffer.gauge(
+                "repro_model_dedup_ratio", dedup_ratio,
+                help="FK references per distinct RID across served "
+                     "batches",
+                model=name,
+            )
+            for dim_name, cache in zip(model.dimension_names, model.caches):
+                stats = cache.stats()
+                labels = {"model": name, "dimension": dim_name}
+                buffer.counter(
+                    "repro_cache_hits_total", stats.hits,
+                    help="Partial-cache hits", **labels,
+                )
+                buffer.counter(
+                    "repro_cache_misses_total", stats.misses,
+                    help="Partial-cache misses", **labels,
+                )
+                buffer.counter(
+                    "repro_cache_evictions_total", stats.evictions,
+                    help="Local capacity evictions", **labels,
+                )
+                buffer.counter(
+                    "repro_cache_cross_evictions_total",
+                    stats.cross_evictions,
+                    help="Evictions forced by the store-wide budget",
+                    **labels,
+                )
+                buffer.counter(
+                    "repro_cache_invalidations_total",
+                    stats.invalidations,
+                    help="Rows dropped by dimension-update events",
+                    **labels,
+                )
+                buffer.gauge(
+                    "repro_cache_entries", stats.entries,
+                    help="Resident partial rows", **labels,
+                )
+                buffer.gauge(
+                    "repro_cache_bytes_resident", stats.bytes_resident,
+                    help="Resident partial payload (bytes)", **labels,
+                )
+                buffer.gauge(
+                    "repro_cache_hit_ratio", stats.hit_rate,
+                    help="hits / (hits + misses)", **labels,
+                )
+        pool = self.db.buffer_pool.stats()
+        buffer.counter(
+            "repro_bufferpool_hits_total", pool.hits,
+            help="Buffer-pool page hits (followers included)",
+        )
+        buffer.counter(
+            "repro_bufferpool_misses_total", pool.misses,
+            help="Buffer-pool page misses (leader reads)",
+        )
+        buffer.counter(
+            "repro_bufferpool_coalesced_reads_total",
+            pool.coalesced_reads,
+            help="Followers that piggybacked on an in-flight read",
+        )
+        buffer.gauge(
+            "repro_bufferpool_inflight_peak", pool.inflight_peak,
+            help="Most page reads ever simultaneously in flight",
+        )
+        buffer.counter(
+            "repro_bufferpool_stale_discards_total", pool.stale_discards,
+            help="Completed reads dropped because an invalidation "
+                 "raced them",
+        )
+        buffer.gauge(
+            "repro_bufferpool_resident_pages", pool.resident_pages,
+            help="Pages currently cached",
+        )
+        io = self.db.stats.snapshot()
+        buffer.counter(
+            "repro_pages_read_total", io.pages_read,
+            help="Heap pages read (buffer-pool misses only)",
+        )
+        buffer.counter(
+            "repro_pages_written_total", io.pages_written,
+            help="Heap pages written",
+        )
 
     # -- registration --------------------------------------------------------
 
@@ -478,6 +702,7 @@ class ServingRuntime:
     def _execute(self, batch: list[Request], stats: WorkerStats) -> None:
         name, op = batch[0].batch_key
         rows = sum(request.rows for request in batch)
+        claimed = time.perf_counter()
         try:
             registered = self.model(name)
             features = (
@@ -491,15 +716,34 @@ class ServingRuntime:
             ]
             before = self.db.stats.snapshot()
             tick = time.perf_counter()
-            # The batch's one and only FK dedup: planner and predictor
-            # both consume this plan, so each dimension is sorted once.
-            plan = DedupPlan.for_batch(fks)
-            predictor = self._plan(registered, plan)
-            call = (
-                predictor.predict if op == "predict"
-                else predictor.score_samples
-            )
-            outputs = call(features, fks, plan=plan)
+            # Root span for the batch: the deeper layers (gather,
+            # caches, buffer pool) open children / attribute counts
+            # through the thread-local current_span().
+            with self.telemetry.tracer.trace(
+                "serve.batch", model=name, op=op,
+                requests=len(batch), rows=rows,
+            ) as root:
+                # Queue wait predates the span tree; attach it as an
+                # already-finished child from the oldest request's
+                # enqueue stamp to the moment the worker claimed it.
+                root.record(
+                    "queue.wait",
+                    min(r.enqueued_at for r in batch),
+                    claimed,
+                )
+                # The batch's one and only FK dedup: planner and
+                # predictor both consume this plan, so each dimension
+                # is sorted once.
+                with root.child("dedup"):
+                    plan = DedupPlan.for_batch(fks)
+                with root.child("plan"):
+                    predictor = self._plan(registered, plan)
+                call = (
+                    predictor.predict if op == "predict"
+                    else predictor.score_samples
+                )
+                with root.child("predict"):
+                    outputs = call(features, fks, plan=plan)
             elapsed = time.perf_counter() - tick
             io = self.db.stats.snapshot() - before
         except BaseException as error:
@@ -511,11 +755,20 @@ class ServingRuntime:
                 for request in batch:
                     self._execute([request], stats)
                 return
+            self._m_batch_failures.labels(model=name).inc()
+            self._m_queue_wait.observe(batch[0].wait_seconds(claimed))
+            self._m_requests.labels(model=name, op=op).inc()
             for request in batch:
                 if not request.future.set_running_or_notify_cancel():
                     continue
                 request.future.set_exception(error)
             return
+        self._m_requests.labels(model=name, op=op).inc(len(batch))
+        self._m_batches.labels(model=name).inc()
+        self._m_batch_rows.observe(rows)
+        self._m_batch_seconds.labels(model=name).observe(elapsed)
+        for request in batch:
+            self._m_queue_wait.observe(request.wait_seconds(claimed))
         with registered.lock:
             # Note: under concurrency the I/O delta can double-count
             # pages read by overlapping batches of other models; it is
@@ -542,7 +795,10 @@ class ServingRuntime:
 
     def _plan(self, registered: RuntimeModel, plan: DedupPlan):
         """Pick this batch's predictor (and log the decision)."""
+        span = current_span()
         if registered.planner is None:
+            if span is not None:
+                span.set("strategy", registered.strategy)
             return registered.base
         hit_rates = tuple(
             cache.approx_hit_rate() for cache in registered.caches
@@ -550,6 +806,21 @@ class ServingRuntime:
         decision = registered.planner.plan(plan, hit_rates)
         with registered.lock:
             registered.planner_stats.record(decision)
+        self._m_planner_decisions.labels(
+            model=registered.name, strategy=decision.strategy
+        ).inc()
+        # The cost-model delta is exported as the two estimates (both
+        # monotone counters); dashboards subtract them — a signed
+        # "saving" series would not be a legal Prometheus counter.
+        self._m_planner_dense_mults.labels(model=registered.name).inc(
+            decision.dense_mults
+        )
+        self._m_planner_factorized_mults.labels(
+            model=registered.name
+        ).inc(decision.factorized_mults)
+        if span is not None:
+            span.set("strategy", decision.strategy)
+            span.set("saving_rate", round(decision.saving_rate, 4))
         if decision.strategy == FACTORIZED:
             return registered.factorized
         return registered.materialized
@@ -566,6 +837,10 @@ class ServingRuntime:
             dropped = registered.caches[dim_index].invalidate(event.rids)
             with registered.lock:
                 registered.invalidated_rids += dropped
+            if dropped:
+                self._m_invalidated_rids.labels(
+                    model=registered.name
+                ).inc(dropped)
 
     # -- bookkeeping ---------------------------------------------------------
 
@@ -639,6 +914,11 @@ class ServingRuntime:
                     ModelError("runtime closed before serving this request")
                 )
         self.db.unsubscribe(self._on_row_version)
+        if self.telemetry_server is not None:
+            self.telemetry_server.close()
+        # Detach the collector or later snapshots of a shared Telemetry
+        # would sample this dead runtime forever.
+        self.telemetry.registry.unregister_collector(self._collect)
 
     def __enter__(self) -> "ServingRuntime":
         return self

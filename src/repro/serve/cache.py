@@ -72,6 +72,7 @@ import numpy as np
 
 from repro.errors import ModelError
 from repro.fx.sketch import FrequencySketch
+from repro.obs.trace import current_span
 
 _FLOAT_BYTES = 8
 
@@ -375,6 +376,13 @@ class PartialCache:
                 fresh = {}
             self.hits += keys.size - len(missing)
             self.misses += len(missing)
+            # Attribute this call's outcome to the in-flight request's
+            # span (thread-local read; None when tracing is off).
+            span = current_span()
+            if span is not None:
+                span.add("cache.hits", keys.size - len(missing))
+                span.add("cache.misses", len(missing))
+                evictions_before = self.evictions
             out = np.empty(
                 (keys.size, self._row_width(fresh)), dtype=np.float64
             )
@@ -411,6 +419,10 @@ class PartialCache:
                     self._ticks[key] = batch_tick
                 self._floats_resident += row.size
                 self._evict_over_capacity()
+            if span is not None and self.evictions > evictions_before:
+                span.add(
+                    "cache.evictions", self.evictions - evictions_before
+                )
             return out
 
     # -- store-wide budget hooks (see the module docstring) ----------------
@@ -493,6 +505,12 @@ class PartialCache:
                 return 0
             freed = self._remove(key)
             self.cross_evictions += 1
+            # The governor runs on the thread of the batch whose insert
+            # broke the budget, so the cross-eviction lands on that
+            # batch's span — the attribution that matters.
+            span = current_span()
+            if span is not None:
+                span.add("cache.cross_evictions")
             return freed
 
     def invalidate(self, keys: np.ndarray) -> int:

@@ -32,6 +32,7 @@ from repro.core.strategies import FACTORIZED
 from repro.errors import ModelError
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
+from repro.obs import as_telemetry
 from repro.serve.cache import CacheStats
 from repro.serve.predictor import make_predictor
 from repro.storage.catalog import Database
@@ -48,12 +49,22 @@ _MIN_TICK = time.get_clock_info("perf_counter").resolution
 
 @dataclass
 class ServingStats:
-    """Rolling bookkeeping for one registered model."""
+    """Rolling bookkeeping for one registered model.
+
+    Mutation goes through :meth:`record`, which holds an internal lock
+    — concurrent workers (the runtime) fold requests in without losing
+    increments.  Read single fields directly if a torn-but-monotonic
+    value is fine; use :meth:`snapshot` for a consistent multi-field
+    picture (``rows`` and ``requests`` from the same instant).
+    """
 
     requests: int = 0
     rows: int = 0
     wall_seconds: float = 0.0
     io: IOSnapshot = field(default_factory=IOSnapshot)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self, rows: int, seconds: float, io: IOSnapshot | None = None
@@ -65,11 +76,22 @@ class ServingStats:
         clock's resolution so a burst of fast batches cannot accumulate
         (near-)zero wall time.
         """
-        self.requests += 1
-        self.rows += rows
-        self.wall_seconds += max(seconds, _MIN_TICK)
-        if io is not None:
-            self.io = self.io + io
+        with self._lock:
+            self.requests += 1
+            self.rows += rows
+            self.wall_seconds += max(seconds, _MIN_TICK)
+            if io is not None:
+                self.io = self.io + io
+
+    def snapshot(self) -> "ServingStats":
+        """A tear-free copy: every field taken under one lock hold."""
+        with self._lock:
+            return ServingStats(
+                requests=self.requests,
+                rows=self.rows,
+                wall_seconds=self.wall_seconds,
+                io=self.io,
+            )
 
     @property
     def rows_per_second(self) -> float:
@@ -111,6 +133,7 @@ class ModelService:
         block_pages: int = DEFAULT_BLOCK_PAGES,
         store=None,
         memory_budget: int | None = None,
+        telemetry=None,
     ) -> None:
         # Local import: the execution core's store hands caches *to*
         # this layer but also builds on serve.cache, so a module-level
@@ -135,6 +158,21 @@ class ModelService:
                 )
             store = PartialStore(capacity_floats=max(1, memory_budget // 8))
         self.store = store if store is not None else PartialStore()
+        # telemetry: None/False -> shared no-op; True -> fresh enabled;
+        # a Telemetry instance -> shared (one snapshot across layers).
+        self.telemetry = as_telemetry(telemetry)
+        registry = self.telemetry.registry
+        self._m_requests = registry.counter(
+            "repro_service_requests_total",
+            help="Requests served by ModelService, by model and op",
+            labelnames=("model", "op"),
+        )
+        self._m_request_seconds = registry.histogram(
+            "repro_service_request_seconds",
+            help="ModelService request wall seconds",
+            labelnames=("model",),
+        )
+        registry.register_collector(self._collect)
         self._models: dict[str, RegisteredModel] = {}
         # Guards registry mutation against the update-event callback,
         # which arrives on the updater's thread.
@@ -236,14 +274,22 @@ class ModelService:
 
     # -- serving -----------------------------------------------------------
 
-    def _timed(self, registered: RegisteredModel, rows: int, call):
+    def _timed(
+        self, registered: RegisteredModel, rows: int, call, op: str
+    ):
         before = self.db.stats.snapshot()
         tick = time.perf_counter()
-        result = call()
+        with self.telemetry.tracer.trace(
+            "serve.request", model=registered.name, op=op, rows=rows
+        ):
+            result = call()
+        elapsed = time.perf_counter() - tick
         registered.stats.record(
-            rows,
-            time.perf_counter() - tick,
-            self.db.stats.snapshot() - before,
+            rows, elapsed, self.db.stats.snapshot() - before
+        )
+        self._m_requests.labels(model=registered.name, op=op).inc()
+        self._m_request_seconds.labels(model=registered.name).observe(
+            elapsed
         )
         return result
 
@@ -259,6 +305,7 @@ class ModelService:
             registered,
             features.shape[0],
             lambda: registered.predictor.predict(features, fk_values),
+            "predict",
         )
 
     def score(self, name: str, fact_features, fk_values) -> np.ndarray:
@@ -274,6 +321,7 @@ class ModelService:
             registered,
             features.shape[0],
             lambda: registered.predictor.score_samples(features, fk_values),
+            "score",
         )
 
     def predict_all(self, name: str) -> np.ndarray:
@@ -283,6 +331,7 @@ class ModelService:
             registered,
             registered.predictor.resolved.num_rows,
             lambda: registered.predictor.predict_all(),
+            "predict_all",
         )
 
     # -- invalidation ------------------------------------------------------
@@ -311,6 +360,7 @@ class ModelService:
         their refcounts) in the shared store forever.
         """
         self.db.unsubscribe(self._subscription)
+        self.telemetry.registry.unregister_collector(self._collect)
         with self._registry_lock:
             models = list(self._models.values())
         for registered in models:
@@ -319,6 +369,32 @@ class ModelService:
             registered.predictor.close()
 
     # -- bookkeeping -------------------------------------------------------
+
+    def _collect(self, buffer) -> None:
+        """Sample per-model serving stats into a registry snapshot.
+
+        Runs outside the registry lock; each model's group comes from
+        one :meth:`ServingStats.snapshot`, so it is internally
+        consistent.
+        """
+        with self._registry_lock:
+            models = list(self._models.values())
+        for registered in models:
+            stats = registered.stats.snapshot()
+            labels = {"model": registered.name}
+            buffer.counter(
+                "repro_service_rows_total", stats.rows,
+                help="Rows served by ModelService", **labels,
+            )
+            buffer.counter(
+                "repro_service_wall_seconds_total", stats.wall_seconds,
+                help="Accumulated serving wall seconds", **labels,
+            )
+            buffer.counter(
+                "repro_service_pages_read_total", stats.io.pages_read,
+                help="Heap pages read while serving this model",
+                **labels,
+            )
 
     def stats(self, name: str) -> ServingStats:
         return self.model(name).stats

@@ -44,12 +44,36 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
 from repro.errors import StorageError
+from repro.obs.trace import current_span
 from repro.storage.heapfile import HeapFile
+
+
+@dataclass(frozen=True)
+class BufferStats:
+    """Point-in-time buffer-pool counters (taken under the pool lock,
+    so all fields are from one instant)."""
+
+    hits: int = 0
+    misses: int = 0
+    coalesced_reads: int = 0
+    inflight_peak: int = 0
+    stale_discards: int = 0
+    resident_pages: int = 0
+    capacity_pages: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
 
 
 class _InFlightRead:
@@ -112,12 +136,18 @@ class BufferPool:
         concurrency and invalidation story.
         """
         cache_key = (str(heap.path), page_no)
+        # Attribution to the in-flight request's span (if any) happens
+        # outside the pool lock: current_span() is a thread-local read
+        # and the span belongs to this thread alone.
+        span = current_span()
         while True:
             with self._lock:
                 cached = self._pages.get(cache_key)
                 if cached is not None:
                     self._pages.move_to_end(cache_key)
                     self.hits += 1
+                    if span is not None:
+                        span.add("pages.hit")
                     return cached
                 guard = self._inflight.get(cache_key)
                 if guard is None:
@@ -142,6 +172,8 @@ class BufferPool:
                 with self._lock:
                     self.hits += 1
                     self.coalesced_reads += 1
+                if span is not None:
+                    span.add("pages.coalesced")
                 return guard.page
             try:
                 page = heap.read_page(page_no)
@@ -170,6 +202,8 @@ class BufferPool:
                     # cached.
                     self.stale_discards += 1
             guard.done.set()
+            if span is not None:
+                span.add("pages.read")
             return page
 
     def _detach_inflight(self, cache_key: tuple[str, int]) -> None:
@@ -226,6 +260,19 @@ class BufferPool:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> BufferStats:
+        """An atomic copy of every counter (one locked read)."""
+        with self._lock:
+            return BufferStats(
+                hits=self.hits,
+                misses=self.misses,
+                coalesced_reads=self.coalesced_reads,
+                inflight_peak=self.inflight_peak,
+                stale_discards=self.stale_discards,
+                resident_pages=len(self._pages),
+                capacity_pages=self.capacity_pages,
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -14,71 +14,18 @@ from __future__ import annotations
 
 import json
 import os
-import threading
-from contextlib import contextmanager
 from pathlib import Path
 from typing import Iterator
 
 import numpy as np
 
+from repro.core.sync import ReadWriteLock
 from repro.errors import StorageError
 from repro.fx.dedup import distinct_values
 from repro.storage.iostats import IOStats
 
 DEFAULT_PAGE_SIZE_BYTES = 8192
 _FLOAT_BYTES = 8
-
-
-class _ReadWriteLock:
-    """Many concurrent readers xor one writer, writer-preferring.
-
-    Readers each open their own file handle, so reads of *different*
-    pages (or even the same bytes) are safe to run concurrently — the
-    only hazard is a read overlapping an in-place write, which could
-    observe a torn page.  A plain mutex (the old design) prevented
-    that by serializing every read too, which defeated the buffer
-    pool's parallel cold misses for pages of one heap.  This lock
-    keeps exactly the needed exclusion: reads share, writes exclude
-    everything, and a waiting writer blocks new readers so a steady
-    read stream cannot starve updates.
-    """
-
-    def __init__(self) -> None:
-        self._cond = threading.Condition()
-        self._readers = 0
-        self._writing = False
-        self._writers_waiting = 0
-
-    @contextmanager
-    def read(self):
-        with self._cond:
-            while self._writing or self._writers_waiting:
-                self._cond.wait()
-            self._readers += 1
-        try:
-            yield
-        finally:
-            with self._cond:
-                self._readers -= 1
-                if self._readers == 0:
-                    self._cond.notify_all()
-
-    @contextmanager
-    def write(self):
-        with self._cond:
-            self._writers_waiting += 1
-            try:
-                while self._writing or self._readers:
-                    self._cond.wait()
-                self._writing = True
-            finally:
-                self._writers_waiting -= 1
-        try:
-            yield
-        finally:
-            with self._cond:
-                self._writing = False
-                self._cond.notify_all()
 
 
 def rows_per_page(ncols: int, page_size_bytes: int = DEFAULT_PAGE_SIZE_BYTES) -> int:
@@ -136,7 +83,12 @@ class HeapFile:
         # observe a torn (half-written) page — the invariant the
         # serving runtime's invalidation story rests on — while reads
         # of different pages run their I/O in parallel.
-        self._io_lock = _ReadWriteLock()
+        # Readers each open their own file handle, so concurrent page
+        # reads are safe; the only hazard is a read overlapping an
+        # in-place write (torn page).  The RW lock keeps exactly that
+        # exclusion without serializing the buffer pool's parallel
+        # cold misses the way a plain mutex would.
+        self._io_lock = ReadWriteLock()
 
     # -- lifecycle ---------------------------------------------------------
 

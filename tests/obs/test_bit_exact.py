@@ -1,0 +1,90 @@
+"""Telemetry must never change results: serving and training produce
+bit-identical outputs with telemetry on vs off."""
+
+import numpy as np
+
+from repro.core.api import fit_gmm, fit_nn, serve, serve_runtime
+from repro.obs import Telemetry
+
+
+class TestServingBitExact:
+    def test_runtime_outputs_identical(self, db, binary_star):
+        nn = fit_nn(db, binary_star.spec, hidden_sizes=(8,), epochs=1)
+        rng = np.random.default_rng(9)
+        xs = rng.normal(size=(48, 3))
+        fks = rng.integers(0, 25, size=(48, 1))
+
+        outputs = {}
+        for name, telemetry in (("off", None), ("on", True)):
+            with serve_runtime(
+                db, num_workers=2, telemetry=telemetry
+            ) as runtime:
+                runtime.register_nn("m", nn, binary_star.spec)
+                futures = [
+                    runtime.submit("m", xs[i : i + 6], fks[i : i + 6])
+                    for i in range(0, 48, 6)
+                ]
+                outputs[name] = np.concatenate(
+                    [future.result() for future in futures]
+                )
+        np.testing.assert_array_equal(outputs["on"], outputs["off"])
+
+    def test_service_outputs_identical(self, db, binary_star):
+        gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0
+        )
+        fact = binary_star.spec.resolve(db).fact
+        rows = fact.scan()
+        xs = fact.project_features(rows)
+        fks = rows[:, fact.schema.fk_position("R1")].astype(np.int64)
+
+        outputs = {}
+        for name, telemetry in (("off", None), ("on", True)):
+            service = serve(db, telemetry=telemetry)
+            service.register_gmm("g", gmm, binary_star.spec)
+            outputs[name] = service.predict("g", xs, fks)
+            service.close()
+        np.testing.assert_array_equal(outputs["on"], outputs["off"])
+
+
+class TestTrainingBitExact:
+    def test_fits_identical(self, db, binary_star):
+        tel = Telemetry()
+        plain_nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(8,), epochs=2, seed=3
+        )
+        telemetered_nn = fit_nn(
+            db, binary_star.spec, hidden_sizes=(8,), epochs=2, seed=3,
+            telemetry=tel,
+        )
+        np.testing.assert_array_equal(
+            plain_nn.fit.model.layers[0].weights,
+            telemetered_nn.fit.model.layers[0].weights,
+        )
+        assert plain_nn.fit.loss_history == telemetered_nn.fit.loss_history
+
+        plain_gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0,
+            seed=3,
+        )
+        telemetered_gmm = fit_gmm(
+            db, binary_star.spec, n_components=2, max_iter=2, tol=0.0,
+            seed=3, telemetry=tel,
+        )
+        np.testing.assert_array_equal(
+            plain_gmm.fit.params.means, telemetered_gmm.fit.params.means
+        )
+        assert (
+            plain_gmm.fit.log_likelihood_history
+            == telemetered_gmm.fit.log_likelihood_history
+        )
+        # The telemetered runs also left their series behind.
+        assert len(telemetered_nn.fit.extra["epoch_seconds"]) == 2
+        assert len(telemetered_gmm.fit.extra["iteration_seconds"]) == 2
+        snap = tel.snapshot()
+        assert snap.value(
+            "repro_training_iterations_total", algorithm="F-NN"
+        ) == 2.0
+        assert snap.value(
+            "repro_training_iterations_total", algorithm="F-GMM"
+        ) == 2.0

@@ -1,0 +1,122 @@
+"""Exporters: Prometheus text round-trip through the strict parser,
+JSON snapshot schema, label escaping."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    parse_prometheus_text,
+    prometheus_text,
+    snapshot_to_json,
+)
+
+
+def populated_registry() -> MetricsRegistry:
+    reg = MetricsRegistry()
+    reg.counter(
+        "repro_requests_total", help="Requests served",
+        labelnames=("model", "op"),
+    ).labels(model="m", op="predict").inc(5)
+    reg.gauge("repro_queue_depth", help="Requests waiting").set(3)
+    h = reg.histogram(
+        "repro_batch_seconds", buckets=(0.1, 1.0), help="Batch wall time"
+    )
+    h.observe(0.05)
+    h.observe(0.5)
+    h.observe(2.0)
+    return reg
+
+
+class TestPrometheusText:
+    def test_counter_gets_total_suffix_once(self):
+        reg = MetricsRegistry()
+        reg.counter("evts_total").inc()
+        reg.counter("raw").inc()
+        text = prometheus_text(reg.snapshot())
+        assert "evts_total 1" in text
+        assert "evts_total_total" not in text
+        assert "raw_total 1" in text
+
+    def test_help_and_type_headers(self):
+        text = prometheus_text(populated_registry().snapshot())
+        assert "# HELP repro_requests_total Requests served" in text
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_queue_depth gauge" in text
+        assert "# TYPE repro_batch_seconds histogram" in text
+
+    def test_histogram_expansion(self):
+        text = prometheus_text(populated_registry().snapshot())
+        assert 'repro_batch_seconds_bucket{le="0.1"} 1' in text
+        assert 'repro_batch_seconds_bucket{le="1"} 2' in text
+        assert 'repro_batch_seconds_bucket{le="+Inf"} 3' in text
+        assert "repro_batch_seconds_sum 2.55" in text
+        assert "repro_batch_seconds_count 3" in text
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labelnames=("tag",)).labels(
+            tag='quo"te\\back\nline'
+        ).set(1)
+        text = prometheus_text(reg.snapshot())
+        parsed = parse_prometheus_text(text)
+        [(labels, value)] = parsed["series"]["g"].items()
+        assert dict(labels)["tag"] == 'quo"te\\back\nline'
+        assert value == 1.0
+
+
+class TestRoundTrip:
+    def test_full_round_trip(self):
+        snap = populated_registry().snapshot()
+        parsed = parse_prometheus_text(prometheus_text(snap))
+        series, types = parsed["series"], parsed["types"]
+        key = (("model", "m"), ("op", "predict"))
+        assert series["repro_requests_total"][key] == 5.0
+        assert series["repro_queue_depth"][()] == 3.0
+        assert types["repro_requests_total"] == "counter"
+        assert types["repro_batch_seconds"] == "histogram"
+        # Cumulative buckets monotone, +Inf bucket == _count.
+        buckets = series["repro_batch_seconds_bucket"]
+        counts = [
+            buckets[(("le", "0.1"),)],
+            buckets[(("le", "1"),)],
+            buckets[(("le", "+Inf"),)],
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == series["repro_batch_seconds_count"][()]
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError, match="unknown metric type"):
+            parse_prometheus_text("# TYPE x summary\n")
+        with pytest.raises(ValueError, match="comment"):
+            parse_prometheus_text("# EOF\n")
+        with pytest.raises(ValueError, match="malformed"):
+            parse_prometheus_text('x{a="1" 3\n')
+
+    def test_labels_with_commas_inside_values(self):
+        reg = MetricsRegistry()
+        reg.gauge("g", labelnames=("tag",)).labels(tag="a,b").set(2)
+        parsed = parse_prometheus_text(prometheus_text(reg.snapshot()))
+        assert parsed["series"]["g"][(("tag", "a,b"),)] == 2.0
+
+
+class TestJson:
+    def test_schema(self):
+        doc = json.loads(snapshot_to_json(populated_registry().snapshot()))
+        metrics = doc["metrics"]
+        [req] = metrics["repro_requests_total"]
+        assert req["kind"] == "counter"
+        assert req["labels"] == {"model": "m", "op": "predict"}
+        assert req["value"] == 5.0
+        [hist] = metrics["repro_batch_seconds"]
+        assert hist["histogram"]["buckets"] == [0.1, 1.0]
+        assert hist["histogram"]["cumulative"] == [1, 2, 3]
+        assert hist["histogram"]["count"] == 3
+        assert hist["histogram"]["sum"] == pytest.approx(2.55)
+
+    def test_empty_snapshot(self):
+        doc = json.loads(
+            snapshot_to_json(MetricsRegistry(enabled=False).snapshot())
+        )
+        assert doc == {"metrics": {}}

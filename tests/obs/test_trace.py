@@ -1,0 +1,154 @@
+"""Span/Tracer: lifecycle, thread-local propagation, exceptions,
+ring-buffer retention, slow-trace exemplars, disabled mode."""
+
+import threading
+
+import pytest
+
+from repro.obs import NOOP_SPAN, Span, Tracer, current_span
+from repro.obs.trace import NULL_TRACER
+
+
+class TestSpanLifecycle:
+    def test_root_becomes_current_and_restores(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.trace("root") as root:
+            assert current_span() is root
+            with root.child("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is root
+        assert current_span() is None
+
+    def test_tree_shape_and_attrs(self):
+        tracer = Tracer()
+        with tracer.trace("root", model="m") as root:
+            with root.child("a", dimension=0):
+                pass
+            with root.child("b") as b:
+                b.set("strategy", "factorized")
+                b.add("cache.hits", 3)
+                b.add("cache.hits", 2)
+        [finished] = tracer.recent()
+        assert finished is root
+        assert [c.name for c in finished.children] == ["a", "b"]
+        assert finished.attrs == {"model": "m"}
+        b = finished.find("b")
+        assert b.attrs["strategy"] == "factorized"
+        assert b.counts == {"cache.hits": 5.0}
+        assert finished.find("ghost") is None
+
+    def test_record_attaches_pre_measured_child(self):
+        tracer = Tracer()
+        with tracer.trace("root") as root:
+            root.record("queue.wait", 10.0, 10.25)
+        wait = tracer.recent()[0].find("queue.wait")
+        assert wait.start == 10.0
+        assert wait.duration_s == pytest.approx(0.25)
+
+    def test_durations_nest(self):
+        tracer = Tracer()
+        with tracer.trace("root") as root:
+            with root.child("inner"):
+                pass
+        finished = tracer.recent()[0]
+        inner = finished.children[0]
+        assert finished.end is not None and inner.end is not None
+        assert inner.start >= finished.start
+        assert inner.duration_s <= finished.duration_s
+
+    def test_exception_recorded_and_reraised(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError, match="boom"):
+            with tracer.trace("root") as root:
+                with root.child("inner"):
+                    raise ValueError("boom")
+        finished = tracer.recent()[0]
+        assert finished.attrs["error"] == "ValueError: boom"
+        assert finished.find("inner").attrs["error"] == "ValueError: boom"
+        # The thread-local was restored despite the raise.
+        assert current_span() is None
+
+    def test_to_dict_round_trips_structure(self):
+        tracer = Tracer()
+        with tracer.trace("root", rows=8) as root:
+            with root.child("inner") as inner:
+                inner.add("pages.read", 2)
+        data = tracer.to_dicts()[0]
+        assert data["name"] == "root"
+        assert data["attrs"] == {"rows": 8}
+        assert data["children"][0]["counts"] == {"pages.read": 2.0}
+        assert data["duration_s"] >= 0
+
+
+class TestPropagation:
+    def test_thread_local_isolation(self):
+        tracer = Tracer()
+        seen = {}
+
+        def other_thread():
+            seen["span"] = current_span()
+
+        with tracer.trace("root"):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["span"] is None
+
+
+class TestRetention:
+    def test_recent_ring_is_bounded(self):
+        tracer = Tracer(capacity=3)
+        for i in range(10):
+            with tracer.trace(f"r{i}"):
+                pass
+        assert [s.name for s in tracer.recent()] == ["r7", "r8", "r9"]
+        assert tracer.finished == 10
+
+    def test_slow_exemplars_survive_ring_churn(self):
+        tracer = Tracer(capacity=2, slow_threshold_s=0.5, slow_capacity=4)
+        with tracer.trace("slow") as span:
+            span.start -= 1.0     # backdate: 1s duration, over threshold
+        for i in range(5):
+            with tracer.trace(f"fast{i}"):
+                pass
+        assert "slow" not in [s.name for s in tracer.recent()]
+        assert [s.name for s in tracer.slow_traces()] == ["slow"]
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError, match="capacities"):
+            Tracer(capacity=0)
+
+
+class TestDisabled:
+    def test_disabled_tracer_returns_shared_noop(self):
+        assert NULL_TRACER.trace("x") is NOOP_SPAN
+        with NULL_TRACER.trace("x") as span:
+            assert span is NOOP_SPAN
+            # current_span stays None: deep layers keep their no-op path.
+            assert current_span() is None
+            assert span.child("y") is NOOP_SPAN
+            span.add("k")
+            span.set("k", 1)
+            span.record("k", 0.0, 1.0)
+        assert NULL_TRACER.recent() == []
+        assert NULL_TRACER.finished == 0
+
+    def test_noop_span_exports_empty(self):
+        assert NOOP_SPAN.to_dict() == {}
+        assert NOOP_SPAN.find("x") is None
+        assert NOOP_SPAN.duration_s == 0.0
+
+    def test_noop_span_does_not_swallow(self):
+        with pytest.raises(RuntimeError):
+            with NULL_TRACER.trace("x"):
+                raise RuntimeError("through")
+
+
+class TestStandaloneSpan:
+    def test_span_without_tracer_still_nests(self):
+        with Span("root") as root:
+            with root.child("inner"):
+                pass
+        assert root.end is not None
+        assert current_span() is None

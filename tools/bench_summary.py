@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Fold one benchmark run into the checked-in BENCH_*.json histories.
+
+The nightly bench job (``.github/workflows/nightly-bench.yml``) runs
+the suite at the ``tiny`` preset, which drops machine-readable result
+files into ``benchmarks/results/`` (``serving_throughput.json``,
+``memory_pressure.json``).  This script appends those raw runs to two
+stable-schema history files at the repo root:
+
+* ``BENCH_serving.json`` — serving throughput per tuple ratio;
+* ``BENCH_memory.json``  — budgeted-serving residency and wall time.
+
+Each history keeps the raw per-run records (most recent last, capped
+at ``--keep``) plus a ``summary`` block of medians over the retained
+runs, so a dashboard — or a reviewer diffing the PR — reads one number
+per metric without re-deriving statistics.  The schema is versioned;
+consumers should refuse ``schema_version`` values they do not know.
+
+Usage (what the nightly job runs)::
+
+    python tools/bench_summary.py
+    python tools/bench_summary.py --results-dir benchmarks/results \
+        --out-dir . --keep 30
+
+Idempotency: a run is identified by its ``generated_at`` stamp; re-
+summarizing the same results directory twice appends nothing new.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from statistics import median
+
+SCHEMA_VERSION = 1
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(path: Path):
+    if not path.exists():
+        return None
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def _fresh_history(name: str) -> dict:
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "bench": name,
+        "runs": [],
+        "summary": {},
+    }
+
+
+def _append_run(history: dict, run: dict, keep: int) -> bool:
+    """Append ``run`` unless its stamp is already recorded."""
+    stamps = {r.get("generated_at") for r in history["runs"]}
+    if run.get("generated_at") in stamps:
+        return False
+    history["runs"].append(run)
+    history["runs"] = history["runs"][-keep:]
+    return True
+
+
+def _median_over(runs, pick) -> dict:
+    """Median of every numeric leaf ``pick`` extracts from each run."""
+    rows = [pick(run) for run in runs]
+    keys = sorted({k for row in rows for k in row})
+    return {
+        key: round(median(row[key] for row in rows if key in row), 6)
+        for key in keys
+    }
+
+
+def summarize_serving(history: dict) -> None:
+    """Per tuple ratio: median wall seconds per arm over kept runs."""
+
+    def flatten(run):
+        flat = {}
+        for row in run.get("rows", []):
+            rr = row["rr"]
+            for field in (
+                "gmm_m_s", "gmm_f_s", "nn_m_s", "nn_f_s", "nn_f_warm_s"
+            ):
+                flat[f"rr{rr}.{field}"] = float(row[field])
+        return flat
+
+    history["summary"] = {
+        "runs": len(history["runs"]),
+        "median": _median_over(history["runs"], flatten),
+    }
+
+
+def summarize_memory(history: dict) -> None:
+    """Median residency/eviction/wall metrics per arm over kept runs."""
+
+    def flatten(run):
+        flat = {}
+        for arm_name, arm in run.get("arms", {}).items():
+            for field in (
+                "peak_bytes", "bytes", "cross_evictions",
+                "hit_rate", "seconds",
+            ):
+                if field in arm:
+                    flat[f"{arm_name}.{field}"] = float(arm[field])
+        return flat
+
+    history["summary"] = {
+        "runs": len(history["runs"]),
+        "median": _median_over(history["runs"], flatten),
+    }
+
+
+BENCHES = (
+    # (raw results file, history file, summarizer)
+    ("serving_throughput.json", "BENCH_serving.json", summarize_serving),
+    ("memory_pressure.json", "BENCH_memory.json", summarize_memory),
+)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Append benchmark results to BENCH_*.json histories"
+    )
+    parser.add_argument(
+        "--results-dir", type=Path,
+        default=REPO_ROOT / "benchmarks" / "results",
+        help="where the bench suite wrote its machine-readable results",
+    )
+    parser.add_argument(
+        "--out-dir", type=Path, default=REPO_ROOT,
+        help="where the BENCH_*.json histories live (default: repo root)",
+    )
+    parser.add_argument(
+        "--keep", type=int, default=30,
+        help="retain at most this many raw runs per history",
+    )
+    args = parser.parse_args(argv)
+
+    changed = 0
+    for raw_name, history_name, summarize in BENCHES:
+        raw = _load(args.results_dir / raw_name)
+        if raw is None:
+            print(f"bench_summary: no {raw_name}; skipping", file=sys.stderr)
+            continue
+        history_path = args.out_dir / history_name
+        history = _load(history_path) or _fresh_history(raw.get("bench", ""))
+        if history.get("schema_version") != SCHEMA_VERSION:
+            print(
+                f"bench_summary: {history_name} has schema_version "
+                f"{history.get('schema_version')!r}, expected "
+                f"{SCHEMA_VERSION}; refusing to rewrite it",
+                file=sys.stderr,
+            )
+            return 1
+        appended = _append_run(history, raw, args.keep)
+        summarize(history)
+        with open(history_path, "w") as handle:
+            json.dump(history, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        state = "appended" if appended else "already recorded"
+        print(
+            f"bench_summary: {history_name}: {state}, "
+            f"{len(history['runs'])} run(s) retained"
+        )
+        changed += int(appended)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
