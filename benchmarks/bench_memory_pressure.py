@@ -21,7 +21,6 @@ outputs and cross-cache evictions observed; cold-read
 ``inflight_peak`` > 1 where the serialized control shows exactly 1.
 """
 
-import json
 import sys
 import threading
 import time
@@ -29,6 +28,7 @@ import warnings
 
 import numpy as np
 
+from _payload import write_payload
 from repro.bench.experiments import active_scale
 from repro.core.api import fit_nn
 from repro.data.synthetic import StarSchemaConfig, generate_star
@@ -216,31 +216,25 @@ def test_memory_pressure_budget(benchmark, results_dir):
         handle.write(text + "\n")
     # Machine-readable twin: tools/bench_summary.py folds this into the
     # checked-in BENCH_memory.json history.
-    payload = {
-        "bench": "memory_pressure",
-        "generated_at": time.time(),
-        "params": {
+    write_payload(
+        results_dir,
+        "memory_pressure",
+        {
             "scale": result["scale"], "n_s": result["n_s"],
             "n_r": result["n_r"], "n_h": N_H,
             "budget_bytes": result["budget"],
         },
-        "arms": {
-            name: {
-                k: (v.item() if hasattr(v, "item") else v)
-                for k, v in arm.items()
-                if k != "outputs"
-            }
-            for name, arm in (
-                ("unbounded", unbounded), ("governed", governed),
-            )
+        {
+            "arms": {
+                name: {
+                    k: v for k, v in arm.items() if k != "outputs"
+                }
+                for name, arm in (
+                    ("unbounded", unbounded), ("governed", governed),
+                )
+            },
         },
-    }
-    with open(results_dir / "memory_pressure.json", "w") as handle:
-        json.dump(
-            payload, handle, indent=2, sort_keys=True,
-            default=lambda value: value.item(),
-        )
-        handle.write("\n")
+    )
 
 
 def test_concurrent_cold_reads(benchmark, results_dir, tmp_path):

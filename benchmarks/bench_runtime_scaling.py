@@ -23,6 +23,7 @@ import warnings
 
 import numpy as np
 
+from _payload import write_payload
 from repro.core.api import fit_nn, serve, serve_runtime
 from repro.data.synthetic import StarSchemaConfig, generate_star
 from repro.storage.catalog import Database
@@ -188,6 +189,22 @@ def test_runtime_scaling(benchmark, results_dir):
     sys.__stdout__.write("\n" + text + "\n")
     with open(results_dir / "runtime_scaling.txt", "w") as handle:
         handle.write(text + "\n")
+    # Machine-readable twin: tools/bench_summary.py folds this into
+    # the checked-in BENCH_runtime.json history.
+    write_payload(
+        results_dir,
+        "runtime_scaling",
+        {
+            "n_s": SCALE["n_s"], "n_r": SCALE["n_r"], "d_s": D_S,
+            "d_r": D_R, "n_h": SCALE["n_h"],
+            "request_rows": SCALE["request_rows"],
+            "clients": SCALE["clients"], "cpus": os.cpu_count(),
+        },
+        {
+            "baseline_rows_per_sec": results["baseline_rows_per_sec"],
+            "configs": results["configs"],
+        },
+    )
 
 
 if __name__ == "__main__":

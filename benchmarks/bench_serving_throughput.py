@@ -8,11 +8,11 @@ path multiplies strictly less whenever ``rr ≥ 10`` (the acceptance
 regime; the model puts the actual break-even at ``rr ≈ 1``).
 """
 
-import json
 import sys
 import time
 import warnings
 
+from _payload import write_payload
 from repro.core.api import fit_gmm, fit_nn, serve
 from repro.data.synthetic import StarSchemaConfig, generate_star
 from repro.serve.cost_model import (
@@ -140,17 +140,9 @@ def test_serving_throughput(benchmark, results_dir):
         handle.write(text + "\n")
     # Machine-readable twin of the table: tools/bench_summary.py folds
     # this into the checked-in BENCH_serving.json history.
-    payload = {
-        "bench": "serving_throughput",
-        "generated_at": time.time(),
-        "params": {
-            "n_s": N_S, "d_s": D_S, "d_r": D_R, "k": K, "n_h": N_H,
-        },
-        "rows": rows,
-    }
-    with open(results_dir / "serving_throughput.json", "w") as handle:
-        json.dump(
-            payload, handle, indent=2, sort_keys=True,
-            default=lambda value: value.item(),
-        )
-        handle.write("\n")
+    write_payload(
+        results_dir,
+        "serving_throughput",
+        {"n_s": N_S, "d_s": D_S, "d_r": D_R, "k": K, "n_h": N_H},
+        {"rows": rows},
+    )

@@ -17,6 +17,7 @@ import warnings
 
 import numpy as np
 
+from _payload import write_payload
 from repro.bench.experiments import active_scale
 from repro.core.api import fit_nn
 from repro.data.synthetic import StarSchemaConfig, generate_star
@@ -133,3 +134,21 @@ def test_shared_cache_footprint(benchmark, results_dir):
     sys.__stdout__.write("\n" + text + "\n")
     with open(results_dir / "shared_cache.txt", "w") as handle:
         handle.write(text + "\n")
+    # Machine-readable twin: tools/bench_summary.py folds this into
+    # the checked-in BENCH_cache.json history.
+    write_payload(
+        results_dir,
+        "shared_cache",
+        {
+            "scale": result["scale"], "n_s": result["n_s"],
+            "n_r": result["n_r"], "d_s": D_S, "d_r": D_R, "n_h": N_H,
+        },
+        {
+            "arms": {
+                name: {k: v for k, v in arm.items() if k != "outputs"}
+                for name, arm in (
+                    ("unshared", unshared), ("shared", shared),
+                )
+            },
+        },
+    )

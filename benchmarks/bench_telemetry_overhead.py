@@ -21,6 +21,7 @@ import warnings
 
 import numpy as np
 
+from _payload import write_payload
 from repro.bench.experiments import active_scale
 from repro.core.api import fit_nn, serve_runtime
 from repro.data.synthetic import StarSchemaConfig, generate_star
@@ -126,3 +127,15 @@ def test_telemetry_overhead(benchmark, results_dir):
     sys.__stdout__.write("\n" + text + "\n")
     with open(results_dir / "telemetry_overhead.txt", "w") as handle:
         handle.write(text + "\n")
+    # Machine-readable twin: tools/bench_summary.py folds this into
+    # the checked-in BENCH_overhead.json history.
+    write_payload(
+        results_dir,
+        "telemetry_overhead",
+        {"scale": result["scale"], "n_s": result["n_s"],
+         "n_r": result["n_r"], "n_h": N_H, "rounds": ROUNDS,
+         "requests_per_round": REQUESTS_PER_ROUND,
+         "request_rows": REQUEST_ROWS},
+        {"off_s": result["off_s"], "on_s": result["on_s"],
+         "ratio": ratio},
+    )

@@ -164,6 +164,10 @@ class PartialStore:
         self.admission = admission
         self.shared = shared
         self.capacity_floats = capacity_floats
+        # Armed once a budget has ever been in force: caches created on
+        # an armed store carry the recency clock + governor hook, so
+        # set_budget() can tighten/loosen/re-impose bounds mid-flight.
+        self._armed = capacity_floats is not None
         self._entries: dict[str, _Entry] = {}
         self._key_of_cache: dict[int, str] = {}
         self._serial = 0
@@ -225,7 +229,7 @@ class PartialStore:
             else:
                 self._serial += 1
                 key = f"{fingerprint}#{self._serial}"
-            governed = self.capacity_floats is not None
+            governed = self._armed
             cache = ShardedPartialCache(
                 self.num_shards,
                 capacity,
@@ -324,6 +328,47 @@ class PartialStore:
                 else:
                     break  # every candidate raced away; converge later
         return evicted
+
+    def set_budget(self, capacity_floats: int | None) -> int:
+        """Re-bound the store-wide budget mid-flight; returns evictions.
+
+        Tightening the budget immediately sweeps the globally coldest
+        unpinned rows down to the new bound (one
+        :meth:`enforce_budget` pass); loosening (or ``None`` =
+        unbounded) just stops future sweeps.  This is the mechanism
+        behind adaptation scenarios — a deployment whose memory
+        allotment is cut mid-run must degrade by eviction, not by
+        failure.
+
+        A store created *without* a budget hands out ungoverned caches
+        (no recency clock, no governor hook), so a budget can only be
+        imposed later while no caches are live; doing otherwise would
+        install a bound the existing caches never feed, which is
+        exactly the silent-limit lie :meth:`acquire` refuses to tell.
+        """
+        if capacity_floats is not None and capacity_floats <= 0:
+            raise ModelError(
+                f"store capacity_floats must be positive or None, "
+                f"got {capacity_floats}"
+            )
+        with self._lock:
+            if (
+                capacity_floats is not None
+                and not self._armed
+                and self._entries
+            ):
+                raise ModelError(
+                    "cannot impose a budget on a store whose caches "
+                    "were created ungoverned; create the store with "
+                    "capacity_floats (any bound) to arm the governor, "
+                    "then set_budget() adjusts it mid-flight"
+                )
+            if capacity_floats is not None:
+                self._armed = True
+            self.capacity_floats = capacity_floats
+        if capacity_floats is None:
+            return 0
+        return self.enforce_budget()
 
     @property
     def floats_resident(self) -> int:

@@ -70,9 +70,23 @@ class Telemetry:
         """The current snapshot in Prometheus text exposition format."""
         return prometheus_text(self.snapshot())
 
+    def span_aggregates(self) -> dict[str, dict[str, float]]:
+        """Per-span-name latency aggregates (count / sum / p50 / p95)
+        over every finished trace — see
+        :meth:`~repro.obs.trace.Tracer.span_aggregates`."""
+        return self.tracer.span_aggregates()
+
     def to_json(self, indent: int | None = None) -> str:
-        """The current snapshot as a JSON document."""
-        return snapshot_to_json(self.snapshot(), indent=indent)
+        """The current snapshot as a JSON document.
+
+        Includes a top-level ``"spans"`` section with the same
+        per-span-name aggregates :meth:`span_aggregates` returns, so
+        the HTTP ``/snapshot.json`` endpoint and in-process consumers
+        (the scenario harness) report identical numbers.
+        """
+        return snapshot_to_json(
+            self.snapshot(), indent=indent, spans=self.span_aggregates()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"

@@ -105,12 +105,20 @@ def prometheus_text(snapshot: MetricsSnapshot) -> str:
     return "\n".join(lines) + "\n"
 
 
-def snapshot_to_json(snapshot: MetricsSnapshot, indent: int | None = None) -> str:
+def snapshot_to_json(
+    snapshot: MetricsSnapshot,
+    indent: int | None = None,
+    spans: dict | None = None,
+) -> str:
     """Render a snapshot as a JSON document.
 
     Schema: ``{"metrics": {name: [{labels, value | histogram}, ...]}}``
     — one entry per family, one element per label combination, with
-    histograms expanded to buckets/counts/sum/count.
+    histograms expanded to buckets/counts/sum/count.  ``spans``
+    (per-span-name latency aggregates from
+    :meth:`~repro.obs.trace.Tracer.span_aggregates`) is added as a
+    top-level ``"spans"`` key when given, so ``/snapshot.json`` reports
+    the same span numbers the scenario harness asserts on.
     """
     metrics: dict[str, list] = {}
     for sample in snapshot.samples:
@@ -128,7 +136,10 @@ def snapshot_to_json(snapshot: MetricsSnapshot, indent: int | None = None) -> st
         else:
             entry["value"] = sample.value
         metrics.setdefault(sample.name, []).append(entry)
-    return json.dumps({"metrics": metrics}, indent=indent, sort_keys=True)
+    document: dict = {"metrics": metrics}
+    if spans is not None:
+        document["spans"] = spans
+    return json.dumps(document, indent=indent, sort_keys=True)
 
 
 def parse_prometheus_text(text: str) -> dict:

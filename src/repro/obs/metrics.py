@@ -39,6 +39,7 @@ and one no-op call per event.
 
 from __future__ import annotations
 
+import math
 import threading
 import weakref
 from dataclasses import dataclass, field
@@ -82,6 +83,57 @@ class HistogramValue:
             running += n
             out.append(running)
         return tuple(out)
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Linear interpolation inside the containing bucket (the first
+        bucket's lower edge is 0), matching PromQL's
+        ``histogram_quantile``: observations landing in the +Inf
+        bucket clamp to the highest finite bound, and an empty
+        histogram returns ``nan`` — callers asserting on a quantile
+        should check :attr:`count` first.
+        """
+        if not 0.0 < q < 1.0:
+            raise ModelError(f"quantile q must be in (0, 1), got {q}")
+        if self.count == 0:
+            return math.nan
+        target = q * self.count
+        running = 0
+        lower = 0.0
+        for bound, n in zip(self.buckets, self.counts):
+            if running + n >= target and n > 0:
+                fraction = (target - running) / n
+                return lower + (bound - lower) * fraction
+            running += n
+            lower = bound
+        # Target falls in the implicit +Inf bucket: clamp, as PromQL
+        # does — there is no upper edge to interpolate toward.
+        return self.buckets[-1]
+
+    def delta(self, earlier: "HistogramValue") -> "HistogramValue":
+        """This cut minus an ``earlier`` cut of the same histogram."""
+        if earlier.buckets != self.buckets:
+            raise ModelError(
+                "histogram delta requires identical bucket ladders, "
+                f"got {earlier.buckets} vs {self.buckets}"
+            )
+        counts = tuple(
+            now - before
+            for now, before in zip(self.counts, earlier.counts)
+        )
+        count = self.count - earlier.count
+        if count < 0 or any(n < 0 for n in counts):
+            raise ModelError(
+                "histogram delta went negative; the 'earlier' snapshot "
+                "is newer than this one (or from another registry)"
+            )
+        return HistogramValue(
+            buckets=self.buckets,
+            counts=counts,
+            sum=self.sum - earlier.sum,
+            count=count,
+        )
 
 
 @dataclass(frozen=True)
@@ -132,6 +184,61 @@ class MetricsSnapshot:
     def family(self, name: str) -> list[Sample]:
         """Every sample of one family (all label combinations)."""
         return [s for s in self.samples if s.name == name]
+
+    def delta(self, earlier: "MetricsSnapshot") -> "MetricsSnapshot":
+        """The window between two cuts: this snapshot minus ``earlier``.
+
+        Phase-windowed assertions (``repro.scenarios``) subtract two
+        snapshots in one call instead of hand-subtracting every
+        counter:
+
+        * **counters** subtract (a series absent from ``earlier`` —
+          e.g. a cache registered mid-window — keeps its full value);
+          a negative difference raises
+          :class:`~repro.errors.ModelError`, because it means the
+          arguments are swapped or the series reset between cuts;
+        * **histograms** subtract bucket-wise (same rules), so
+          :meth:`HistogramValue.quantile` over the delta is the
+          quantile of *this window's* observations only;
+        * **gauges** keep this snapshot's value — a gauge describes an
+          instant, not a window, so the window "ends at" the later
+          reading;
+        * series present only in ``earlier`` (a component dropped
+          mid-window) are omitted.
+        """
+        earlier_by = {
+            (s.name, s.labels): s for s in earlier.samples
+        }
+        out: list[Sample] = []
+        for sample in self.samples:
+            previous = earlier_by.get((sample.name, sample.labels))
+            if previous is None or sample.kind == GAUGE:
+                out.append(sample)
+                continue
+            if sample.kind == HISTOGRAM:
+                value: float | HistogramValue = sample.value.delta(
+                    previous.value
+                )
+            else:
+                diff = sample.value - previous.value
+                # Floats accumulated per event (busy seconds) can land
+                # an ulp below zero across cuts; real monotonicity
+                # violations are far larger.
+                if diff < -1e-9:
+                    raise ModelError(
+                        f"counter {sample.name!r}{dict(sample.labels)!r} "
+                        f"decreased by {-diff} between snapshots; "
+                        "'earlier' must be an older cut of the same "
+                        "registry"
+                    )
+                value = max(diff, 0.0)
+            out.append(
+                Sample(
+                    sample.name, sample.kind, sample.labels, value,
+                    sample.help,
+                )
+            )
+        return MetricsSnapshot(samples=tuple(out))
 
     @property
     def names(self) -> list[str]:

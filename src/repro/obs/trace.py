@@ -196,13 +196,50 @@ class _NoopSpan:
 NOOP_SPAN = _NoopSpan()
 
 
+class _SpanAggregate:
+    """Latency bookkeeping for one span name.
+
+    ``count``/``sum`` are cumulative over the tracer's lifetime (they
+    survive ring churn); quantiles come from a bounded reservoir of
+    the most recent durations, so ``p50``/``p95`` describe recent
+    behaviour without unbounded memory.
+    """
+
+    __slots__ = ("count", "sum", "recent")
+
+    def __init__(self, window: int) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.recent: deque[float] = deque(maxlen=window)
+
+    def add(self, duration_s: float) -> None:
+        self.count += 1
+        self.sum += duration_s
+        self.recent.append(duration_s)
+
+    def percentile(self, q: float) -> float:
+        """Nearest-rank percentile over the retained durations."""
+        ordered = sorted(self.recent)
+        index = max(0, min(len(ordered) - 1, int(q * len(ordered))))
+        return ordered[index]
+
+
 class Tracer:
     """Owns the ring buffers of finished traces.
 
     ``capacity`` bounds the recent-trace ring; roots slower than
     ``slow_threshold_s`` are additionally kept in a ``slow_capacity``
     ring so exemplars of pathological requests survive ring churn.
+
+    Every finished root also folds its whole tree into per-span-name
+    latency aggregates (:meth:`span_aggregates`): cumulative
+    count/sum plus p50/p95 over a bounded reservoir of the most
+    recent ``aggregate_window`` durations per name.  The scenario
+    harness asserts on these, and ``/snapshot.json`` exposes the same
+    numbers, so harness and scrape endpoint can never disagree.
     """
+
+    AGGREGATE_WINDOW = 512
 
     def __init__(
         self,
@@ -219,6 +256,7 @@ class Tracer:
         self._recent: deque[Span] = deque(maxlen=capacity)
         self._slow: deque[Span] = deque(maxlen=slow_capacity)
         self._finished = 0
+        self._aggregates: dict[str, _SpanAggregate] = {}
 
     def trace(self, name: str, **attrs) -> Span | _NoopSpan:
         """Open a root span (context manager).  No-op when disabled."""
@@ -232,6 +270,36 @@ class Tracer:
             self._recent.append(root)
             if root.duration_s >= self.slow_threshold_s:
                 self._slow.append(root)
+            self._fold(root)
+
+    def _fold(self, span: Span) -> None:
+        """Fold one finished subtree into the per-name aggregates."""
+        aggregate = self._aggregates.get(span.name)
+        if aggregate is None:
+            aggregate = _SpanAggregate(self.AGGREGATE_WINDOW)
+            self._aggregates[span.name] = aggregate
+        aggregate.add(span.duration_s)
+        for child in span.children:
+            self._fold(child)
+
+    def span_aggregates(self) -> dict[str, dict[str, float]]:
+        """Per-span-name latency aggregates over finished traces.
+
+        ``{name: {count, sum_s, p50_s, p95_s}}`` — ``count``/``sum_s``
+        are cumulative; the quantiles cover the most recent
+        ``AGGREGATE_WINDOW`` durations of that name.  Names are sorted
+        so the rendering is deterministic.
+        """
+        with self._lock:
+            return {
+                name: {
+                    "count": aggregate.count,
+                    "sum_s": aggregate.sum,
+                    "p50_s": aggregate.percentile(0.50),
+                    "p95_s": aggregate.percentile(0.95),
+                }
+                for name, aggregate in sorted(self._aggregates.items())
+            }
 
     def recent(self) -> list[Span]:
         """The most recent finished roots, oldest first."""

@@ -825,6 +825,32 @@ class ServingRuntime:
             return registered.factorized
         return registered.materialized
 
+    # -- adaptation ----------------------------------------------------------
+
+    def set_memory_budget(self, memory_budget: int | None) -> int:
+        """Re-bound the store-wide partial budget mid-flight.
+
+        ``memory_budget`` is bytes across every registered model (like
+        the constructor knob); ``None`` lifts the bound.  Tightening
+        sweeps the globally coldest unpinned partials immediately and
+        returns the number of rows evicted — this is how adaptation
+        scenarios model a deployment whose memory allotment is cut
+        while traffic is in flight.  The runtime must have been
+        created with a ``memory_budget`` (an armed governor); see
+        :meth:`~repro.fx.store.PartialStore.set_budget`.  The frozen
+        ``config.memory_budget`` keeps its construction-time value;
+        the live bound is ``store.stats().capacity_floats``.
+        """
+        if memory_budget is not None and memory_budget <= 0:
+            raise ModelError(
+                f"memory_budget must be positive bytes or None, "
+                f"got {memory_budget}"
+            )
+        floats = (
+            None if memory_budget is None else max(1, memory_budget // 8)
+        )
+        return self.store.set_budget(floats)
+
     # -- invalidation --------------------------------------------------------
 
     def _on_row_version(self, event: RowVersionEvent) -> None:

@@ -1,0 +1,64 @@
+"""Telemetry-verified scenario harness.
+
+Declarative JSON scenarios (:mod:`repro.scenarios.spec`) describe a
+serving workload — schema shape, model, runtime knobs, phased traffic
+with mid-flight adaptations — and the telemetry assertions
+(:mod:`repro.scenarios.assertions`) that turn a run into a *verified*
+behavioural claim.  The runner (:mod:`repro.scenarios.runner`)
+executes each scenario for N hermetic trials and reports per-metric
+medians with confidence intervals.  Authoring guide:
+``docs/scenarios.md``; the checked-in scenario suite lives in
+``benchmarks/scenarios/``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.assertions import (
+    AssertionResult,
+    AssertionSpec,
+    WindowContext,
+    evaluate_all,
+    evaluate_assertion,
+    parse_assertions,
+)
+from repro.scenarios.runner import (
+    PhaseResult,
+    ScenarioResult,
+    ScenarioRunner,
+    TrialResult,
+    check_result,
+    run_scenario,
+    summarize_trials,
+)
+from repro.scenarios.spec import (
+    ModelSpec,
+    PhaseSpec,
+    RuntimeSpec,
+    ScenarioSpec,
+    WorkloadSpec,
+    load_scenario,
+    load_scenarios,
+)
+
+__all__ = [
+    "AssertionResult",
+    "AssertionSpec",
+    "ModelSpec",
+    "PhaseResult",
+    "PhaseSpec",
+    "RuntimeSpec",
+    "ScenarioResult",
+    "ScenarioRunner",
+    "ScenarioSpec",
+    "TrialResult",
+    "WindowContext",
+    "WorkloadSpec",
+    "check_result",
+    "evaluate_all",
+    "evaluate_assertion",
+    "load_scenario",
+    "load_scenarios",
+    "parse_assertions",
+    "run_scenario",
+    "summarize_trials",
+]

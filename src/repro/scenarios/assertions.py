@@ -1,0 +1,412 @@
+"""The scenario assertion catalog.
+
+An assertion is a declarative predicate over one *verification
+window* — the :meth:`~repro.obs.metrics.MetricsSnapshot.delta` between
+the telemetry cuts taken at the window's boundaries, plus (for
+scenario-scoped assertions) the tracer's per-span-name aggregates and
+the runner's output-exactness comparison.  Asserting on windowed
+telemetry instead of end-to-end wall time is the whole point of the
+harness: "the cache hit rate stayed above 60% *during the skew-flip
+phase*" is a claim a wall clock cannot make.
+
+Catalog (``kind`` → required fields):
+
+========================  ==================================================
+``counter_max``           ``metric``, ``max`` [, ``labels``]
+``counter_min``           ``metric``, ``min`` [, ``labels``]
+``gauge_max``             ``metric``, ``max`` [, ``labels``]
+``gauge_min``             ``metric``, ``min`` [, ``labels``]
+``hit_rate_min``          ``min`` [, ``labels``]
+``quantile_max``          ``metric``, ``q``, ``max_s`` [, ``labels``]
+``dedup_ratio_band``      ``min``, ``max`` [, ``labels``]
+``span_p95_max``          ``span``, ``max_s``        (scenario scope only)
+``span_count_min``        ``span``, ``min``          (scenario scope only)
+``outputs_bit_exact``     —
+``outputs_close``         [``rtol``, ``atol``]
+========================  ==================================================
+
+Counter kinds sum every sample of the family whose labels are a
+superset of ``labels`` (omit ``labels`` to sum the whole family);
+gauge kinds read the window-end value the same way (summing gauges
+across label combinations).  A referenced metric family with no
+matching samples *fails* the assertion rather than defaulting to zero
+— a typo'd metric name must not pass silently.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.obs.metrics import (
+    COUNTER,
+    GAUGE,
+    HISTOGRAM,
+    HistogramValue,
+    MetricsSnapshot,
+)
+
+SCENARIO_SCOPE = "scenario"
+
+
+@dataclass(frozen=True)
+class AssertionSpec:
+    """One validated assertion from a scenario document."""
+
+    kind: str
+    params: dict = field(default_factory=dict)
+    labels: tuple[tuple[str, str], ...] = ()
+    scope_required: str | None = None   # None = valid in either scope
+
+    def describe(self) -> str:
+        labels = f"{dict(self.labels)}" if self.labels else ""
+        params = ", ".join(
+            f"{key}={value}" for key, value in sorted(self.params.items())
+        )
+        return f"{self.kind}({params}){labels}"
+
+
+@dataclass(frozen=True)
+class AssertionResult:
+    """The outcome of one assertion over one window."""
+
+    assertion: AssertionSpec
+    window: str                 # phase name or "scenario"
+    passed: bool
+    observed: float | None
+    detail: str
+
+    def describe(self) -> str:
+        state = "PASS" if self.passed else "FAIL"
+        return (
+            f"[{state}] {self.window}: {self.assertion.describe()} — "
+            f"{self.detail}"
+        )
+
+
+@dataclass
+class WindowContext:
+    """Everything one verification window exposes to assertions."""
+
+    name: str
+    delta: MetricsSnapshot
+    span_aggregates: dict[str, dict[str, float]] | None = None
+    outputs: np.ndarray | None = None       # runtime outputs, stacked
+    expected: np.ndarray | None = None      # reference outputs, stacked
+
+
+_FIELD_SPECS: dict[str, dict] = {
+    "counter_max": {"required": {"metric", "max"}, "optional": {"labels"}},
+    "counter_min": {"required": {"metric", "min"}, "optional": {"labels"}},
+    "gauge_max": {"required": {"metric", "max"}, "optional": {"labels"}},
+    "gauge_min": {"required": {"metric", "min"}, "optional": {"labels"}},
+    "hit_rate_min": {"required": {"min"}, "optional": {"labels"}},
+    "quantile_max": {
+        "required": {"metric", "q", "max_s"}, "optional": {"labels"},
+    },
+    "dedup_ratio_band": {
+        "required": {"min", "max"}, "optional": {"labels"},
+    },
+    "span_p95_max": {
+        "required": {"span", "max_s"}, "optional": set(),
+        "scope": SCENARIO_SCOPE,
+    },
+    "span_count_min": {
+        "required": {"span", "min"}, "optional": set(),
+        "scope": SCENARIO_SCOPE,
+    },
+    "outputs_bit_exact": {"required": set(), "optional": set()},
+    "outputs_close": {"required": set(), "optional": {"rtol", "atol"}},
+}
+
+
+def parse_assertions(
+    raw_list, where: str, *, scope: str
+) -> tuple[AssertionSpec, ...]:
+    """Validate a scenario document's assertion list."""
+    if not isinstance(raw_list, list):
+        raise ModelError(f"{where} must be a list of assertion objects")
+    out = []
+    for index, raw in enumerate(raw_list):
+        out.append(_parse_one(raw, f"{where}[{index}]", scope))
+    return tuple(out)
+
+
+def _parse_one(raw, where: str, scope: str) -> AssertionSpec:
+    if not isinstance(raw, dict):
+        raise ModelError(f"{where} must be a mapping with a 'kind' key")
+    kind = raw.get("kind")
+    if kind not in _FIELD_SPECS:
+        raise ModelError(
+            f"{where}: unknown assertion kind {kind!r}; catalog: "
+            f"{sorted(_FIELD_SPECS)}"
+        )
+    fields = _FIELD_SPECS[kind]
+    allowed = {"kind"} | fields["required"] | fields["optional"]
+    unknown = sorted(set(raw) - allowed)
+    if unknown:
+        raise ModelError(
+            f"{where}: unknown field(s) {unknown} for kind {kind!r}; "
+            f"allowed: {sorted(allowed - {'kind'})}"
+        )
+    missing = sorted(fields["required"] - set(raw))
+    if missing:
+        raise ModelError(
+            f"{where}: kind {kind!r} requires field(s) {missing}"
+        )
+    required_scope = fields.get("scope")
+    if required_scope == SCENARIO_SCOPE and scope == "phase":
+        raise ModelError(
+            f"{where}: kind {kind!r} aggregates over the whole run and "
+            "is only valid in scenario-level assertions (span "
+            "quantile reservoirs cannot be windowed per phase; use "
+            "quantile_max over a histogram metric instead)"
+        )
+    labels_raw = raw.get("labels", {})
+    if not isinstance(labels_raw, dict) or not all(
+        isinstance(k, str) and isinstance(v, str)
+        for k, v in labels_raw.items()
+    ):
+        raise ModelError(
+            f"{where}.labels must map label names to string values"
+        )
+    params = {
+        key: value
+        for key, value in raw.items()
+        if key not in ("kind", "labels")
+    }
+    for key in ("max", "min", "max_s", "q", "rtol", "atol"):
+        if key in params and not isinstance(params[key], (int, float)):
+            raise ModelError(
+                f"{where}.{key} must be a number, got {params[key]!r}"
+            )
+    if "q" in params and not 0.0 < params["q"] < 1.0:
+        raise ModelError(
+            f"{where}.q must be in (0, 1), got {params['q']}"
+        )
+    if kind == "dedup_ratio_band" and params["min"] > params["max"]:
+        raise ModelError(
+            f"{where}: band min {params['min']} exceeds max "
+            f"{params['max']}"
+        )
+    if kind in ("span_p95_max", "span_count_min") and (
+        not isinstance(params["span"], str) or not params["span"]
+    ):
+        raise ModelError(f"{where}.span must be a non-empty span name")
+    if "metric" in params and (
+        not isinstance(params["metric"], str) or not params["metric"]
+    ):
+        raise ModelError(f"{where}.metric must be a metric family name")
+    return AssertionSpec(
+        kind=kind,
+        params=params,
+        labels=tuple(sorted(labels_raw.items())),
+        scope_required=(
+            SCENARIO_SCOPE if required_scope == SCENARIO_SCOPE else None
+        ),
+    )
+
+
+# -- evaluation ---------------------------------------------------------------
+
+
+def _matching(delta: MetricsSnapshot, metric: str, labels, kinds):
+    wanted = dict(labels)
+    matches = [
+        sample
+        for sample in delta.family(metric)
+        if sample.kind in kinds
+        and all(dict(sample.labels).get(k) == v for k, v in wanted.items())
+    ]
+    return matches
+
+
+def _sum_scalar(delta, metric, labels, kinds) -> float | None:
+    matches = _matching(delta, metric, labels, kinds)
+    if not matches:
+        return None
+    return float(sum(sample.value for sample in matches))
+
+
+def _merged_histogram(delta, metric, labels) -> HistogramValue | None:
+    matches = _matching(delta, metric, labels, (HISTOGRAM,))
+    if not matches:
+        return None
+    merged = matches[0].value
+    for sample in matches[1:]:
+        value = sample.value
+        if value.buckets != merged.buckets:
+            raise ModelError(
+                f"cannot merge {metric!r} cells with different bucket "
+                "ladders"
+            )
+        merged = HistogramValue(
+            buckets=merged.buckets,
+            counts=tuple(
+                a + b for a, b in zip(merged.counts, value.counts)
+            ),
+            sum=merged.sum + value.sum,
+            count=merged.count + value.count,
+        )
+    return merged
+
+
+def _absent(assertion, window_name, what) -> AssertionResult:
+    return AssertionResult(
+        assertion, window_name, False, None,
+        f"no samples for {what} in this window (typo, or the "
+        "instrumented component never ran)",
+    )
+
+
+def evaluate_assertion(
+    assertion: AssertionSpec, context: WindowContext
+) -> AssertionResult:
+    """Evaluate one assertion against one window."""
+    kind = assertion.kind
+    params = assertion.params
+    labels = assertion.labels
+    name = context.name
+
+    if kind in ("counter_max", "counter_min"):
+        observed = _sum_scalar(
+            context.delta, params["metric"], labels, (COUNTER,)
+        )
+        if observed is None:
+            return _absent(assertion, name, f"counter {params['metric']!r}")
+        if kind == "counter_max":
+            passed = observed <= params["max"]
+            detail = f"observed {observed:g}, bound <= {params['max']:g}"
+        else:
+            passed = observed >= params["min"]
+            detail = f"observed {observed:g}, bound >= {params['min']:g}"
+        return AssertionResult(assertion, name, passed, observed, detail)
+
+    if kind in ("gauge_max", "gauge_min"):
+        observed = _sum_scalar(
+            context.delta, params["metric"], labels, (GAUGE,)
+        )
+        if observed is None:
+            return _absent(assertion, name, f"gauge {params['metric']!r}")
+        if kind == "gauge_max":
+            passed = observed <= params["max"]
+            detail = f"window-end {observed:g}, bound <= {params['max']:g}"
+        else:
+            passed = observed >= params["min"]
+            detail = f"window-end {observed:g}, bound >= {params['min']:g}"
+        return AssertionResult(assertion, name, passed, observed, detail)
+
+    if kind == "hit_rate_min":
+        hits = _sum_scalar(
+            context.delta, "repro_cache_hits_total", labels, (COUNTER,)
+        )
+        misses = _sum_scalar(
+            context.delta, "repro_cache_misses_total", labels, (COUNTER,)
+        )
+        if hits is None or misses is None:
+            return _absent(assertion, name, "cache hit/miss counters")
+        lookups = hits + misses
+        if lookups == 0:
+            return AssertionResult(
+                assertion, name, False, None,
+                "no cache lookups in this window",
+            )
+        observed = hits / lookups
+        passed = observed >= params["min"]
+        return AssertionResult(
+            assertion, name, passed, observed,
+            f"hit rate {observed:.3f} over {lookups:g} lookups, "
+            f"bound >= {params['min']}",
+        )
+
+    if kind == "quantile_max":
+        histogram = _merged_histogram(
+            context.delta, params["metric"], labels
+        )
+        if histogram is None:
+            return _absent(
+                assertion, name, f"histogram {params['metric']!r}"
+            )
+        if histogram.count == 0:
+            return AssertionResult(
+                assertion, name, False, None,
+                f"histogram {params['metric']!r} has no observations "
+                "in this window",
+            )
+        observed = histogram.quantile(params["q"])
+        passed = not math.isnan(observed) and observed <= params["max_s"]
+        return AssertionResult(
+            assertion, name, passed, observed,
+            f"p{params['q'] * 100:g} = {observed:.6f}s over "
+            f"{histogram.count} observations, bound <= "
+            f"{params['max_s']}s",
+        )
+
+    if kind == "dedup_ratio_band":
+        observed = _sum_scalar(
+            context.delta, "repro_model_dedup_ratio", labels, (GAUGE,)
+        )
+        if observed is None:
+            return _absent(assertion, name, "repro_model_dedup_ratio")
+        passed = params["min"] <= observed <= params["max"]
+        return AssertionResult(
+            assertion, name, passed, observed,
+            f"dedup ratio {observed:.3f}, band "
+            f"[{params['min']}, {params['max']}]",
+        )
+
+    if kind in ("span_p95_max", "span_count_min"):
+        aggregates = context.span_aggregates or {}
+        aggregate = aggregates.get(params["span"])
+        if aggregate is None:
+            return _absent(assertion, name, f"span {params['span']!r}")
+        if kind == "span_p95_max":
+            observed = aggregate["p95_s"]
+            passed = observed <= params["max_s"]
+            detail = (
+                f"span p95 {observed:.6f}s over {aggregate['count']:g} "
+                f"spans, bound <= {params['max_s']}s"
+            )
+        else:
+            observed = aggregate["count"]
+            passed = observed >= params["min"]
+            detail = f"span count {observed:g}, bound >= {params['min']:g}"
+        return AssertionResult(assertion, name, passed, observed, detail)
+
+    if kind in ("outputs_bit_exact", "outputs_close"):
+        outputs, expected = context.outputs, context.expected
+        if outputs is None or expected is None:
+            return AssertionResult(
+                assertion, name, False, None,
+                "no reference outputs were computed for this window",
+            )
+        if kind == "outputs_bit_exact":
+            passed = bool(np.array_equal(outputs, expected))
+            detail = (
+                f"{outputs.shape[0]} outputs "
+                + ("bit-exact" if passed else "DIFFER")
+                + " vs the single-threaded reference"
+            )
+            return AssertionResult(assertion, name, passed, None, detail)
+        rtol = params.get("rtol", 1e-9)
+        atol = params.get("atol", 1e-9)
+        passed = bool(np.allclose(outputs, expected, rtol=rtol, atol=atol))
+        return AssertionResult(
+            assertion, name, passed, None,
+            f"{outputs.shape[0]} outputs "
+            + ("within" if passed else "OUTSIDE")
+            + f" rtol={rtol}/atol={atol} of the reference",
+        )
+
+    raise ModelError(f"unhandled assertion kind {kind!r}")  # pragma: no cover
+
+
+def evaluate_all(
+    assertions, context: WindowContext
+) -> list[AssertionResult]:
+    return [
+        evaluate_assertion(assertion, context) for assertion in assertions
+    ]

@@ -101,6 +101,60 @@ class TestRoundTrip:
         assert parsed["series"]["g"][(("tag", "a,b"),)] == 2.0
 
 
+class TestParserEdgeCases:
+    """Hand-written exposition text, not round-trips: the strict
+    parser must accept the awkward-but-legal corners of the format."""
+
+    def test_plus_inf_value_parses_to_float_inf(self):
+        parsed = parse_prometheus_text("x +Inf\n")
+        assert parsed["series"]["x"][()] == float("inf")
+
+    def test_inf_bucket_out_of_order_still_parses(self):
+        # Exposition order is not semantics: a scrape that lists the
+        # +Inf bucket first still yields every cell.
+        text = (
+            "# TYPE w_seconds histogram\n"
+            'w_seconds_bucket{le="+Inf"} 3\n'
+            'w_seconds_bucket{le="0.1"} 1\n'
+            'w_seconds_bucket{le="1"} 2\n'
+            "w_seconds_sum 1.5\n"
+            "w_seconds_count 3\n"
+        )
+        parsed = parse_prometheus_text(text)
+        buckets = parsed["series"]["w_seconds_bucket"]
+        assert buckets[(("le", "+Inf"),)] == 3.0
+        assert buckets[(("le", "0.1"),)] == 1.0
+        assert parsed["series"]["w_seconds_count"][()] == 3.0
+        assert parsed["types"]["w_seconds"] == "histogram"
+
+    def test_escaped_label_values_unescape(self):
+        text = 'g{tag="quo\\"te\\nline\\\\back"} 1\n'
+        parsed = parse_prometheus_text(text)
+        [(labels, value)] = parsed["series"]["g"].items()
+        assert dict(labels)["tag"] == 'quo"te\nline\\back'
+        assert value == 1.0
+
+    def test_type_header_without_samples_is_an_empty_family(self):
+        # A family can be declared but never observed (e.g. a counter
+        # registered on a path that never ran): the type survives, no
+        # series appears, and nothing raises.
+        parsed = parse_prometheus_text("# TYPE quiet_total counter\n")
+        assert parsed["types"]["quiet_total"] == "counter"
+        assert "quiet_total" not in parsed["series"]
+
+    def test_empty_text_is_empty_families(self):
+        assert parse_prometheus_text("") == {"series": {}, "types": {}}
+        assert parse_prometheus_text("\n\n") == {"series": {}, "types": {}}
+
+    def test_help_lines_are_skipped_not_parsed(self):
+        text = "# HELP x helpful words { not labels }\nx 1\n"
+        assert parse_prometheus_text(text)["series"]["x"][()] == 1.0
+
+    def test_unquoted_label_value_rejected(self):
+        with pytest.raises(ValueError, match="label"):
+            parse_prometheus_text("x{a=1} 3\n")
+
+
 class TestJson:
     def test_schema(self):
         doc = json.loads(snapshot_to_json(populated_registry().snapshot()))

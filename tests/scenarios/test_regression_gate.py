@@ -1,0 +1,239 @@
+"""tools/regression_gate.py: direction inference, tolerances, floors,
+history guards — driven through main() exactly as the nightly job runs
+it."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+sys.path.insert(0, str(REPO_ROOT / "tools"))
+
+import bench_summary  # noqa: E402
+import regression_gate  # noqa: E402
+from regression_gate import direction, parse_override  # noqa: E402
+
+
+def overhead_run(stamp: float, off_s=1.0, on_s=1.05) -> dict:
+    return {
+        "bench": "telemetry_overhead",
+        "generated_at": stamp,
+        "off_s": off_s,
+        "on_s": on_s,
+        "ratio": on_s / off_s,
+    }
+
+
+def write_history(histories: Path, name: str, runs: list[dict]) -> None:
+    histories.joinpath(name).write_text(json.dumps({
+        "schema_version": bench_summary.SCHEMA_VERSION,
+        "bench": runs[0].get("bench", ""),
+        "runs": runs,
+        "summary": {},
+    }))
+
+
+def write_fresh(results: Path, raw_name: str, payload: dict) -> None:
+    results.joinpath(raw_name).write_text(json.dumps(payload))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    results = tmp_path / "results"
+    histories = tmp_path / "histories"
+    results.mkdir()
+    histories.mkdir()
+    return results, histories
+
+
+def gate(results, histories, *extra) -> int:
+    return regression_gate.main([
+        "--results-dir", str(results),
+        "--histories-dir", str(histories),
+        *extra,
+    ])
+
+
+class TestDirectionInference:
+    def test_latency_suffixes_are_lower_is_better(self):
+        assert direction("warm.seconds") == "lower"
+        assert direction("rr50.nn_f_s") == "lower"
+        assert direction("adapt.phase:storm.queue_wait_p95_s") == "lower"
+        assert direction("ratio") == "lower"
+
+    def test_throughput_names_are_higher_is_better(self):
+        assert direction("baseline_rows_per_sec") == "higher"
+        assert direction("w4.b512.speedup") == "higher"
+        assert direction("shared.hit_rate") == "higher"
+
+    def test_everything_else_is_informational(self):
+        assert direction("budgeted.peak_bytes") is None
+        assert direction("shared.caches") is None
+        assert direction("scenario.cross_evictions") is None
+
+
+class TestOverrides:
+    def test_parse_override(self):
+        assert parse_override("BENCH_overhead.json.ratio=0.1") == (
+            "BENCH_overhead.json.ratio", 0.1,
+        )
+
+    @pytest.mark.parametrize("bad", ["no-equals", "x=notanumber", "y=-1"])
+    def test_parse_override_rejects(self, bad):
+        with pytest.raises(Exception):
+            parse_override(bad)
+
+
+class TestGate:
+    def test_clean_run_within_tolerance_passes(self, dirs, capsys):
+        results, histories = dirs
+        write_history(histories, "BENCH_overhead.json", [
+            overhead_run(float(i)) for i in range(3)
+        ])
+        write_fresh(
+            results, "telemetry_overhead.json",
+            overhead_run(99.0, off_s=1.1, on_s=1.2),
+        )
+        assert gate(results, histories) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_doubled_latency_fails(self, dirs, capsys):
+        results, histories = dirs
+        write_history(histories, "BENCH_overhead.json", [
+            overhead_run(float(i)) for i in range(3)
+        ])
+        write_fresh(
+            results, "telemetry_overhead.json",
+            overhead_run(99.0, off_s=2.0, on_s=2.1),
+        )
+        assert gate(results, histories, "--floor", "0") == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION BENCH_overhead.json.off_s" in out
+
+    def test_throughput_drop_fails(self, dirs, capsys):
+        results, histories = dirs
+
+        def runtime_run(stamp, rps):
+            return {
+                "bench": "runtime_scaling",
+                "generated_at": stamp,
+                "baseline_rows_per_sec": rps,
+                "configs": [],
+            }
+
+        write_history(histories, "BENCH_runtime.json", [
+            runtime_run(float(i), 1000.0) for i in range(3)
+        ])
+        write_fresh(
+            results, "runtime_scaling.json", runtime_run(99.0, 100.0)
+        )
+        assert gate(results, histories) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION BENCH_runtime.json.baseline_rows_per_sec" in out
+
+    def test_thin_history_accumulates_without_gating(self, dirs, capsys):
+        results, histories = dirs
+        write_history(
+            histories, "BENCH_overhead.json", [overhead_run(0.0)]
+        )
+        write_fresh(
+            results, "telemetry_overhead.json",
+            overhead_run(99.0, off_s=50.0, on_s=60.0),  # wildly slower
+        )
+        assert gate(results, histories) == 0
+        assert "accumulating history" in capsys.readouterr().out
+
+    def test_fresh_stamp_excluded_from_its_own_baseline(self, dirs):
+        results, histories = dirs
+        # The summary step already appended the fresh (regressed) run;
+        # gating right after must not compare the run against itself.
+        fresh = overhead_run(99.0, off_s=3.0, on_s=3.2)
+        write_history(histories, "BENCH_overhead.json", [
+            overhead_run(0.0), overhead_run(1.0), overhead_run(2.0), fresh,
+        ])
+        write_fresh(results, "telemetry_overhead.json", fresh)
+        assert gate(results, histories, "--floor", "0") == 1
+
+    def test_floor_forgives_sub_resolution_timers(self, dirs):
+        results, histories = dirs
+        # 200µs baseline jittering 10× is meaningless; the floor
+        # absorbs it.  Dropping the floor exposes the ratio.
+        write_history(histories, "BENCH_overhead.json", [
+            overhead_run(float(i), off_s=0.0002, on_s=0.0002)
+            for i in range(3)
+        ])
+        write_fresh(
+            results, "telemetry_overhead.json",
+            overhead_run(99.0, off_s=0.002, on_s=0.002),
+        )
+        assert gate(results, histories, "--floor", "0.01",
+                    "--override", "*.ratio=10") == 0
+        assert gate(results, histories, "--floor", "0",
+                    "--override", "*.ratio=10") == 1
+
+    def test_override_loosens_one_metric(self, dirs):
+        results, histories = dirs
+        write_history(histories, "BENCH_overhead.json", [
+            overhead_run(float(i)) for i in range(3)
+        ])
+        write_fresh(
+            results, "telemetry_overhead.json",
+            overhead_run(99.0, off_s=2.0, on_s=2.1),
+        )
+        args = ("--floor", "0",
+                "--override", "BENCH_overhead.json.*_s=2.0",
+                "--override", "BENCH_overhead.json.ratio=2.0")
+        assert gate(results, histories, *args) == 0
+
+    def test_nothing_fresh_passes(self, dirs, capsys):
+        results, histories = dirs
+        assert gate(results, histories) == 0
+        assert "nothing to gate" in capsys.readouterr().out
+
+    def test_unknown_schema_version_refuses_and_fails(self, dirs, capsys):
+        results, histories = dirs
+        histories.joinpath("BENCH_overhead.json").write_text(json.dumps({
+            "schema_version": 999, "runs": [overhead_run(0.0)] * 3,
+        }))
+        write_fresh(
+            results, "telemetry_overhead.json", overhead_run(99.0)
+        )
+        assert gate(results, histories) == 1
+        assert "refusing to gate" in capsys.readouterr().out
+
+
+class TestBenchSummary:
+    def test_append_is_idempotent_by_stamp(self, dirs, capsys):
+        results, histories = dirs
+        write_fresh(
+            results, "telemetry_overhead.json", overhead_run(7.0)
+        )
+        argv = [
+            "--results-dir", str(results), "--out-dir", str(histories),
+        ]
+        assert bench_summary.main(argv) == 0
+        assert bench_summary.main(argv) == 0
+        history = json.loads(
+            histories.joinpath("BENCH_overhead.json").read_text()
+        )
+        assert len(history["runs"]) == 1
+        assert history["summary"]["median"]["ratio"] == pytest.approx(1.05)
+
+    def test_keep_caps_retained_runs(self, dirs):
+        results, histories = dirs
+        for stamp in range(5):
+            write_fresh(
+                results, "telemetry_overhead.json",
+                overhead_run(float(stamp)),
+            )
+            bench_summary.main([
+                "--results-dir", str(results),
+                "--out-dir", str(histories),
+                "--keep", "3",
+            ])
+        history = json.loads(
+            histories.joinpath("BENCH_overhead.json").read_text()
+        )
+        assert [r["generated_at"] for r in history["runs"]] == [2.0, 3.0, 4.0]

@@ -1,0 +1,111 @@
+"""End-to-end scenario runs at toy scale: the tier-1 smoke for the
+harness.  The full adaptation suite lives in benchmarks/scenarios/ and
+runs nightly; these scenarios are sized to finish in seconds."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.scenarios import (
+    ScenarioSpec,
+    check_result,
+    run_scenario,
+    summarize_trials,
+)
+
+TOY = {
+    "name": "toy_steady",
+    "trials": 1,
+    "seed": 5,
+    "workload": {
+        "n_r": 24, "tuple_ratio": 4, "d_s": 3, "d_r": 4, "join_arity": 1,
+    },
+    "model": {"kind": "gmm", "width": 2, "epochs": 1,
+              "strategy": "factorized"},
+    "runtime": {"workers": 1, "max_batch_rows": 64, "max_wait_ms": 0.2},
+    "phases": [
+        {"name": "steady", "requests": 4, "request_rows": 32, "skew": 0.5},
+    ],
+    "assertions": [
+        {"kind": "outputs_bit_exact"},
+        {"kind": "counter_min", "metric": "repro_requests_total", "min": 4},
+        {"kind": "span_count_min", "span": "serve.batch", "min": 1},
+    ],
+}
+
+
+class TestRunnerSmoke:
+    def test_toy_scenario_passes_end_to_end(self):
+        result = run_scenario(ScenarioSpec.from_dict(TOY))
+        assert result.passed, "\n".join(result.failures())
+        check_result(result)  # must not raise
+        [trial] = result.trials
+        [phase] = trial.phases
+        assert phase.rows == 4 * 32
+        assert phase.metrics["rows_per_sec"] > 0
+        # Scenario-level windows saw every assertion evaluated.
+        assert len(trial.assertions) == len(TOY["assertions"])
+
+    def test_budget_cut_adaptation_holds_the_bound(self):
+        raw = dict(TOY)
+        raw["name"] = "toy_budget_cut"
+        raw["runtime"] = dict(TOY["runtime"]) | {"memory_budget": 1 << 16}
+        raw["phases"] = [
+            {"name": "warm", "requests": 4, "request_rows": 32,
+             "skew": 0.5},
+            {"name": "cut", "requests": 4, "request_rows": 32,
+             "skew": 0.5, "memory_budget": 8192,
+             "assertions": [
+                 {"kind": "gauge_max",
+                  "metric": "repro_store_bytes_resident", "max": 8192},
+             ]},
+        ]
+        result = run_scenario(ScenarioSpec.from_dict(raw))
+        assert result.passed, "\n".join(result.failures())
+
+    def test_failing_assertion_surfaces_in_failures(self):
+        raw = dict(TOY)
+        raw["name"] = "toy_unreachable_bound"
+        raw["assertions"] = [
+            {"kind": "counter_min",
+             "metric": "repro_requests_total", "min": 10_000},
+        ]
+        result = run_scenario(ScenarioSpec.from_dict(raw))
+        assert not result.passed
+        [failure] = result.failures()
+        assert "counter_min" in failure and "[FAIL]" in failure
+        with pytest.raises(ModelError, match="toy_unreachable_bound"):
+            check_result(result)
+
+    def test_payload_shape_matches_bench_summary_contract(self):
+        result = run_scenario(ScenarioSpec.from_dict(TOY))
+        payload = result.to_payload()
+        assert payload["scenario"] == "toy_steady"
+        assert payload["passed"] is True
+        assert payload["trials"] == 1
+        summary = payload["summary"]
+        assert "scenario.rows_per_sec" in summary
+        assert "phase:steady.rows_per_sec" in summary
+        entry = summary["scenario.rows_per_sec"]
+        assert set(entry) >= {"median", "mean", "ci95", "n"}
+        assert entry["n"] == 1
+
+
+class TestSummaries:
+    def test_median_and_ci_over_trials(self):
+        class FakePhase:
+            def __init__(self, value):
+                self.name = "p"
+                self.metrics = {"rows_per_sec": value}
+
+        class FakeTrial:
+            def __init__(self, value):
+                self.metrics = {"rows_per_sec": value}
+                self.phases = [FakePhase(value)]
+
+        summary = summarize_trials([FakeTrial(v) for v in (10.0, 20.0, 30.0)])
+        entry = summary["scenario.rows_per_sec"]
+        assert entry["median"] == 20.0
+        assert entry["mean"] == pytest.approx(20.0)
+        assert entry["ci95"] > 0
+        assert entry["n"] == 3
+        assert summary["phase:p.rows_per_sec"]["median"] == 20.0

@@ -3,18 +3,26 @@
 
 The nightly bench job (``.github/workflows/nightly-bench.yml``) runs
 the suite at the ``tiny`` preset, which drops machine-readable result
-files into ``benchmarks/results/`` (``serving_throughput.json``,
-``memory_pressure.json``).  This script appends those raw runs to two
-stable-schema history files at the repo root:
+files into ``benchmarks/results/``.  This script appends those raw
+runs to stable-schema history files at the repo root:
 
-* ``BENCH_serving.json`` — serving throughput per tuple ratio;
-* ``BENCH_memory.json``  — budgeted-serving residency and wall time.
+* ``BENCH_serving.json``   — serving throughput per tuple ratio;
+* ``BENCH_memory.json``    — budgeted-serving residency and wall time;
+* ``BENCH_runtime.json``   — runtime scaling rows/sec per config;
+* ``BENCH_cache.json``     — cross-model sharing footprint;
+* ``BENCH_overhead.json``  — telemetry on/off wall-time ratio;
+* ``BENCH_scenarios.json`` — scenario-suite medians per scenario.
 
 Each history keeps the raw per-run records (most recent last, capped
 at ``--keep``) plus a ``summary`` block of medians over the retained
 runs, so a dashboard — or a reviewer diffing the PR — reads one number
 per metric without re-deriving statistics.  The schema is versioned;
 consumers should refuse ``schema_version`` values they do not know.
+
+The per-bench ``flatten_*`` functions map one raw run to a flat
+``{metric_key: float}`` dict; they are module-level so
+``tools/regression_gate.py`` compares fresh runs against history
+medians through the exact same lens this summary reports.
 
 Usage (what the nightly job runs)::
 
@@ -75,39 +83,77 @@ def _median_over(runs, pick) -> dict:
     }
 
 
-def summarize_serving(history: dict) -> None:
-    """Per tuple ratio: median wall seconds per arm over kept runs."""
+# -- per-bench flatteners (one raw run → {metric_key: float}) -----------------
 
-    def flatten(run):
-        flat = {}
-        for row in run.get("rows", []):
-            rr = row["rr"]
-            for field in (
-                "gmm_m_s", "gmm_f_s", "nn_m_s", "nn_f_s", "nn_f_warm_s"
-            ):
-                flat[f"rr{rr}.{field}"] = float(row[field])
-        return flat
 
-    history["summary"] = {
-        "runs": len(history["runs"]),
-        "median": _median_over(history["runs"], flatten),
+def flatten_serving(run: dict) -> dict:
+    """Per tuple ratio: wall seconds per arm."""
+    flat = {}
+    for row in run.get("rows", []):
+        rr = row["rr"]
+        for field in (
+            "gmm_m_s", "gmm_f_s", "nn_m_s", "nn_f_s", "nn_f_warm_s"
+        ):
+            flat[f"rr{rr}.{field}"] = float(row[field])
+    return flat
+
+
+def flatten_memory(run: dict) -> dict:
+    """Residency/eviction/wall metrics per arm."""
+    flat = {}
+    for arm_name, arm in run.get("arms", {}).items():
+        for field in (
+            "peak_bytes", "bytes", "cross_evictions",
+            "hit_rate", "seconds",
+        ):
+            if field in arm:
+                flat[f"{arm_name}.{field}"] = float(arm[field])
+    return flat
+
+
+def flatten_runtime(run: dict) -> dict:
+    """Baseline plus rows/sec and speedup per (workers, batch) config."""
+    flat = {}
+    if "baseline_rows_per_sec" in run:
+        flat["baseline_rows_per_sec"] = float(run["baseline_rows_per_sec"])
+    for config in run.get("configs", []):
+        prefix = f"w{config['workers']}.b{config['batch_rows']}"
+        flat[f"{prefix}.rows_per_sec"] = float(config["rows_per_sec"])
+        flat[f"{prefix}.speedup"] = float(config["speedup"])
+    return flat
+
+
+def flatten_cache(run: dict) -> dict:
+    """Footprint/hit-rate/wall metrics per sharing arm."""
+    flat = {}
+    for arm_name, arm in run.get("arms", {}).items():
+        for field in ("bytes", "hit_rate", "seconds", "caches"):
+            if field in arm:
+                flat[f"{arm_name}.{field}"] = float(arm[field])
+    return flat
+
+
+def flatten_overhead(run: dict) -> dict:
+    """Telemetry A/B wall times and their ratio."""
+    return {
+        key: float(run[key])
+        for key in ("off_s", "on_s", "ratio")
+        if key in run
     }
 
 
-def summarize_memory(history: dict) -> None:
-    """Median residency/eviction/wall metrics per arm over kept runs."""
+def flatten_scenarios(run: dict) -> dict:
+    """Cross-trial medians per scenario, keyed ``<scenario>.<metric>``."""
+    flat = {}
+    for entry in run.get("scenarios", []):
+        name = entry.get("scenario", "?")
+        for key, stats in entry.get("summary", {}).items():
+            if isinstance(stats, dict) and "median" in stats:
+                flat[f"{name}.{key}"] = float(stats["median"])
+    return flat
 
-    def flatten(run):
-        flat = {}
-        for arm_name, arm in run.get("arms", {}).items():
-            for field in (
-                "peak_bytes", "bytes", "cross_evictions",
-                "hit_rate", "seconds",
-            ):
-                if field in arm:
-                    flat[f"{arm_name}.{field}"] = float(arm[field])
-        return flat
 
+def _summarize(history: dict, flatten) -> None:
     history["summary"] = {
         "runs": len(history["runs"]),
         "median": _median_over(history["runs"], flatten),
@@ -115,9 +161,13 @@ def summarize_memory(history: dict) -> None:
 
 
 BENCHES = (
-    # (raw results file, history file, summarizer)
-    ("serving_throughput.json", "BENCH_serving.json", summarize_serving),
-    ("memory_pressure.json", "BENCH_memory.json", summarize_memory),
+    # (raw results file, history file, flattener)
+    ("serving_throughput.json", "BENCH_serving.json", flatten_serving),
+    ("memory_pressure.json", "BENCH_memory.json", flatten_memory),
+    ("runtime_scaling.json", "BENCH_runtime.json", flatten_runtime),
+    ("shared_cache.json", "BENCH_cache.json", flatten_cache),
+    ("telemetry_overhead.json", "BENCH_overhead.json", flatten_overhead),
+    ("scenarios.json", "BENCH_scenarios.json", flatten_scenarios),
 )
 
 
@@ -141,7 +191,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     changed = 0
-    for raw_name, history_name, summarize in BENCHES:
+    for raw_name, history_name, flatten in BENCHES:
         raw = _load(args.results_dir / raw_name)
         if raw is None:
             print(f"bench_summary: no {raw_name}; skipping", file=sys.stderr)
@@ -157,7 +207,7 @@ def main(argv=None) -> int:
             )
             return 1
         appended = _append_run(history, raw, args.keep)
-        summarize(history)
+        _summarize(history, flatten)
         with open(history_path, "w") as handle:
             json.dump(history, handle, indent=2, sort_keys=True)
             handle.write("\n")
