@@ -1,15 +1,26 @@
-"""Runtime scaling: rows/sec vs worker count and micro-batch size.
+"""Runtime scaling: rows/sec vs executor, worker count and batch size.
 
 The concurrency twin of ``bench_serving_throughput``: the same
 normalized point-request traffic is served three ways — the
 single-threaded :class:`~repro.serve.service.ModelService` baseline,
-and the :func:`~repro.core.api.serve_runtime` worker pool across worker
-counts and ``max_batch_rows`` settings, driven by several submitting
-client threads (the "millions of users" shape at laptop scale).
+and the :func:`~repro.core.api.serve_runtime` pool across *both*
+execution backends (``executor="thread"`` and ``executor="process"``),
+worker counts and ``max_batch_rows`` settings, driven by several
+submitting client threads (the "millions of users" shape at laptop
+scale).
 
-Acceptance: with ≥ 2 workers the runtime must beat the single-threaded
-baseline's rows/sec — micro-batch coalescing plus GIL-releasing NumPy
-kernels are what make the worker pool pay.
+The process rows are the tentpole curve: thread workers share one GIL,
+so their scaling flattens as soon as the Python share of a batch
+dominates; process workers own RID-affine shards of the partial space
+and scale with cores.  The ``process.scaling_speedup_4w`` metric (4
+process workers vs 1) is the headline number and is gated by
+``tools/regression_gate.py`` like every other ``*speedup*`` metric.
+
+Acceptance: with ≥ 2 workers some runtime config must beat the
+single-threaded baseline's rows/sec; on hosts with ≥ 4 cores the
+4-process-worker configuration must additionally scale > 1.5x over the
+1-process-worker one (informational on smaller hosts, where true
+parallel speedup is physically unavailable).
 
 Scale follows ``REPRO_BENCH_SCALE`` (tiny / small / paper).
 Run standalone:  PYTHONPATH=src python benchmarks/bench_runtime_scaling.py
@@ -36,6 +47,7 @@ _SCALES = {
 }
 SCALE = _SCALES[os.environ.get("REPRO_BENCH_SCALE", "small")]
 D_S, D_R = 5, 15
+EXECUTORS = ("thread", "process")
 WORKERS = (1, 2, 4)
 BATCH_ROWS = (256, 2048)
 
@@ -63,8 +75,8 @@ def _baseline_rows_per_sec(db, spec, nn, requests):
     return total_rows / elapsed, np.concatenate(outputs)
 
 
-def _runtime_rows_per_sec(db, spec, nn, requests, workers, batch_rows,
-                          clients):
+def _runtime_rows_per_sec(db, spec, nn, requests, executor, workers,
+                          batch_rows, clients):
     futures: list = [None] * len(requests)
     with serve_runtime(
         db,
@@ -72,6 +84,7 @@ def _runtime_rows_per_sec(db, spec, nn, requests, workers, batch_rows,
         max_batch_rows=batch_rows,
         max_wait_ms=1.0,
         queue_depth=4096,
+        executor=executor,
     ) as runtime:
         runtime.register_nn("nn", nn, spec)
 
@@ -89,7 +102,7 @@ def _runtime_rows_per_sec(db, spec, nn, requests, workers, batch_rows,
             thread.start()
         for thread in threads:
             thread.join()
-        outputs = [future.result(120.0) for future in futures]
+        outputs = [future.result(240.0) for future in futures]
         elapsed = time.perf_counter() - tick
         snapshot = runtime.runtime_stats()
     total_rows = sum(f.shape[0] for f, _ in requests)
@@ -117,45 +130,76 @@ def run_runtime_scaling():
                 db, star.spec, nn, requests
             )
             results["baseline_rows_per_sec"] = baseline
-            for workers in WORKERS:
-                for batch_rows in BATCH_ROWS:
-                    throughput, outputs, snapshot = _runtime_rows_per_sec(
-                        db, star.spec, nn, requests, workers, batch_rows,
-                        SCALE["clients"],
-                    )
-                    # Exactness travels with the benchmark.
-                    assert np.allclose(
-                        outputs, expected, rtol=1e-9, atol=1e-9
-                    )
-                    results["configs"].append(
-                        {
-                            "workers": workers,
-                            "batch_rows": batch_rows,
-                            "rows_per_sec": throughput,
-                            "speedup": throughput / baseline,
-                            "batches": snapshot.batches,
-                            "planner": dict(
-                                snapshot.planner_decisions.get("nn", {})
-                            ),
-                        }
-                    )
+            for executor in EXECUTORS:
+                for workers in WORKERS:
+                    for batch_rows in BATCH_ROWS:
+                        throughput, outputs, snapshot = (
+                            _runtime_rows_per_sec(
+                                db, star.spec, nn, requests, executor,
+                                workers, batch_rows, SCALE["clients"],
+                            )
+                        )
+                        # Exactness travels with the benchmark.
+                        assert np.allclose(
+                            outputs, expected, rtol=1e-9, atol=1e-9
+                        )
+                        results["configs"].append(
+                            {
+                                "executor": executor,
+                                "workers": workers,
+                                "batch_rows": batch_rows,
+                                "rows_per_sec": throughput,
+                                "speedup": throughput / baseline,
+                                "batches": snapshot.batches,
+                                "planner": dict(
+                                    snapshot.planner_decisions.get("nn", {})
+                                ),
+                            }
+                        )
+    results["process_scaling_speedup_4w"] = _process_scaling(results)
     return results
+
+
+def _best(results, executor, workers):
+    rates = [
+        config["rows_per_sec"]
+        for config in results["configs"]
+        if config["executor"] == executor and config["workers"] == workers
+    ]
+    return max(rates) if rates else None
+
+
+def _process_scaling(results):
+    """The headline curve point: 4 process workers vs 1 (best over
+    batch sizes)."""
+    one = _best(results, "process", 1)
+    four = _best(results, "process", 4)
+    if not one or not four:
+        return None
+    return four / one
 
 
 def format_table(results):
     lines = [
-        "== runtime scaling: rows/sec vs workers and micro-batch size ==",
+        "== runtime scaling: rows/sec vs executor, workers, batch size ==",
         f"baseline (single-threaded ModelService): "
         f"{results['baseline_rows_per_sec']:>12,.0f} rows/s",
-        f"{'workers':>8}  {'batch_rows':>10}  {'rows/s':>12}  "
-        f"{'speedup':>8}  {'batches':>8}  planner",
+        f"{'executor':>9}  {'workers':>8}  {'batch_rows':>10}  "
+        f"{'rows/s':>12}  {'speedup':>8}  {'batches':>8}  planner",
     ]
     for config in results["configs"]:
         lines.append(
-            f"{config['workers']:>8}  {config['batch_rows']:>10}  "
+            f"{config['executor']:>9}  {config['workers']:>8}  "
+            f"{config['batch_rows']:>10}  "
             f"{config['rows_per_sec']:>12,.0f}  "
             f"{config['speedup']:>7.2f}x  {config['batches']:>8}  "
             f"{config['planner']}"
+        )
+    scaling = results.get("process_scaling_speedup_4w")
+    if scaling:
+        lines.append(
+            f"   process scaling, 4 workers vs 1: {scaling:.2f}x "
+            f"(cpus={os.cpu_count()})"
         )
     lines.append(
         f"   n_S={SCALE['n_s']}, d_S={D_S}, d_R={D_R}, "
@@ -170,7 +214,8 @@ def format_table(results):
 
 
 def check_acceptance(results):
-    """≥ 2 workers must beat the single-threaded service baseline."""
+    """≥ 2 workers must beat the single-threaded service baseline; on
+    multi-core hosts the process curve must actually climb."""
     multi = [
         config["rows_per_sec"]
         for config in results["configs"]
@@ -180,6 +225,13 @@ def check_acceptance(results):
         f"no multi-worker config beat the baseline "
         f"({max(multi):,.0f} vs {results['baseline_rows_per_sec']:,.0f})"
     )
+    scaling = results.get("process_scaling_speedup_4w")
+    cpus = os.cpu_count() or 1
+    if scaling is not None and cpus >= 4:
+        assert scaling > 1.5, (
+            f"4 process workers scaled only {scaling:.2f}x over 1 on a "
+            f"{cpus}-core host (expected > 1.5x)"
+        )
 
 
 def test_runtime_scaling(benchmark, results_dir):
@@ -203,6 +255,9 @@ def test_runtime_scaling(benchmark, results_dir):
         {
             "baseline_rows_per_sec": results["baseline_rows_per_sec"],
             "configs": results["configs"],
+            "process_scaling_speedup_4w": results[
+                "process_scaling_speedup_4w"
+            ],
         },
     )
 

@@ -434,19 +434,32 @@ def serve_runtime(
     share_partials: bool = True,
     memory_budget: int | None = None,
     block_pages: int = DEFAULT_BLOCK_PAGES,
+    executor: str = "thread",
     telemetry=None,
     telemetry_port: int | None = None,
 ) -> ServingRuntime:
     """A concurrent :class:`~repro.runtime.service.ServingRuntime`.
 
     Where :func:`serve` answers requests synchronously on the calling
-    thread, this spins up ``num_workers`` worker threads behind a
+    thread, this spins up ``num_workers`` workers behind a
     bounded request queue (``queue_depth``): point requests coalesce
     into micro-batches (up to ``max_batch_rows`` rows, lingering at
     most ``max_wait_ms`` for stragglers), each batch's strategy is
     planned adaptively from the inference cost model, and partial
     caches are sharded by RID hash (``cache_shards``, default one per
-    worker) so workers never contend on one LRU.  Caches come from a
+    worker) so workers never contend on one LRU.
+
+    ``executor`` selects the worker substrate.  ``"thread"`` (default)
+    scores batches on ``num_workers`` threads — NumPy kernels and page
+    reads release the GIL, Python glue does not.  ``"process"`` spawns
+    ``num_workers`` worker *processes*: each owns the RID-affine shard
+    of the partial space (rows route by ``fk % num_workers``, the same
+    hash the in-process cache shards by), partial payloads live in
+    shared-memory slabs the parent accounts and budget-governs, and
+    one batch scatters across all workers at once — identical request
+    API, bit-identical outputs, and true CPU parallelism for the
+    Python portions of a batch.  ``docs/tuning.md`` has the selection
+    guidance.  Caches come from a
     shared :class:`~repro.fx.store.PartialStore`: fingerprint-identical
     models reuse one cache (disable with ``share_partials=False``),
     ``cache_admission="tinylfu"`` turns on frequency-sketch admission
@@ -483,6 +496,7 @@ def serve_runtime(
             share_partials=share_partials,
             memory_budget=memory_budget,
             block_pages=block_pages,
+            executor=executor,
         ),
         telemetry=telemetry,
         telemetry_port=telemetry_port,

@@ -77,6 +77,7 @@ class ShardedPartialCache:
         admission: str = LRU_ADMISSION,
         clock: AccessClock | None = None,
         governor=None,
+        allocator=None,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
@@ -90,12 +91,15 @@ class ShardedPartialCache:
                 return None
             return max(1, -(-total // num_shards))
 
+        # One slab allocator may back every shard (it carries its own
+        # lock): RID-hash placement already makes slots disjoint.
         self.shards = [
             PartialCache(
                 _split(capacity),
                 capacity_floats=_split(capacity_floats),
                 admission=admission,
                 clock=clock,
+                allocator=allocator,
             )
             for _ in range(num_shards)
         ]
@@ -225,6 +229,11 @@ class ShardedPartialCache:
         """Resident float64 values across all shards — the unit the
         store-wide ``capacity_floats`` budget is enforced in."""
         return sum(shard.floats_resident for shard in self.shards)
+
+    @property
+    def shm_bytes_resident(self) -> int:
+        """The shared-memory-slab subset of :attr:`bytes_resident`."""
+        return sum(shard.shm_bytes_resident for shard in self.shards)
 
     def shard_stats(self) -> list[CacheStats]:
         """Per-shard counters, in shard order."""

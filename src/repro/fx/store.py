@@ -106,6 +106,16 @@ class StoreStats:
     def bytes_resident(self) -> int:
         return self.cache.bytes_resident
 
+    @property
+    def shm_bytes_resident(self) -> int:
+        """Bytes held in shared-memory slabs (process executor)."""
+        return self.cache.shm_bytes_resident
+
+    @property
+    def private_bytes_resident(self) -> int:
+        """Bytes held in ordinary process memory."""
+        return self.cache.private_bytes_resident
+
 
 class _Entry:
     __slots__ = ("cache", "refs", "capacity", "capacity_floats")
@@ -145,6 +155,7 @@ class PartialStore:
         admission: str = LRU_ADMISSION,
         shared: bool = True,
         capacity_floats: int | None = None,
+        allocator=None,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
@@ -164,6 +175,10 @@ class PartialStore:
         self.admission = admission
         self.shared = shared
         self.capacity_floats = capacity_floats
+        # Optional shared-memory slab backing every cache this store
+        # creates (repro.fx.shm.SlabAllocator) — process-mode workers
+        # place partial rows there so the parent can account them.
+        self._allocator = allocator
         # Armed once a budget has ever been in force: caches created on
         # an armed store carry the recency clock + governor hook, so
         # set_budget() can tighten/loosen/re-impose bounds mid-flight.
@@ -241,6 +256,7 @@ class PartialStore:
                 # the clock entirely.
                 clock=self._clock if governed else None,
                 governor=self if governed else None,
+                allocator=self._allocator,
             )
             self._entries[key] = _Entry(cache, capacity, capacity_floats)
             self._key_of_cache[id(cache)] = key
@@ -267,6 +283,24 @@ class PartialStore:
                 del self._entries[key]
                 del self._key_of_cache[id(cache)]
 
+    def close(self) -> None:
+        """Drop every cache registration and clear the caches.
+
+        Armed caches carry a back-reference to their governor (this
+        store) while the store's registry references the caches — a
+        reference cycle only the garbage collector would reclaim.
+        ``close()`` breaks it deterministically, which matters when the
+        cache payloads live in a shared-memory slab: the slab views
+        must be released *before* the owning segment detaches, not at
+        some later collection.  Idempotent.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            self._entries.clear()
+            self._key_of_cache.clear()
+        for entry in entries:
+            entry.cache.clear()
+
     # -- the budget governor -----------------------------------------------
 
     def enforce_budget(self) -> int:
@@ -289,44 +323,81 @@ class PartialStore:
         evicted = 0
         with self._governor_lock:
             while True:
-                with self._lock:
-                    caches = [e.cache for e in self._entries.values()]
-                deficit = (
-                    sum(c.floats_resident for c in caches)
-                    - self.capacity_floats
-                )
+                deficit = self.floats_resident - self.capacity_floats
                 if deficit <= 0:
                     break
-                # One sweep: every shard offers deficit-covering
-                # LRU-tail candidates, pooled and evicted in global
-                # rank order until the deficit is gone — one scan per
-                # sweep, not one per evicted row.
-                candidates = []
-                for cache in caches:
-                    for shard in cache.shards:
-                        candidates.extend(
-                            shard.eviction_candidates(deficit)
-                        )
-                if not candidates:
-                    break  # everything evictable is pinned right now
-                candidates.sort(key=lambda c: c.rank)
-                swept = 0
-                for candidate in candidates:
-                    freed = candidate.cache.evict_if_coldest(candidate.key)
-                    if not freed:
-                        # The row vanished or got pinned between scan
-                        # and evict; the outer loop re-checks residency.
-                        continue
-                    swept += 1
-                    deficit -= freed
-                    if deficit <= 0:
-                        break
+                swept, _ = self._sweep(deficit)
                 evicted += swept
-                if swept:
-                    with self._lock:
-                        self._cross_evictions += swept
-                else:
-                    break  # every candidate raced away; converge later
+                if not swept:
+                    break  # everything evictable is pinned right now
+        return evicted
+
+    def _sweep(self, deficit_floats: int) -> tuple[int, int]:
+        """One candidate-pool pass: every shard offers deficit-covering
+        LRU-tail candidates, pooled and evicted in global rank order
+        until ``deficit_floats`` is covered — one scan per sweep, not
+        one per evicted row.  Returns ``(rows evicted, floats freed)``;
+        ``(0, 0)`` means nothing was evictable (pinned, or raced away
+        between scan and evict — callers re-check and converge later).
+        """
+        with self._lock:
+            caches = [e.cache for e in self._entries.values()]
+        candidates = []
+        for cache in caches:
+            for shard in cache.shards:
+                candidates.extend(
+                    shard.eviction_candidates(deficit_floats)
+                )
+        if not candidates:
+            return 0, 0
+        candidates.sort(key=lambda c: c.rank)
+        swept = freed_total = 0
+        for candidate in candidates:
+            freed = candidate.cache.evict_if_coldest(candidate.key)
+            if not freed:
+                # The row vanished or got pinned between scan and
+                # evict; the caller re-checks residency.
+                continue
+            swept += 1
+            freed_total += freed
+            if freed_total >= deficit_floats:
+                break
+        if swept:
+            with self._lock:
+                self._cross_evictions += swept
+        return swept, freed_total
+
+    def trim(self, floats: int) -> int:
+        """Evict up to ``floats`` of the globally coldest unpinned rows,
+        regardless of any local ``capacity_floats``; returns the rows
+        evicted.
+
+        This is the process executor's budget mechanism: the parent
+        reads per-worker residency off the shared-memory headers,
+        plans deficit-bounded per-worker amounts
+        (:func:`repro.fx.shm.plan_trims`) and each worker trims its own
+        store — same victim order and pin semantics as
+        :meth:`enforce_budget`, but the *bound* lives in the parent.
+        The governor must be armed (a clock-stamping store); trimming
+        an ungoverned store raises, mirroring :meth:`set_budget`.
+        """
+        if floats <= 0:
+            return 0
+        if not self._armed:
+            raise ModelError(
+                "cannot trim an ungoverned store; create it with "
+                "capacity_floats (or armed=True for a "
+                "SharedPartialStore) so entries carry recency ticks"
+            )
+        evicted = 0
+        with self._governor_lock:
+            remaining = floats
+            while remaining > 0:
+                swept, freed = self._sweep(remaining)
+                if not swept:
+                    break
+                evicted += swept
+                remaining -= freed
         return evicted
 
     def set_budget(self, capacity_floats: int | None) -> int:

@@ -24,6 +24,8 @@ from repro.runtime.planner import BatchPlanner, PlanDecision, PlannerStats
 from repro.runtime.queue import Request, RequestQueue
 from repro.runtime.service import (
     ADAPTIVE,
+    PROCESS_EXECUTOR,
+    THREAD_EXECUTOR,
     RuntimeConfig,
     RuntimeModel,
     RuntimeStats,
@@ -35,6 +37,7 @@ from repro.runtime.sharding import ShardedPartialCache
 __all__ = [
     "ADAPTIVE",
     "BatchPlanner",
+    "PROCESS_EXECUTOR",
     "PlanDecision",
     "PlannerStats",
     "Request",
@@ -44,5 +47,6 @@ __all__ = [
     "RuntimeStats",
     "ServingRuntime",
     "ShardedPartialCache",
+    "THREAD_EXECUTOR",
     "WorkerStats",
 ]

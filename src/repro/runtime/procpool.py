@@ -1,0 +1,585 @@
+"""Parent side of the process execution backend.
+
+:class:`ProcessExecutor` owns ``num_workers`` worker *processes*
+(:mod:`repro.runtime.procworker`), the shared-memory segments they
+execute over (:mod:`repro.fx.shm`), and the control pipes between
+them.  The split of responsibilities with
+:class:`~repro.runtime.service.ServingRuntime`:
+
+* the runtime keeps the queue, micro-batching, registries and stats —
+  backend-agnostic;
+* this executor moves one sub-batch to one worker and back, fans out
+  registration/invalidation/budget control, and merges worker-side
+  telemetry samples.
+
+**The task channel is pickle-free for arrays.**  A sub-batch's fact
+features, foreign keys and outputs travel through a per-worker *task
+slab* (one shm segment, grown geometrically when a batch outgrows it);
+the pipe message carries only scalars — model index, op, row count,
+widths and the slab's segment name.  Both sides derive the identical
+slab layout (features, then one int64 FK column per dimension, then
+the float64 output region) from those scalars, so no offsets cross the
+wire either.  Control messages (register/invalidate/stats) pickle
+small payloads; models cross once, at registration.
+
+**RID affinity.**  The runtime routes each request row to
+``fk_0 % num_workers`` — the same modulo placement
+:meth:`~repro.fx.sharding.ShardedPartialCache.shard_of` uses within a
+process — so every distinct RID of the first (largest) dimension has
+its partial in exactly one worker's cache.  Further dimensions may
+duplicate a partial across workers; the scatter key can only follow
+one dimension (the same trade a distributed hash join makes when it
+partitions on one key).
+
+**Crash containment.**  Worker replies are routed through a per-worker
+tagged mailbox (the dispatcher, the invalidation fan-out and a stats
+sample may all await replies from one worker concurrently); a reply
+wait detects a dead worker by liveness-polling rather than pipe EOF —
+with ``fork`` start, sibling workers inherit each other's pipe ends,
+so EOF alone is not a reliable death signal.  A dead worker fails only
+the requests whose rows were routed to it (the runtime retries a
+coalesced batch request-by-request, exactly like data-dependent
+failures in thread mode).
+
+**Budget governance.**  Workers run :class:`~repro.fx.shm.
+SharedPartialStore` with *no* local bound; each publishes its resident
+floats into its header slot, and after every gathered batch the
+dispatcher reads the headers (plain shared-memory loads, no IPC),
+plans deficit-bounded trims (:func:`repro.fx.shm.plan_trims`) and
+sends ``TRIM`` only to over-share workers.  A hot worker can therefore
+hold most of the global budget while cold workers hold none — the
+cross-process continuation of PR 5's "hot fingerprints take share from
+cold ones".  Overshoot between sweeps is bounded by one batch's
+inserts, mirroring the thread-mode governor's pinned-row overshoot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import pickle
+import struct
+import threading
+import time
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.fx.shm import (
+    HDR_FLOATS_RESIDENT,
+    ShmArena,
+    header_nbytes,
+    header_view,
+    plan_trims,
+)
+
+# -- wire protocol (shared with repro.runtime.procworker) ---------------------
+
+MSG_READY = 0
+MSG_REGISTER = 1
+MSG_UNREGISTER = 2
+MSG_EXEC = 3
+MSG_INVALIDATE = 4
+MSG_STATS = 5
+MSG_TRIM = 6
+MSG_SHUTDOWN = 7
+MSG_CRASH = 8          # test hook: exit immediately without cleanup
+REPLY_OK = 100
+REPLY_ERR = 101
+
+_HEADER = struct.Struct("<BQ")     # (message type, request id)
+
+_FLOAT_BYTES = 8
+_READY_TIMEOUT_S = 60.0
+_REPLY_TIMEOUT_S = 120.0
+_SHUTDOWN_TIMEOUT_S = 5.0
+_POLL_S = 0.05
+
+_DEFAULT_SLAB_BYTES = 16 * 1024 * 1024
+_MAX_SLAB_BYTES = 1024 * 1024 * 1024
+_INITIAL_TASK_BYTES = 1 * 1024 * 1024
+
+
+def pack_message(mtype: int, req_id: int, payload) -> bytes:
+    return _HEADER.pack(mtype, req_id) + pickle.dumps(payload)
+
+
+def unpack_message(data: bytes):
+    mtype, req_id = _HEADER.unpack_from(data)
+    return mtype, req_id, pickle.loads(data[_HEADER.size:])
+
+
+def task_layout(rows: int, d_s: int, q: int, out_width: int):
+    """(fk offset, out offset, total bytes) of one task slab frame.
+
+    Derived identically on both sides from the EXEC scalars: features
+    ``(rows, d_s)`` float64 first, then ``q`` int64 FK columns, then
+    the float64 output region (``max(out_width, 1)`` values per row —
+    1-D outputs use width 0 on the wire but still occupy one column).
+    """
+    fk_offset = rows * d_s * _FLOAT_BYTES
+    out_offset = fk_offset + q * rows * 8
+    total = out_offset + rows * max(out_width, 1) * _FLOAT_BYTES
+    return fk_offset, out_offset, total
+
+
+class WorkerDied(ModelError):
+    """A worker process exited while owing replies."""
+
+
+class _WorkerHandle:
+    """One worker process: pipe, liveness, task slab, reply mailbox."""
+
+    def __init__(self, index: int, process, conn) -> None:
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.task_seg = None           # set by the executor
+        self.dead = False
+        self._send_lock = threading.Lock()
+        # Tagged mailbox with a single designated receiver: whichever
+        # waiter finds nobody draining the pipe drains it for everyone,
+        # parking replies by request id.  This is what lets the
+        # dispatcher, the invalidation fan-out and a stats sample all
+        # await replies from this worker at once over one pipe.
+        self._cond = threading.Condition()
+        self._replies: dict[int, tuple[int, object]] = {}
+        self._receiving = False
+
+    def _mark_dead(self) -> None:
+        with self._cond:
+            self.dead = True
+            self._cond.notify_all()
+
+    def _died(self) -> WorkerDied:
+        code = self.process.exitcode
+        return WorkerDied(
+            f"worker process {self.index} died"
+            f"{f' (exit code {code})' if code is not None else ''} "
+            "while owing replies; requests routed to it fail, other "
+            "workers keep serving"
+        )
+
+    def send(self, mtype: int, req_id: int, payload) -> None:
+        data = pack_message(mtype, req_id, payload)
+        with self._send_lock:
+            if self.dead:
+                raise self._died()
+            try:
+                self.conn.send_bytes(data)
+            except (OSError, ValueError, BrokenPipeError):
+                self._mark_dead()
+                raise self._died() from None
+
+    def recv_reply(self, req_id: int, timeout: float):
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._cond:
+                while True:
+                    reply = self._replies.pop(req_id, None)
+                    if reply is not None:
+                        return reply
+                    if self.dead:
+                        raise self._died()
+                    if not self._receiving:
+                        self._receiving = True
+                        break       # become the designated receiver
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise WorkerDied(
+                            f"timed out after {timeout}s awaiting a "
+                            f"reply from worker {self.index}"
+                        )
+                    self._cond.wait(min(remaining, _POLL_S * 4))
+            try:
+                self._drain_once(deadline)
+            finally:
+                with self._cond:
+                    self._receiving = False
+                    self._cond.notify_all()
+
+    def _drain_once(self, deadline: float) -> None:
+        """Receive pipe messages until any reply lands (or death)."""
+        while True:
+            try:
+                if self.conn.poll(_POLL_S):
+                    data = self.conn.recv_bytes()
+                else:
+                    # No data.  A dead worker cannot reply; with fork
+                    # start siblings hold this pipe's write end open,
+                    # so poll() never EOFs — liveness is the signal.
+                    if not self.process.is_alive():
+                        self._mark_dead()
+                        return
+                    if time.monotonic() > deadline:
+                        raise WorkerDied(
+                            f"timed out awaiting worker {self.index}"
+                        )
+                    continue
+            except (EOFError, OSError):
+                self._mark_dead()
+                return
+            mtype, req_id, payload = unpack_message(data)
+            with self._cond:
+                self._replies[req_id] = (mtype, payload)
+                self._cond.notify_all()
+            return
+
+
+class ProcessExecutor:
+    """Spawns and drives the worker processes (see module docstring).
+
+    Must be constructed *before* the owning runtime starts any thread:
+    with the default ``fork`` start method, forking a multi-threaded
+    process risks inheriting locks mid-acquisition.
+    """
+
+    def __init__(self, db, config) -> None:
+        directory = getattr(db, "directory", None)
+        if directory is None:  # pragma: no cover - all Databases have one
+            raise ModelError(
+                "executor='process' needs a disk-backed Database"
+            )
+        self.config = config
+        self.num_workers = config.num_workers
+        self.budget_floats = (
+            None
+            if config.memory_budget is None
+            else max(1, config.memory_budget // _FLOAT_BYTES)
+        )
+        self._closed = False
+        self._req_ids = itertools.count(1)
+        self._req_lock = threading.Lock()
+        self.arena = ShmArena()
+        try:
+            header_seg = self.arena.create(
+                "hdr", header_nbytes(self.num_workers)
+            )
+            self.headers = header_view(header_seg.buf, self.num_workers)
+            self.headers[:] = 0
+            slab_bytes = min(
+                max(
+                    config.memory_budget or _DEFAULT_SLAB_BYTES,
+                    _INITIAL_TASK_BYTES,
+                ),
+                _MAX_SLAB_BYTES,
+            )
+            method = (
+                "fork"
+                if "fork" in mp.get_all_start_methods()
+                else "spawn"
+            )
+            ctx = mp.get_context(method)
+            self.workers: list[_WorkerHandle] = []
+            for index in range(self.num_workers):
+                partial_seg = self.arena.create(
+                    f"part{index}", slab_bytes
+                )
+                task_seg = self.arena.create(
+                    f"task{index}", _INITIAL_TASK_BYTES
+                )
+                parent_conn, child_conn = ctx.Pipe(duplex=True)
+                # Import here keeps procworker out of thread-mode runs.
+                from repro.runtime.procworker import worker_main
+
+                process = ctx.Process(
+                    target=worker_main,
+                    args=(
+                        index,
+                        self.num_workers,
+                        child_conn,
+                        str(directory),
+                        config,
+                        header_seg.name,
+                        partial_seg.name,
+                    ),
+                    name=f"repro-runtime-proc-{index}",
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                handle = _WorkerHandle(index, process, parent_conn)
+                handle.task_seg = task_seg
+                self.workers.append(handle)
+            for handle in self.workers:
+                self._reply(handle, 0, _READY_TIMEOUT_S)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _next_id(self) -> int:
+        with self._req_lock:
+            return next(self._req_ids)
+
+    def _reply(
+        self,
+        handle: _WorkerHandle,
+        req_id: int,
+        timeout: float = _REPLY_TIMEOUT_S,
+    ):
+        mtype, payload = handle.recv_reply(req_id, timeout)
+        if mtype == REPLY_ERR:
+            raise ModelError(
+                f"worker {handle.index}: {payload.get('error')}"
+            )
+        return payload
+
+    def _request(
+        self,
+        handle: _WorkerHandle,
+        mtype: int,
+        payload,
+        timeout: float = _REPLY_TIMEOUT_S,
+    ):
+        req_id = self._next_id()
+        handle.send(mtype, req_id, payload)
+        return self._reply(handle, req_id, timeout)
+
+    def _broadcast(self, mtype: int, payload) -> list:
+        """Send to every live worker; collect replies in worker order.
+
+        Raises the first worker error after all replies are gathered —
+        later workers are never left with an un-received reply.
+        """
+        pending: list[tuple[_WorkerHandle, int] | None] = []
+        for handle in self.workers:
+            if handle.dead:
+                pending.append(None)
+                continue
+            req_id = self._next_id()
+            try:
+                handle.send(mtype, req_id, payload)
+            except WorkerDied:
+                pending.append(None)
+                continue
+            pending.append((handle, req_id))
+        replies, first_error = [], None
+        for entry in pending:
+            if entry is None:
+                replies.append(None)
+                continue
+            handle, req_id = entry
+            try:
+                replies.append(self._reply(handle, req_id))
+            except ModelError as error:
+                replies.append(None)
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
+        return replies
+
+    # -- control plane -------------------------------------------------------
+
+    def register(
+        self, model_index, name, kind, spec, model, strategy,
+        cache_entries, cache_floats,
+    ) -> dict:
+        replies = self._broadcast(
+            MSG_REGISTER,
+            {
+                "index": model_index,
+                "name": name,
+                "kind": kind,
+                "spec": spec,
+                "model": model,
+                "strategy": strategy,
+                "cache_entries": cache_entries,
+                "cache_floats": cache_floats,
+            },
+        )
+        return next(reply for reply in replies if reply is not None)
+
+    def unregister(self, model_index: int) -> None:
+        self._broadcast(MSG_UNREGISTER, {"index": model_index})
+
+    def invalidate(self, relation: str, rids) -> dict[str, int]:
+        """Fan an invalidation out to every worker; merged drop counts."""
+        dropped: dict[str, int] = {}
+        replies = self._broadcast(
+            MSG_INVALIDATE,
+            {"relation": relation, "rids": np.asarray(rids)},
+        )
+        for reply in replies:
+            for model_name, count in (reply or {}).items():
+                dropped[model_name] = dropped.get(model_name, 0) + count
+        return dropped
+
+    def sample_stats(self) -> list[dict]:
+        """One telemetry sample per live worker (dead workers: None)."""
+        return self._broadcast(MSG_STATS, {})
+
+    # -- the budget governor -------------------------------------------------
+
+    def worker_resident_floats(self) -> list[int]:
+        return [
+            int(self.headers[index, HDR_FLOATS_RESIDENT])
+            for index in range(self.num_workers)
+        ]
+
+    def sweep_budget(self) -> int:
+        """One deficit-bounded sweep over the per-worker headers.
+
+        Reads residency straight from shared memory (no IPC), then
+        TRIMs only the workers whose share must shrink.  Returns rows
+        evicted.  No-op while within budget — the dispatcher calls
+        this after every gathered batch, so the fast path must be two
+        loads and a compare.
+        """
+        if self.budget_floats is None:
+            return 0
+        trims = plan_trims(
+            self.worker_resident_floats(), self.budget_floats
+        )
+        evicted = 0
+        for index, floats in enumerate(trims):
+            if floats <= 0 or self.workers[index].dead:
+                continue
+            reply = self._request(
+                self.workers[index], MSG_TRIM, {"floats": int(floats)}
+            )
+            evicted += reply["evicted"]
+        return evicted
+
+    def set_budget(self, floats: int | None) -> int:
+        """Re-bound the global budget; sweeps immediately on tighten."""
+        if self.budget_floats is None and floats is not None:
+            raise ModelError(
+                "cannot impose a budget on a process runtime created "
+                "without memory_budget; its worker stores run "
+                "ungoverned (no recency ticks) — create the runtime "
+                "with memory_budget to arm the governor"
+            )
+        self.budget_floats = floats
+        if floats is None:
+            return 0
+        return self.sweep_budget()
+
+    # -- the data plane ------------------------------------------------------
+
+    def _ensure_task_capacity(
+        self, handle: _WorkerHandle, nbytes: int
+    ):
+        seg = handle.task_seg
+        if seg.size >= nbytes:
+            return seg
+        grown = max(seg.size * 2, nbytes)
+        new_seg = self.arena.create(f"task{handle.index}", grown)
+        # The worker still maps the old segment until its next EXEC
+        # names the new one; unlinking now is safe (POSIX keeps the
+        # mapping alive) and keeps /dev/shm bounded to one task slab
+        # per worker.
+        self.arena.release(seg.name)
+        handle.task_seg = new_seg
+        return new_seg
+
+    def start_subbatch(
+        self, worker_index, model_index, op, features, fks, out_width,
+    ) -> int:
+        """Write one sub-batch into the worker's task slab, send EXEC.
+
+        Returns the request id to pass to :meth:`finish_subbatch`.
+        Only the dispatcher calls this, so one task slab per worker is
+        enough — the next sub-batch for this worker is only written
+        after the previous one's outputs were gathered.
+        """
+        handle = self.workers[worker_index]
+        rows, d_s = features.shape
+        q = len(fks)
+        fk_offset, out_offset, total = task_layout(
+            rows, d_s, q, out_width
+        )
+        seg = self._ensure_task_capacity(handle, total)
+        np.frombuffer(
+            seg.buf, dtype=np.float64, count=rows * d_s
+        ).reshape(rows, d_s)[:] = features
+        for position, fk in enumerate(fks):
+            np.frombuffer(
+                seg.buf, dtype=np.int64, count=rows,
+                offset=fk_offset + position * rows * 8,
+            )[:] = fk
+        req_id = self._next_id()
+        handle.send(
+            MSG_EXEC,
+            req_id,
+            {
+                "model": model_index,
+                "op": op,
+                "rows": rows,
+                "d_s": d_s,
+                "q": q,
+                "out_width": out_width,
+                "seg": seg.name,
+            },
+        )
+        return req_id
+
+    def finish_subbatch(
+        self, worker_index: int, req_id: int, rows: int, d_s: int, q: int,
+    ):
+        """Await one EXEC reply and copy its outputs out of the slab.
+
+        Returns ``(outputs, meta)``; outputs are already detached from
+        the slab (copied), so the slab is free for the next sub-batch.
+        """
+        handle = self.workers[worker_index]
+        meta = self._reply(handle, req_id)
+        out_width = meta["out_width"]
+        _, out_offset, _ = task_layout(rows, d_s, q, out_width)
+        outputs = np.frombuffer(
+            handle.task_seg.buf,
+            dtype=np.float64,
+            count=rows * max(out_width, 1),
+            offset=out_offset,
+        ).copy()
+        if out_width:
+            outputs = outputs.reshape(rows, out_width)
+        if meta["out_dtype"] == "i8":
+            outputs = outputs.astype(np.int64)
+        return outputs, meta
+
+    # -- test hooks & lifecycle ----------------------------------------------
+
+    def crash_worker(self, worker_index: int) -> None:
+        """Make one worker exit immediately (teardown tests only)."""
+        handle = self.workers[worker_index]
+        try:
+            handle.send(MSG_CRASH, self._next_id(), {})
+        except WorkerDied:
+            return
+        handle.process.join(_SHUTDOWN_TIMEOUT_S)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop the workers, then unlink every shm segment.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in getattr(self, "workers", []):
+            if handle.dead or not handle.process.is_alive():
+                continue
+            try:
+                handle.send(MSG_SHUTDOWN, self._next_id(), {})
+            except WorkerDied:
+                continue
+        for handle in getattr(self, "workers", []):
+            handle.process.join(_SHUTDOWN_TIMEOUT_S)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(_SHUTDOWN_TIMEOUT_S)
+            try:
+                handle.conn.close()
+            except OSError:  # pragma: no cover - already closed
+                pass
+        # Drop the long-lived header view so the segment's buffer has
+        # no exports left — otherwise SharedMemory.__del__ reports
+        # BufferError noise at interpreter exit.
+        self.headers = None
+        # Unlinking last: a worker that was mid-batch at SHUTDOWN may
+        # touch its mappings until it exits; mappings survive unlink.
+        self.arena.close()

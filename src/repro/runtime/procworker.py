@@ -1,0 +1,410 @@
+"""Worker-process entry point for the process execution backend.
+
+``worker_main`` is the target of every process the parent-side
+:class:`~repro.runtime.procpool.ProcessExecutor` spawns.  A worker is
+a miniature, single-threaded serving core:
+
+* it opens its *own* :class:`~repro.storage.catalog.Database` over the
+  shared on-disk directory (heap pages and the catalog are plain files;
+  each worker keeps a private buffer pool over them — the OS page
+  cache dedups the physical bytes);
+* it builds its own predictors per registered model and draws their
+  partial caches from a :class:`~repro.fx.shm.SharedPartialStore`
+  whose payload slab lives in the shared-memory segment the parent
+  created — so partials survive in shared memory the parent can
+  account, and the worker's residency is published into its header
+  slot after every batch;
+* it serves ``EXEC`` messages over views into its task slab: the pipe
+  message carries only scalars (rows, widths, the slab name), the
+  arrays never cross the pipe.
+
+Because the parent scatters rows by ``fk_0 % num_workers`` — the same
+RID-hash the in-process :class:`~repro.fx.sharding.ShardedPartialCache`
+shards by — each worker only ever sees its own slice of the first
+dimension's RID space: its caches hold disjoint first-dimension
+partials, which is what makes N worker caches behave like one cache
+N-way sharded, not N redundant copies.
+
+The worker never unlinks shared memory: segments are owned (and
+unlinked) by the parent; on shutdown the worker clears its caches,
+drops its views and detaches.  Errors inside a message handler are
+reported back as ``REPLY_ERR`` with the traceback text — the parent
+turns them into :class:`~repro.errors.ModelError` and retries the
+batch request by request, exactly like thread-mode failures.
+"""
+
+from __future__ import annotations
+
+import gc
+import os
+import time
+import traceback
+
+import numpy as np
+
+from repro.core.strategies import FACTORIZED, MATERIALIZED
+from repro.fx.dedup import DedupPlan
+from repro.fx.shm import (
+    HDR_BATCHES,
+    HDR_INVALIDATED,
+    HDR_ROWS_EXECUTED,
+    HEADER_FIELDS,
+    SharedPartialStore,
+    ShmArena,
+    header_view,
+)
+from repro.runtime.planner import BatchPlanner
+from repro.runtime.procpool import (
+    MSG_CRASH,
+    MSG_EXEC,
+    MSG_INVALIDATE,
+    MSG_REGISTER,
+    MSG_SHUTDOWN,
+    MSG_STATS,
+    MSG_TRIM,
+    MSG_UNREGISTER,
+    REPLY_ERR,
+    REPLY_OK,
+    pack_message,
+    task_layout,
+    unpack_message,
+)
+from repro.serve.predictor import make_predictor
+
+ADAPTIVE = "adaptive"
+
+
+class _WorkerModel:
+    """One registered model inside a worker (predictors + planner)."""
+
+    __slots__ = (
+        "name", "kind", "strategy", "factorized", "materialized",
+        "caches", "planner", "dimension_names",
+    )
+
+    def __init__(
+        self, name, kind, strategy, factorized, materialized, planner,
+        dimension_names,
+    ) -> None:
+        self.name = name
+        self.kind = kind
+        self.strategy = strategy
+        self.factorized = factorized
+        self.materialized = materialized
+        self.caches = factorized.caches if factorized is not None else []
+        self.planner = planner
+        self.dimension_names = dimension_names
+
+    @property
+    def base(self):
+        return self.factorized or self.materialized
+
+    def close(self) -> None:
+        for cache in self.caches:
+            cache.clear()
+        if self.factorized is not None:
+            self.factorized.close()
+
+
+class _Worker:
+    def __init__(
+        self, worker_id, num_workers, conn, directory, config,
+        header_name, partial_name,
+    ) -> None:
+        self.worker_id = worker_id
+        self.num_workers = num_workers
+        self.conn = conn
+        self.directory = directory
+        self.config = config
+        self.arena = ShmArena()
+        header_seg = self.arena.attach(header_name)
+        self.header = header_view(header_seg.buf, num_workers)[worker_id]
+        partial_seg = self.arena.attach(partial_name)
+        self.store = SharedPartialStore(
+            slab=partial_seg,
+            header=self.header,
+            # The budget bound lives in the parent (deficit-bounded
+            # TRIMs over the headers); armed just turns on the recency
+            # clock so trims have an eviction order to follow.
+            armed=config.memory_budget is not None,
+            num_shards=1,
+            admission=config.cache_admission,
+            shared=config.share_partials,
+        )
+        self.db = None                  # opened on first REGISTER
+        self.models: dict[int, _WorkerModel] = {}
+        self.task_seg = None            # re-attached when renamed
+        self.running = True
+
+    def _database(self):
+        if self.db is None:
+            # Deferred so relations registered after runtime creation
+            # are present in the catalog file when it is first read.
+            from repro.storage.catalog import Database
+
+            self.db = Database(self.directory)
+        return self.db
+
+    # -- handlers -------------------------------------------------------------
+
+    def on_register(self, payload) -> dict:
+        db = self._database()
+        spec, model = payload["spec"], payload["model"]
+        kind, strategy = payload["kind"], payload["strategy"]
+        factorized = None
+        if strategy in (ADAPTIVE, FACTORIZED):
+            factorized = make_predictor(
+                db, spec, model, kind=kind, strategy=FACTORIZED,
+                cache_entries=payload["cache_entries"],
+                cache_floats=payload["cache_floats"],
+                store=self.store, block_pages=self.config.block_pages,
+            )
+        materialized = None
+        if strategy in (ADAPTIVE, MATERIALIZED):
+            try:
+                materialized = make_predictor(
+                    db, spec, model, kind=kind, strategy=MATERIALIZED,
+                    block_pages=self.config.block_pages,
+                )
+            except BaseException:
+                if factorized is not None:
+                    factorized.close()
+                raise
+        base = factorized or materialized
+        resolved = base.resolved
+        planner = None
+        if strategy == ADAPTIVE:
+            layout = resolved.layout
+            if kind == "gmm":
+                width_param = model.params.n_components
+            else:
+                width_param = model.first_layer.weights.shape[0]
+            planner = BatchPlanner(
+                kind, layout.sizes[0], tuple(layout.sizes[1:]),
+                width_param,
+            )
+        self.models[payload["index"]] = _WorkerModel(
+            payload["name"], kind, strategy, factorized, materialized,
+            planner,
+            [dim.relation.name for dim in resolved.dimensions],
+        )
+        n_outputs = model.n_outputs if kind == "nn" else 0
+        return {"n_outputs": int(n_outputs)}
+
+    def on_unregister(self, payload) -> dict:
+        registered = self.models.pop(payload["index"], None)
+        if registered is not None:
+            registered.close()
+            self.store.publish_header()
+        return {}
+
+    def _task_views(self, payload):
+        if self.task_seg is None or self.task_seg.name != payload["seg"]:
+            # The parent outgrew (and replaced) the task slab; drop the
+            # old attachment and map the new segment.
+            if self.task_seg is not None:
+                self.arena.release(self.task_seg.name)
+            self.task_seg = self.arena.attach(payload["seg"])
+        rows, d_s, q = payload["rows"], payload["d_s"], payload["q"]
+        fk_offset, out_offset, _ = task_layout(
+            rows, d_s, q, payload["out_width"]
+        )
+        buf = self.task_seg.buf
+        features = np.frombuffer(
+            buf, dtype=np.float64, count=rows * d_s
+        ).reshape(rows, d_s)
+        fks = [
+            np.frombuffer(
+                buf, dtype=np.int64, count=rows,
+                offset=fk_offset + position * rows * 8,
+            )
+            for position in range(q)
+        ]
+        out = np.frombuffer(
+            buf, dtype=np.float64,
+            count=rows * max(payload["out_width"], 1),
+            offset=out_offset,
+        )
+        return features, fks, out
+
+    def on_exec(self, payload) -> dict:
+        registered = self.models[payload["model"]]
+        features, fks, out = self._task_views(payload)
+        before = self.db.stats.snapshot()
+        tick = time.perf_counter()
+        # The batch's one FK dedup, consumed by planner and predictor
+        # alike — same single-unique discipline as thread mode.
+        plan = DedupPlan.for_batch(fks)
+        decision = None
+        predictor = registered.base
+        if registered.planner is not None:
+            hit_rates = tuple(
+                cache.approx_hit_rate() for cache in registered.caches
+            )
+            decision = registered.planner.plan(plan, hit_rates)
+            predictor = (
+                registered.factorized
+                if decision.strategy == FACTORIZED
+                else registered.materialized
+            )
+        call = (
+            predictor.predict
+            if payload["op"] == "predict"
+            else predictor.score_samples
+        )
+        outputs = np.asarray(call(features, fks, plan=plan))
+        elapsed = time.perf_counter() - tick
+        io = self.db.stats.snapshot() - before
+        if outputs.ndim == 1:
+            out_width = 0
+            # int64 labels round-trip exactly through float64 (cluster
+            # counts are far below 2^53); the parent casts back.
+            out[: outputs.size] = outputs
+        else:
+            out_width = outputs.shape[1]
+            out.reshape(payload["rows"], out_width)[:] = outputs
+        self.header[HDR_ROWS_EXECUTED] += payload["rows"]
+        self.header[HDR_BATCHES] += 1
+        self.store.publish_header()
+        return {
+            "out_width": out_width,
+            "out_dtype": "i8" if outputs.dtype.kind == "i" else "f8",
+            "elapsed": elapsed,
+            "io": io,
+            "decision": decision,
+            "references": plan.rows * plan.num_dimensions,
+            "distinct": sum(plan.distinct),
+        }
+
+    def on_invalidate(self, payload) -> dict:
+        relation, rids = payload["relation"], payload["rids"]
+        dropped: dict[str, int] = {}
+        for registered in self.models.values():
+            for dim_index, dim_name in enumerate(
+                registered.dimension_names
+            ):
+                if dim_name != relation or not registered.caches:
+                    continue
+                count = registered.caches[dim_index].invalidate(rids)
+                dropped[registered.name] = (
+                    dropped.get(registered.name, 0) + count
+                )
+        # This worker's buffer pool may cache the relation's pre-update
+        # pages; the event carries key values, not page numbers, so the
+        # whole relation is dropped (correctness over precision — the
+        # next batch re-reads what it touches).
+        if self.db is not None:
+            try:
+                heap = self.db.relation(relation).heap
+            except Exception:
+                heap = None
+            if heap is not None:
+                self.db.buffer_pool.invalidate(heap)
+        total = sum(dropped.values())
+        if total:
+            self.header[HDR_INVALIDATED] += total
+        self.store.publish_header()
+        return dropped
+
+    def on_stats(self, payload) -> dict:
+        sample = {
+            "worker": self.worker_id,
+            "store": self.store.stats(),
+            "cache_stats": {
+                registered.name: [
+                    cache.stats() for cache in registered.caches
+                ]
+                for registered in self.models.values()
+            },
+            "header": [int(value) for value in self.header],
+        }
+        if self.db is not None:
+            sample["pool"] = self.db.buffer_pool.stats()
+            sample["io"] = self.db.stats.snapshot()
+        return sample
+
+    def on_trim(self, payload) -> dict:
+        evicted = self.store.trim(payload["floats"])
+        self.store.publish_header()
+        return {"evicted": evicted}
+
+    def shutdown(self) -> None:
+        self.running = False
+        for registered in self.models.values():
+            registered.close()
+        self.models.clear()
+        if self.db is not None:
+            self.db.close()
+            self.db = None
+        # Drop every long-lived view into the segments (the header row,
+        # the store's slab allocator buffer) so detaching can actually
+        # release the mappings instead of BufferError-ing at exit.
+        # store.close() breaks the armed store <-> cache governor cycle
+        # deterministically; the collection sweeps whatever transitive
+        # cycles (predictor internals, planner state) still pin views.
+        self.store.close()
+        self.store = None
+        self.header = None
+        gc.collect()
+        # Detach only — the parent owns (and unlinks) every segment.
+        self.arena.close()
+
+    # -- the loop -------------------------------------------------------------
+
+    _HANDLERS = {
+        MSG_REGISTER: on_register,
+        MSG_UNREGISTER: on_unregister,
+        MSG_EXEC: on_exec,
+        MSG_INVALIDATE: on_invalidate,
+        MSG_STATS: on_stats,
+        MSG_TRIM: on_trim,
+    }
+
+    def run(self) -> None:
+        self.conn.send_bytes(pack_message(REPLY_OK, 0, {}))
+        while self.running:
+            try:
+                data = self.conn.recv_bytes()
+            except (EOFError, OSError):
+                break                   # parent is gone
+            mtype, req_id, payload = unpack_message(data)
+            if mtype == MSG_SHUTDOWN:
+                break
+            if mtype == MSG_CRASH:
+                os._exit(3)             # teardown tests: die uncleanly
+            handler = self._HANDLERS.get(mtype)
+            try:
+                if handler is None:
+                    raise ValueError(f"unknown message type {mtype}")
+                reply = pack_message(
+                    REPLY_OK, req_id, handler(self, payload)
+                )
+            except BaseException:
+                reply = pack_message(
+                    REPLY_ERR, req_id,
+                    {"error": traceback.format_exc()},
+                )
+            try:
+                self.conn.send_bytes(reply)
+            except (OSError, BrokenPipeError):  # pragma: no cover
+                break
+        self.shutdown()
+
+
+def worker_main(
+    worker_id, num_workers, conn, directory, config,
+    header_name, partial_name,
+) -> None:
+    """Process entry point: build the worker, serve until SHUTDOWN."""
+    assert HEADER_FIELDS == 4   # layout agreed with the parent
+    worker = _Worker(
+        worker_id, num_workers, conn, directory, config,
+        header_name, partial_name,
+    )
+    try:
+        worker.run()
+    finally:
+        try:
+            worker.shutdown()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass

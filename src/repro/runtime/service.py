@@ -63,12 +63,17 @@ from repro.fx.store import PartialStore, StoreStats
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
 from repro.obs import TelemetryServer, as_telemetry
-from repro.obs.metrics import SIZE_BUCKETS
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    SIZE_BUCKETS,
+    HistogramValue,
+)
 from repro.obs.trace import current_span
 from repro.runtime.planner import BatchPlanner, PlannerStats
 from repro.runtime.queue import Request, RequestQueue
 from repro.serve.cache import LRU_ADMISSION, CacheStats
 from repro.serve.predictor import (
+    _ServingPredictor,
     coerce_gmm_model,
     coerce_nn_model,
     make_predictor,
@@ -78,6 +83,9 @@ from repro.storage.catalog import Database
 from repro.storage.events import RowVersionEvent
 
 ADAPTIVE = "adaptive"
+
+THREAD_EXECUTOR = "thread"
+PROCESS_EXECUTOR = "process"
 
 
 def _batch_size_bucket(rows: int) -> int:
@@ -98,6 +106,14 @@ class RuntimeConfig:
     ``capacity_floats`` (``memory_budget // 8``), enforced by
     cross-cache eviction of the globally coldest partials.  Sizing
     guidance lives in ``docs/tuning.md``.
+
+    ``executor`` picks the worker substrate: ``"thread"`` (default)
+    runs ``num_workers`` threads in-process; ``"process"`` runs
+    ``num_workers`` worker *processes* with shared-memory partial
+    slabs and RID-affinity batch scattering
+    (:mod:`repro.runtime.procpool`) — same request API, bit-identical
+    outputs, no GIL on the Python portions of a batch.  Selection
+    guidance lives in ``docs/tuning.md``.
     """
 
     num_workers: int = 2
@@ -109,8 +125,14 @@ class RuntimeConfig:
     share_partials: bool = True            # cross-model slab sharing
     memory_budget: int | None = None       # bytes across all models
     block_pages: int = DEFAULT_BLOCK_PAGES
+    executor: str = THREAD_EXECUTOR        # "thread" | "process"
 
     def __post_init__(self) -> None:
+        if self.executor not in (THREAD_EXECUTOR, PROCESS_EXECUTOR):
+            raise ModelError(
+                f"unknown executor {self.executor!r}; "
+                f"use 'thread'|'process'"
+            )
         if self.num_workers <= 0:
             raise ModelError(
                 f"num_workers must be positive, got {self.num_workers}"
@@ -136,11 +158,54 @@ class RuntimeConfig:
 
 @dataclass
 class WorkerStats:
-    """Execution counters for one worker thread."""
+    """Execution counters for one worker (thread or process)."""
 
     batches: int = 0
     rows: int = 0
     wall_seconds: float = 0.0
+
+    @property
+    def rows_executed(self) -> int:
+        """Rows this worker executed (alias of ``rows``; the name the
+        process-mode observability docs use)."""
+        return self.rows
+
+
+class _LatencyRecorder:
+    """A tiny in-runtime latency histogram (scatter/gather phases).
+
+    The metrics registry's histograms only surface through telemetry
+    snapshots; :meth:`ServingRuntime.runtime_stats` wants the same
+    shape (:class:`~repro.obs.metrics.HistogramValue`) with telemetry
+    on *or* off, so the runtime keeps its own cells.  Callers
+    synchronize (the runtime records under its stats lock).
+    """
+
+    __slots__ = ("buckets", "counts", "sum", "count")
+
+    def __init__(self, buckets=LATENCY_BUCKETS_S) -> None:
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def record(self, seconds: float) -> None:
+        index = len(self.buckets)
+        for i, bound in enumerate(self.buckets):
+            if seconds <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.sum += seconds
+        self.count += 1
+
+    def value(self) -> HistogramValue:
+        return HistogramValue(
+            buckets=self.buckets,
+            counts=tuple(self.counts),
+            sum=self.sum,
+            count=self.count,
+        )
 
 
 @dataclass
@@ -155,6 +220,13 @@ class RuntimeModel:
     caches: list[ShardedPartialCache]
     planner: BatchPlanner | None
     dimension_names: list[str]
+    # Process-mode: predictors/planner/caches live in the workers; the
+    # parent keeps a model-less validator for submit-time shape checks,
+    # the worker-side model index, and the network's output width (so
+    # scatter can lay out the shared output region without a model).
+    validator: object | None = None
+    worker_index: int = 0
+    out_width: int = 0
     stats: ServingStats = field(default_factory=ServingStats)
     planner_stats: PlannerStats = field(default_factory=PlannerStats)
     invalidated_rids: int = 0
@@ -174,7 +246,7 @@ class RuntimeModel:
     @property
     def base(self):
         """The predictor used for request normalization."""
-        return self.factorized or self.materialized
+        return self.factorized or self.materialized or self.validator
 
     def cache_stats(self) -> list[CacheStats]:
         """Aggregate partial-cache counters, one entry per dimension."""
@@ -208,6 +280,14 @@ class RuntimeStats:
     invalidated_rids: dict[str, int]
     dedup_ratio: dict[str, float]
     store: StoreStats
+    # Backend annotations ("thread" | "process").  In process mode
+    # ``cache_stats``/``store`` are merged across the worker processes
+    # and the two histograms cover the dispatcher's scatter (slab
+    # writes + EXEC sends) and gather (reply waits + output copies)
+    # phases; in thread mode the histograms are present but empty.
+    executor: str = THREAD_EXECUTOR
+    scatter_seconds: HistogramValue | None = None
+    gather_seconds: HistogramValue | None = None
 
 
 class ServingRuntime:
@@ -252,6 +332,17 @@ class ServingRuntime:
                 else max(1, self.config.memory_budget // 8)
             ),
         )
+        # Process mode spawns its workers NOW, before this constructor
+        # starts any thread: the default fork start must never clone a
+        # multi-threaded parent (inherited locks could be held by
+        # threads that do not exist in the child).
+        self._executor = None
+        self._last_worker_sample: list[dict] | None = None
+        self._next_worker_index = 0
+        if self.config.executor == PROCESS_EXECUTOR:
+            from repro.runtime.procpool import ProcessExecutor
+
+            self._executor = ProcessExecutor(db, self.config)
         self._models: dict[str, RuntimeModel] = {}
         self._dimension_index: dict[str, list[tuple[RuntimeModel, int]]] = {}
         # Guards registry mutation vs iteration (stats snapshots,
@@ -262,9 +353,18 @@ class ServingRuntime:
         self._batches = 0
         self._batch_histogram: Counter = Counter()
         self._closed = False
+        self._scatter_latency = _LatencyRecorder()
+        self._gather_latency = _LatencyRecorder()
+        # One WorkerStats per worker in either mode.  In process mode a
+        # single dispatcher thread drives all workers (within-batch
+        # parallelism comes from scattering one batch *across* the
+        # processes), and attribution comes from the EXEC replies.
         self._worker_stats = [
             WorkerStats() for _ in range(self.config.num_workers)
         ]
+        dispatchers = (
+            1 if self._executor is not None else self.config.num_workers
+        )
         self._workers = [
             threading.Thread(
                 target=self._worker_loop,
@@ -272,7 +372,7 @@ class ServingRuntime:
                 name=f"repro-runtime-worker-{i}",
                 daemon=True,
             )
-            for i in range(self.config.num_workers)
+            for i in range(dispatchers)
         ]
         self.db.subscribe(self._on_row_version)
         # Queue/worker/cache/store/page-I/O state is *sampled* at
@@ -343,6 +443,17 @@ class ServingRuntime:
             help="Cached partial rows dropped by dimension updates",
             labelnames=("model",),
         )
+        # Process-executor phases (never observed in thread mode).
+        self._m_scatter_seconds = registry.histogram(
+            "repro_scatter_seconds",
+            help="Per-batch scatter phase: shared-memory slab writes "
+                 "plus EXEC sends to the RID-affine workers",
+        )
+        self._m_gather_seconds = registry.histogram(
+            "repro_gather_seconds",
+            help="Per-batch gather phase: worker reply waits plus "
+                 "output copies out of the task slabs",
+        )
 
     def _collect(self, buffer) -> None:
         """Sample component state into a registry snapshot.
@@ -375,25 +486,76 @@ class ServingRuntime:
             "repro_worker_busy_seconds_total", busy,
             help="Accumulated batch execution seconds across workers",
         )
-        store = self.store.stats()
-        buffer.gauge(
-            "repro_store_caches", store.caches,
-            help="Live partial-cache fingerprints in the store",
-        )
-        buffer.gauge(
-            "repro_store_bytes_resident", store.bytes_resident,
-            help="Resident partial payload across every cache (bytes)",
-        )
-        if store.capacity_floats is not None:
+        if self._executor is not None:
+            # The store lives in the workers; residency and execution
+            # counters are read straight off the shared-memory headers
+            # (no IPC from the collector path).
+            if not self._executor.closed:
+                resident = self._executor.worker_resident_floats()
+                buffer.gauge(
+                    "repro_store_bytes_resident",
+                    sum(resident) * 8,
+                    help="Resident partial payload across every "
+                         "worker's shared slab (bytes)",
+                )
+                if self._executor.budget_floats is not None:
+                    buffer.gauge(
+                        "repro_store_capacity_floats",
+                        self._executor.budget_floats,
+                        help="Store-wide partial budget (float64 "
+                             "values)",
+                    )
+                from repro.fx.shm import (
+                    HDR_FLOATS_RESIDENT,
+                    HDR_INVALIDATED,
+                    HDR_ROWS_EXECUTED,
+                )
+
+                headers = self._executor.headers
+                for index in range(self._executor.num_workers):
+                    labels = {"worker": str(index)}
+                    buffer.gauge(
+                        "repro_worker_shm_floats_resident",
+                        int(headers[index, HDR_FLOATS_RESIDENT]),
+                        help="Partial floats resident in this "
+                             "worker's store",
+                        **labels,
+                    )
+                    buffer.counter(
+                        "repro_worker_rows_executed_total",
+                        int(headers[index, HDR_ROWS_EXECUTED]),
+                        help="Rows executed by this worker process",
+                        **labels,
+                    )
+                    buffer.counter(
+                        "repro_worker_invalidated_rids_total",
+                        int(headers[index, HDR_INVALIDATED]),
+                        help="Partial rows this worker dropped on "
+                             "dimension updates",
+                        **labels,
+                    )
+        else:
+            store = self.store.stats()
             buffer.gauge(
-                "repro_store_capacity_floats", store.capacity_floats,
-                help="Store-wide partial budget (float64 values)",
+                "repro_store_caches", store.caches,
+                help="Live partial-cache fingerprints in the store",
             )
-        buffer.counter(
-            "repro_store_cross_evictions_total", store.cross_evictions,
-            help="Rows evicted across cache boundaries by the budget "
-                 "governor",
-        )
+            buffer.gauge(
+                "repro_store_bytes_resident", store.bytes_resident,
+                help="Resident partial payload across every cache "
+                     "(bytes)",
+            )
+            if store.capacity_floats is not None:
+                buffer.gauge(
+                    "repro_store_capacity_floats", store.capacity_floats,
+                    help="Store-wide partial budget (float64 values)",
+                )
+            buffer.counter(
+                "repro_store_cross_evictions_total",
+                store.cross_evictions,
+                help="Rows evicted across cache boundaries by the "
+                     "budget governor",
+            )
         with self._registry_lock:
             models = list(self._models.items())
         for name, model in models:
@@ -522,6 +684,11 @@ class ServingRuntime:
             raise ModelError(f"model {name!r} is already registered")
         if strategy != ADAPTIVE:
             strategy = resolve_serving_strategy(strategy)
+        if self._executor is not None:
+            return self._register_process(
+                name, kind, spec, model, strategy, cache_entries,
+                cache_floats,
+            )
         factorized = None
         if strategy in (ADAPTIVE, FACTORIZED):
             # Factorized predictors draw their RID-hash-sharded caches
@@ -600,6 +767,72 @@ class ServingRuntime:
             raise
         return registered
 
+    def _register_process(
+        self, name, kind, spec, model, strategy, cache_entries,
+        cache_floats,
+    ) -> RuntimeModel:
+        """Register on every worker process; keep a validator locally.
+
+        The model crosses the pipe once (its coerced, fitted form);
+        each worker builds its own predictors and draws caches from
+        its shared-slab store.  The parent keeps only what submit-time
+        validation and scatter need: the resolved join (shapes,
+        dimension names) and the network's output width.
+        """
+        bare = (
+            coerce_gmm_model(model) if kind == "gmm"
+            else coerce_nn_model(model)
+        )
+        validator = _ServingPredictor(
+            self.db, spec, block_pages=self.config.block_pages
+        )
+        if strategy == MATERIALIZED and (
+            cache_entries is not None or cache_floats is not None
+        ):
+            raise ModelError(
+                "cache capacities apply to factorized serving only; "
+                "the materialized path keeps no partials to cache"
+            )
+        with self._registry_lock:
+            worker_index = self._next_worker_index
+            self._next_worker_index += 1
+        reply = self._executor.register(
+            worker_index, name, kind, spec, bare, strategy,
+            cache_entries, cache_floats,
+        )
+        registered = RuntimeModel(
+            name=name,
+            kind=kind,
+            strategy=strategy,
+            factorized=None,
+            materialized=None,
+            caches=[],
+            planner=None,
+            dimension_names=[
+                dim.relation.name for dim in validator.resolved.dimensions
+            ],
+            validator=validator,
+            worker_index=worker_index,
+            out_width=reply["n_outputs"],
+        )
+        try:
+            with self._registry_lock:
+                if name in self._models:
+                    raise ModelError(
+                        f"model {name!r} is already registered"
+                    )
+                self._models[name] = registered
+                for index, dim_name in enumerate(
+                    registered.dimension_names
+                ):
+                    self._dimension_index.setdefault(dim_name, []).append(
+                        (registered, index)
+                    )
+        except ModelError:
+            self._executor.unregister(worker_index)
+            raise
+        return registered
+
     def unregister(self, name: str) -> None:
         with self._registry_lock:
             registered = self._models.pop(name, None)
@@ -613,6 +846,8 @@ class ServingRuntime:
                 ]
         if registered.factorized is not None:
             registered.factorized.close()
+        if self._executor is not None and not self._executor.closed:
+            self._executor.unregister(registered.worker_index)
 
     # -- lookup --------------------------------------------------------------
 
@@ -700,6 +935,9 @@ class ServingRuntime:
             self._execute(batch, stats)
 
     def _execute(self, batch: list[Request], stats: WorkerStats) -> None:
+        if self._executor is not None:
+            self._execute_process(batch, stats)
+            return
         name, op = batch[0].batch_key
         rows = sum(request.rows for request in batch)
         claimed = time.perf_counter()
@@ -793,6 +1031,169 @@ class ServingRuntime:
             )
             offset += request.rows
 
+    def _execute_process(
+        self, batch: list[Request], stats: WorkerStats
+    ) -> None:
+        """Scatter one coalesced batch across the worker processes.
+
+        Rows are routed by ``fk_0 % num_workers`` — the process-level
+        continuation of the in-process RID-hash sharding — written
+        into each target worker's shared task slab, executed there,
+        and gathered back by row index.  Because every row's output is
+        computed independently and lands at its own index, the merged
+        outputs are bit-identical to thread mode regardless of worker
+        completion order.  A failure (bad data on one worker, or a
+        dead worker) retries the batch request by request, so only the
+        requests whose rows route to the failure are poisoned.
+        """
+        name, op = batch[0].batch_key
+        rows = sum(request.rows for request in batch)
+        claimed = time.perf_counter()
+        executor = self._executor
+        try:
+            registered = self.model(name)
+            features = (
+                batch[0].features if len(batch) == 1
+                else np.concatenate([r.features for r in batch], axis=0)
+            )
+            fks = [
+                batch[0].fks[i] if len(batch) == 1
+                else np.concatenate([r.fks[i] for r in batch])
+                for i in range(len(batch[0].fks))
+            ]
+            out_width = (
+                registered.out_width
+                if registered.kind == "nn" and op == "predict"
+                else 0
+            )
+            d_s, q = features.shape[1], len(fks)
+            affinity = fks[0] % executor.num_workers
+            tick = time.perf_counter()
+            # Same root span as the threaded path — dashboards keyed on
+            # "serve.batch" see both backends; the children reflect the
+            # process pipeline (scatter/gather instead of dedup/plan/
+            # predict, which now happen inside the workers).
+            with self.telemetry.tracer.trace(
+                "serve.batch", model=name, op=op,
+                requests=len(batch), rows=rows,
+            ) as root:
+                root.record(
+                    "queue.wait",
+                    min(r.enqueued_at for r in batch),
+                    claimed,
+                )
+                with root.child("scatter"):
+                    pending = []
+                    for worker in range(executor.num_workers):
+                        indices = np.nonzero(affinity == worker)[0]
+                        if indices.size == 0:
+                            continue
+                        req_id = executor.start_subbatch(
+                            worker,
+                            registered.worker_index,
+                            op,
+                            features[indices],
+                            [fk[indices] for fk in fks],
+                            out_width,
+                        )
+                        pending.append((worker, indices, req_id))
+                scatter_s = time.perf_counter() - tick
+                outputs = None
+                metas: list[tuple[int, int, dict]] = []
+                error: BaseException | None = None
+                with root.child("gather"):
+                    for worker, indices, req_id in pending:
+                        # Always finish every started sub-batch, even
+                        # after a failure — a worker left owing a reply
+                        # would corrupt the next batch's mailbox
+                        # accounting.
+                        try:
+                            sub_out, meta = executor.finish_subbatch(
+                                worker, req_id, int(indices.size), d_s, q
+                            )
+                        except BaseException as sub_error:
+                            error = error or sub_error
+                            continue
+                        metas.append((worker, int(indices.size), meta))
+                        if outputs is None:
+                            shape = (
+                                (rows,) if sub_out.ndim == 1
+                                else (rows, sub_out.shape[1])
+                            )
+                            outputs = np.empty(shape, dtype=sub_out.dtype)
+                        outputs[indices] = sub_out
+                gather_s = time.perf_counter() - tick - scatter_s
+                if error is not None:
+                    raise error
+            if outputs is None:     # zero-row batch
+                outputs = np.zeros((rows,))
+            elapsed = time.perf_counter() - tick
+            io = None
+            for _, _, meta in metas:
+                io = meta["io"] if io is None else io + meta["io"]
+        except BaseException as error:
+            if len(batch) > 1:
+                for request in batch:
+                    self._execute_process([request], stats)
+                return
+            self._m_batch_failures.labels(model=name).inc()
+            self._m_queue_wait.observe(batch[0].wait_seconds(claimed))
+            self._m_requests.labels(model=name, op=op).inc()
+            for request in batch:
+                if not request.future.set_running_or_notify_cancel():
+                    continue
+                request.future.set_exception(error)
+            return
+        self._m_requests.labels(model=name, op=op).inc(len(batch))
+        self._m_batches.labels(model=name).inc()
+        self._m_batch_rows.observe(rows)
+        self._m_batch_seconds.labels(model=name).observe(elapsed)
+        self._m_scatter_seconds.observe(scatter_s)
+        self._m_gather_seconds.observe(gather_s)
+        for request in batch:
+            self._m_queue_wait.observe(request.wait_seconds(claimed))
+        with registered.lock:
+            if io is not None:
+                registered.stats.record(rows, elapsed, io)
+            for _, _, meta in metas:
+                registered.fk_references += meta["references"]
+                registered.fk_distinct += meta["distinct"]
+                decision = meta["decision"]
+                if decision is None:
+                    continue
+                registered.planner_stats.record(decision)
+                self._m_planner_decisions.labels(
+                    model=name, strategy=decision.strategy
+                ).inc()
+                self._m_planner_dense_mults.labels(model=name).inc(
+                    decision.dense_mults
+                )
+                self._m_planner_factorized_mults.labels(model=name).inc(
+                    decision.factorized_mults
+                )
+        with self._stats_lock:
+            self._batches += 1
+            self._batch_histogram[_batch_size_bucket(rows)] += 1
+            self._scatter_latency.record(scatter_s)
+            self._gather_latency.record(gather_s)
+            for worker, sub_rows, meta in metas:
+                worker_stats = self._worker_stats[worker]
+                worker_stats.batches += 1
+                worker_stats.rows += sub_rows
+                worker_stats.wall_seconds += meta["elapsed"]
+        offset = 0
+        for request in batch:
+            if not request.future.set_running_or_notify_cancel():
+                offset += request.rows
+                continue
+            request.future.set_result(
+                outputs[offset:offset + request.rows]
+            )
+            offset += request.rows
+        # The governor: residency is read straight off the headers, so
+        # the within-budget fast path costs a few loads per batch.
+        executor.sweep_budget()
+
     def _plan(self, registered: RuntimeModel, plan: DedupPlan):
         """Pick this batch's predictor (and log the decision)."""
         span = current_span()
@@ -849,6 +1250,8 @@ class ServingRuntime:
         floats = (
             None if memory_budget is None else max(1, memory_budget // 8)
         )
+        if self._executor is not None:
+            return self._executor.set_budget(floats)
         return self.store.set_budget(floats)
 
     # -- invalidation --------------------------------------------------------
@@ -857,6 +1260,27 @@ class ServingRuntime:
         """Evict updated RIDs' partials from every shard of every model."""
         with self._registry_lock:
             affected = list(self._dimension_index.get(event.relation, []))
+        if not affected:
+            return
+        if self._executor is not None:
+            if self._executor.closed:
+                return
+            by_name = {entry[0].name: entry[0] for entry in affected}
+            # Fan out to every worker: a dimension beyond the first is
+            # not affinity-routed, so any worker may cache its RIDs.
+            dropped_by_model = self._executor.invalidate(
+                event.relation, event.rids
+            )
+            for model_name, dropped in dropped_by_model.items():
+                registered = by_name.get(model_name)
+                if registered is None or not dropped:
+                    continue
+                with registered.lock:
+                    registered.invalidated_rids += dropped
+                self._m_invalidated_rids.labels(
+                    model=model_name
+                ).inc(dropped)
+            return
         for registered, dim_index in affected:
             if not registered.caches:
                 continue
@@ -874,13 +1298,82 @@ class ServingRuntime:
         return self.model(name).stats
 
     def cache_stats(self, name: str) -> list[CacheStats]:
-        return self.model(name).cache_stats()
+        registered = self.model(name)
+        if self._executor is not None:
+            merged, _ = self._merged_worker_stats()
+            return merged.get(registered.name, [])
+        return registered.cache_stats()
 
     def planner_stats(self, name: str) -> PlannerStats:
         return self.model(name).planner_stats
 
+    def _sample_workers(self) -> list[dict]:
+        """A fresh per-worker telemetry sample (process mode).
+
+        Falls back to the last successful sample once the executor is
+        closed (or a worker died mid-sample), so post-close snapshots
+        still report the final counters instead of raising.
+        """
+        executor = self._executor
+        if executor is not None and not executor.closed:
+            try:
+                self._last_worker_sample = [
+                    sample
+                    for sample in executor.sample_stats()
+                    if sample is not None
+                ]
+            except ModelError:
+                pass
+        return self._last_worker_sample or []
+
+    def _merged_worker_stats(self):
+        """Merge worker samples: per-model cache stats + store stats."""
+        samples = self._sample_workers()
+        cache_stats: dict[str, list[CacheStats]] = {}
+        for sample in samples:
+            for name, per_dim in sample["cache_stats"].items():
+                merged = cache_stats.get(name)
+                if merged is None:
+                    cache_stats[name] = list(per_dim)
+                else:
+                    cache_stats[name] = [
+                        have + new for have, new in zip(merged, per_dim)
+                    ]
+        cache_total = CacheStats()
+        fingerprints: dict[str, int] = {}
+        caches = attachments = shared = cross = 0
+        for sample in samples:
+            store = sample["store"]
+            caches += store.caches
+            attachments += store.attachments
+            shared += store.shared_attachments
+            cross += store.cross_evictions
+            cache_total = cache_total + store.cache
+            for key, share in store.fingerprints.items():
+                fingerprints[key] = fingerprints.get(key, 0) + share
+        store_stats = StoreStats(
+            caches=caches,
+            attachments=attachments,
+            shared_attachments=shared,
+            cache=cache_total,
+            capacity_floats=(
+                self._executor.budget_floats
+                if self._executor is not None
+                else None
+            ),
+            cross_evictions=cross,
+            fingerprints=fingerprints,
+        )
+        return cache_stats, store_stats
+
     def runtime_stats(self) -> RuntimeStats:
-        """Snapshot of queue, batch, worker, cache and planner counters."""
+        """Snapshot of queue, batch, worker, cache and planner counters.
+
+        Backend-agnostic: in process mode the cache and store stats are
+        merged across the worker processes (one STATS round-trip), the
+        worker list covers the worker *processes*, and the scatter /
+        gather histograms are populated.
+        """
         with self._stats_lock:
             histogram = dict(sorted(self._batch_histogram.items()))
             workers = [
@@ -888,8 +1381,19 @@ class ServingRuntime:
                 for w in self._worker_stats
             ]
             batches = self._batches
+            scatter = self._scatter_latency.value()
+            gather = self._gather_latency.value()
         with self._registry_lock:
             models = dict(self._models)
+        if self._executor is not None:
+            cache_stats, store_stats = self._merged_worker_stats()
+        else:
+            cache_stats = {
+                name: model.cache_stats()
+                for name, model in models.items()
+                if model.caches
+            }
+            store_stats = self.store.stats()
         return RuntimeStats(
             queue_depth=self._queue.depth,
             queue_max_depth=self._queue.max_depth_seen,
@@ -901,22 +1405,22 @@ class ServingRuntime:
                 name: dict(model.planner_stats.decisions)
                 for name, model in models.items()
                 if model.planner is not None
+                or model.planner_stats.decisions
             },
-            cache_stats={
-                name: model.cache_stats()
-                for name, model in models.items()
-                if model.caches
-            },
+            cache_stats=cache_stats,
             invalidated_rids={
                 name: model.invalidated_rids
                 for name, model in models.items()
-                if model.caches
+                if model.caches or self._executor is not None
             },
             dedup_ratio={
                 name: model.dedup_ratio
                 for name, model in models.items()
             },
-            store=self.store.stats(),
+            store=store_stats,
+            executor=self.config.executor,
+            scatter_seconds=scatter,
+            gather_seconds=gather,
         )
 
     # -- lifecycle -----------------------------------------------------------
@@ -933,6 +1437,12 @@ class ServingRuntime:
         self._queue.close()
         for worker in self._workers:
             worker.join(timeout)
+        if self._executor is not None:
+            # Final sample first (post-close runtime_stats reports the
+            # last counters), then stop the workers and unlink every
+            # shared segment — the no-leaked-/dev/shm guarantee.
+            self._sample_workers()
+            self._executor.close()
         # Anything a worker could not claim before exiting fails fast.
         for request in self._queue.drain():
             if request.future.set_running_or_notify_cancel():

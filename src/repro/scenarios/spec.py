@@ -156,6 +156,7 @@ class RuntimeSpec:
     admission: str = "lru"
     share_partials: bool = True
     memory_budget: int | None = None       # bytes, None = unbounded
+    executor: str = "thread"               # "thread" | "process"
 
     @classmethod
     def from_dict(cls, raw: dict, where: str) -> "RuntimeSpec":
@@ -164,7 +165,7 @@ class RuntimeSpec:
             {
                 "workers", "max_batch_rows", "max_wait_ms", "queue_depth",
                 "cache_shards", "admission", "share_partials",
-                "memory_budget",
+                "memory_budget", "executor",
             },
             where,
         )
@@ -194,6 +195,12 @@ class RuntimeSpec:
             raise ModelError(
                 f"{where}.share_partials must be a bool, got {share!r}"
             )
+        executor = raw.get("executor", "thread")
+        if executor not in ("thread", "process"):
+            raise ModelError(
+                f"{where}.executor must be 'thread' or 'process', "
+                f"got {executor!r}"
+            )
         return cls(
             workers=_positive_int(raw.get("workers", 2), f"{where}.workers"),
             max_batch_rows=_positive_int(
@@ -207,6 +214,7 @@ class RuntimeSpec:
             admission=admission,
             share_partials=share,
             memory_budget=memory_budget,
+            executor=executor,
         )
 
 

@@ -157,6 +157,10 @@ class CacheStats:
     invalidations: int = 0
     admission_rejections: int = 0
     cross_evictions: int = 0
+    # Of bytes_resident, how many live in a shared-memory slab (the
+    # process executor's per-worker arena) vs private process memory.
+    # bytes_resident stays the budget-truth total either way.
+    shm_bytes_resident: int = 0
 
     @property
     def lookups(self) -> int:
@@ -165,6 +169,11 @@ class CacheStats:
     @property
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
+
+    @property
+    def private_bytes_resident(self) -> int:
+        """Resident payload held in ordinary process memory."""
+        return self.bytes_resident - self.shm_bytes_resident
 
     def __add__(self, other: "CacheStats") -> "CacheStats":
         """Aggregate counters across shards (capacities add too)."""
@@ -189,6 +198,9 @@ class CacheStats:
                 self.admission_rejections + other.admission_rejections
             ),
             cross_evictions=self.cross_evictions + other.cross_evictions,
+            shm_bytes_resident=(
+                self.shm_bytes_resident + other.shm_bytes_resident
+            ),
         )
 
 
@@ -216,6 +228,7 @@ class PartialCache:
         capacity_floats: int | None = None,
         admission: str = LRU_ADMISSION,
         clock: AccessClock | None = None,
+        allocator=None,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ModelError(
@@ -243,6 +256,12 @@ class PartialCache:
             )
             self._sketch = FrequencySketch(width)
         self._clock = clock
+        # Optional shared-memory slab (repro.fx.shm.SlabAllocator):
+        # admitted rows are copied into slab slots so sibling processes
+        # can account them; slab exhaustion falls back to private rows.
+        self._allocator = allocator
+        self._shm_slots: dict[int, tuple[int, int]] = {}
+        self._shm_floats_resident = 0
         self._ticks: dict[int, int] = {}
         self._pins: dict[int, int] = {}
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
@@ -276,6 +295,11 @@ class PartialCache:
         """Resident cache payload in bytes (8 per float64)."""
         return self._floats_resident * _FLOAT_BYTES
 
+    @property
+    def shm_bytes_resident(self) -> int:
+        """The slab-resident subset of :attr:`bytes_resident`."""
+        return self._shm_floats_resident * _FLOAT_BYTES
+
     def _over_capacity(self) -> bool:
         if self.capacity is not None and len(self._rows) > self.capacity:
             return True
@@ -289,6 +313,10 @@ class PartialCache:
         row = self._rows.pop(key)
         self._ticks.pop(key, None)
         self._floats_resident -= row.size
+        slot = self._shm_slots.pop(key, None)
+        if slot is not None:
+            self._allocator.free(*slot)
+            self._shm_floats_resident -= row.size
         return row.size
 
     def _evict_over_capacity(self) -> None:
@@ -414,6 +442,14 @@ class PartialCache:
                 if not self._admit(key, row):
                     self.admission_rejections += 1
                     continue
+                if self._allocator is not None:
+                    slot = self._allocator.allocate(row.size)
+                    if slot is not None:
+                        offset, view = slot
+                        view[:] = row
+                        row = view
+                        self._shm_slots[key] = (offset, view.size)
+                        self._shm_floats_resident += view.size
                 self._rows[key] = row
                 if batch_tick is not None:
                     self._ticks[key] = batch_tick
@@ -551,6 +587,7 @@ class PartialCache:
                 invalidations=self.invalidations,
                 admission_rejections=self.admission_rejections,
                 cross_evictions=self.cross_evictions,
+                shm_bytes_resident=self.shm_bytes_resident,
             )
 
     def clear(self) -> None:
@@ -562,6 +599,11 @@ class PartialCache:
         with self._lock:
             self._rows.clear()
             self._ticks.clear()
+            if self._allocator is not None:
+                for slot in self._shm_slots.values():
+                    self._allocator.free(*slot)
+            self._shm_slots.clear()
+            self._shm_floats_resident = 0
             self._floats_resident = 0
             self.hits = 0
             self.misses = 0

@@ -1,0 +1,366 @@
+"""Process-backend exactness and parity: ``executor="process"`` must be
+indistinguishable from the threaded backend in everything but the
+execution substrate.
+
+The acceptance invariants: outputs are *bit-exact* against the threaded
+runtime under a pinned strategy (scatter/gather by row index is pure
+plumbing), match the dense oracle under the adaptive planner, stay
+exact under concurrent submission and mid-run invalidation, and the
+runtime's observability surface (stats, cache stats, budget control)
+keeps working when the caches live in worker processes.
+"""
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_gmm, fit_nn, serve_runtime
+from repro.data.synthetic import (
+    DimensionSpec,
+    StarSchemaConfig,
+    generate_star,
+)
+from repro.errors import ModelError
+from repro.join.reference import nested_loop_join
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+@pytest.fixture(params=["binary", "multiway"])
+def fitted(request, db):
+    if request.param == "binary":
+        config = StarSchemaConfig.binary(
+            n_s=300, n_r=15, d_s=3, d_r=4, with_target=True, seed=7
+        )
+    else:
+        config = StarSchemaConfig(
+            n_s=240,
+            d_s=3,
+            dimensions=(DimensionSpec(15, 4), DimensionSpec(9, 2)),
+            with_target=True,
+            seed=11,
+        )
+    star = generate_star(db, config)
+    gmm = fit_gmm(db, star.spec, n_components=3, max_iter=3, seed=1)
+    nn = fit_nn(db, star.spec, hidden_sizes=(8,), epochs=2, seed=1)
+    oracle = nested_loop_join(db, star.spec)
+    return star.spec, gmm, nn, oracle
+
+
+def stored_requests(db, spec, chunk):
+    fact = spec.resolve(db).fact
+    rows = fact.scan()
+    features = fact.project_features(rows)
+    fks = np.column_stack(
+        [
+            rows[:, fact.schema.fk_position(dim.relation)].astype(np.int64)
+            for dim in spec.dimensions
+        ]
+    )
+    return [
+        (features[i:i + chunk], fks[i:i + chunk])
+        for i in range(0, rows.shape[0], chunk)
+    ]
+
+
+def whole_batch(db, spec):
+    (pair,) = stored_requests(db, spec, 10**9)
+    return pair
+
+
+class TestThreadProcessParity:
+    """With matching batch composition (one worker each) both backends
+    run the very same per-row arithmetic, so outputs must agree to the
+    last bit.  With *split* batches the BLAS kernels see different
+    matrix shapes, which legitimately moves the last ulp of float
+    accumulation — there the contract is agreement to rounding error
+    and determinism across process-mode runs."""
+
+    def run_both(self, db, spec, register, call, *, workers=1):
+        outputs = {}
+        for executor in ("thread", "process"):
+            with serve_runtime(
+                db, num_workers=workers, max_wait_ms=0.0, executor=executor
+            ) as rt:
+                register(rt)
+                outputs[executor] = call(rt)
+        return outputs["thread"], outputs["process"]
+
+    def test_gmm_labels_bit_exact_across_backends(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        threaded, processed = self.run_both(
+            db, spec,
+            lambda rt: rt.register_gmm("g", gmm, spec, strategy="factorized"),
+            lambda rt: rt.predict("g", features, fks),
+            workers=2,
+        )
+        assert threaded.dtype == processed.dtype == np.int64
+        np.testing.assert_array_equal(threaded, processed)
+
+    def test_nn_outputs_bit_exact_with_matching_batches(self, db, fitted):
+        spec, _, nn, _ = fitted
+        features, fks = whole_batch(db, spec)
+        threaded, processed = self.run_both(
+            db, spec,
+            lambda rt: rt.register_nn("n", nn, spec, strategy="factorized"),
+            lambda rt: rt.predict("n", features, fks),
+        )
+        assert threaded.dtype == processed.dtype == np.float64
+        np.testing.assert_array_equal(threaded, processed)
+
+    def test_nn_outputs_agree_to_rounding_with_split_batches(
+        self, db, fitted
+    ):
+        spec, _, nn, _ = fitted
+        features, fks = whole_batch(db, spec)
+        threaded, processed = self.run_both(
+            db, spec,
+            lambda rt: rt.register_nn("n", nn, spec, strategy="factorized"),
+            lambda rt: rt.predict("n", features, fks),
+            workers=2,
+        )
+        np.testing.assert_allclose(
+            threaded, processed, rtol=0.0, atol=1e-14
+        )
+
+    def test_gmm_scores_bit_exact_across_backends(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        threaded, processed = self.run_both(
+            db, spec,
+            lambda rt: rt.register_gmm("g", gmm, spec, strategy="factorized"),
+            lambda rt: rt.score("g", features, fks),
+        )
+        np.testing.assert_array_equal(threaded, processed)
+
+    def test_process_outputs_deterministic_across_runs(self, db, fitted):
+        spec, _, nn, _ = fitted
+        features, fks = whole_batch(db, spec)
+        runs = []
+        for _ in range(2):
+            with serve_runtime(
+                db, num_workers=2, max_wait_ms=0.0, executor="process"
+            ) as rt:
+                rt.register_nn("n", nn, spec, strategy="factorized")
+                runs.append(rt.predict("n", features, fks))
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+
+class TestAdaptiveExactness:
+    """Under the adaptive planner, per-sub-batch strategy choices may
+    legitimately differ from the threaded backend's whole-batch choice,
+    so the contract is exactness against the dense oracle."""
+
+    def test_gmm_labels_match_dense_model(self, db, fitted):
+        spec, gmm, _, oracle = fitted
+        expected = gmm.model.predict(oracle.features)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=1.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            futures = [
+                rt.submit("g", features, fks)
+                for features, fks in stored_requests(db, spec, 40)
+            ]
+            outputs = np.concatenate([f.result(60.0) for f in futures])
+        np.testing.assert_array_equal(outputs, expected)
+
+    def test_nn_outputs_match_dense_model(self, db, fitted):
+        spec, _, nn, oracle = fitted
+        expected = nn.predict(oracle.features)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=1.0, executor="process"
+        ) as rt:
+            rt.register_nn("n", nn, spec)
+            futures = [
+                rt.submit("n", features, fks)
+                for features, fks in stored_requests(db, spec, 40)
+            ]
+            outputs = np.concatenate([f.result(60.0) for f in futures])
+        np.testing.assert_allclose(outputs, expected, rtol=1e-9, atol=1e-9)
+
+
+class TestConcurrentLoad:
+    def test_many_submitting_threads_each_get_their_own_answers(
+        self, db, fitted
+    ):
+        spec, gmm, nn, oracle = fitted
+        expected_labels = gmm.model.predict(oracle.features)
+        expected_outputs = nn.predict(oracle.features)
+        requests = stored_requests(db, spec, 25)
+        bounds = np.cumsum([0] + [f.shape[0] for f, _ in requests])
+        failures = []
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=2.0, max_batch_rows=128,
+            executor="process",
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            rt.register_nn("n", nn, spec)
+
+            def client(thread_id):
+                rng = np.random.default_rng(thread_id)
+                order = rng.permutation(len(requests))
+                for index in order:
+                    features, fks = requests[index]
+                    lo, hi = bounds[index], bounds[index + 1]
+                    labels = rt.predict("g", features, fks, timeout=60.0)
+                    if not np.array_equal(labels, expected_labels[lo:hi]):
+                        failures.append(("gmm", thread_id, index))
+                    outputs = rt.predict("n", features, fks, timeout=60.0)
+                    if not np.allclose(
+                        outputs, expected_outputs[lo:hi],
+                        rtol=1e-9, atol=1e-9,
+                    ):
+                        failures.append(("nn", thread_id, index))
+
+            threads = [
+                threading.Thread(target=client, args=(t,)) for t in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            snapshot = rt.runtime_stats()
+        assert not failures
+        assert snapshot.executor == "process"
+        # Both worker processes actually executed rows.
+        busy = [w for w in snapshot.workers if w.rows_executed]
+        assert len(busy) == 2
+
+
+class TestInvalidation:
+    def test_mid_run_dimension_update_reaches_the_workers(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        relation = spec.dimensions[0].relation
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec, strategy="factorized")
+            before = rt.predict("g", features, fks)
+            assert before.shape == (features.shape[0],)
+
+            # Shift every row of the first dimension; partials for all
+            # its RIDs must be evicted in every worker.
+            dim = db[relation]
+            rows = dim.scan().copy()
+            rows[:, 1:] += 2.5
+            db.update_rows(
+                relation, np.arange(rows.shape[0]), rows
+            )
+
+            after = rt.predict("g", features, fks)
+            oracle = nested_loop_join(db, spec)
+            expected = gmm.model.predict(oracle.features)
+            np.testing.assert_array_equal(after, expected)
+            assert rt.model("g").invalidated_rids == dim.scan().shape[0]
+            stats = rt.runtime_stats()
+            assert stats.invalidated_rids["g"] == rows.shape[0]
+
+
+class TestBudgetGovernance:
+    def test_budget_is_enforced_across_worker_processes(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process",
+            memory_budget=1 << 16,
+        ) as rt:
+            rt.register_gmm("g", gmm, spec, strategy="factorized")
+            rt.predict("g", features, fks)
+            resident = rt._executor.worker_resident_floats()
+            assert sum(resident) <= 1 << 16
+            # Tighten mid-flight and force a sweep (predict() resolves
+            # before the dispatcher's post-batch sweep, so this keeps
+            # the assertion race-free): the deficit-bounded trims bring
+            # the fleet back under the new global bound.
+            rt.set_memory_budget(64)
+            rt._executor.sweep_budget()
+            resident = rt._executor.worker_resident_floats()
+            assert sum(resident) <= 64
+
+    def test_budget_cannot_be_imposed_on_unarmed_workers(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec, strategy="factorized")
+            with pytest.raises(ModelError):
+                rt.set_memory_budget(1024)
+
+
+class TestObservability:
+    def test_runtime_stats_merge_worker_telemetry(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec, strategy="factorized")
+            rt.predict("g", features, fks)
+            snapshot = rt.runtime_stats()
+        assert snapshot.executor == "process"
+        assert sum(w.rows_executed for w in snapshot.workers) == (
+            features.shape[0]
+        )
+        # Scatter/gather latency histograms recorded the batch.
+        assert snapshot.scatter_seconds.count >= 1
+        assert snapshot.gather_seconds.count >= 1
+        assert snapshot.scatter_seconds.sum >= 0.0
+        # Cache stats come back from the workers and are aggregated.
+        assert "g" in snapshot.cache_stats
+        (merged,) = snapshot.cache_stats["g"][:1]
+        assert merged.entries > 0
+        # Shared-segment residency is reported distinctly.
+        assert snapshot.store is not None
+        assert snapshot.store.shm_bytes_resident > 0
+        assert snapshot.store.private_bytes_resident == 0
+
+    def test_cache_stats_by_name_work_in_process_mode(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec, strategy="factorized")
+            rt.predict("g", features, fks)
+            per_dim = rt.cache_stats("g")
+        assert len(per_dim) == len(spec.dimensions)
+        assert sum(stats.entries for stats in per_dim) > 0
+
+
+class TestRegistrationContract:
+    def test_materialized_with_cache_bounds_rejected(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            with pytest.raises(ModelError, match="materialized"):
+                rt.register_gmm(
+                    "g", gmm, spec,
+                    strategy="materialized", cache_entries=8,
+                )
+
+    def test_unregistered_model_stops_serving(self, db, fitted):
+        spec, gmm, _, _ = fitted
+        features, fks = whole_batch(db, spec)
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            rt.predict("g", features, fks)
+            rt.unregister("g")
+            with pytest.raises(ModelError):
+                rt.predict("g", features, fks)
+
+    def test_unknown_executor_rejected(self, db):
+        with pytest.raises(ModelError, match="executor"):
+            serve_runtime(db, executor="fiber")

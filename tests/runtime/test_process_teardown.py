@@ -1,0 +1,205 @@
+"""Process-backend teardown guarantees: worker crashes fail only the
+requests routed to the dead worker, shared-memory segments never
+outlive the runtime (explicit close *or* interpreter exit), and close
+is idempotent."""
+
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_gmm, serve_runtime
+from repro.data.synthetic import StarSchemaConfig, generate_star
+from repro.errors import ModelError
+from repro.fx.shm import SEGMENT_PREFIX
+
+SHM_DIR = "/dev/shm"
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir(SHM_DIR),
+    reason="teardown assertions inspect /dev/shm (POSIX shm)",
+)
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+def own_segments():
+    """``/dev/shm`` entries created by *this* process (names embed the
+    creating pid, so parallel test runs cannot interfere)."""
+    marker = f"{SEGMENT_PREFIX}-{os.getpid()}-"
+    return sorted(
+        name for name in os.listdir(SHM_DIR) if name.startswith(marker)
+    )
+
+
+@pytest.fixture
+def served(db):
+    star = generate_star(
+        db,
+        StarSchemaConfig.binary(
+            n_s=200, n_r=12, d_s=3, d_r=4, with_target=True, seed=7
+        ),
+    )
+    gmm = fit_gmm(db, star.spec, n_components=2, max_iter=2, seed=1)
+    fact = star.spec.resolve(db).fact
+    rows = fact.scan()
+    features = fact.project_features(rows)
+    fks = np.column_stack(
+        [
+            rows[:, fact.schema.fk_position(d.relation)].astype(np.int64)
+            for d in star.spec.dimensions
+        ]
+    )
+    return star.spec, gmm, features, fks
+
+
+class TestWorkerCrash:
+    def test_crash_fails_only_the_requests_routed_to_the_dead_worker(
+        self, db, served
+    ):
+        spec, gmm, features, fks = served
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            expected = rt.predict("g", features, fks)
+
+            rt._executor.crash_worker(0)
+
+            dead = fks[:, 0] % 2 == 0       # RIDs affine to worker 0
+            with pytest.raises(ModelError, match="died"):
+                rt.predict("g", features[dead], fks[dead])
+            # Requests affine to the surviving worker keep serving,
+            # with unchanged answers.
+            alive = rt.predict("g", features[~dead], fks[~dead])
+            np.testing.assert_array_equal(alive, expected[~dead])
+
+    def test_mixed_batch_fails_only_the_dead_workers_rows(
+        self, db, served
+    ):
+        spec, gmm, features, fks = served
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=5.0, max_batch_rows=512,
+            executor="process",
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            expected = rt.predict("g", features, fks)
+            rt._executor.crash_worker(1)
+
+            # One coalesced batch spanning both workers: the batch
+            # fails wholesale, then the per-request retry fails exactly
+            # the requests whose rows route to the dead worker.
+            dead = fks[:, 0] % 2 == 1
+            futures = [
+                rt.submit("g", features[i:i + 20], fks[i:i + 20])
+                for i in range(0, features.shape[0], 20)
+            ]
+            for index, future in enumerate(futures):
+                lo, hi = index * 20, index * 20 + 20
+                routed_dead = bool(dead[lo:hi].any())
+                if routed_dead:
+                    with pytest.raises(ModelError):
+                        future.result(60.0)
+                else:
+                    np.testing.assert_array_equal(
+                        future.result(60.0), expected[lo:hi]
+                    )
+
+    def test_close_after_a_crash_leaves_no_segments(self, db, served):
+        spec, gmm, features, fks = served
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        )
+        rt.register_gmm("g", gmm, spec)
+        rt.predict("g", features, fks)
+        rt._executor.crash_worker(0)
+        rt.close()
+        assert own_segments() == []
+
+
+class TestSegmentLifecycle:
+    def test_segments_exist_while_serving_and_vanish_on_close(
+        self, db, served
+    ):
+        spec, gmm, features, fks = served
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        )
+        try:
+            rt.register_gmm("g", gmm, spec)
+            rt.predict("g", features, fks)
+            live = own_segments()
+            # Header + per-worker (task, partial) segments.
+            assert len(live) == 1 + 2 * 2
+        finally:
+            rt.close()
+        assert own_segments() == []
+
+    def test_close_is_idempotent(self, db, served):
+        spec, gmm, features, fks = served
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        )
+        rt.register_gmm("g", gmm, spec)
+        rt.predict("g", features, fks)
+        rt.close()
+        rt.close()
+        assert rt._executor.closed
+        assert own_segments() == []
+
+    def test_interpreter_exit_without_close_unlinks_segments(
+        self, db, served, tmp_path
+    ):
+        """A runtime that is never closed must still not leak
+        ``/dev/shm`` entries: the arena's atexit hook unlinks every
+        owned segment when the owning interpreter exits."""
+        spec, gmm, features, fks = served
+        script = tmp_path / "leaky.py"
+        script.write_text(
+            "import os, warnings\n"
+            "warnings.simplefilter('ignore')\n"
+            "import numpy as np\n"
+            "from repro.core.api import fit_gmm, serve_runtime\n"
+            "from repro.data.synthetic import StarSchemaConfig, "
+            "generate_star\n"
+            "from repro.storage.catalog import Database\n"
+            f"db = Database({str(tmp_path / 'leakdb')!r})\n"
+            "star = generate_star(db, StarSchemaConfig.binary(\n"
+            "    n_s=80, n_r=8, d_s=3, d_r=4, with_target=True, seed=3))\n"
+            "gmm = fit_gmm(db, star.spec, n_components=2, max_iter=2, "
+            "seed=1)\n"
+            "fact = star.spec.resolve(db).fact\n"
+            "rows = fact.scan()\n"
+            "features = fact.project_features(rows)\n"
+            "fks = [rows[:, fact.schema.fk_position(d.relation)]"
+            ".astype(np.int64) for d in star.spec.dimensions]\n"
+            "rt = serve_runtime(db, num_workers=2, max_wait_ms=0.0,\n"
+            "                   executor='process')\n"
+            "rt.register_gmm('g', gmm, star.spec)\n"
+            "rt.predict('g', features, fks)\n"
+            "print('PID', os.getpid())\n"
+            "# exit without rt.close() / db.close()\n"
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, timeout=300, env=env,
+        )
+        assert result.returncode == 0, result.stderr
+        child_pid = int(result.stdout.split("PID")[1].strip())
+        marker = f"{SEGMENT_PREFIX}-{child_pid}-"
+        leaked = [
+            name for name in os.listdir(SHM_DIR)
+            if name.startswith(marker)
+        ]
+        assert leaked == []

@@ -62,6 +62,21 @@ class TestRunnerSmoke:
         result = run_scenario(ScenarioSpec.from_dict(raw))
         assert result.passed, "\n".join(result.failures())
 
+    def test_process_executor_scenario_is_bit_exact(self):
+        # The multi-process smoke: same toy traffic served by two
+        # worker processes must stay bit-exact against the
+        # single-threaded reference and satisfy the same telemetry
+        # assertions as the threaded run.
+        raw = dict(TOY)
+        raw["name"] = "toy_process"
+        raw["runtime"] = dict(TOY["runtime"]) | {
+            "workers": 2, "executor": "process",
+        }
+        result = run_scenario(ScenarioSpec.from_dict(raw))
+        assert result.passed, "\n".join(result.failures())
+        [trial] = result.trials
+        assert trial.phases[0].rows == 4 * 32
+
     def test_failing_assertion_surfaces_in_failures(self):
         raw = dict(TOY)
         raw["name"] = "toy_unreachable_bound"

@@ -88,6 +88,16 @@ class TestRanges:
         with pytest.raises(ModelError, match="workers"):
             ScenarioSpec.from_dict(raw)
 
+    def test_bad_executor(self):
+        raw = base() | {"runtime": {"executor": "fiber"}}
+        with pytest.raises(
+            ModelError, match="'thread' or 'process'"
+        ):
+            ScenarioSpec.from_dict(raw)
+
+    def test_executor_defaults_to_thread(self):
+        assert ScenarioSpec.from_dict(base()).runtime.executor == "thread"
+
     def test_bad_admission_policy(self):
         raw = base() | {"runtime": {"admission": "clock"}}
         with pytest.raises(ModelError, match="admission"):

@@ -112,14 +112,23 @@ def flatten_memory(run: dict) -> dict:
 
 
 def flatten_runtime(run: dict) -> dict:
-    """Baseline plus rows/sec and speedup per (workers, batch) config."""
+    """Baseline plus rows/sec and speedup per (executor, workers,
+    batch) config.  Runs recorded before the executor dimension
+    existed carry no ``executor`` key and keep their legacy
+    ``w{N}.b{M}`` metric names, so old history rows still line up."""
     flat = {}
     if "baseline_rows_per_sec" in run:
         flat["baseline_rows_per_sec"] = float(run["baseline_rows_per_sec"])
     for config in run.get("configs", []):
         prefix = f"w{config['workers']}.b{config['batch_rows']}"
+        if "executor" in config:
+            prefix = f"{config['executor']}.{prefix}"
         flat[f"{prefix}.rows_per_sec"] = float(config["rows_per_sec"])
         flat[f"{prefix}.speedup"] = float(config["speedup"])
+    if run.get("process_scaling_speedup_4w"):
+        flat["process.scaling_speedup_4w"] = float(
+            run["process_scaling_speedup_4w"]
+        )
     return flat
 
 
