@@ -160,6 +160,23 @@ class _WorkerHandle:
             "workers keep serving"
         )
 
+    def _timed_out(self, timeout: float) -> WorkerDied:
+        # A worker that blows the reply deadline cannot stay in
+        # rotation: the next batch would rewrite its task slab while
+        # the stalled EXEC may still be executing over it, and its
+        # eventual late reply would sit in the mailbox forever.
+        # Terminate it so it can no longer touch shared memory, then
+        # mark it dead (which also wakes every other waiter here).
+        try:
+            self.process.terminate()
+        except Exception:  # pragma: no cover - already reaped
+            pass
+        self._mark_dead()
+        return WorkerDied(
+            f"worker {self.index} did not reply within {timeout:g}s; "
+            "terminated and removed from rotation"
+        )
+
     def send(self, mtype: int, req_id: int, payload) -> None:
         data = pack_message(mtype, req_id, payload)
         with self._send_lock:
@@ -186,19 +203,16 @@ class _WorkerHandle:
                         break       # become the designated receiver
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
-                        raise WorkerDied(
-                            f"timed out after {timeout}s awaiting a "
-                            f"reply from worker {self.index}"
-                        )
+                        raise self._timed_out(timeout)
                     self._cond.wait(min(remaining, _POLL_S * 4))
             try:
-                self._drain_once(deadline)
+                self._drain_once(deadline, timeout)
             finally:
                 with self._cond:
                     self._receiving = False
                     self._cond.notify_all()
 
-    def _drain_once(self, deadline: float) -> None:
+    def _drain_once(self, deadline: float, timeout: float) -> None:
         """Receive pipe messages until any reply lands (or death)."""
         while True:
             try:
@@ -212,9 +226,7 @@ class _WorkerHandle:
                         self._mark_dead()
                         return
                     if time.monotonic() > deadline:
-                        raise WorkerDied(
-                            f"timed out awaiting worker {self.index}"
-                        )
+                        raise self._timed_out(timeout)
                     continue
             except (EOFError, OSError):
                 self._mark_dead()
@@ -390,7 +402,13 @@ class ProcessExecutor:
                 "cache_floats": cache_floats,
             },
         )
-        return next(reply for reply in replies if reply is not None)
+        for reply in replies:
+            if reply is not None:
+                return reply
+        raise ModelError(
+            f"cannot register model {name!r}: all worker processes "
+            "are dead"
+        )
 
     def unregister(self, model_index: int) -> None:
         self._broadcast(MSG_UNREGISTER, {"index": model_index})

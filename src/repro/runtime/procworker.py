@@ -329,6 +329,8 @@ class _Worker:
         return {"evicted": evicted}
 
     def shutdown(self) -> None:
+        if self.store is None:      # already shut down — idempotent
+            return
         self.running = False
         for registered in self.models.values():
             registered.close()
@@ -404,7 +406,7 @@ def worker_main(
     try:
         worker.run()
     finally:
-        try:
-            worker.shutdown()
-        except Exception:  # pragma: no cover - teardown best-effort
-            pass
+        # A no-op after a clean run() (shutdown already ran there);
+        # real teardown only when run() raised — and then a teardown
+        # failure should be loud on the worker's stderr, not masked.
+        worker.shutdown()

@@ -489,9 +489,22 @@ class ServingRuntime:
         if self._executor is not None:
             # The store lives in the workers; residency and execution
             # counters are read straight off the shared-memory headers
-            # (no IPC from the collector path).
-            if not self._executor.closed:
-                resident = self._executor.worker_resident_floats()
+            # (no IPC from the collector path).  close() nulls the
+            # header view before unlinking the segment, so snapshot it
+            # once and re-check it — a close() racing this sampling
+            # tick must not leave us dereferencing None.
+            headers = self._executor.headers
+            if not self._executor.closed and headers is not None:
+                from repro.fx.shm import (
+                    HDR_FLOATS_RESIDENT,
+                    HDR_INVALIDATED,
+                    HDR_ROWS_EXECUTED,
+                )
+
+                resident = [
+                    int(headers[index, HDR_FLOATS_RESIDENT])
+                    for index in range(self._executor.num_workers)
+                ]
                 buffer.gauge(
                     "repro_store_bytes_resident",
                     sum(resident) * 8,
@@ -505,18 +518,11 @@ class ServingRuntime:
                         help="Store-wide partial budget (float64 "
                              "values)",
                     )
-                from repro.fx.shm import (
-                    HDR_FLOATS_RESIDENT,
-                    HDR_INVALIDATED,
-                    HDR_ROWS_EXECUTED,
-                )
-
-                headers = self._executor.headers
                 for index in range(self._executor.num_workers):
                     labels = {"worker": str(index)}
                     buffer.gauge(
                         "repro_worker_shm_floats_resident",
-                        int(headers[index, HDR_FLOATS_RESIDENT]),
+                        resident[index],
                         help="Partial floats resident in this "
                              "worker's store",
                         **labels,
@@ -1082,25 +1088,37 @@ class ServingRuntime:
                     min(r.enqueued_at for r in batch),
                     claimed,
                 )
+                error: BaseException | None = None
                 with root.child("scatter"):
                     pending = []
                     for worker in range(executor.num_workers):
                         indices = np.nonzero(affinity == worker)[0]
                         if indices.size == 0:
                             continue
-                        req_id = executor.start_subbatch(
-                            worker,
-                            registered.worker_index,
-                            op,
-                            features[indices],
-                            [fk[indices] for fk in fks],
-                            out_width,
-                        )
+                        try:
+                            req_id = executor.start_subbatch(
+                                worker,
+                                registered.worker_index,
+                                op,
+                                features[indices],
+                                [fk[indices] for fk in fks],
+                                out_width,
+                            )
+                        except BaseException as scatter_error:
+                            # Stop scattering, but fall through to the
+                            # gather below with the sub-batches already
+                            # started: each must be drained before the
+                            # per-request retry may rewrite its
+                            # worker's task slab — an abandoned EXEC
+                            # still executing over a rewritten slab
+                            # would silently corrupt the surviving
+                            # requests' inputs and outputs.
+                            error = scatter_error
+                            break
                         pending.append((worker, indices, req_id))
                 scatter_s = time.perf_counter() - tick
                 outputs = None
                 metas: list[tuple[int, int, dict]] = []
-                error: BaseException | None = None
                 with root.child("gather"):
                     for worker, indices, req_id in pending:
                         # Always finish every started sub-batch, even

@@ -113,6 +113,101 @@ class TestWorkerCrash:
                         future.result(60.0), expected[lo:hi]
                     )
 
+    def test_mid_scatter_failure_drains_started_subbatches(
+        self, db, served, monkeypatch
+    ):
+        """If scatter fails after some workers were sent an EXEC, the
+        started sub-batches are still gathered before the failure
+        propagates — a worker left owing a reply would have its task
+        slab rewritten by the retry while the abandoned EXEC may still
+        execute over it."""
+        spec, gmm, features, fks = served
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            expected = rt.predict("g", features, fks)
+
+            real = rt._executor.start_subbatch
+
+            def flaky(worker, *args, **kwargs):
+                if worker == 1:
+                    raise ModelError("injected scatter failure")
+                return real(worker, *args, **kwargs)
+
+            monkeypatch.setattr(rt._executor, "start_subbatch", flaky)
+            with pytest.raises(ModelError, match="injected"):
+                rt.predict("g", features, fks)
+            # Worker 0's sub-batch was started before the failure; it
+            # must have been drained — no parked reply, nothing left
+            # in the pipe.
+            handle = rt._executor.workers[0]
+            assert handle._replies == {}
+            assert not handle.conn.poll(0.05)
+            monkeypatch.undo()
+
+            # And the drained worker keeps serving, bit-exact.
+            mine = fks[:, 0] % 2 == 0
+            alive = rt.predict("g", features[mine], fks[mine])
+            np.testing.assert_array_equal(alive, expected[mine])
+
+    def test_register_after_total_worker_loss_raises_model_error(
+        self, db, served
+    ):
+        spec, gmm, _, _ = served
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        ) as rt:
+            rt._executor.crash_worker(0)
+            rt._executor.crash_worker(1)
+            # One broadcast marks both handles dead (send or reply
+            # fails, depending on how fast the pipe observes the exit).
+            try:
+                rt._executor.sample_stats()
+            except ModelError:
+                pass
+            assert all(h.dead for h in rt._executor.workers)
+            with pytest.raises(
+                ModelError, match="all worker processes"
+            ):
+                rt.register_gmm("g", gmm, spec)
+
+    def test_reply_timeout_terminates_and_removes_the_worker(self):
+        """A stalled worker cannot stay in rotation: the timeout path
+        terminates it (so it can no longer touch shared memory) and
+        marks it dead, so later sends fail fast instead of rewriting
+        its task slab under a possibly-running EXEC."""
+        import multiprocessing as mp
+
+        from repro.runtime.procpool import WorkerDied, _WorkerHandle
+
+        class StalledProcess:
+            def __init__(self):
+                self.terminated = False
+
+            def is_alive(self):
+                return not self.terminated
+
+            def terminate(self):
+                self.terminated = True
+
+            @property
+            def exitcode(self):
+                return -15 if self.terminated else None
+
+        parent_conn, child_conn = mp.Pipe(duplex=True)
+        try:
+            handle = _WorkerHandle(0, StalledProcess(), parent_conn)
+            with pytest.raises(WorkerDied, match="did not reply"):
+                handle.recv_reply(7, timeout=0.3)
+            assert handle.dead
+            assert handle.process.terminated
+            with pytest.raises(WorkerDied):
+                handle.send(3, 8, {})
+        finally:
+            parent_conn.close()
+            child_conn.close()
+
     def test_close_after_a_crash_leaves_no_segments(self, db, served):
         spec, gmm, features, fks = served
         rt = serve_runtime(
@@ -142,6 +237,20 @@ class TestSegmentLifecycle:
         finally:
             rt.close()
         assert own_segments() == []
+
+    def test_clean_close_exits_workers_with_code_zero(self, db, served):
+        """SHUTDOWN runs worker teardown twice (end of run() plus the
+        entry point's finally); the second call must be a no-op — a
+        non-idempotent shutdown would crash the worker on exit."""
+        spec, gmm, features, fks = served
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor="process"
+        )
+        rt.register_gmm("g", gmm, spec)
+        rt.predict("g", features, fks)
+        rt.close()
+        for handle in rt._executor.workers:
+            assert handle.process.exitcode == 0
 
     def test_close_is_idempotent(self, db, served):
         spec, gmm, features, fks = served
