@@ -389,6 +389,7 @@ def serve(
     block_pages: int = DEFAULT_BLOCK_PAGES,
     store=None,
     memory_budget: int | None = None,
+    store_tiers: tuple = (),
     telemetry=None,
 ) -> ModelService:
     """A :class:`~repro.serve.service.ModelService` over ``db``.
@@ -408,7 +409,13 @@ def serve(
     store-wide cap on resident partials across *all* registered
     models, enforced by cross-cache eviction of the globally coldest
     rows (mutually exclusive with ``store`` — put ``capacity_floats``
-    on a store you share; sizing guidance in ``docs/tuning.md``).  The
+    on a store you share; sizing guidance in ``docs/tuning.md``).
+    ``store_tiers`` (requires ``memory_budget``) makes the governor
+    demote cold partials down a tier ladder — ``"float32"``/``"int8"``
+    compress in place (GMM labels stay bit-exact, scores within a
+    documented bounded delta), ``"spill"`` pages them to disk exactly
+    — instead of dropping them to recomputation; the per-tier
+    exactness contract is tabulated in ``docs/tuning.md``.  The
     service listens for dimension-row updates
     (:meth:`Database.update_rows`) to keep its partial caches fresh;
     call ``service.close()`` to detach a service you discard before
@@ -418,7 +425,8 @@ def serve(
     """
     return ModelService(
         db, block_pages=block_pages, store=store,
-        memory_budget=memory_budget, telemetry=telemetry,
+        memory_budget=memory_budget, store_tiers=store_tiers,
+        telemetry=telemetry,
     )
 
 
@@ -433,6 +441,7 @@ def serve_runtime(
     cache_admission: str = "lru",
     share_partials: bool = True,
     memory_budget: int | None = None,
+    store_tiers: tuple = (),
     block_pages: int = DEFAULT_BLOCK_PAGES,
     executor: str = "thread",
     telemetry=None,
@@ -468,7 +477,13 @@ def serve_runtime(
     cross-cache-evicts the globally coldest rows under pressure, so a
     multi-model deployment stays inside one honest bound instead of
     each model believing its own (``docs/tuning.md`` has the sizing
-    arithmetic).  Dimension-row updates via
+    arithmetic).  ``store_tiers`` (requires ``memory_budget``) turns
+    that eviction into demotion down a tier ladder —
+    ``("float32", "spill")`` first compresses cold partials, then
+    pages them to disk — so a budget cut degrades throughput smoothly
+    instead of falling off the recompute cliff; both executors honor
+    it, and ``docs/tuning.md`` tabulates the per-tier exactness
+    contract.  Dimension-row updates via
     :meth:`Database.update_rows` evict the affected RIDs
     automatically.  ``telemetry`` (``True`` or a
     :class:`~repro.obs.Telemetry`) turns on per-batch metrics and span
@@ -495,6 +510,7 @@ def serve_runtime(
             cache_admission=cache_admission,
             share_partials=share_partials,
             memory_budget=memory_budget,
+            store_tiers=store_tiers,
             block_pages=block_pages,
             executor=executor,
         ),

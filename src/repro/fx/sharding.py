@@ -41,6 +41,7 @@ import numpy as np
 from repro.core.sync import ReadWriteLock
 from repro.errors import ModelError
 from repro.fx.dedup import distinct_values
+from repro.fx.tiers import TIER_SPILL, SpillSlab
 from repro.serve.cache import (
     LRU_ADMISSION,
     AccessClock,
@@ -78,6 +79,8 @@ class ShardedPartialCache:
         clock: AccessClock | None = None,
         governor=None,
         allocator=None,
+        tiers: tuple = (),
+        spill_dir=None,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
@@ -85,6 +88,17 @@ class ShardedPartialCache:
             )
         self.num_shards = num_shards
         self._governor = governor
+        self._tiers = tuple(tiers)
+        # One spill slab shared by every shard (it carries its own
+        # lock); the owning store supplies the directory and deletes
+        # it wholesale on close.
+        self._spill = None
+        if TIER_SPILL in self._tiers:
+            if spill_dir is None:
+                raise ModelError(
+                    "the 'spill' tier needs a spill_dir to write to"
+                )
+            self._spill = SpillSlab(spill_dir)
 
         def _split(total: int | None) -> int | None:
             if total is None:
@@ -100,6 +114,8 @@ class ShardedPartialCache:
                 admission=admission,
                 clock=clock,
                 allocator=allocator,
+                tiers=self._tiers,
+                spill=self._spill,
             )
             for _ in range(num_shards)
         ]
@@ -234,6 +250,37 @@ class ShardedPartialCache:
     def shm_bytes_resident(self) -> int:
         """The shared-memory-slab subset of :attr:`bytes_resident`."""
         return sum(shard.shm_bytes_resident for shard in self.shards)
+
+    # -- tier aggregates (lock-free, like the properties above) ------------
+
+    @property
+    def compressed_floats_resident(self) -> int:
+        return sum(s._compressed_floats for s in self.shards)
+
+    @property
+    def compressed_bytes_resident(self) -> int:
+        return self.compressed_floats_resident * 8
+
+    @property
+    def spilled_bytes(self) -> int:
+        return sum(s._spilled_bytes for s in self.shards)
+
+    @property
+    def demotions_total(self) -> int:
+        return sum(s.demotions_total for s in self.shards)
+
+    @property
+    def promotions_total(self) -> int:
+        return sum(s.promotions_total for s in self.shards)
+
+    def drop_spilled(self) -> None:
+        """Forget spilled entries in every shard and delete the spill
+        files wholesale (the owning store's teardown path)."""
+        for shard, lock in zip(self.shards, self._locks):
+            with lock:
+                shard.drop_spilled()
+        if self._spill is not None:
+            self._spill.reset()
 
     def shard_stats(self) -> list[CacheStats]:
         """Per-shard counters, in shard order."""

@@ -64,7 +64,16 @@ HDR_FLOATS_RESIDENT = 0
 HDR_ROWS_EXECUTED = 1
 HDR_BATCHES = 2
 HDR_INVALIDATED = 3
-HEADER_FIELDS = 4
+# Tiered residency (repro.fx.tiers): compressed float-equivalents are
+# *included* in HDR_FLOATS_RESIDENT (budget truth); the tier slots
+# below exist so the parent can break residency down per tier and
+# export demotion/promotion counters without any IPC.
+HDR_COMPRESSED_FLOATS = 4
+HDR_COMPRESSED_BYTES = 5
+HDR_SPILLED_BYTES = 6
+HDR_DEMOTIONS = 7
+HDR_PROMOTIONS = 8
+HEADER_FIELDS = 9
 
 _FLOAT_BYTES = 8
 
@@ -325,6 +334,15 @@ class SharedPartialStore(PartialStore):
     def publish_header(self) -> None:
         if self._header is not None:
             self._header[HDR_FLOATS_RESIDENT] = self.floats_resident
+            self._header[HDR_COMPRESSED_FLOATS] = (
+                self.compressed_floats_resident
+            )
+            self._header[HDR_COMPRESSED_BYTES] = (
+                self.compressed_bytes_resident
+            )
+            self._header[HDR_SPILLED_BYTES] = self.spilled_bytes
+            self._header[HDR_DEMOTIONS] = self.demotions_total
+            self._header[HDR_PROMOTIONS] = self.promotions_total
 
     def close(self) -> None:
         """Release the header row and slab views along with the caches

@@ -62,11 +62,16 @@ attribution trade, like shared buffer-pool stats).
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import threading
+import weakref
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.errors import ModelError
 from repro.fx.sharding import ShardedPartialCache
+from repro.fx.tiers import TIER_SPILL, validate_tiers
 from repro.serve.cache import (
     ADMISSION_POLICIES,
     LRU_ADMISSION,
@@ -101,6 +106,10 @@ class StoreStats:
     capacity_floats: int | None = None
     cross_evictions: int = 0
     fingerprints: dict[str, int] = field(default_factory=dict)
+    # How many times the budget governor *tripped* (one count per
+    # over-budget enforce_budget call, not per evicted row) — the
+    # hysteresis regression metric.
+    governor_sweeps: int = 0
 
     @property
     def bytes_resident(self) -> int:
@@ -115,6 +124,27 @@ class StoreStats:
     def private_bytes_resident(self) -> int:
         """Bytes held in ordinary process memory."""
         return self.cache.private_bytes_resident
+
+    @property
+    def compressed_bytes_resident(self) -> int:
+        """Payload bytes held by the compressed tiers (float32/int8)."""
+        return self.cache.compressed_bytes_resident
+
+    @property
+    def spilled_bytes(self) -> int:
+        """Bytes of partial rows parked in on-disk spill heaps."""
+        return self.cache.spilled_bytes
+
+    @property
+    def tier_demotions(self) -> dict:
+        """Tier transitions down the ladder, keyed by target tier
+        (``"drop"`` when a row fell off the end)."""
+        return self.cache.demotions
+
+    @property
+    def tier_promotions(self) -> dict:
+        """Re-promotions back to resident, keyed by source tier."""
+        return self.cache.promotions
 
 
 class _Entry:
@@ -156,6 +186,8 @@ class PartialStore:
         shared: bool = True,
         capacity_floats: int | None = None,
         allocator=None,
+        tiers=(),
+        hysteresis: float = 1.0,
     ) -> None:
         if num_shards <= 0:
             raise ModelError(
@@ -171,10 +203,29 @@ class PartialStore:
                 f"store capacity_floats must be positive or None, "
                 f"got {capacity_floats}"
             )
+        if not 0.0 < hysteresis <= 1.0:
+            raise ModelError(
+                f"hysteresis must lie in (0, 1], got {hysteresis}"
+            )
         self.num_shards = num_shards
         self.admission = admission
         self.shared = shared
         self.capacity_floats = capacity_floats
+        # The demotion ladder new caches walk under budget pressure
+        # (see repro.fx.tiers); () keeps the drop-on-evict behavior.
+        self.tiers = validate_tiers(tiers)
+        # Once tripped, the governor trims to capacity * hysteresis so
+        # steady-state overshoot of a batch's inserts doesn't re-trip
+        # it every batch.  1.0 = trim exactly to budget (the historic
+        # behavior); the serving layers pass
+        # repro.fx.tiers.GOVERNOR_HYSTERESIS.
+        self.hysteresis = hysteresis
+        self._governor_sweeps = 0
+        # Spill-tier backing directory, created lazily on first
+        # acquire; the finalizer is the leak backstop for stores that
+        # are never closed.
+        self._spill_root: Path | None = None
+        self._spill_finalizer = None
         # Optional shared-memory slab backing every cache this store
         # creates (repro.fx.shm.SlabAllocator) — process-mode workers
         # place partial rows there so the parent can account them.
@@ -257,6 +308,12 @@ class PartialStore:
                 clock=self._clock if governed else None,
                 governor=self if governed else None,
                 allocator=self._allocator,
+                tiers=self.tiers,
+                spill_dir=(
+                    self._ensure_spill_root()
+                    if TIER_SPILL in self.tiers
+                    else None
+                ),
             )
             self._entries[key] = _Entry(cache, capacity, capacity_floats)
             self._key_of_cache[id(cache)] = key
@@ -283,6 +340,34 @@ class PartialStore:
                 del self._entries[key]
                 del self._key_of_cache[id(cache)]
 
+    def _ensure_spill_root(self) -> Path:
+        """The spill tier's backing directory (one per store), created
+        on first use.  A finalizer removes it even if the store is
+        never closed — spill files must not outlive the process."""
+        if self._spill_root is None:
+            root = Path(tempfile.mkdtemp(prefix="repro-spill-"))
+            self._spill_root = root
+            self._spill_finalizer = weakref.finalize(
+                self, shutil.rmtree, str(root), ignore_errors=True
+            )
+        return self._spill_root
+
+    def release_spill(self) -> None:
+        """Drop every spilled entry and delete the spill directory.
+
+        Idempotent; safe on stores that never spilled.  Resident and
+        compressed rows are untouched — only the on-disk tier goes.
+        """
+        with self._lock:
+            entries = list(self._entries.values())
+            finalizer = self._spill_finalizer
+            self._spill_root = None
+            self._spill_finalizer = None
+        for entry in entries:
+            entry.cache.drop_spilled()
+        if finalizer is not None:
+            finalizer()
+
     def close(self) -> None:
         """Drop every cache registration and clear the caches.
 
@@ -292,14 +377,17 @@ class PartialStore:
         ``close()`` breaks it deterministically, which matters when the
         cache payloads live in a shared-memory slab: the slab views
         must be released *before* the owning segment detaches, not at
-        some later collection.  Idempotent.
+        some later collection.  Also removes the spill directory and
+        everything in it.  Idempotent.
         """
         with self._lock:
             entries = list(self._entries.values())
             self._entries.clear()
             self._key_of_cache.clear()
         for entry in entries:
+            entry.cache.drop_spilled()
             entry.cache.clear()
+        self.release_spill()
 
     # -- the budget governor -----------------------------------------------
 
@@ -322,8 +410,15 @@ class PartialStore:
             return 0
         evicted = 0
         with self._governor_lock:
+            if self.floats_resident <= self.capacity_floats:
+                return 0
+            # Tripped.  Count the sweep once (the hysteresis metric),
+            # then trim down to the low watermark so the next few
+            # batches' overshoot fits without re-tripping.
+            self._governor_sweeps += 1
+            low = max(1, int(self.capacity_floats * self.hysteresis))
             while True:
-                deficit = self.floats_resident - self.capacity_floats
+                deficit = self.floats_resident - low
                 if deficit <= 0:
                     break
                 swept, _ = self._sweep(deficit)
@@ -459,6 +554,37 @@ class PartialStore:
             entries = list(self._entries.values())
         return sum(entry.cache.bytes_resident for entry in entries)
 
+    def _sum_caches(self, attribute: str) -> int:
+        with self._lock:
+            entries = list(self._entries.values())
+        return sum(getattr(e.cache, attribute) for e in entries)
+
+    @property
+    def compressed_floats_resident(self) -> int:
+        """Budget floats charged by the compressed tiers."""
+        return self._sum_caches("compressed_floats_resident")
+
+    @property
+    def compressed_bytes_resident(self) -> int:
+        return self._sum_caches("compressed_bytes_resident")
+
+    @property
+    def spilled_bytes(self) -> int:
+        return self._sum_caches("spilled_bytes")
+
+    @property
+    def demotions_total(self) -> int:
+        return self._sum_caches("demotions_total")
+
+    @property
+    def promotions_total(self) -> int:
+        return self._sum_caches("promotions_total")
+
+    @property
+    def governor_sweeps(self) -> int:
+        """How many times :meth:`enforce_budget` tripped (not rows)."""
+        return self._governor_sweeps
+
     def stats(self) -> StoreStats:
         with self._lock:
             entries = dict(self._entries)
@@ -477,6 +603,7 @@ class PartialStore:
             capacity_floats=self.capacity_floats,
             cross_evictions=cross_evictions,
             fingerprints=shares,
+            governor_sweeps=self._governor_sweeps,
         )
 
     def clear(self) -> None:

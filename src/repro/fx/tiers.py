@@ -1,0 +1,229 @@
+"""Partial-row storage tiers between "resident float64" and "recompute".
+
+PR 5's governor answers memory pressure with a cliff: a cold partial is
+*dropped*, and the next request pays a full gather+rebuild — the exact
+redundant computation the paper's factorized construction exists to
+avoid.  This module defines the intermediate rungs the cliff becomes:
+
+========  ======================================  =======================
+tier      representation                          exactness contract
+========  ======================================  =======================
+resident  float64 rows (possibly in shm slabs)    bit-exact
+float32   ``row.astype(float32)``                 GMM labels bit-exact;
+                                                  scores within
+                                                  ``FLOAT32_SCORE_RTOL``
+int8      linear quantization, per-row scale/lo   GMM labels bit-exact on
+                                                  separated components;
+                                                  per-element error ≤
+                                                  ``int8_error_bound``
+spill     float64 row in an on-disk heap file     bit-exact (one page
+                                                  read to re-promote)
+========  ======================================  =======================
+
+A demotion must *free* budget floats or it is pointless: every tier
+maps a row width to its residual charge against the store budget
+(:func:`float_equivalents`), and the cache only demotes to a tier with
+strictly positive gain.  The spill tier charges nothing against the
+memory budget — its cost is the page read on re-promotion, tracked by
+the :class:`SpillSlab`'s private :class:`~repro.storage.iostats.IOStats`.
+"""
+
+from __future__ import annotations
+
+import secrets
+import threading
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ModelError, StorageError
+
+TIER_RESIDENT = "resident"
+TIER_FLOAT32 = "float32"
+TIER_INT8 = "int8"
+TIER_SPILL = "spill"
+
+#: The demotion ladder, hottest representation first.  ``store_tiers=``
+#: accepts any subset; rows walk whatever rungs are configured and fall
+#: off the end (plain drop) when no rung yields a gain.
+STORE_TIERS = (TIER_FLOAT32, TIER_INT8, TIER_SPILL)
+
+#: Documented bound for the float32 tier: scores and NN outputs computed
+#: from a float32 round-tripped partial match the float64 answer to this
+#: relative tolerance (float32 has ~7.2 significant digits; the slack
+#: absorbs accumulation over a partial's width).
+FLOAT32_SCORE_RTOL = 1e-5
+
+#: Once the governor trips, it trims down to ``capacity * hysteresis``
+#: instead of exactly to capacity, so steady-state overshoot of one
+#: batch's inserts doesn't re-trip it every batch.  The bare
+#: :class:`~repro.fx.store.PartialStore` default stays 1.0 (trim exactly
+#: to budget — the behavior PR 5's tests pin); the serving layers pass
+#: this explicitly.
+GOVERNOR_HYSTERESIS = 0.9
+
+_FLOAT_BYTES = 8
+
+
+def validate_tiers(tiers) -> tuple:
+    """Normalize a ``store_tiers=`` value to a canonical-order tuple.
+
+    Accepts any iterable of tier names; returns them deduplicated in
+    ladder order (:data:`STORE_TIERS`), so callers may list tiers in
+    any order.  Unknown names raise :class:`~repro.errors.ModelError`.
+    """
+    if tiers is None:
+        return ()
+    if isinstance(tiers, str):
+        tiers = (tiers,)
+    requested = []
+    for tier in tiers:
+        if tier not in STORE_TIERS:
+            raise ModelError(
+                f"unknown store tier {tier!r}; valid tiers are "
+                f"{', '.join(STORE_TIERS)}"
+            )
+        if tier not in requested:
+            requested.append(tier)
+    return tuple(t for t in STORE_TIERS if t in requested)
+
+
+def float_equivalents(tier: str, width: int) -> int:
+    """Budget floats a ``width``-float row still charges at ``tier``.
+
+    The governor's unit of account is the float64; a compressed row
+    charges the float64s its payload would occupy.  ``int8`` carries a
+    per-row ``(scale, lo)`` header, hence the +2.  ``spill`` charges
+    nothing — its residual cost is I/O, not memory.
+    """
+    if tier == TIER_RESIDENT:
+        return width
+    if tier == TIER_FLOAT32:
+        return (width + 1) // 2
+    if tier == TIER_INT8:
+        return (width + 7) // 8 + 2
+    if tier == TIER_SPILL:
+        return 0
+    raise ModelError(f"unknown store tier {tier!r}")
+
+
+def payload_bytes(tier: str, width: int) -> int:
+    """In-memory payload bytes of a ``width``-float row at ``tier``."""
+    return float_equivalents(tier, width) * _FLOAT_BYTES
+
+
+def compress(tier: str, row: np.ndarray):
+    """Encode a float64 row for a compressed tier.
+
+    ``float32`` returns the float32 array; ``int8`` returns
+    ``(codes, scale, lo)`` with ``codes`` uint8 and per-row linear
+    range mapping (a constant row encodes with ``scale == 0``).
+    """
+    if tier == TIER_FLOAT32:
+        return row.astype(np.float32)
+    if tier == TIER_INT8:
+        lo = float(row.min())
+        hi = float(row.max())
+        scale = (hi - lo) / 255.0
+        if scale <= 0.0:
+            codes = np.zeros(row.size, dtype=np.uint8)
+        else:
+            codes = np.clip(
+                np.rint((row - lo) / scale), 0, 255
+            ).astype(np.uint8)
+        return codes, scale, lo
+    raise ModelError(f"tier {tier!r} has no compressed encoding")
+
+
+def decompress(tier: str, payload) -> np.ndarray:
+    """Decode a :func:`compress` payload back to a float64 row."""
+    if tier == TIER_FLOAT32:
+        return payload.astype(np.float64)
+    if tier == TIER_INT8:
+        codes, scale, lo = payload
+        return codes.astype(np.float64) * scale + lo
+    raise ModelError(f"tier {tier!r} has no compressed encoding")
+
+
+def int8_error_bound(row: np.ndarray) -> float:
+    """The documented per-element bound of the int8 tier for ``row``:
+    half a quantization step, ``(max - min) / 510``."""
+    return (float(row.max()) - float(row.min())) / 510.0
+
+
+class SpillSlab:
+    """On-disk spill area for demoted partial rows.
+
+    One heap file per row width (partials of different models/ops have
+    different widths; a heap file is fixed-width), all under one
+    directory owned by the :class:`~repro.fx.store.PartialStore`.
+    Freed positions are recycled via a per-width free list, so a
+    steady-state demote/promote cycle doesn't grow the files without
+    bound.  Thread-safe: shards of one
+    :class:`~repro.fx.sharding.ShardedPartialCache` share one slab.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self._tag = secrets.token_hex(4)
+        self._lock = threading.Lock()
+        self._heaps: dict[int, object] = {}
+        self._free: dict[int, list[int]] = {}
+        # Private accounting: spill I/O must not pollute the database's
+        # relation-level IOStats the paper's cost formulas read.
+        from repro.storage.iostats import IOStats
+
+        self.io = IOStats()
+
+    def _heap_locked(self, width: int):
+        heap = self._heaps.get(width)
+        if heap is None:
+            from repro.storage.heapfile import HeapFile
+
+            heap = HeapFile.create(
+                self.directory / f"spill-{self._tag}-w{width}.heap",
+                width,
+                stats=self.io,
+                stats_name="spill",
+            )
+            self._heaps[width] = heap
+        return heap
+
+    def put(self, values: np.ndarray) -> int:
+        """Write one row; returns its heap position (stable until
+        :meth:`free`)."""
+        row = np.ascontiguousarray(values, dtype=np.float64).reshape(1, -1)
+        width = row.shape[1]
+        with self._lock:
+            heap = self._heap_locked(width)
+            free = self._free.get(width)
+            if free:
+                position = free.pop()
+                heap.update_rows(np.array([position], dtype=np.int64), row)
+            else:
+                position = heap.nrows
+                heap.append(row)
+        return position
+
+    def read_rows(self, width: int, positions) -> np.ndarray:
+        """Fetch rows of one width by position (page-batched)."""
+        with self._lock:
+            heap = self._heaps.get(width)
+        if heap is None:
+            raise StorageError(
+                f"no spill heap for width {width} in {self.directory}"
+            )
+        return heap.read_rows(np.asarray(positions, dtype=np.int64))
+
+    def free(self, width: int, position: int) -> None:
+        """Recycle a spilled row's slot (on promotion or invalidation)."""
+        with self._lock:
+            self._free.setdefault(width, []).append(int(position))
+
+    def reset(self) -> None:
+        """Delete every spill file and forget all positions."""
+        with self._lock:
+            for heap in self._heaps.values():
+                heap.delete()
+            self._heaps.clear()
+            self._free.clear()

@@ -72,6 +72,7 @@ from repro.fx.shm import (
     header_view,
     plan_trims,
 )
+from repro.fx.tiers import GOVERNOR_HYSTERESIS
 
 # -- wire protocol (shared with repro.runtime.procworker) ---------------------
 
@@ -260,6 +261,10 @@ class ProcessExecutor:
             else max(1, config.memory_budget // _FLOAT_BYTES)
         )
         self._closed = False
+        # Times the parent governor tripped (sum of headers over
+        # budget), not rows trimmed — the hysteresis metric, merged
+        # into StoreStats.governor_sweeps by the runtime.
+        self.sweeps = 0
         self._req_ids = itertools.count(1)
         self._req_lock = threading.Lock()
         self.arena = ShmArena()
@@ -448,9 +453,16 @@ class ProcessExecutor:
         """
         if self.budget_floats is None:
             return 0
-        trims = plan_trims(
-            self.worker_resident_floats(), self.budget_floats
-        )
+        resident = self.worker_resident_floats()
+        if sum(resident) <= self.budget_floats:
+            return 0
+        # Tripped: count the sweep once and trim to the low watermark
+        # so steady-state overshoot of one batch's inserts doesn't
+        # re-trip the governor every batch (hysteresis — the same
+        # policy the thread-mode store applies).
+        self.sweeps += 1
+        low = max(1, int(self.budget_floats * GOVERNOR_HYSTERESIS))
+        trims = plan_trims(resident, low)
         evicted = 0
         for index, floats in enumerate(trims):
             if floats <= 0 or self.workers[index].dead:

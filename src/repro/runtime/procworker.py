@@ -130,6 +130,9 @@ class _Worker:
             num_shards=1,
             admission=config.cache_admission,
             shared=config.share_partials,
+            # Per-worker demotion ladder; each worker store owns its
+            # own spill directory (created lazily, removed on close).
+            tiers=config.store_tiers,
         )
         self.db = None                  # opened on first REGISTER
         self.models: dict[int, _WorkerModel] = {}
@@ -398,7 +401,7 @@ def worker_main(
     header_name, partial_name,
 ) -> None:
     """Process entry point: build the worker, serve until SHUTDOWN."""
-    assert HEADER_FIELDS == 4   # layout agreed with the parent
+    assert HEADER_FIELDS == 9   # layout agreed with the parent
     worker = _Worker(
         worker_id, num_workers, conn, directory, config,
         header_name, partial_name,

@@ -60,6 +60,7 @@ from repro.errors import ModelError
 from repro.fx.dedup import DedupPlan
 from repro.fx.sharding import ShardedPartialCache
 from repro.fx.store import PartialStore, StoreStats
+from repro.fx.tiers import GOVERNOR_HYSTERESIS, validate_tiers
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
 from repro.obs import TelemetryServer, as_telemetry
@@ -107,6 +108,14 @@ class RuntimeConfig:
     cross-cache eviction of the globally coldest partials.  Sizing
     guidance lives in ``docs/tuning.md``.
 
+    ``store_tiers`` opts budgeted runtimes into the tiered partial
+    ladder (:mod:`repro.fx.tiers`): instead of dropping cold partials
+    outright, the governor demotes them down the configured rungs —
+    ``"float32"`` / ``"int8"`` (compressed, bounded-delta scores, GMM
+    labels bit-exact) and ``"spill"`` (on-disk heap pages, exact) —
+    and re-promotes on the next touch.  The exactness contract per
+    tier is documented in ``docs/tuning.md``.
+
     ``executor`` picks the worker substrate: ``"thread"`` (default)
     runs ``num_workers`` threads in-process; ``"process"`` runs
     ``num_workers`` worker *processes* with shared-memory partial
@@ -124,6 +133,8 @@ class RuntimeConfig:
     cache_admission: str = LRU_ADMISSION   # "lru" | "tinylfu"
     share_partials: bool = True            # cross-model slab sharing
     memory_budget: int | None = None       # bytes across all models
+    store_tiers: tuple = ()                # demotion ladder, e.g.
+                                           # ("float32", "spill")
     block_pages: int = DEFAULT_BLOCK_PAGES
     executor: str = THREAD_EXECUTOR        # "thread" | "process"
 
@@ -153,6 +164,17 @@ class RuntimeConfig:
             raise ModelError(
                 f"memory_budget must be positive bytes, "
                 f"got {self.memory_budget}"
+            )
+        # Normalize (dedupe, canonical ladder order) and validate the
+        # tier names; the frozen dataclass needs the escape hatch.
+        object.__setattr__(
+            self, "store_tiers", validate_tiers(self.store_tiers)
+        )
+        if self.store_tiers and self.memory_budget is None:
+            raise ModelError(
+                "store_tiers requires memory_budget: the tiers are "
+                "the governor's demotion ladder, and without a budget "
+                "nothing is ever demoted"
             )
 
 
@@ -331,6 +353,14 @@ class ServingRuntime:
                 if self.config.memory_budget is None
                 else max(1, self.config.memory_budget // 8)
             ),
+            tiers=self.config.store_tiers,
+            # Budgeted runtimes trim to a low watermark so steady-state
+            # overshoot doesn't invoke the governor every batch.
+            hysteresis=(
+                GOVERNOR_HYSTERESIS
+                if self.config.memory_budget is not None
+                else 1.0
+            ),
         )
         # Process mode spawns its workers NOW, before this constructor
         # starts any thread: the default fork start must never clone a
@@ -496,9 +526,13 @@ class ServingRuntime:
             headers = self._executor.headers
             if not self._executor.closed and headers is not None:
                 from repro.fx.shm import (
+                    HDR_COMPRESSED_BYTES,
+                    HDR_DEMOTIONS,
                     HDR_FLOATS_RESIDENT,
                     HDR_INVALIDATED,
+                    HDR_PROMOTIONS,
                     HDR_ROWS_EXECUTED,
+                    HDR_SPILLED_BYTES,
                 )
 
                 resident = [
@@ -517,6 +551,53 @@ class ServingRuntime:
                         self._executor.budget_floats,
                         help="Store-wide partial budget (float64 "
                              "values)",
+                    )
+                buffer.counter(
+                    "repro_store_governor_sweeps_total",
+                    self._executor.sweeps,
+                    help="Times the budget governor actually swept "
+                         "(hysteresis suppresses per-batch trips)",
+                )
+                if self.config.store_tiers:
+                    workers = range(self._executor.num_workers)
+                    # The headers aggregate the compressed rungs into
+                    # one slot, so process mode breaks residency down
+                    # by tier *family* (compressed vs spill).
+                    buffer.gauge(
+                        "repro_store_tier_bytes_resident",
+                        sum(
+                            int(headers[i, HDR_COMPRESSED_BYTES])
+                            for i in workers
+                        ),
+                        help="Partial payload resident per tier "
+                             "(bytes)",
+                        tier="compressed",
+                    )
+                    buffer.gauge(
+                        "repro_store_tier_bytes_resident",
+                        sum(
+                            int(headers[i, HDR_SPILLED_BYTES])
+                            for i in workers
+                        ),
+                        help="Partial payload resident per tier "
+                             "(bytes)",
+                        tier="spill",
+                    )
+                    buffer.counter(
+                        "repro_store_tier_demotions_total",
+                        sum(
+                            int(headers[i, HDR_DEMOTIONS])
+                            for i in workers
+                        ),
+                        help="Rows demoted down the tier ladder",
+                    )
+                    buffer.counter(
+                        "repro_store_tier_promotions_total",
+                        sum(
+                            int(headers[i, HDR_PROMOTIONS])
+                            for i in workers
+                        ),
+                        help="Rows promoted back to the resident tier",
                     )
                 for index in range(self._executor.num_workers):
                     labels = {"worker": str(index)}
@@ -562,6 +643,41 @@ class ServingRuntime:
                 help="Rows evicted across cache boundaries by the "
                      "budget governor",
             )
+            buffer.counter(
+                "repro_store_governor_sweeps_total",
+                store.governor_sweeps,
+                help="Times the budget governor actually swept "
+                     "(hysteresis suppresses per-batch trips)",
+            )
+            if self.store.tiers:
+                buffer.gauge(
+                    "repro_store_tier_bytes_resident",
+                    store.compressed_bytes_resident,
+                    help="Partial payload resident per tier (bytes)",
+                    tier="compressed",
+                )
+                buffer.gauge(
+                    "repro_store_tier_bytes_resident",
+                    store.spilled_bytes,
+                    help="Partial payload resident per tier (bytes)",
+                    tier="spill",
+                )
+                for tier, count in sorted(store.tier_demotions.items()):
+                    buffer.counter(
+                        "repro_store_tier_demotions_total", count,
+                        help="Rows demoted down the tier ladder "
+                             "('drop' = no rung gained, row freed)",
+                        tier=tier,
+                    )
+                for tier, count in sorted(
+                    store.tier_promotions.items()
+                ):
+                    buffer.counter(
+                        "repro_store_tier_promotions_total", count,
+                        help="Rows promoted back to the resident "
+                             "tier, by source tier",
+                        tier=tier,
+                    )
         with self._registry_lock:
             models = list(self._models.items())
         for name, model in models:
@@ -1381,6 +1497,13 @@ class ServingRuntime:
             ),
             cross_evictions=cross,
             fingerprints=fingerprints,
+            # The governor runs in the parent in process mode, so the
+            # sweep count lives on the executor, not in any worker.
+            governor_sweeps=(
+                self._executor.sweeps
+                if self._executor is not None
+                else 0
+            ),
         )
         return cache_stats, store_stats
 
@@ -1461,6 +1584,10 @@ class ServingRuntime:
             # shared segment — the no-leaked-/dev/shm guarantee.
             self._sample_workers()
             self._executor.close()
+        else:
+            # Thread mode owns the store: drop spilled rows and delete
+            # the spill directory — the no-leaked-tempdir guarantee.
+            self.store.release_spill()
         # Anything a worker could not claim before exiting fails fast.
         for request in self._queue.drain():
             if request.future.set_running_or_notify_cancel():

@@ -19,6 +19,7 @@ Catalog (``kind`` → required fields):
 ``hit_rate_min``          ``min`` [, ``labels``]
 ``quantile_max``          ``metric``, ``q``, ``max_s`` [, ``labels``]
 ``dedup_ratio_band``      ``min``, ``max`` [, ``labels``]
+``tier_demotions_min``    ``min`` [, ``labels``]
 ``span_p95_max``          ``span``, ``max_s``        (scenario scope only)
 ``span_count_min``        ``span``, ``min``          (scenario scope only)
 ``outputs_bit_exact``     —
@@ -110,6 +111,7 @@ _FIELD_SPECS: dict[str, dict] = {
     "dedup_ratio_band": {
         "required": {"min", "max"}, "optional": {"labels"},
     },
+    "tier_demotions_min": {"required": {"min"}, "optional": {"labels"}},
     "span_p95_max": {
         "required": {"span", "max_s"}, "optional": set(),
         "scope": SCENARIO_SCOPE,
@@ -356,6 +358,24 @@ def evaluate_assertion(
             assertion, name, passed, observed,
             f"dedup ratio {observed:.3f}, band "
             f"[{params['min']}, {params['max']}]",
+        )
+
+    if kind == "tier_demotions_min":
+        observed = _sum_scalar(
+            context.delta, "repro_store_tier_demotions_total", labels,
+            (COUNTER,),
+        )
+        if observed is None:
+            return _absent(
+                assertion, name,
+                "counter 'repro_store_tier_demotions_total' (is "
+                "runtime.store_tiers configured?)",
+            )
+        passed = observed >= params["min"]
+        return AssertionResult(
+            assertion, name, passed, observed,
+            f"{observed:g} demotions down the tier ladder in this "
+            f"window, bound >= {params['min']:g}",
         )
 
     if kind in ("span_p95_max", "span_count_min"):

@@ -262,6 +262,7 @@ class ScenarioRunner:
             cache_admission=spec.runtime.admission,
             share_partials=spec.runtime.share_partials,
             memory_budget=spec.runtime.memory_budget,
+            store_tiers=spec.runtime.store_tiers,
             executor=spec.runtime.executor,
             telemetry=telemetry,
         )

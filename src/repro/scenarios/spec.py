@@ -25,6 +25,7 @@ from pathlib import Path
 
 from repro.data.synthetic import DimensionSpec, StarSchemaConfig
 from repro.errors import ModelError
+from repro.fx.tiers import validate_tiers
 from repro.scenarios.assertions import AssertionSpec, parse_assertions
 from repro.serve.cache import ADMISSION_POLICIES
 
@@ -156,6 +157,7 @@ class RuntimeSpec:
     admission: str = "lru"
     share_partials: bool = True
     memory_budget: int | None = None       # bytes, None = unbounded
+    store_tiers: tuple = ()                # demotion ladder, () = drop
     executor: str = "thread"               # "thread" | "process"
 
     @classmethod
@@ -165,7 +167,7 @@ class RuntimeSpec:
             {
                 "workers", "max_batch_rows", "max_wait_ms", "queue_depth",
                 "cache_shards", "admission", "share_partials",
-                "memory_budget", "executor",
+                "memory_budget", "store_tiers", "executor",
             },
             where,
         )
@@ -201,6 +203,15 @@ class RuntimeSpec:
                 f"{where}.executor must be 'thread' or 'process', "
                 f"got {executor!r}"
             )
+        store_tiers = raw.get("store_tiers", [])
+        if not isinstance(store_tiers, list) or not all(
+            isinstance(tier, str) for tier in store_tiers
+        ):
+            raise ModelError(
+                f"{where}.store_tiers must be a list of tier names, "
+                f"got {store_tiers!r}"
+            )
+        store_tiers = validate_tiers(tuple(store_tiers))
         return cls(
             workers=_positive_int(raw.get("workers", 2), f"{where}.workers"),
             max_batch_rows=_positive_int(
@@ -214,6 +225,7 @@ class RuntimeSpec:
             admission=admission,
             share_partials=share,
             memory_budget=memory_budget,
+            store_tiers=store_tiers,
             executor=executor,
         )
 
@@ -391,6 +403,21 @@ class ScenarioSpec:
                     f"{MIN_BUDGET_BYTES_PER_WORKER} bytes per worker "
                     f"({floor} total)"
                 )
+        if self.runtime.store_tiers and self.runtime.memory_budget is None:
+            raise ModelError(
+                "runtime.store_tiers without runtime.memory_budget is "
+                "inert: the tiers are the budget governor's demotion "
+                "ladder, and an unbounded store never demotes"
+            )
+        wants_demotions = any(
+            a.kind == "tier_demotions_min" for a in self.all_assertions
+        )
+        if wants_demotions and not self.runtime.store_tiers:
+            raise ModelError(
+                "a tier_demotions_min assertion needs "
+                "runtime.store_tiers: without a ladder the governor "
+                "evicts outright and the demotion counter never exists"
+            )
         needs_exact = any(
             a.kind == "outputs_bit_exact"
             for a in self.all_assertions

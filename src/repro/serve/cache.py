@@ -62,16 +62,23 @@ Beyond its own two capacity bounds, a cache can take part in a
 
 from __future__ import annotations
 
+import itertools
 import threading
 import warnings
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from repro.errors import ModelError
 from repro.fx.sketch import FrequencySketch
+from repro.fx.tiers import (
+    TIER_SPILL,
+    compress,
+    decompress,
+    float_equivalents,
+)
 from repro.obs.trace import current_span
 
 _FLOAT_BYTES = 8
@@ -161,6 +168,18 @@ class CacheStats:
     # process executor's per-worker arena) vs private process memory.
     # bytes_resident stays the budget-truth total either way.
     shm_bytes_resident: int = 0
+    # Tiered residency (see repro.fx.tiers): compressed rows still
+    # charge the budget (their float-equivalents are included in
+    # bytes_resident); spilled rows charge disk only.  demotions /
+    # promotions count tier transitions keyed by the *target* tier
+    # ("drop" for a demotion that fell off the ladder).
+    compressed_entries: int = 0
+    spilled_entries: int = 0
+    compressed_floats_resident: int = 0
+    compressed_bytes_resident: int = 0
+    spilled_bytes: int = 0
+    demotions: dict = field(default_factory=dict)
+    promotions: dict = field(default_factory=dict)
 
     @property
     def lookups(self) -> int:
@@ -183,6 +202,12 @@ class CacheStats:
                 return None
             return a + b
 
+        def _add_dicts(a: dict, b: dict) -> dict:
+            merged = dict(a)
+            for key, value in b.items():
+                merged[key] = merged.get(key, 0) + value
+            return merged
+
         return CacheStats(
             hits=self.hits + other.hits,
             misses=self.misses + other.misses,
@@ -201,6 +226,21 @@ class CacheStats:
             shm_bytes_resident=(
                 self.shm_bytes_resident + other.shm_bytes_resident
             ),
+            compressed_entries=(
+                self.compressed_entries + other.compressed_entries
+            ),
+            spilled_entries=self.spilled_entries + other.spilled_entries,
+            compressed_floats_resident=(
+                self.compressed_floats_resident
+                + other.compressed_floats_resident
+            ),
+            compressed_bytes_resident=(
+                self.compressed_bytes_resident
+                + other.compressed_bytes_resident
+            ),
+            spilled_bytes=self.spilled_bytes + other.spilled_bytes,
+            demotions=_add_dicts(self.demotions, other.demotions),
+            promotions=_add_dicts(self.promotions, other.promotions),
         )
 
 
@@ -229,6 +269,8 @@ class PartialCache:
         admission: str = LRU_ADMISSION,
         clock: AccessClock | None = None,
         allocator=None,
+        tiers: tuple = (),
+        spill=None,
     ) -> None:
         if capacity is not None and capacity <= 0:
             raise ModelError(
@@ -266,6 +308,28 @@ class PartialCache:
         self._pins: dict[int, int] = {}
         self._rows: OrderedDict[int, np.ndarray] = OrderedDict()
         self._floats_resident = 0
+        # The demotion ladder (repro.fx.tiers).  Budget eviction walks
+        # a victim down these rungs instead of dropping it; an empty
+        # tuple keeps the pre-tier drop-on-evict behavior, bit for bit.
+        self._tiers = tuple(tiers)
+        if TIER_SPILL in self._tiers and spill is None:
+            raise ModelError(
+                "the 'spill' tier needs an on-disk slab; pass spill="
+            )
+        self._spill = spill
+        # key -> (tier, payload, width); payload per repro.fx.tiers.
+        self._compressed: OrderedDict[int, tuple] = OrderedDict()
+        # key -> (width, heap position) in the spill slab.
+        self._spilled: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        self._compressed_floats = 0
+        self._spilled_bytes = 0
+        self.demotions: dict[str, int] = {}
+        self.promotions: dict[str, int] = {}
+        # Scalar twins of the dicts above, for lock-free readers (the
+        # process backend's publish_header): a plain int load can never
+        # see a dict mid-resize.
+        self.demotions_total = 0
+        self.promotions_total = 0
         # Serializes lookups against invalidations: dimension-update
         # events arrive on the updater's thread while a service thread
         # may be mid-get_many.  The lock also makes the compute-insert
@@ -283,17 +347,24 @@ class PartialCache:
         return len(self._rows)
 
     def __contains__(self, key: int) -> bool:
-        return int(key) in self._rows
+        key = int(key)
+        return (
+            key in self._rows
+            or key in self._compressed
+            or key in self._spilled
+        )
 
     @property
     def floats_resident(self) -> int:
-        """Cached float64 values currently held."""
-        return self._floats_resident
+        """Budget floats currently charged: resident float64 values
+        plus the float-equivalents of compressed payloads (spilled
+        rows charge disk, not memory)."""
+        return self._floats_resident + self._compressed_floats
 
     @property
     def bytes_resident(self) -> int:
-        """Resident cache payload in bytes (8 per float64)."""
-        return self._floats_resident * _FLOAT_BYTES
+        """Resident cache payload in bytes (8 per budget float)."""
+        return self.floats_resident * _FLOAT_BYTES
 
     @property
     def shm_bytes_resident(self) -> int:
@@ -305,19 +376,144 @@ class PartialCache:
             return True
         return (
             self.capacity_floats is not None
-            and self._floats_resident > self.capacity_floats
+            and self.floats_resident > self.capacity_floats
         )
 
     def _remove(self, key: int) -> int:
-        """Drop ``key`` outright; returns the floats freed."""
-        row = self._rows.pop(key)
-        self._ticks.pop(key, None)
-        self._floats_resident -= row.size
-        slot = self._shm_slots.pop(key, None)
-        if slot is not None:
-            self._allocator.free(*slot)
-            self._shm_floats_resident -= row.size
-        return row.size
+        """Drop ``key`` from whichever tier holds it; returns the
+        budget floats freed (0 for a spilled row — it charged none)."""
+        row = self._rows.pop(key, None)
+        if row is not None:
+            self._ticks.pop(key, None)
+            self._floats_resident -= row.size
+            slot = self._shm_slots.pop(key, None)
+            if slot is not None:
+                self._allocator.free(*slot)
+                self._shm_floats_resident -= row.size
+            return row.size
+        entry = self._compressed.pop(key, None)
+        if entry is not None:
+            self._ticks.pop(key, None)
+            tier, _, width = entry
+            freed = float_equivalents(tier, width)
+            self._compressed_floats -= freed
+            return freed
+        spilled = self._spilled.pop(key, None)
+        if spilled is not None:
+            self._ticks.pop(key, None)
+            width, position = spilled
+            self._spill.free(width, position)
+            self._spilled_bytes -= width * _FLOAT_BYTES
+        return 0
+
+    def _demote(self, key: int) -> int:
+        """Walk ``key`` one step down the tier ladder; returns the
+        budget floats freed.
+
+        The target is the first configured tier whose residual charge
+        is *strictly* below the current one — a demotion that frees
+        nothing (a 1-float row "compressed" to float32 still charges
+        one float) would stall the governor's deficit loop.  When no
+        rung gains, the row is dropped outright and the demotion is
+        counted under ``"drop"``.  Spilled rows are terminal: they
+        charge no memory, so only invalidation removes them.
+        """
+        row = self._rows.get(key)
+        if row is not None:
+            current = row.size
+            width = current
+            # Slab-resident rows are views into shared memory that
+            # _remove frees; copy the values out first.
+            values = np.array(row, dtype=np.float64, copy=True)
+            next_rungs = self._tiers
+        else:
+            entry = self._compressed.get(key)
+            if entry is None:
+                return 0
+            tier, payload, width = entry
+            current = float_equivalents(tier, width)
+            values = decompress(tier, payload)
+            next_rungs = self._tiers[self._tiers.index(tier) + 1:]
+        tick = self._ticks.get(key, 0)
+        for target in next_rungs:
+            gain = current - float_equivalents(target, width)
+            if gain <= 0:
+                continue
+            self._remove(key)
+            if target == TIER_SPILL:
+                position = self._spill.put(values)
+                self._spilled[key] = (width, position)
+                self._spilled_bytes += width * _FLOAT_BYTES
+            else:
+                self._compressed[key] = (
+                    target, compress(target, values), width,
+                )
+                self._compressed_floats += float_equivalents(target, width)
+            self._ticks[key] = tick
+            self.demotions[target] = self.demotions.get(target, 0) + 1
+            self.demotions_total += 1
+            return gain
+        freed = self._remove(key)
+        self.demotions["drop"] = self.demotions.get("drop", 0) + 1
+        self.demotions_total += 1
+        return freed
+
+    def _insert_resident(self, key: int, row: np.ndarray, tick) -> None:
+        """Insert a float64 row into the resident tier (slab-backed
+        when an allocator has room)."""
+        if self._allocator is not None:
+            slot = self._allocator.allocate(row.size)
+            if slot is not None:
+                offset, view = slot
+                view[:] = row
+                row = view
+                self._shm_slots[key] = (offset, view.size)
+                self._shm_floats_resident += view.size
+        self._rows[key] = row
+        if tick is not None:
+            self._ticks[key] = tick
+        self._floats_resident += row.size
+
+    def _promote(self, keys: list[int], tick) -> int:
+        """Re-promote ``keys`` from the compressed/spilled tiers to
+        resident float64; returns how many rows came back.
+
+        Spilled keys are grouped by row width so each width pays one
+        page-batched :meth:`~repro.fx.tiers.SpillSlab.read_rows` call —
+        the sequential read that makes a spilled partial cheaper than
+        a gather+rebuild.  Promoted rows bypass admission (they were
+        admitted once already; demotion was memory policy, not a
+        verdict on their worth) and land at the MRU end.
+        """
+        rows: dict[int, np.ndarray] = {}
+        by_width: dict[int, tuple[list[int], list[int]]] = {}
+        for key in keys:
+            entry = self._compressed.get(key)
+            if entry is not None:
+                tier, payload, _ = entry
+                rows[key] = decompress(tier, payload)
+                self.promotions[tier] = self.promotions.get(tier, 0) + 1
+                continue
+            spilled = self._spilled.get(key)
+            if spilled is not None:
+                width, position = spilled
+                ks, ps = by_width.setdefault(width, ([], []))
+                ks.append(key)
+                ps.append(position)
+        for width, (ks, ps) in by_width.items():
+            data = self._spill.read_rows(width, ps)
+            for key, values in zip(ks, data):
+                rows[key] = values.copy()
+                self.promotions[TIER_SPILL] = (
+                    self.promotions.get(TIER_SPILL, 0) + 1
+                )
+        for key, values in rows.items():
+            self._remove(key)
+            self._insert_resident(key, values, tick)
+            self.promotions_total += 1
+        if rows:
+            self._evict_over_capacity()
+        return len(rows)
 
     def _evict_over_capacity(self) -> None:
         """LRU-evict until within the local bounds, skipping pinned keys.
@@ -325,14 +521,26 @@ class PartialCache:
         A batch in flight pins the RIDs it is gathering, so the sweep
         may find nothing evictable — the cache then transiently
         overshoots its bound rather than thrash a live batch's rows.
+        With tiers configured, a victim is demoted down the ladder
+        instead of dropped (it still counts as an eviction from the
+        resident tier).
         """
         while self._over_capacity():
             victim = next(
                 (k for k in self._rows if not self._pins.get(k)), None
             )
+            if victim is None and self._tiers:
+                victim = next(
+                    (k for k in self._compressed if not self._pins.get(k)),
+                    None,
+                )
             if victim is None:
                 return
-            self._remove(victim)
+            if self._tiers:
+                if self._demote(victim) <= 0:
+                    return  # pragma: no cover - demote always frees
+            else:
+                self._remove(victim)
             self.evictions += 1
 
     def _would_evict(self, row: np.ndarray) -> bool:
@@ -341,7 +549,7 @@ class PartialCache:
             return True
         return (
             self.capacity_floats is not None
-            and self._floats_resident + row.size > self.capacity_floats
+            and self.floats_resident + row.size > self.capacity_floats
         )
 
     def _admit(self, key: int, row: np.ndarray) -> bool:
@@ -389,6 +597,22 @@ class PartialCache:
                 # out-rank a burst of cold candidates.
                 self._sketch.record(keys)
             missing = [k for k in keys.tolist() if k not in self._rows]
+            if missing and (self._compressed or self._spilled):
+                promotable = [
+                    k for k in missing
+                    if k in self._compressed or k in self._spilled
+                ]
+                if promotable:
+                    span = current_span()
+                    if span is not None:
+                        with span.child("store.promote") as promote_span:
+                            promoted = self._promote(
+                                promotable, batch_tick
+                            )
+                            promote_span.set("rows", float(promoted))
+                    else:
+                        self._promote(promotable, batch_tick)
+                    missing = [k for k in missing if k not in self._rows]
             if missing:
                 computed = np.asarray(
                     compute(np.asarray(missing, dtype=np.int64)),
@@ -508,7 +732,19 @@ class PartialCache:
         out: list[EvictionCandidate] = []
         covered = 0
         with self._lock:
-            for key, row in self._rows.items():
+            # Compressed rows still charge the budget, so they are
+            # candidates too (demoting one walks it further down the
+            # ladder; they demoted before today's residents, so they
+            # rank colder).  Spilled rows charge nothing — never
+            # offered.
+            charged = itertools.chain(
+                (
+                    (key, float_equivalents(tier, width))
+                    for key, (tier, _, width) in self._compressed.items()
+                ),
+                ((key, row.size) for key, row in self._rows.items()),
+            )
+            for key, charge in charged:
                 if self._pins.get(key):
                     continue
                 frequency = (
@@ -524,22 +760,31 @@ class PartialCache:
                         frequency=int(frequency),
                     )
                 )
-                covered += row.size
+                covered += charge
                 if covered >= deficit_floats and len(out) >= min_scan:
                     break
             return out
 
     def evict_if_coldest(self, key: int) -> int:
-        """Cross-cache-evict ``key`` if still resident and unpinned.
+        """Cross-cache-evict ``key`` if still charged and unpinned.
 
-        Returns the floats freed (0 when the key was invalidated,
-        evicted, or pinned between the governor's scan and this call —
-        the governor then simply rescans).
+        Returns the budget floats freed (0 when the key was
+        invalidated, evicted, or pinned between the governor's scan
+        and this call — the governor then simply rescans).  With tiers
+        configured the row is demoted one rung instead of dropped.
         """
         with self._lock:
-            if key not in self._rows or self._pins.get(key):
+            if self._pins.get(key):
                 return 0
-            freed = self._remove(key)
+            if key in self._rows or key in self._compressed:
+                freed = (
+                    self._demote(key) if self._tiers
+                    else self._remove(key)
+                )
+            else:
+                return 0
+            if freed <= 0:
+                return 0  # pragma: no cover - demote always frees
             self.cross_evictions += 1
             # The governor runs on the thread of the batch whose insert
             # broke the budget, so the cross-eviction lands on that
@@ -559,10 +804,12 @@ class PartialCache:
         dropped = 0
         with self._lock:
             for key in np.asarray(keys).ravel().tolist():
-                if int(key) in self._rows:
+                key = int(key)
+                if key in self:
                     # Pins do not protect here: a stale partial must
-                    # never outlive its updated source row.
-                    self._remove(int(key))
+                    # never outlive its updated source row — whatever
+                    # tier it sits in, spilled copies included.
+                    self._remove(key)
                     dropped += 1
             self.invalidations += dropped
         return dropped
@@ -588,7 +835,25 @@ class PartialCache:
                 admission_rejections=self.admission_rejections,
                 cross_evictions=self.cross_evictions,
                 shm_bytes_resident=self.shm_bytes_resident,
+                compressed_entries=len(self._compressed),
+                spilled_entries=len(self._spilled),
+                compressed_floats_resident=self._compressed_floats,
+                compressed_bytes_resident=(
+                    self._compressed_floats * _FLOAT_BYTES
+                ),
+                spilled_bytes=self._spilled_bytes,
+                demotions=dict(self.demotions),
+                promotions=dict(self.promotions),
             )
+
+    def drop_spilled(self) -> None:
+        """Forget every spilled entry *without* per-row frees — used
+        when the owning store deletes the spill files wholesale."""
+        with self._lock:
+            for key in self._spilled:
+                self._ticks.pop(key, None)
+            self._spilled.clear()
+            self._spilled_bytes = 0
 
     def clear(self) -> None:
         """Drop all entries and zero the counters.
@@ -605,6 +870,16 @@ class PartialCache:
             self._shm_slots.clear()
             self._shm_floats_resident = 0
             self._floats_resident = 0
+            for width, position in self._spilled.values():
+                self._spill.free(width, position)
+            self._spilled.clear()
+            self._spilled_bytes = 0
+            self._compressed.clear()
+            self._compressed_floats = 0
+            self.demotions = {}
+            self.promotions = {}
+            self.demotions_total = 0
+            self.promotions_total = 0
             self.hits = 0
             self.misses = 0
             self.evictions = 0

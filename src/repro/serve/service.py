@@ -133,12 +133,14 @@ class ModelService:
         block_pages: int = DEFAULT_BLOCK_PAGES,
         store=None,
         memory_budget: int | None = None,
+        store_tiers: tuple = (),
         telemetry=None,
     ) -> None:
         # Local import: the execution core's store hands caches *to*
         # this layer but also builds on serve.cache, so a module-level
         # import here would re-enter the serve package mid-bootstrap.
         from repro.fx.store import PartialStore
+        from repro.fx.tiers import GOVERNOR_HYSTERESIS
 
         self.db = db
         self.block_pages = block_pages
@@ -150,13 +152,29 @@ class ModelService:
                 "pass either a store or a memory_budget, not both; "
                 "set capacity_floats on the store you share instead"
             )
+        if store_tiers and store is not None:
+            raise ModelError(
+                "store_tiers configures the store this service would "
+                "build; pass tiers= on the store you share instead"
+            )
+        if store_tiers and memory_budget is None:
+            raise ModelError(
+                "store_tiers requires memory_budget: the tiers are "
+                "the governor's demotion ladder, and without a budget "
+                "nothing is ever demoted"
+            )
+        self._owns_store = store is None
         if memory_budget is not None:
             if memory_budget <= 0:
                 raise ModelError(
                     f"memory_budget must be positive bytes, "
                     f"got {memory_budget}"
                 )
-            store = PartialStore(capacity_floats=max(1, memory_budget // 8))
+            store = PartialStore(
+                capacity_floats=max(1, memory_budget // 8),
+                tiers=store_tiers,
+                hysteresis=GOVERNOR_HYSTERESIS,
+            )
         self.store = store if store is not None else PartialStore()
         # telemetry: None/False -> shared no-op; True -> fresh enabled;
         # a Telemetry instance -> shared (one snapshot across layers).
@@ -367,6 +385,10 @@ class ModelService:
             # Predictors keep their cache handles (the service stays
             # readable after close); only the store's pins are dropped.
             registered.predictor.close()
+        if self._owns_store:
+            # Drop spilled rows and delete the spill directory; a
+            # caller-owned (possibly shared) store is left untouched.
+            self.store.release_spill()
 
     # -- bookkeeping -------------------------------------------------------
 

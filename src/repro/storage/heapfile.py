@@ -258,6 +258,35 @@ class HeapFile:
 
     # -- reads -------------------------------------------------------------
 
+    def read_rows(self, positions: np.ndarray) -> np.ndarray:
+        """Read individual rows by heap position, page-at-a-time.
+
+        ``positions`` are heap row numbers in any order; the result has
+        one row per position, aligned.  Positions sharing a page pay for
+        that page once — the point-probe mirror of :meth:`update_rows`'s
+        write side, and what makes a batch of spilled-partial fetches
+        cost sequential page reads rather than per-row seeks.
+        """
+        positions = np.asarray(positions).ravel().astype(np.int64)
+        out = np.empty((positions.size, self.ncols))
+        if positions.size == 0:
+            return out
+        if positions.min() < 0 or positions.max() >= self._nrows:
+            raise StorageError(
+                f"row positions must lie in [0, {self._nrows}), got "
+                f"range [{positions.min()}, {positions.max()}]"
+            )
+        pages = positions // self.rows_per_page
+        touched = distinct_values(pages)
+        with self._io_lock.read():
+            for page_no in touched:
+                start, stop = self._page_row_range(int(page_no))
+                page = self._read_row_range_unlocked(start, stop)
+                mask = pages == page_no
+                out[mask] = page[positions[mask] - start]
+        self.stats.record_read(self.stats_name, len(touched))
+        return out
+
     def read_page(self, page_no: int) -> np.ndarray:
         """Read one page, returning its rows as a 2-D array.
 

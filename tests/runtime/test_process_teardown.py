@@ -6,6 +6,7 @@ is idempotent."""
 import os
 import subprocess
 import sys
+import tempfile
 import warnings
 
 import numpy as np
@@ -312,3 +313,86 @@ class TestSegmentLifecycle:
             if name.startswith(marker)
         ]
         assert leaked == []
+
+class TestTieredParity:
+    """Thread and process executors must agree on tiered outcomes —
+    and ``close()`` must reclaim every spill directory along with the
+    shared-memory segments."""
+
+    TIERS = ("float32", "spill")
+    BUDGET = 64        # bytes — tight enough that every batch demotes
+
+    @staticmethod
+    def spill_dirs():
+        root = tempfile.gettempdir()
+        return sorted(
+            name for name in os.listdir(root)
+            if name.startswith("repro-spill-")
+        )
+
+    def run_tiered(self, db, served, executor):
+        spec, gmm, features, fks = served
+        with serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor=executor,
+            memory_budget=self.BUDGET, store_tiers=self.TIERS,
+        ) as rt:
+            rt.register_gmm("g", gmm, spec)
+            labels = rt.predict("g", features, fks)
+            # A second pass re-reads rows the first pass demoted.
+            labels2 = rt.predict("g", features, fks)
+            scores = rt.score("g", features, fks)
+            store = rt.runtime_stats().store
+            demoted = sum(store.tier_demotions.values())
+        np.testing.assert_array_equal(labels, labels2)
+        return labels, scores, demoted
+
+    def test_executors_agree_on_tiered_outcomes(self, db, served):
+        t_labels, t_scores, t_demoted = self.run_tiered(
+            db, served, "thread"
+        )
+        p_labels, p_scores, p_demoted = self.run_tiered(
+            db, served, "process"
+        )
+        # The budget actually exercised the ladder in both backends...
+        assert t_demoted > 0
+        assert p_demoted > 0
+        # ...and the contract holds across them: labels bit-exact,
+        # scores within a whisker (recompute paths batch rows
+        # differently, so BLAS may round the last ulp differently).
+        np.testing.assert_array_equal(t_labels, p_labels)
+        np.testing.assert_allclose(t_scores, p_scores, rtol=1e-9)
+
+    def test_tiered_matches_untiered_within_contract(self, db, served):
+        from repro.fx.tiers import FLOAT32_SCORE_RTOL
+
+        spec, gmm, features, fks = served
+        with serve_runtime(db, num_workers=2, max_wait_ms=0.0) as rt:
+            rt.register_gmm("g", gmm, spec)
+            base_labels = rt.predict("g", features, fks)
+            base_scores = rt.score("g", features, fks)
+        labels, scores, demoted = self.run_tiered(db, served, "thread")
+        assert demoted > 0
+        np.testing.assert_array_equal(labels, base_labels)
+        np.testing.assert_allclose(
+            scores, base_scores, rtol=FLOAT32_SCORE_RTOL
+        )
+
+    def test_tiered_close_reclaims_spill_dirs_and_segments(
+        self, db, served
+    ):
+        spec, gmm, features, fks = served
+        before = self.spill_dirs()
+        for executor in ("thread", "process"):
+            rt = serve_runtime(
+                db, num_workers=2, max_wait_ms=0.0, executor=executor,
+                memory_budget=self.BUDGET, store_tiers=self.TIERS,
+            )
+            try:
+                rt.register_gmm("g", gmm, spec)
+                rt.predict("g", features, fks)
+            finally:
+                rt.close()
+            rt.close()                 # tier teardown stays idempotent
+            assert own_segments() == []
+        # No spill directory born during either run survives close().
+        assert self.spill_dirs() == before

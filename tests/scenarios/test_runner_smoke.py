@@ -62,6 +62,54 @@ class TestRunnerSmoke:
         result = run_scenario(ScenarioSpec.from_dict(raw))
         assert result.passed, "\n".join(result.failures())
 
+    def test_tiered_budget_cut_lands_in_demotions(self):
+        # The tiered twin of the budget-cut smoke (the full-size
+        # variant is benchmarks/scenarios/adapt_budget_cut_tiered.json):
+        # with a float32+spill ladder declared, the cut must surface as
+        # tier demotions — rows walking down the ladder — while labels
+        # stay bit-exact.  n_r is raised so the working set (~12 KiB)
+        # actually exceeds the cut bound.
+        raw = dict(TOY)
+        raw["name"] = "toy_budget_cut_tiered"
+        raw["workload"] = dict(TOY["workload"]) | {"n_r": 96}
+        raw["runtime"] = dict(TOY["runtime"]) | {
+            "memory_budget": 1 << 16,
+            "store_tiers": ["float32", "spill"],
+        }
+        raw["phases"] = [
+            {"name": "warm", "requests": 4, "request_rows": 32,
+             "skew": 0.5},
+            {"name": "cut", "requests": 4, "request_rows": 32,
+             "skew": 0.5, "memory_budget": 4096,
+             "assertions": [
+                 {"kind": "tier_demotions_min", "min": 1},
+                 {"kind": "gauge_max",
+                  "metric": "repro_store_bytes_resident", "max": 4096},
+                 {"kind": "outputs_bit_exact"},
+             ]},
+        ]
+        result = run_scenario(ScenarioSpec.from_dict(raw))
+        assert result.passed, "\n".join(result.failures())
+
+    def test_tiers_without_budget_are_rejected_at_load(self):
+        raw = dict(TOY)
+        raw["name"] = "toy_inert_tiers"
+        raw["runtime"] = dict(TOY["runtime"]) | {
+            "store_tiers": ["float32"],
+        }
+        with pytest.raises(ModelError, match="inert"):
+            ScenarioSpec.from_dict(raw)
+
+    def test_tier_assertion_without_tiers_is_rejected_at_load(self):
+        raw = dict(TOY)
+        raw["name"] = "toy_ladderless_assertion"
+        raw["phases"] = [
+            {"name": "steady", "requests": 4, "request_rows": 32,
+             "assertions": [{"kind": "tier_demotions_min", "min": 1}]},
+        ]
+        with pytest.raises(ModelError, match="store_tiers"):
+            ScenarioSpec.from_dict(raw)
+
     def test_process_executor_scenario_is_bit_exact(self):
         # The multi-process smoke: same toy traffic served by two
         # worker processes must stay bit-exact against the

@@ -104,10 +104,27 @@ def flatten_memory(run: dict) -> dict:
     for arm_name, arm in run.get("arms", {}).items():
         for field in (
             "peak_bytes", "bytes", "cross_evictions",
-            "hit_rate", "seconds",
+            "hit_rate", "seconds", "rows_per_sec",
         ):
             if field in arm:
                 flat[f"{arm_name}.{field}"] = float(arm[field])
+    return flat
+
+
+def flatten_degradation(run: dict) -> dict:
+    """Per-tier acquisition throughput plus the spill-vs-recompute
+    ratio (``*speedup*`` and ``*rows_per_sec*`` both gate
+    higher-is-better in tools/regression_gate.py)."""
+    flat = {}
+    for tier, point in run.get("tiers", {}).items():
+        if "rows_per_sec" in point:
+            flat[f"tier.{tier}.rows_per_sec"] = float(
+                point["rows_per_sec"]
+            )
+    if "spill_speedup_vs_recompute" in run:
+        flat["spill_speedup_vs_recompute"] = float(
+            run["spill_speedup_vs_recompute"]
+        )
     return flat
 
 
@@ -173,6 +190,8 @@ BENCHES = (
     # (raw results file, history file, flattener)
     ("serving_throughput.json", "BENCH_serving.json", flatten_serving),
     ("memory_pressure.json", "BENCH_memory.json", flatten_memory),
+    ("memory_degradation.json", "BENCH_degradation.json",
+     flatten_degradation),
     ("runtime_scaling.json", "BENCH_runtime.json", flatten_runtime),
     ("shared_cache.json", "BENCH_cache.json", flatten_cache),
     ("telemetry_overhead.json", "BENCH_overhead.json", flatten_overhead),
