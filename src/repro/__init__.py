@@ -109,6 +109,7 @@ from repro.core.api import (
     compare_nn_strategies,
     fit_gmm,
     fit_nn,
+    maintain,
     predict_gmm,
     predict_nn,
     serve,
@@ -148,7 +149,14 @@ from repro.fx.store import PartialStore, StoreStats
 from repro.gmm.base import EMConfig
 from repro.gmm.model import GaussianMixtureModel, GMMParams
 from repro.join.spec import DimensionJoin, JoinSpec
+from repro.fx.statstore import StatsStore
 from repro.linear.models import LinearModel, fit_logistic, fit_ridge
+from repro.maintain import (
+    GMMSuffStats,
+    LinearSuffStats,
+    MaintenancePolicy,
+    ModelMaintainer,
+)
 from repro.nn.base import NNConfig
 from repro.nn.network import MLP
 from repro.obs import (
@@ -204,13 +212,17 @@ __all__ = [
     "HAMLET_PROFILES",
     "JoinError",
     "JoinSpec",
+    "GMMSuffStats",
     "LinearModel",
+    "LinearSuffStats",
     "MATERIALIZED",
     "MLP",
+    "MaintenancePolicy",
     "MaterializedGMMPredictor",
     "MaterializedNNPredictor",
     "MetricsRegistry",
     "ModelError",
+    "ModelMaintainer",
     "ModelService",
     "NULL_TELEMETRY",
     "fit_logistic",
@@ -233,6 +245,7 @@ __all__ = [
     "ShardedPartialCache",
     "Span",
     "StarSchemaConfig",
+    "StatsStore",
     "StorageError",
     "StoreStats",
     "StrategyComparison",
@@ -255,6 +268,7 @@ __all__ = [
     "key",
     "load_hamlet",
     "load_movies_3way",
+    "maintain",
     "predict_gmm",
     "predict_nn",
     "recommend_training_strategy",

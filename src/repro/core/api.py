@@ -35,6 +35,7 @@ from repro.gmm.base import EMConfig, GMMFitResult
 from repro.gmm.model import GaussianMixtureModel
 from repro.join.bnl import DEFAULT_BLOCK_PAGES
 from repro.join.spec import JoinSpec
+from repro.maintain.maintainer import MaintenancePolicy, ModelMaintainer
 from repro.nn.algorithms import fit_f_nn, fit_m_nn, fit_s_nn
 from repro.nn.base import NNConfig, NNFitResult
 from repro.nn.network import MLP
@@ -380,6 +381,50 @@ def predict_nn(
     return _serve_once(
         db, spec, model, "nn", fact_features, fk_values,
         strategy, cache_entries, block_pages,
+    )
+
+
+def maintain(
+    db: Database,
+    name: str,
+    kind: str,
+    spec: JoinSpec,
+    model=None,
+    *,
+    policy: MaintenancePolicy | None = None,
+    targets: tuple = (),
+    em_config: EMConfig | None = None,
+    nn_config: NNConfig | None = None,
+    alpha: float = 1e-3,
+    stats_store=None,
+    block_pages: int = DEFAULT_BLOCK_PAGES,
+    telemetry=None,
+) -> ModelMaintainer:
+    """A :class:`~repro.maintain.maintainer.ModelMaintainer` over ``db``.
+
+    Keeps ``model`` (a fit result or bare model; omitted for
+    ``kind="linear"``) fresh against row changes via delta-maintained
+    sufficient statistics, refitting only when the policy's drift
+    bound (or an uncovered change) forces it::
+
+        maintainer = maintain(
+            db, "ratings", "gmm", spec, gmm_result,
+            policy=MaintenancePolicy(refresh="batched", max_staleness=5.0),
+            targets=(runtime,),
+        )
+        db.update_rows("users", positions, new_rows)   # delta applied
+        maintainer.flush()                             # swap into targets
+
+    ``targets`` are serving layers exposing ``swap_model`` (a
+    :func:`serve` service or :func:`serve_runtime` runtime) that
+    receive every refreshed fit atomically.  See
+    ``docs/maintenance.md`` for the policy and exactness contract.
+    """
+    return ModelMaintainer(
+        db, name, kind, spec, model,
+        policy=policy, targets=targets, em_config=em_config,
+        nn_config=nn_config, alpha=alpha, stats_store=stats_store,
+        block_pages=block_pages, telemetry=telemetry,
     )
 
 

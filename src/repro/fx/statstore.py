@@ -1,0 +1,80 @@
+"""Fingerprint-keyed registry of maintained sufficient statistics.
+
+The serving side already shares partial caches across models through
+the :class:`~repro.fx.store.PartialStore`'s fingerprint keying — two
+registrations whose partials are value-identical attach to one cache.
+Maintained sufficient statistics deserve the same treatment: two
+maintainers over the same fit and join (same fingerprint) would
+otherwise each hold a full per-RID statistics copy and each replay
+every delta.  A :class:`StatsStore` is the statistics twin of that
+idea: ``acquire`` returns the resident object for a fingerprint (built
+on first acquisition), refcounted so ``release`` drops it only when
+the last holder lets go.
+
+Fingerprints follow the serving convention — the dimension heap paths
+plus a model/config discriminator — so statistics sharing lines up
+with partial-cache sharing (see
+:meth:`repro.serve.predictor._FactorizedCacheMixin._setup_caches`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable
+
+
+class StatsStore:
+    """Refcounted, fingerprint-keyed residency for statistics objects."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: dict[str, object] = {}
+        self._refcounts: dict[str, int] = {}
+        self._builds = 0
+        self._shared = 0
+
+    def acquire(self, fingerprint: str, build: Callable[[], object]):
+        """The resident statistics for ``fingerprint``; built once.
+
+        ``build`` runs outside the store lock (a statistics build scans
+        relations and can take a while); a racing acquisition of the
+        same fingerprint keeps the first inserted object and discards
+        the loser's build.
+        """
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._refcounts[fingerprint] += 1
+                self._shared += 1
+                return entry
+        built = build()
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._refcounts[fingerprint] += 1
+                self._shared += 1
+                return entry
+            self._entries[fingerprint] = built
+            self._refcounts[fingerprint] = 1
+            self._builds += 1
+            return built
+
+    def release(self, fingerprint: str) -> None:
+        """Drop one reference; the statistics leave residency at zero."""
+        with self._lock:
+            if fingerprint not in self._refcounts:
+                return
+            self._refcounts[fingerprint] -= 1
+            if self._refcounts[fingerprint] <= 0:
+                del self._refcounts[fingerprint]
+                del self._entries[fingerprint]
+
+    def stats(self) -> dict:
+        """Residency counters (``shared_acquisitions`` counts reuses)."""
+        with self._lock:
+            return {
+                "resident": len(self._entries),
+                "builds": self._builds,
+                "shared_acquisitions": self._shared,
+                "refcounts": dict(self._refcounts),
+            }

@@ -1,0 +1,19 @@
+"""Online model maintenance over normalized data.
+
+Retained sufficient statistics (:mod:`repro.maintain.stats`) make fits
+delta-maintainable — dimension-row updates apply rank-``k`` statistic
+deltas and appended fact rows fold in as mini-batches — and the
+:class:`~repro.maintain.maintainer.ModelMaintainer` drives them from
+the catalog's row-version event bus under a staleness/drift policy,
+hot-swapping refreshed fits into serving layers.
+"""
+
+from repro.maintain.maintainer import MaintenancePolicy, ModelMaintainer
+from repro.maintain.stats import GMMSuffStats, LinearSuffStats
+
+__all__ = [
+    "GMMSuffStats",
+    "LinearSuffStats",
+    "MaintenancePolicy",
+    "ModelMaintainer",
+]

@@ -1,0 +1,651 @@
+"""Delta-maintainable sufficient statistics over the normalized tables.
+
+The paper's factorized construction already decomposes every second-
+order quantity along relation boundaries: the Gram matrix accumulates
+as a ``(q+1)²`` block grid (Eq. 23–24) where each block touching
+dimension ``R_i`` is a sum over distinct dimension tuples weighted by
+per-RID fact aggregates.  That decomposition is exactly what makes the
+fit *maintainable*: when one dimension row changes, only the blocks it
+participates in move, by a rank-``k`` amount expressible from retained
+per-RID groupsums — no rescan of the fact relation (Civek et al.'s
+online second-order regression is the reference, see PAPERS.md).
+
+Two statistic objects live here:
+
+* :class:`LinearSuffStats` — the ridge normal equations
+  ``(XᵀX, Xᵀy, Σx, Σy, n)`` plus the per-RID aggregates (group counts,
+  γ-free fact sums, FK co-occurrence counts) needed to replay a
+  dimension-row delta exactly.  ``solve()`` reproduces
+  :func:`repro.linear.models.fit_ridge`'s closed form to float
+  round-off (the parity suite pins the tolerance).
+* :class:`GMMSuffStats` — the mixture's M-step statistics
+  ``(N_k, Σγx, Σγxxᵀ)`` plus per-RID responsibility masses, refreshed
+  under *frozen responsibilities*: a dimension delta moves the
+  x-dependent blocks with γ held fixed, then one M-step re-solve yields
+  updated parameters.  This is a first-order approximation (γ would
+  shift under a full refit), so the maintainer tracks accumulated
+  drift and falls back to a deterministic cold refit past a bound.
+
+Appended fact rows fold into both exactly/via one E-step respectively —
+the mini-batch path of the tentpole.  All per-batch grouped reductions
+run through the access path's :class:`~repro.fx.dedup.DedupPlan`, the
+same dedup machinery training and serving share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.gmm.base import EMConfig
+from repro.gmm.model import (
+    GaussianMixtureModel,
+    GMMParams,
+    log_responsibilities,
+)
+from repro.join.bnl import DEFAULT_BLOCK_PAGES
+from repro.join.factorized import FactorizedJoin
+from repro.join.spec import JoinSpec
+from repro.linalg.groupsum import codes_for_keys
+from repro.linear.models import LinearModel
+from repro.storage.catalog import Database
+
+_EPS = 1e-12
+
+
+def _dimension_index(resolved, relation_name: str) -> int:
+    for index, dim in enumerate(resolved.dimensions):
+        if dim.relation.name == relation_name:
+            return index
+    raise ModelError(
+        f"relation {relation_name!r} is not a dimension of the join "
+        f"(have {[d.relation.name for d in resolved.dimensions]})"
+    )
+
+
+def _relative_norm(delta: float, reference: float) -> float:
+    return delta / (reference + _EPS)
+
+
+@dataclass
+class LinearSuffStats:
+    """Sufficient statistics of the factorized ridge fit.
+
+    ``dim_keys[i]`` fixes the index space of every per-RID array for
+    dimension ``i`` (row ``r`` of ``dim_features[i]`` is the feature
+    vector of key ``dim_keys[i][r]``).  ``pair_counts[(i, j)]`` (only
+    ``i < j`` stored) counts fact rows referencing RID pair ``(r, s)``
+    — the coupling weight of the off-diagonal Gram block.
+    """
+
+    spec: JoinSpec
+    alpha: float
+    layout: object
+    gram: np.ndarray
+    cross: np.ndarray
+    feature_sum: np.ndarray
+    target_sum: float
+    n: int
+    dim_keys: list[np.ndarray]
+    dim_features: list[np.ndarray]
+    group_count: list[np.ndarray]
+    group_fact_sum: list[np.ndarray]
+    group_target_sum: list[np.ndarray]
+    pair_counts: dict[tuple[int, int], np.ndarray]
+    resolved: object
+    #: accumulated relative Frobenius movement of the Gram matrix —
+    #: exact deltas do not drift, but the number still quantifies how
+    #: far the statistics have moved since the last full build.
+    drift: float = 0.0
+    deltas_applied: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        db: Database,
+        spec: JoinSpec,
+        *,
+        alpha: float = 1e-3,
+        block_pages: int = DEFAULT_BLOCK_PAGES,
+    ) -> "LinearSuffStats":
+        """One factorized pass accumulating the full statistics."""
+        if alpha < 0:
+            raise ModelError(f"alpha must be non-negative, got {alpha}")
+        access = FactorizedJoin(db, spec, block_pages=block_pages)
+        if not access.has_target:
+            raise ModelError("ridge statistics require a TARGET column")
+        resolved = access.resolved
+        layout = resolved.layout
+        d = layout.total
+        q = resolved.num_dimensions
+        dim_keys = [dim.relation.keys() for dim in resolved.dimensions]
+        dim_features = [
+            dim.relation.features().astype(np.float64)
+            for dim in resolved.dimensions
+        ]
+        gram = np.zeros((d, d))
+        cross = np.zeros(d)
+        feature_sum = np.zeros(d)
+        target_sum = 0.0
+        n = 0
+        group_count = [np.zeros(k.size) for k in dim_keys]
+        group_fact_sum = [
+            np.zeros((k.size, layout.sizes[0])) for k in dim_keys
+        ]
+        group_target_sum = [np.zeros(k.size) for k in dim_keys]
+        pair_counts = {
+            (i, j): np.zeros((dim_keys[i].size, dim_keys[j].size))
+            for i in range(q) for j in range(i + 1, q)
+        }
+        for batch in access.batches():
+            design = batch.design
+            dense = design.densify()
+            targets = batch.targets
+            gram += dense.T @ dense
+            cross += targets @ dense
+            feature_sum += dense.sum(axis=0)
+            target_sum += float(targets.sum())
+            n += design.n
+            plan = batch.plan
+            globals_ = [
+                codes_for_keys(plan.dims[i].unique, dim_keys[i])
+                for i in range(q)
+            ]
+            for i in range(q):
+                g = globals_[i]
+                group = design.groups[i]
+                group_count[i][g] += group.sum_weights(
+                    np.ones(design.n)
+                )
+                group_fact_sum[i][g] += group.sum_rows(design.fact_block)
+                group_target_sum[i][g] += group.sum_weights(targets)
+            for i in range(q):
+                for j in range(i + 1, q):
+                    rows_i = globals_[i][plan.dims[i].inverse]
+                    rows_j = globals_[j][plan.dims[j].inverse]
+                    np.add.at(
+                        pair_counts[(i, j)], (rows_i, rows_j), 1.0
+                    )
+        if n == 0:
+            raise ModelError("the join produced no tuples")
+        return cls(
+            spec=spec, alpha=alpha, layout=layout, gram=gram,
+            cross=cross, feature_sum=feature_sum, target_sum=target_sum,
+            n=n, dim_keys=dim_keys, dim_features=dim_features,
+            group_count=group_count, group_fact_sum=group_fact_sum,
+            group_target_sum=group_target_sum, pair_counts=pair_counts,
+            resolved=resolved,
+        )
+
+    # -- deltas --------------------------------------------------------------
+
+    def _pair_rows(self, i: int, j: int, rows: np.ndarray) -> np.ndarray:
+        """Co-occurrence counts of dimension ``i``'s ``rows`` against
+        every RID of dimension ``j``, shape ``(len(rows), m_j)``."""
+        if i < j:
+            return self.pair_counts[(i, j)][rows, :]
+        return self.pair_counts[(j, i)][:, rows].T
+
+    def apply_dimension_update(
+        self, relation_name: str, rids: np.ndarray, new_features: np.ndarray
+    ) -> float:
+        """Rank-``k`` statistic delta for updated dimension rows.
+
+        ``new_features`` are the replacement *feature* rows for the
+        given primary keys.  Every Gram/cross/sum block touching the
+        dimension moves by a closed-form amount computed from the
+        retained per-RID aggregates; nothing is re-scanned.  Returns
+        the relative Frobenius movement of the Gram matrix (also
+        accumulated on :attr:`drift`).
+        """
+        i = _dimension_index(self.resolved, relation_name)
+        rids = np.asarray(rids).ravel().astype(np.int64)
+        new = np.atleast_2d(np.asarray(new_features, dtype=np.float64))
+        g = codes_for_keys(rids, self.dim_keys[i])
+        old = self.dim_features[i][g]
+        if new.shape != old.shape:
+            raise ModelError(
+                f"replacement features for {relation_name!r} must be "
+                f"{old.shape}, got {new.shape}"
+            )
+        delta = new - old
+        s0 = self.layout.slice_of(0)
+        si = self.layout.slice_of(i + 1)
+        counts = self.group_count[i][g]
+        gram_before = float(np.linalg.norm(self.gram))
+        # fact × dimension block and its transpose
+        block = self.group_fact_sum[i][g].T @ delta
+        self.gram[s0, si] += block
+        self.gram[si, s0] += block.T
+        # dimension × itself
+        self.gram[si, si] += (
+            (new * counts[:, None]).T @ new
+            - (old * counts[:, None]).T @ old
+        )
+        # dimension × every other dimension, through co-occurrence
+        for j in range(len(self.dim_keys)):
+            if j == i:
+                continue
+            sj = self.layout.slice_of(j + 1)
+            coef = self._pair_rows(i, j, g) @ self.dim_features[j]
+            block = delta.T @ coef
+            self.gram[si, sj] += block
+            self.gram[sj, si] += block.T
+        self.cross[si] += delta.T @ self.group_target_sum[i][g]
+        self.feature_sum[si] += counts @ delta
+        self.dim_features[i][g] = new
+        moved = _relative_norm(
+            float(np.linalg.norm(delta) * max(1.0, counts.max(initial=0.0))),
+            gram_before,
+        )
+        self.drift += moved
+        self.deltas_applied += 1
+        return moved
+
+    def fold_appended_dimension(
+        self, relation_name: str, rids: np.ndarray, new_features: np.ndarray
+    ) -> None:
+        """Extend the per-RID index space with brand-new dimension rows.
+
+        New rows carry no fact references yet, so the global statistics
+        are untouched; only the retained arrays grow (exact).
+        """
+        i = _dimension_index(self.resolved, relation_name)
+        rids = np.asarray(rids).ravel().astype(np.int64)
+        new = np.atleast_2d(np.asarray(new_features, dtype=np.float64))
+        if np.intersect1d(rids, self.dim_keys[i]).size:
+            raise ModelError(
+                f"appended RIDs to {relation_name!r} collide with "
+                "retained keys"
+            )
+        grown = rids.size
+        self.dim_keys[i] = np.concatenate([self.dim_keys[i], rids])
+        self.dim_features[i] = np.vstack([self.dim_features[i], new])
+        self.group_count[i] = np.concatenate(
+            [self.group_count[i], np.zeros(grown)]
+        )
+        self.group_fact_sum[i] = np.vstack(
+            [self.group_fact_sum[i], np.zeros((grown, self.layout.sizes[0]))]
+        )
+        self.group_target_sum[i] = np.concatenate(
+            [self.group_target_sum[i], np.zeros(grown)]
+        )
+        for (a, b), counts in list(self.pair_counts.items()):
+            if a == i:
+                self.pair_counts[(a, b)] = np.vstack(
+                    [counts, np.zeros((grown, counts.shape[1]))]
+                )
+            elif b == i:
+                self.pair_counts[(a, b)] = np.hstack(
+                    [counts, np.zeros((counts.shape[0], grown))]
+                )
+
+    def fold_appended_facts(
+        self,
+        fact_features: np.ndarray,
+        fk_columns: list[np.ndarray],
+        targets: np.ndarray,
+    ) -> None:
+        """Fold appended fact rows in exactly (mini-batch accumulation).
+
+        The appended rows' dimension features are assembled from the
+        retained snapshots at distinct-RID cardinality, so the fold-in
+        runs the same factorized math as training.
+        """
+        fact = np.atleast_2d(np.asarray(fact_features, dtype=np.float64))
+        targets = np.asarray(targets, dtype=np.float64).ravel()
+        rows = fact.shape[0]
+        if targets.size != rows:
+            raise ModelError(
+                f"{rows} appended rows but {targets.size} targets"
+            )
+        q = len(self.dim_keys)
+        if len(fk_columns) != q:
+            raise ModelError(
+                f"{len(fk_columns)} FK columns for a {q}-dimension join"
+            )
+        globals_ = [
+            codes_for_keys(
+                np.asarray(fk).ravel().astype(np.int64), self.dim_keys[i]
+            )
+            for i, fk in enumerate(fk_columns)
+        ]
+        parts = [fact] + [
+            self.dim_features[i][globals_[i]] for i in range(q)
+        ]
+        dense = np.concatenate(parts, axis=1)
+        self.gram += dense.T @ dense
+        self.cross += targets @ dense
+        self.feature_sum += dense.sum(axis=0)
+        self.target_sum += float(targets.sum())
+        self.n += rows
+        for i in range(q):
+            np.add.at(self.group_count[i], globals_[i], 1.0)
+            np.add.at(self.group_fact_sum[i], globals_[i], fact)
+            np.add.at(self.group_target_sum[i], globals_[i], targets)
+        for i in range(q):
+            for j in range(i + 1, q):
+                np.add.at(
+                    self.pair_counts[(i, j)],
+                    (globals_[i], globals_[j]),
+                    1.0,
+                )
+        self.deltas_applied += 1
+
+    # -- solve ---------------------------------------------------------------
+
+    def solve(self) -> LinearModel:
+        """The closed-form ridge solve over the maintained statistics —
+        the same centering arithmetic as :func:`fit_ridge`."""
+        if self.n == 0:
+            raise ModelError("no tuples in the maintained statistics")
+        d = self.layout.total
+        mean = self.feature_sum / self.n
+        target_mean = self.target_sum / self.n
+        centered_gram = self.gram - self.n * np.outer(mean, mean)
+        centered_cross = self.cross - self.n * mean * target_mean
+        weights = np.linalg.solve(
+            centered_gram + self.alpha * np.eye(d), centered_cross
+        )
+        intercept = target_mean - float(mean @ weights)
+        return LinearModel(
+            weights=weights,
+            intercept=intercept,
+            algorithm="F-Ridge/delta",
+            extra={
+                "n": self.n,
+                "alpha": self.alpha,
+                "deltas_applied": self.deltas_applied,
+            },
+        )
+
+
+@dataclass
+class GMMSuffStats:
+    """Frozen-responsibility M-step statistics of a fitted mixture.
+
+    Built from one factorized E-pass at the fitted parameters; a
+    dimension-row delta moves the x-dependent statistic blocks with the
+    responsibilities γ held fixed, then :meth:`solve` runs one M-step.
+    Appended fact rows fold in through a fresh E-step at the current
+    parameters (mini-batch EM).  Both paths are approximations of a
+    full refit — :attr:`drift` accumulates the statistics' relative
+    movement so a maintainer can force a cold refit past a bound.
+    """
+
+    spec: JoinSpec
+    config: EMConfig
+    params: GMMParams
+    layout: object
+    counts: np.ndarray            # (K,) responsibility masses N_k
+    comp_sum: np.ndarray          # (K, d) Σ γ x
+    comp_outer: np.ndarray        # (K, d, d) Σ γ x xᵀ
+    n: int
+    dim_keys: list[np.ndarray]
+    dim_features: list[np.ndarray]
+    mass: list[np.ndarray]        # per dim: (m_i, K) Σ γ over referencing rows
+    fact_mass: list[np.ndarray]   # per dim: (K, m_i, d_S) γ-weighted fact sums
+    pair_mass: dict[tuple[int, int], np.ndarray]  # (K, m_i, m_j) γ co-occurrence
+    resolved: object
+    drift: float = 0.0
+    deltas_applied: int = 0
+
+    @classmethod
+    def build(
+        cls,
+        db: Database,
+        spec: JoinSpec,
+        params: GMMParams,
+        *,
+        config: EMConfig | None = None,
+        block_pages: int = DEFAULT_BLOCK_PAGES,
+    ) -> "GMMSuffStats":
+        """One factorized E-pass at ``params`` retaining per-RID masses."""
+        config = config or EMConfig(n_components=params.weights.size)
+        access = FactorizedJoin(db, spec, block_pages=block_pages)
+        resolved = access.resolved
+        layout = resolved.layout
+        d = layout.total
+        k = params.weights.size
+        q = resolved.num_dimensions
+        model = GaussianMixtureModel(params, reg_covar=config.reg_covar)
+        dim_keys = [dim.relation.keys() for dim in resolved.dimensions]
+        dim_features = [
+            dim.relation.features().astype(np.float64)
+            for dim in resolved.dimensions
+        ]
+        counts = np.zeros(k)
+        comp_sum = np.zeros((k, d))
+        comp_outer = np.zeros((k, d, d))
+        n = 0
+        mass = [np.zeros((keys.size, k)) for keys in dim_keys]
+        fact_mass = [
+            np.zeros((k, keys.size, layout.sizes[0])) for keys in dim_keys
+        ]
+        pair_mass = {
+            (i, j): np.zeros((k, dim_keys[i].size, dim_keys[j].size))
+            for i in range(q) for j in range(i + 1, q)
+        }
+        for batch in access.batches():
+            design = batch.design
+            dense = design.densify()
+            log_gauss = model.log_gaussians(dense)
+            gamma, _ = log_responsibilities(log_gauss, params.weights)
+            counts += gamma.sum(axis=0)
+            comp_sum += gamma.T @ dense
+            comp_outer += np.einsum("nk,nd,ne->kde", gamma, dense, dense)
+            n += dense.shape[0]
+            plan = batch.plan
+            globals_ = [
+                codes_for_keys(plan.dims[i].unique, dim_keys[i])
+                for i in range(q)
+            ]
+            for i in range(q):
+                g = globals_[i]
+                group = design.groups[i]
+                mass[i][g] += group.sum_rows(gamma)
+                for comp in range(k):
+                    fact_mass[i][comp][g] += group.sum_rows(
+                        gamma[:, comp : comp + 1] * design.fact_block
+                    )
+            for i in range(q):
+                for j in range(i + 1, q):
+                    rows_i = globals_[i][plan.dims[i].inverse]
+                    rows_j = globals_[j][plan.dims[j].inverse]
+                    for comp in range(k):
+                        np.add.at(
+                            pair_mass[(i, j)][comp],
+                            (rows_i, rows_j),
+                            gamma[:, comp],
+                        )
+        if n == 0:
+            raise ModelError("the join produced no tuples")
+        return cls(
+            spec=spec, config=config, params=params, layout=layout,
+            counts=counts, comp_sum=comp_sum, comp_outer=comp_outer, n=n,
+            dim_keys=dim_keys, dim_features=dim_features, mass=mass,
+            fact_mass=fact_mass, pair_mass=pair_mass, resolved=resolved,
+        )
+
+    # -- deltas --------------------------------------------------------------
+
+    def _pair_mass_rows(self, i: int, j: int, rows: np.ndarray) -> np.ndarray:
+        """γ co-occurrence of dimension ``i``'s ``rows`` against every
+        RID of dimension ``j``, shape ``(K, len(rows), m_j)``."""
+        if i < j:
+            return self.pair_mass[(i, j)][:, rows, :]
+        return np.swapaxes(self.pair_mass[(j, i)][:, :, rows], 1, 2)
+
+    def apply_dimension_update(
+        self, relation_name: str, rids: np.ndarray, new_features: np.ndarray
+    ) -> float:
+        """Frozen-γ rank-``k`` delta to the M-step statistics.
+
+        Responsibility masses (``counts``, ``mass``, ``fact_mass``,
+        ``pair_mass``) are x-independent under frozen γ and stay put;
+        only the sums/outers that mention the updated dimension's
+        feature values move.  Returns the statistics' relative movement
+        (accumulated on :attr:`drift` — the maintainer's refit signal,
+        since γ itself would shift under a true refit).
+        """
+        i = _dimension_index(self.resolved, relation_name)
+        rids = np.asarray(rids).ravel().astype(np.int64)
+        new = np.atleast_2d(np.asarray(new_features, dtype=np.float64))
+        g = codes_for_keys(rids, self.dim_keys[i])
+        old = self.dim_features[i][g]
+        if new.shape != old.shape:
+            raise ModelError(
+                f"replacement features for {relation_name!r} must be "
+                f"{old.shape}, got {new.shape}"
+            )
+        delta = new - old
+        s0 = self.layout.slice_of(0)
+        si = self.layout.slice_of(i + 1)
+        mass_u = self.mass[i][g]                       # (|U|, K)
+        sum_before = float(np.linalg.norm(self.comp_sum))
+        delta_sum = mass_u.T @ delta                   # (K, d_Ri)
+        self.comp_sum[:, si] += delta_sum
+        # fact × dimension blocks
+        fact_u = self.fact_mass[i][:, g, :]            # (K, |U|, d_S)
+        block = np.einsum("kua,ub->kab", fact_u, delta)
+        self.comp_outer[:, s0, si] += block
+        self.comp_outer[:, si, s0] += np.swapaxes(block, 1, 2)
+        # dimension × itself
+        self.comp_outer[:, si, si] += (
+            np.einsum("uk,ua,ub->kab", mass_u, new, new)
+            - np.einsum("uk,ua,ub->kab", mass_u, old, old)
+        )
+        # dimension × other dimensions through γ co-occurrence
+        for j in range(len(self.dim_keys)):
+            if j == i:
+                continue
+            sj = self.layout.slice_of(j + 1)
+            coef = np.einsum(
+                "kus,sb->kub",
+                self._pair_mass_rows(i, j, g),
+                self.dim_features[j],
+            )
+            block = np.einsum("ua,kub->kab", delta, coef)
+            self.comp_outer[:, si, sj] += block
+            self.comp_outer[:, sj, si] += np.swapaxes(block, 1, 2)
+        self.dim_features[i][g] = new
+        moved = _relative_norm(
+            float(np.linalg.norm(delta_sum)), sum_before
+        )
+        self.drift += moved
+        self.deltas_applied += 1
+        return moved
+
+    def fold_appended_facts(
+        self,
+        fact_features: np.ndarray,
+        fk_columns: list[np.ndarray],
+    ) -> float:
+        """One E-step over appended fact rows at the current parameters,
+        folded into every statistic (mini-batch EM)."""
+        fact = np.atleast_2d(np.asarray(fact_features, dtype=np.float64))
+        rows = fact.shape[0]
+        q = len(self.dim_keys)
+        globals_ = [
+            codes_for_keys(
+                np.asarray(fk).ravel().astype(np.int64), self.dim_keys[i]
+            )
+            for i, fk in enumerate(fk_columns)
+        ]
+        parts = [fact] + [
+            self.dim_features[i][globals_[i]] for i in range(q)
+        ]
+        dense = np.concatenate(parts, axis=1)
+        model = GaussianMixtureModel(
+            self.params, reg_covar=self.config.reg_covar
+        )
+        log_gauss = model.log_gaussians(dense)
+        gamma, _ = log_responsibilities(log_gauss, self.params.weights)
+        counts_before = float(np.linalg.norm(self.counts))
+        delta_counts = gamma.sum(axis=0)
+        self.counts += delta_counts
+        self.comp_sum += gamma.T @ dense
+        self.comp_outer += np.einsum("nk,nd,ne->kde", gamma, dense, dense)
+        self.n += rows
+        for i in range(q):
+            np.add.at(self.mass[i], globals_[i], gamma)
+            for comp in range(gamma.shape[1]):
+                np.add.at(
+                    self.fact_mass[i][comp],
+                    globals_[i],
+                    gamma[:, comp : comp + 1] * fact,
+                )
+        for i in range(q):
+            for j in range(i + 1, q):
+                for comp in range(gamma.shape[1]):
+                    np.add.at(
+                        self.pair_mass[(i, j)][comp],
+                        (globals_[i], globals_[j]),
+                        gamma[:, comp],
+                    )
+        moved = _relative_norm(
+            float(np.linalg.norm(delta_counts)), counts_before
+        )
+        self.drift += moved
+        self.deltas_applied += 1
+        return moved
+
+    def fold_appended_dimension(
+        self, relation_name: str, rids: np.ndarray, new_features: np.ndarray
+    ) -> None:
+        """Grow the per-RID index space with new dimension rows (exact —
+        nothing references them yet)."""
+        i = _dimension_index(self.resolved, relation_name)
+        rids = np.asarray(rids).ravel().astype(np.int64)
+        new = np.atleast_2d(np.asarray(new_features, dtype=np.float64))
+        if np.intersect1d(rids, self.dim_keys[i]).size:
+            raise ModelError(
+                f"appended RIDs to {relation_name!r} collide with "
+                "retained keys"
+            )
+        grown = rids.size
+        k = self.counts.size
+        self.dim_keys[i] = np.concatenate([self.dim_keys[i], rids])
+        self.dim_features[i] = np.vstack([self.dim_features[i], new])
+        self.mass[i] = np.vstack([self.mass[i], np.zeros((grown, k))])
+        self.fact_mass[i] = np.concatenate(
+            [
+                self.fact_mass[i],
+                np.zeros((k, grown, self.layout.sizes[0])),
+            ],
+            axis=1,
+        )
+        for (a, b), masses in list(self.pair_mass.items()):
+            if a == i:
+                self.pair_mass[(a, b)] = np.concatenate(
+                    [masses, np.zeros((k, grown, masses.shape[2]))], axis=1
+                )
+            elif b == i:
+                self.pair_mass[(a, b)] = np.concatenate(
+                    [masses, np.zeros((k, masses.shape[1], grown))], axis=2
+                )
+
+    # -- solve ---------------------------------------------------------------
+
+    def solve(self) -> GMMParams:
+        """One M-step over the maintained statistics.
+
+        Mixing weights follow the responsibility masses (``N_k / n``);
+        means and covariances re-solve from the moment sums.  Like the
+        training M-step, covariances are stored raw — ``reg_covar``
+        enters through the precisions at E/score time, not here.  The
+        result becomes the statistics' current :attr:`params`.
+        """
+        counts = np.maximum(self.counts, _EPS)
+        means = self.comp_sum / counts[:, None]
+        covariances = (
+            self.comp_outer / counts[:, None, None]
+            - np.einsum("ka,kb->kab", means, means)
+        )
+        weights = counts / counts.sum()
+        self.params = GMMParams(
+            weights=weights, means=means, covariances=covariances
+        )
+        return self.params

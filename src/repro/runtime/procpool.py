@@ -418,13 +418,20 @@ class ProcessExecutor:
     def unregister(self, model_index: int) -> None:
         self._broadcast(MSG_UNREGISTER, {"index": model_index})
 
-    def invalidate(self, relation: str, rids) -> dict[str, int]:
-        """Fan an invalidation out to every worker; merged drop counts."""
+    def invalidate(
+        self, relation: str, rids, positions=None
+    ) -> dict[str, int]:
+        """Fan an invalidation out to every worker; merged drop counts.
+
+        ``positions`` (heap row numbers, when the event knows them) let
+        workers drop only the touched buffer-pool pages instead of the
+        whole relation.
+        """
         dropped: dict[str, int] = {}
-        replies = self._broadcast(
-            MSG_INVALIDATE,
-            {"relation": relation, "rids": np.asarray(rids)},
-        )
+        payload = {"relation": relation, "rids": np.asarray(rids)}
+        if positions is not None:
+            payload["positions"] = np.asarray(positions)
+        replies = self._broadcast(MSG_INVALIDATE, payload)
         for reply in replies:
             for model_name, count in (reply or {}).items():
                 dropped[model_name] = dropped.get(model_name, 0) + count

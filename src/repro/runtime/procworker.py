@@ -43,7 +43,7 @@ import traceback
 import numpy as np
 
 from repro.core.strategies import FACTORIZED, MATERIALIZED
-from repro.fx.dedup import DedupPlan
+from repro.fx.dedup import DedupPlan, distinct_values
 from repro.fx.shm import (
     HDR_BATCHES,
     HDR_INVALIDATED,
@@ -281,6 +281,7 @@ class _Worker:
 
     def on_invalidate(self, payload) -> dict:
         relation, rids = payload["relation"], payload["rids"]
+        positions = payload.get("positions")
         dropped: dict[str, int] = {}
         for registered in self.models.values():
             for dim_index, dim_name in enumerate(
@@ -293,16 +294,25 @@ class _Worker:
                     dropped.get(registered.name, 0) + count
                 )
         # This worker's buffer pool may cache the relation's pre-update
-        # pages; the event carries key values, not page numbers, so the
-        # whole relation is dropped (correctness over precision — the
-        # next batch re-reads what it touches).
+        # pages.  When the event names the touched heap rows, drop only
+        # their pages; untouched pages stay resident so the next batch
+        # re-reads only what actually changed.  An event without
+        # positions falls back to dropping the whole relation
+        # (correctness over precision).
         if self.db is not None:
             try:
                 heap = self.db.relation(relation).heap
             except Exception:
                 heap = None
             if heap is not None:
-                self.db.buffer_pool.invalidate(heap)
+                if positions is not None and len(positions):
+                    pages = distinct_values(
+                        np.asarray(positions, dtype=np.int64)
+                        // heap.rows_per_page
+                    )
+                    self.db.buffer_pool.invalidate_pages(heap, pages)
+                else:
+                    self.db.buffer_pool.invalidate(heap)
         total = sum(dropped.values())
         if total:
             self.header[HDR_INVALIDATED] += total

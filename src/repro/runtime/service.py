@@ -249,6 +249,19 @@ class RuntimeModel:
     validator: object | None = None
     worker_index: int = 0
     out_width: int = 0
+    # Registration-time inputs retained so a maintainer can rebuild
+    # this registration around a refreshed fit (swap_model).
+    spec: JoinSpec | None = None
+    cache_entries: int | None = None
+    cache_floats: int | None = None
+    # Batches currently executing against this registration; swap_model
+    # drains it to zero before tearing the old registration down.
+    inflight: int = 0
+    # Final counter totals of cache generations retired by swap_model
+    # (one CacheStats per dimension, gauges zeroed), folded into
+    # ``cache_stats`` so exported counters never step backwards when a
+    # swap rebuilds the caches.
+    cache_baselines: list = field(default_factory=list)
     stats: ServingStats = field(default_factory=ServingStats)
     planner_stats: PlannerStats = field(default_factory=PlannerStats)
     invalidated_rids: int = 0
@@ -271,12 +284,46 @@ class RuntimeModel:
         return self.factorized or self.materialized or self.validator
 
     def cache_stats(self) -> list[CacheStats]:
-        """Aggregate partial-cache counters, one entry per dimension."""
-        return [cache.stats() for cache in self.caches]
+        """Aggregate partial-cache counters, one entry per dimension.
+
+        Counter totals of generations retired by :meth:`swap_model`
+        are folded in, so hits/misses/invalidations stay monotonic
+        across a hot swap; gauges (entries, residency) reflect only
+        the live generation.
+        """
+        stats = [cache.stats() for cache in self.caches]
+        if self.cache_baselines:
+            stats = [
+                base + live
+                for base, live in zip(self.cache_baselines, stats)
+            ]
+        return stats
 
     def shard_cache_stats(self) -> list[list[CacheStats]]:
         """Per-dimension, per-shard cache counters."""
         return [cache.shard_stats() for cache in self.caches]
+
+
+def _counter_baseline(stats: CacheStats) -> CacheStats:
+    """Monotonic counters of a retiring cache generation.
+
+    Gauges (entries, residency) are zeroed and the capacities set to 0
+    — the additive identity of :meth:`CacheStats.__add__` — so folding
+    the baseline into a live generation's stats inflates only the
+    counters.
+    """
+    return CacheStats(
+        hits=stats.hits,
+        misses=stats.misses,
+        evictions=stats.evictions,
+        capacity=0,
+        capacity_floats=0,
+        invalidations=stats.invalidations,
+        admission_rejections=stats.admission_rejections,
+        cross_evictions=stats.cross_evictions,
+        demotions=dict(stats.demotions),
+        promotions=dict(stats.promotions),
+    )
 
 
 @dataclass
@@ -689,8 +736,9 @@ class ServingRuntime:
                      "batches",
                 model=name,
             )
-            for dim_name, cache in zip(model.dimension_names, model.caches):
-                stats = cache.stats()
+            for dim_name, stats in zip(
+                model.dimension_names, model.cache_stats()
+            ):
                 labels = {"model": name, "dimension": dim_name}
                 buffer.counter(
                     "repro_cache_hits_total", stats.hits,
@@ -811,6 +859,22 @@ class ServingRuntime:
                 name, kind, spec, model, strategy, cache_entries,
                 cache_floats,
             )
+        registered = self._build_thread_model(
+            name, kind, spec, model, strategy, cache_entries, cache_floats
+        )
+        try:
+            self._insert_registration(registered)
+        except ModelError:
+            if registered.factorized is not None:
+                registered.factorized.close()   # give shared caches back
+            raise
+        return registered
+
+    def _build_thread_model(
+        self, name, kind, spec, model, strategy, cache_entries, cache_floats
+    ) -> RuntimeModel:
+        """Build a thread-mode registration (predictors, caches,
+        planner) without touching the registry."""
         factorized = None
         if strategy in (ADAPTIVE, FACTORIZED):
             # Factorized predictors draw their RID-hash-sharded caches
@@ -858,7 +922,7 @@ class ServingRuntime:
                 tuple(layout.sizes[1:]),
                 width_param,
             )
-        registered = RuntimeModel(
+        return RuntimeModel(
             name=name,
             kind=kind,
             strategy=strategy,
@@ -869,25 +933,22 @@ class ServingRuntime:
             dimension_names=[
                 dim.relation.name for dim in resolved.dimensions
             ],
+            spec=spec,
+            cache_entries=cache_entries,
+            cache_floats=cache_floats,
         )
-        try:
-            with self._registry_lock:
-                if name in self._models:
-                    raise ModelError(
-                        f"model {name!r} is already registered"
-                    )
-                self._models[name] = registered
-                for index, dim_name in enumerate(
-                    registered.dimension_names
-                ):
-                    self._dimension_index.setdefault(dim_name, []).append(
-                        (registered, index)
-                    )
-        except ModelError:
-            if factorized is not None:
-                factorized.close()     # give shared caches back
-            raise
-        return registered
+
+    def _insert_registration(self, registered: RuntimeModel) -> None:
+        with self._registry_lock:
+            if registered.name in self._models:
+                raise ModelError(
+                    f"model {registered.name!r} is already registered"
+                )
+            self._models[registered.name] = registered
+            for index, dim_name in enumerate(registered.dimension_names):
+                self._dimension_index.setdefault(dim_name, []).append(
+                    (registered, index)
+                )
 
     def _register_process(
         self, name, kind, spec, model, strategy, cache_entries,
@@ -901,6 +962,23 @@ class ServingRuntime:
         validation and scatter need: the resolved join (shapes,
         dimension names) and the network's output width.
         """
+        registered = self._build_process_model(
+            name, kind, spec, model, strategy, cache_entries, cache_floats
+        )
+        try:
+            self._insert_registration(registered)
+        except ModelError:
+            self._executor.unregister(registered.worker_index)
+            raise
+        return registered
+
+    def _build_process_model(
+        self, name, kind, spec, model, strategy, cache_entries,
+        cache_floats,
+    ) -> RuntimeModel:
+        """Register the model on every worker under a fresh worker-side
+        index and build the parent-side validator — no registry entry
+        yet (callers insert or swap it in)."""
         bare = (
             coerce_gmm_model(model) if kind == "gmm"
             else coerce_nn_model(model)
@@ -922,7 +1000,7 @@ class ServingRuntime:
             worker_index, name, kind, spec, bare, strategy,
             cache_entries, cache_floats,
         )
-        registered = RuntimeModel(
+        return RuntimeModel(
             name=name,
             kind=kind,
             strategy=strategy,
@@ -936,24 +1014,125 @@ class ServingRuntime:
             validator=validator,
             worker_index=worker_index,
             out_width=reply["n_outputs"],
+            spec=spec,
+            cache_entries=cache_entries,
+            cache_floats=cache_floats,
         )
+
+    def swap_model(
+        self, name: str, model, *, drain_timeout: float = 30.0
+    ) -> RuntimeModel:
+        """Atomically replace ``name``'s fit with a refreshed one.
+
+        The replacement registration is built completely before the
+        registry changes — in process mode that means registering the
+        refreshed fit on every worker under a *fresh* worker-side
+        index, never overwriting the old one in place (one coalesced
+        batch scatters sub-batches to several workers; an in-place
+        replace landing between two of them would serve a torn mix).
+        The registry pointer then flips under the lock, so a batch
+        resolves entirely the old or entirely the new registration.
+        Old in-flight batches are drained (bounded by
+        ``drain_timeout``) before the old predictors close / the old
+        worker-side entry unregisters.
+
+        Serving stats and FK/invalidations counters carry over, so
+        exported monotonic counters never step backwards across a
+        swap.  The new factorized predictors draw from the same shared
+        store — partials untouched by the refresh stay resident via
+        fingerprint sharing.
+        """
+        if self._closed:
+            raise ModelError("runtime is closed")
+        current = self.model(name)
+        if current.spec is None:
+            raise ModelError(
+                f"model {name!r} was registered without its spec; "
+                "cannot rebuild its registration for a swap"
+            )
+        if self._executor is not None:
+            replacement = self._build_process_model(
+                name, current.kind, current.spec, model,
+                current.strategy, current.cache_entries,
+                current.cache_floats,
+            )
+        else:
+            replacement = self._build_thread_model(
+                name, current.kind, current.spec, model,
+                current.strategy, current.cache_entries,
+                current.cache_floats,
+            )
+        with current.lock:
+            replacement.stats = current.stats
+            replacement.invalidated_rids = current.invalidated_rids
+            replacement.fk_references = current.fk_references
+            replacement.fk_distinct = current.fk_distinct
+        # Capture the retiring generation's cache counters so exported
+        # totals carry across the swap instead of restarting at zero.
+        # In process mode the merged worker sample (keyed by model
+        # name) is the only view of the worker-side caches; in thread
+        # mode the caches are local.  Either path already folds in the
+        # baselines of generations retired by earlier swaps.
+        if self._executor is not None:
+            merged, _ = self._merged_worker_stats()
+            replacement.cache_baselines = [
+                _counter_baseline(stats)
+                for stats in merged.get(name, [])
+            ]
+        else:
+            replacement.cache_baselines = [
+                _counter_baseline(stats)
+                for stats in current.cache_stats()
+            ]
+        swapped = False
         try:
             with self._registry_lock:
-                if name in self._models:
+                if self._models.get(name) is not current:
                     raise ModelError(
-                        f"model {name!r} is already registered"
+                        f"model {name!r} changed while swapping"
                     )
-                self._models[name] = registered
+                self._models[name] = replacement
                 for index, dim_name in enumerate(
-                    registered.dimension_names
+                    replacement.dimension_names
                 ):
-                    self._dimension_index.setdefault(dim_name, []).append(
-                        (registered, index)
-                    )
-        except ModelError:
-            self._executor.unregister(worker_index)
-            raise
-        return registered
+                    entries = self._dimension_index.get(dim_name, [])
+                    self._dimension_index[dim_name] = [
+                        entry for entry in entries
+                        if entry[0] is not current
+                    ] + [(replacement, index)]
+            swapped = True
+        finally:
+            if not swapped:
+                # Lost a race with another swap/unregister: tear the
+                # built replacement down instead of the old model.
+                if replacement.factorized is not None:
+                    replacement.factorized.close()
+                if self._executor is not None:
+                    self._executor.unregister(replacement.worker_index)
+        # Drain: batches that resolved the old registration before the
+        # flip may still be executing; wait for them before closing.
+        deadline = time.perf_counter() + drain_timeout
+        while time.perf_counter() < deadline:
+            with current.lock:
+                if current.inflight == 0:
+                    break
+            time.sleep(0.001)
+        # In-flight batches kept bumping the old generation's counters
+        # during the drain; re-capture now that it is quiescent (the
+        # counters only grew, so the exported totals stay monotonic).
+        # Process mode skips this: the merged-by-name worker sample now
+        # mixes both generations, and the pre-flip capture is within
+        # one drained batch of exact.
+        if self._executor is None:
+            replacement.cache_baselines = [
+                _counter_baseline(stats)
+                for stats in current.cache_stats()
+            ]
+        if current.factorized is not None:
+            current.factorized.close()
+        if self._executor is not None and not self._executor.closed:
+            self._executor.unregister(current.worker_index)
+        return replacement
 
     def unregister(self, name: str) -> None:
         with self._registry_lock:
@@ -1057,9 +1236,29 @@ class ServingRuntime:
             self._execute(batch, stats)
 
     def _execute(self, batch: list[Request], stats: WorkerStats) -> None:
-        if self._executor is not None:
-            self._execute_process(batch, stats)
-            return
+        # Pin the resolved registration for swap draining: swap_model
+        # waits for inflight to reach zero before tearing the old
+        # registration down.  The backend re-resolves the name, so it
+        # may observe a newer registration than the one pinned here (a
+        # swap landing in between) — that only makes the drain
+        # conservative, never unsafe.
+        registered = self._models.get(batch[0].batch_key[0])
+        if registered is not None:
+            with registered.lock:
+                registered.inflight += 1
+        try:
+            if self._executor is not None:
+                self._execute_process(batch, stats)
+            else:
+                self._execute_thread(batch, stats)
+        finally:
+            if registered is not None:
+                with registered.lock:
+                    registered.inflight -= 1
+
+    def _execute_thread(
+        self, batch: list[Request], stats: WorkerStats
+    ) -> None:
         name, op = batch[0].batch_key
         rows = sum(request.rows for request in batch)
         claimed = time.perf_counter()
@@ -1403,7 +1602,8 @@ class ServingRuntime:
             # Fan out to every worker: a dimension beyond the first is
             # not affinity-routed, so any worker may cache its RIDs.
             dropped_by_model = self._executor.invalidate(
-                event.relation, event.rids
+                event.relation, event.rids,
+                positions=event.positions,
             )
             for model_name, dropped in dropped_by_model.items():
                 registered = by_name.get(model_name)
@@ -1473,6 +1673,15 @@ class ServingRuntime:
                     cache_stats[name] = [
                         have + new for have, new in zip(merged, per_dim)
                     ]
+        with self._registry_lock:
+            models = dict(self._models)
+        for name, per_dim in list(cache_stats.items()):
+            model = models.get(name)
+            if model is not None and model.cache_baselines:
+                cache_stats[name] = [
+                    base + have
+                    for base, have in zip(model.cache_baselines, per_dim)
+                ]
         cache_total = CacheStats()
         fingerprints: dict[str, int] = {}
         caches = attachments = shared = cross = 0

@@ -40,9 +40,12 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.core.api import fit_gmm, fit_nn, serve, serve_runtime
+from repro.core.api import fit_gmm, fit_nn, maintain, serve, serve_runtime
 from repro.data.synthetic import generate_star
 from repro.errors import ModelError
+from repro.gmm.base import EMConfig
+from repro.maintain import MaintenancePolicy
+from repro.nn.base import NNConfig
 from repro.obs import Telemetry
 from repro.obs.metrics import COUNTER, GAUGE
 from repro.scenarios.assertions import (
@@ -266,6 +269,7 @@ class ScenarioRunner:
             executor=spec.runtime.executor,
             telemetry=telemetry,
         )
+        maintainer = None
         try:
             register_ref = getattr(reference, f"register_{spec.model.kind}")
             register_ref(
@@ -277,6 +281,40 @@ class ScenarioRunner:
                 REFERENCE_MODEL, model, star.spec,
                 strategy=spec.model.strategy,
             )
+
+            maintenance_specs = [
+                phase.maintenance for phase in spec.phases
+                if phase.maintenance is not None
+            ]
+            if maintenance_specs:
+                first = maintenance_specs[0]
+                policy = MaintenancePolicy(
+                    refresh=first.refresh,
+                    max_pending=first.max_pending,
+                    drift_bound=first.drift_bound,
+                )
+                if spec.model.kind == "nn":
+                    configs = {
+                        "nn_config": NNConfig(
+                            hidden_sizes=(spec.model.width,),
+                            epochs=spec.model.epochs,
+                            seed=seed,
+                        )
+                    }
+                else:
+                    configs = {
+                        "em_config": EMConfig(
+                            n_components=spec.model.width,
+                            max_iter=spec.model.epochs,
+                            seed=seed,
+                        )
+                    }
+                maintainer = maintain(
+                    db, REFERENCE_MODEL, spec.model.kind, star.spec,
+                    model, policy=policy,
+                    targets=(runtime, reference), telemetry=telemetry,
+                    **configs,
+                )
 
             fact = star.spec.resolve(db).fact
             stored = fact.scan()
@@ -302,6 +340,7 @@ class ScenarioRunner:
                     db, runtime, reference, telemetry, star.spec,
                     features, fks, permutation, phase,
                     np.random.default_rng(seed * 7919 + index + 1),
+                    maintainer=maintainer,
                 )
                 result.phases.append(phase_result)
                 all_outputs.append(outputs)
@@ -325,6 +364,8 @@ class ScenarioRunner:
                 result.metrics["rows_per_sec"] = total_rows / total_wall
             return result
         finally:
+            if maintainer is not None:
+                maintainer.close()
             runtime.close()
             reference.close()
 
@@ -348,12 +389,25 @@ class ScenarioRunner:
 
     def _run_phase(
         self, db, runtime, reference, telemetry, join_spec,
-        features, fks, permutation, phase, rng,
+        features, fks, permutation, phase, rng, *, maintainer=None,
     ) -> tuple[PhaseResult, np.ndarray, np.ndarray]:
         start = telemetry.snapshot()
         extra: dict[str, float] = {}
         if phase.dim_updates:
             self._storm(db, join_spec, phase.dim_updates, rng)
+        if phase.maintenance is not None:
+            # The maintenance storm happens while the maintainer is
+            # subscribed: each update lands as a RowVersionEvent and —
+            # under refresh="batched"/"manual" — accumulates until the
+            # explicit flush below refreshes the fit and hot-swaps it
+            # into both the runtime and the reference service, so the
+            # oracle outputs computed next reflect the refreshed model.
+            if phase.maintenance.updates:
+                self._storm(
+                    db, join_spec, phase.maintenance.updates, rng
+                )
+            if phase.maintenance.flush and maintainer is not None:
+                maintainer.flush()
         if phase.memory_budget is not None:
             extra["budget_evicted_rows"] = float(
                 runtime.set_memory_budget(phase.memory_budget)

@@ -20,6 +20,7 @@ single row is generated.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -231,6 +232,80 @@ class RuntimeSpec:
 
 
 @dataclass(frozen=True)
+class MaintenanceSpec:
+    """A phase-boundary model-maintenance action.
+
+    Runs an update storm of ``updates`` dimension rows through the
+    row-version bus with a :class:`~repro.maintain.ModelMaintainer`
+    attached (policy fields mirror
+    :class:`~repro.maintain.MaintenancePolicy`), then — with ``flush``
+    — applies the pending deltas and hot-swaps the refreshed fit into
+    both the runtime and the reference service, so output-parity
+    assertions compare post-maintenance fits on both sides.
+    """
+
+    updates: int = 0
+    refresh: str = "batched"
+    max_pending: int = 64
+    drift_bound: float = math.inf
+    flush: bool = True
+
+    @classmethod
+    def from_dict(cls, raw: dict, where: str) -> "MaintenanceSpec":
+        if not isinstance(raw, dict):
+            raise ModelError(
+                f"{where} must be a mapping, got {type(raw).__name__}"
+            )
+        _require_keys(
+            raw,
+            {"updates", "refresh", "max_pending", "drift_bound", "flush"},
+            where,
+        )
+        updates = raw.get("updates", 0)
+        if (
+            not isinstance(updates, int)
+            or isinstance(updates, bool)
+            or updates < 0
+        ):
+            raise ModelError(
+                f"{where}.updates must be a non-negative integer, "
+                f"got {updates!r}"
+            )
+        refresh = raw.get("refresh", "batched")
+        if refresh not in ("eager", "batched", "manual"):
+            raise ModelError(
+                f"{where}.refresh must be 'eager', 'batched' or "
+                f"'manual', got {refresh!r}"
+            )
+        drift_bound = raw.get("drift_bound", math.inf)
+        try:
+            drift_bound = float(drift_bound)
+        except (TypeError, ValueError):
+            raise ModelError(
+                f"{where}.drift_bound must be a number, "
+                f"got {drift_bound!r}"
+            ) from None
+        if drift_bound <= 0:
+            raise ModelError(
+                f"{where}.drift_bound must be positive, got {drift_bound}"
+            )
+        flush = raw.get("flush", True)
+        if not isinstance(flush, bool):
+            raise ModelError(
+                f"{where}.flush must be a bool, got {flush!r}"
+            )
+        return cls(
+            updates=updates,
+            refresh=refresh,
+            max_pending=_positive_int(
+                raw.get("max_pending", 64), f"{where}.max_pending"
+            ),
+            drift_bound=drift_bound,
+            flush=flush,
+        )
+
+
+@dataclass(frozen=True)
 class PhaseSpec:
     """One stretch of traffic, optionally shifting the workload first.
 
@@ -239,6 +314,12 @@ class PhaseSpec:
     * ``dim_updates`` — update that many dimension rows in place (the
       "update storm" shape; partial caches and the buffer pool see the
       invalidation fan-out, and the phase measures the recovery);
+    * ``maintenance`` — like ``dim_updates``, but with a
+      :class:`~repro.maintain.ModelMaintainer` attached: the storm's
+      events coalesce under the declared policy and (with ``flush``)
+      the delta-refreshed fit is hot-swapped into runtime and
+      reference before the phase's traffic (see
+      :class:`MaintenanceSpec`);
     * ``memory_budget`` — re-bound the runtime's store-wide budget
       (bytes); a cut forces cross-cache eviction mid-run;
     * ``skew`` / ``flip`` — this phase's request traffic follows a
@@ -253,6 +334,7 @@ class PhaseSpec:
     skew: float = 0.0
     flip: bool = False
     dim_updates: int = 0
+    maintenance: MaintenanceSpec | None = None
     memory_budget: int | None = None
     assertions: tuple[AssertionSpec, ...] = ()
 
@@ -262,7 +344,8 @@ class PhaseSpec:
             raw,
             {
                 "name", "requests", "request_rows", "skew", "flip",
-                "dim_updates", "memory_budget", "assertions",
+                "dim_updates", "maintenance", "memory_budget",
+                "assertions",
             },
             where,
         )
@@ -287,6 +370,11 @@ class PhaseSpec:
             memory_budget = _positive_int(
                 memory_budget, f"{where}.memory_budget"
             )
+        maintenance = raw.get("maintenance")
+        if maintenance is not None:
+            maintenance = MaintenanceSpec.from_dict(
+                maintenance, f"{where}.maintenance"
+            )
         return cls(
             name=name,
             requests=_positive_int(
@@ -298,6 +386,7 @@ class PhaseSpec:
             skew=_skew(raw.get("skew", 0.0), f"{where}.skew"),
             flip=flip,
             dim_updates=dim_updates,
+            maintenance=maintenance,
             memory_budget=memory_budget,
             assertions=parse_assertions(
                 raw.get("assertions", []), f"{where}.assertions",

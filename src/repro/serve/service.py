@@ -108,6 +108,11 @@ class RegisteredModel:
     strategy: str          # "materialized" | "factorized"
     predictor: object
     stats: ServingStats = field(default_factory=ServingStats)
+    # Registration-time inputs retained so a maintainer can rebuild the
+    # predictor around a refreshed fit (see ModelService.swap_model).
+    spec: JoinSpec | None = None
+    requested_strategy: str | None = None
+    cache_entries: int | list[int] | None = None
 
     def cache_stats(self) -> list[CacheStats]:
         """Per-dimension partial-cache counters (factorized only)."""
@@ -252,7 +257,8 @@ class ModelService:
         )
         registered = RegisteredModel(
             name=name, kind=kind, strategy=predictor.strategy,
-            predictor=predictor,
+            predictor=predictor, spec=spec,
+            requested_strategy=strategy, cache_entries=cache_entries,
         )
         with self._registry_lock:
             # Re-check under the lock: a concurrent registration of
@@ -263,6 +269,53 @@ class ModelService:
                 raise ModelError(f"model {name!r} is already registered")
             self._models[name] = registered
         return registered
+
+    def swap_model(self, name: str, model) -> RegisteredModel:
+        """Atomically replace ``name``'s fit with a refreshed one.
+
+        The new predictor is built completely before the registry
+        changes, then swapped in under the registry lock — every
+        request sees entirely the old or entirely the new fit (requests
+        capture the :class:`RegisteredModel` once, at entry), never a
+        torn mix.  Serving stats carry over; the new predictor draws
+        from the same shared store, so partials the refreshed fit left
+        value-identical (untouched dimensions) stay resident via
+        fingerprint sharing, and only the changed ones rebuild.
+        """
+        current = self.model(name)
+        if current.spec is None:
+            raise ModelError(
+                f"model {name!r} was registered without its spec; "
+                "cannot rebuild its predictor for a swap"
+            )
+        predictor = make_predictor(
+            self.db, current.spec, model, kind=current.kind,
+            strategy=current.requested_strategy,
+            cache_entries=current.cache_entries, store=self.store,
+            block_pages=self.block_pages,
+        )
+        replacement = RegisteredModel(
+            name=name, kind=current.kind, strategy=predictor.strategy,
+            predictor=predictor, stats=current.stats,
+            spec=current.spec,
+            requested_strategy=current.requested_strategy,
+            cache_entries=current.cache_entries,
+        )
+        with self._registry_lock:
+            if self._models.get(name) is not current:
+                # Lost a race with another swap or an unregister; the
+                # built predictor must not strand its store pins.
+                predictor.close()
+                raise ModelError(
+                    f"model {name!r} changed while swapping"
+                )
+            self._models[name] = replacement
+        # Safe immediately: close() only releases the store's pins, and
+        # predictors stay readable after close, so an in-flight request
+        # that captured the old RegisteredModel still completes on the
+        # old fit.
+        current.predictor.close()
+        return replacement
 
     def unregister(self, name: str) -> None:
         with self._registry_lock:

@@ -210,24 +210,86 @@ class Database:
                 rids = rows[:, key_position].astype(np.int64)
             else:
                 rids = positions
-            event = RowVersionEvent(relation=name, rids=rids, version=version)
-            # Callbacks run inside the update lock so events reach
-            # subscribers in version order even under concurrent
-            # updaters; subscribers must therefore never call back
-            # into update_rows.  Delivery is exception-isolated: the
-            # rows are already durable, so every subscriber must hear
-            # about them even if an earlier one fails — the first
-            # failure re-raises only after full fan-out.
-            first_error = None
-            for callback in list(self._subscribers):
-                try:
-                    callback(event)
-                except Exception as error:
-                    if first_error is None:
-                        first_error = error
-            if first_error is not None:
-                raise first_error
+            event = RowVersionEvent(
+                relation=name, rids=rids, version=version,
+                kind="update", positions=positions,
+            )
+            self._notify(event)
         return event
+
+    def append_rows(self, name: str, rows: np.ndarray) -> RowVersionEvent:
+        """Append rows to ``name`` and notify subscribers.
+
+        The append shares the update path's ordering contract: the heap
+        grows and the trailing buffer-pool page is dropped before the
+        event fires, so a subscriber that re-scans on notification sees
+        the new rows.  The emitted event carries ``kind="append"`` with
+        the new rows' primary-key values (heap positions for keyless
+        relations), letting model maintainers fold the rows in via
+        mini-batch steps instead of refitting from scratch.
+        """
+        relation = self.relation(name)
+        rows = np.atleast_2d(np.asarray(rows, dtype=np.float64))
+        if rows.ndim != 2 or rows.shape[1] != relation.schema.width:
+            raise StorageError(
+                f"rows for {name!r} must be (n, {relation.schema.width}), "
+                f"got {rows.shape}"
+            )
+        key_position = (
+            relation.schema.key_position
+            if relation.schema.key_column is not None
+            else None
+        )
+        with self._update_lock:
+            if key_position is not None and rows.shape[0]:
+                new_keys = rows[:, key_position].astype(np.int64)
+                if np.intersect1d(new_keys, relation.keys()).size:
+                    raise StorageError(
+                        f"append to {name!r} would duplicate primary-key "
+                        "values; serving lookups index rows by key"
+                    )
+            first = relation.nrows
+            # The last page before the append may gain rows in place;
+            # drop its cached copy before the write becomes visible.
+            if first and first % relation.heap.rows_per_page:
+                self.buffer_pool.invalidate_pages(
+                    relation.heap,
+                    np.asarray([first // relation.heap.rows_per_page]),
+                )
+            relation.append(rows)
+            positions = np.arange(first, relation.nrows, dtype=np.int64)
+            version = self._row_versions.get(name, 0) + 1
+            self._row_versions[name] = version
+            if key_position is not None:
+                rids = rows[:, key_position].astype(np.int64)
+            else:
+                rids = positions
+            event = RowVersionEvent(
+                relation=name, rids=rids, version=version,
+                kind="append", positions=positions,
+            )
+            self._notify(event)
+        return event
+
+    def _notify(self, event: RowVersionEvent) -> None:
+        """Fan an event out to every subscriber, exception-isolated.
+
+        Runs inside the update lock so events reach subscribers in
+        version order even under concurrent writers; subscribers must
+        therefore never call back into ``update_rows``/``append_rows``.
+        The rows are already durable, so every subscriber must hear
+        about them even if an earlier one fails — the first failure
+        re-raises only after full fan-out.
+        """
+        first_error = None
+        for callback in list(self._subscribers):
+            try:
+                callback(event)
+            except Exception as error:
+                if first_error is None:
+                    first_error = error
+        if first_error is not None:
+            raise first_error
 
     def _rows_at(self, relation: Relation, positions: np.ndarray) -> np.ndarray:
         """Current rows at ``positions``, read through the buffer pool.

@@ -1,0 +1,262 @@
+"""Hot-swap atomicity: maintenance racing in-flight serving.
+
+A refresh lands via ``swap_model`` while request batches are executing.
+The contract on both executors: every batch's outputs come entirely
+from the old fit or entirely from the new one — never a torn mix — and
+monotonic cache counters carry across the swap instead of restarting.
+"""
+
+from __future__ import annotations
+
+import threading
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core.api import fit_gmm, predict_gmm, serve, serve_runtime
+from repro.gmm.base import EMConfig
+from repro.maintain import MaintenancePolicy, ModelMaintainer
+
+from tests.maintain.test_delta_parity import update_dimension
+
+
+@pytest.fixture(autouse=True)
+def _quiet():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        yield
+
+
+def _requests(db, spec, n=48):
+    fact = spec.resolve(db).fact
+    rows = fact.scan()[:n]
+    features = fact.project_features(rows)
+    fks = np.column_stack(
+        [
+            rows[:, fact.schema.fk_position(dim.relation)]
+            for dim in spec.dimensions
+        ]
+    ).astype(np.int64)
+    return features, fks
+
+
+def _two_fits(db, spec, rng):
+    """Two materially different fits over the *same* final data: the
+    dimension rows move first, so both oracles see one frozen star."""
+    config = EMConfig(n_components=3, max_iter=4, seed=1)
+    m0 = fit_gmm(db, spec, algorithm="factorized", config=config)
+    for _ in range(3):
+        update_dimension(db, spec, rng, count=4)
+    m1 = fit_gmm(
+        db, spec, algorithm="factorized",
+        config=EMConfig(n_components=3, max_iter=7, seed=5),
+    )
+    return m0, m1
+
+
+@pytest.mark.parametrize("executor", ["thread", "process"])
+class TestSwapNeverTears:
+    def test_outputs_entirely_old_or_entirely_new(
+        self, db, multiway_star, executor
+    ):
+        spec = multiway_star.spec
+        rng = np.random.default_rng(3)
+        m0, m1 = _two_fits(db, spec, rng)
+        features, fks = _requests(db, spec)
+        expected0 = predict_gmm(db, spec, m0.model, features, fks)
+        expected1 = predict_gmm(db, spec, m1.model, features, fks)
+        assert not np.array_equal(expected0, expected1)
+
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor=executor
+        )
+        outputs: list[np.ndarray] = []
+        errors: list[BaseException] = []
+        try:
+            rt.register_gmm("m", m0, spec, strategy="factorized")
+            start = threading.Barrier(4)
+
+            def reader():
+                try:
+                    start.wait()
+                    for _ in range(12):
+                        outputs.append(rt.predict("m", features, fks))
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=reader) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            rt.swap_model("m", m1)
+            for thread in threads:
+                thread.join()
+        finally:
+            rt.close()
+
+        assert not errors
+        saw = {"old": 0, "new": 0}
+        for out in outputs:
+            if np.array_equal(out, expected0):
+                saw["old"] += 1
+            elif np.array_equal(out, expected1):
+                saw["new"] += 1
+            else:
+                raise AssertionError(
+                    "torn output: matches neither the old nor the "
+                    "new fit's oracle"
+                )
+        # The swap happened mid-traffic, so the new fit must have
+        # served at least once; old-generation sightings depend on
+        # scheduling and may be zero.
+        assert saw["new"] > 0
+
+    def test_maintainer_driven_swap_serves_the_refreshed_fit(
+        self, db, multiway_star, executor
+    ):
+        spec = multiway_star.spec
+        config = EMConfig(n_components=2, max_iter=4, seed=2)
+        fit = fit_gmm(db, spec, algorithm="factorized", config=config)
+        features, fks = _requests(db, spec, n=32)
+        rng = np.random.default_rng(9)
+        rt = serve_runtime(
+            db, num_workers=2, max_wait_ms=0.0, executor=executor
+        )
+        try:
+            rt.register_gmm("m", fit, spec, strategy="factorized")
+            with ModelMaintainer(
+                db, "m", "gmm", spec, fit, em_config=config,
+                policy=MaintenancePolicy(refresh="manual"),
+                targets=(rt,),
+            ) as maintainer:
+                update_dimension(db, spec, rng, count=5)
+                maintainer.flush()
+                served = rt.predict("m", features, fks)
+                oracle = predict_gmm(
+                    db, spec, maintainer.model, features, fks
+                )
+                assert np.array_equal(served, oracle)
+        finally:
+            rt.close()
+
+
+class TestModelServiceSwap:
+    def test_concurrent_predicts_never_torn(self, db, multiway_star):
+        spec = multiway_star.spec
+        rng = np.random.default_rng(4)
+        m0, m1 = _two_fits(db, spec, rng)
+        features, fks = _requests(db, spec)
+        expected0 = predict_gmm(db, spec, m0.model, features, fks)
+        expected1 = predict_gmm(db, spec, m1.model, features, fks)
+        assert not np.array_equal(expected0, expected1)
+
+        service = serve(db)
+        outputs: list[np.ndarray] = []
+        errors: list[BaseException] = []
+        try:
+            service.register_gmm("m", m0, spec)
+            start = threading.Barrier(3)
+
+            def reader():
+                try:
+                    start.wait()
+                    for _ in range(15):
+                        outputs.append(
+                            service.predict("m", features, fks)
+                        )
+                except BaseException as error:  # pragma: no cover
+                    errors.append(error)
+
+            threads = [threading.Thread(target=reader) for _ in range(2)]
+            for thread in threads:
+                thread.start()
+            start.wait()
+            service.swap_model("m", m1)
+            for thread in threads:
+                thread.join()
+        finally:
+            service.close()
+
+        assert not errors
+        for out in outputs:
+            assert np.array_equal(out, expected0) or np.array_equal(
+                out, expected1
+            )
+
+
+class TestSwapCounters:
+    def test_cache_counters_carry_across_the_swap(self, db, multiway_star):
+        """Monotonic cache counters must never step backwards when a
+        swap rebuilds the caches — retired-generation totals fold in as
+        baselines."""
+        spec = multiway_star.spec
+        config = EMConfig(n_components=2, max_iter=4, seed=6)
+        fit = fit_gmm(db, spec, algorithm="factorized", config=config)
+        features, fks = _requests(db, spec, n=40)
+        rt = serve_runtime(db, num_workers=2, max_wait_ms=0.0)
+        try:
+            rt.register_gmm("m", fit, spec, strategy="factorized")
+            rt.predict("m", features, fks)
+            before = rt.cache_stats("m")
+            assert sum(s.misses for s in before) > 0
+
+            rt.swap_model("m", fit)
+            after_swap = rt.cache_stats("m")
+            for old, new in zip(before, after_swap):
+                assert new.hits >= old.hits
+                assert new.misses >= old.misses
+                assert new.invalidations >= old.invalidations
+
+            rt.predict("m", features, fks)
+            after_traffic = rt.cache_stats("m")
+            for old, new in zip(after_swap, after_traffic):
+                assert new.hits + new.misses > old.hits + old.misses
+        finally:
+            rt.close()
+
+    def test_event_invalidation_stays_rid_scoped_under_maintenance(
+        self, db, multiway_star
+    ):
+        """With a maintainer attached (events pending, no flush), a
+        single-RID update must evict exactly that RID's partials —
+        untouched RIDs stay resident in the store."""
+        spec = multiway_star.spec
+        config = EMConfig(n_components=2, max_iter=4, seed=7)
+        fit = fit_gmm(db, spec, algorithm="factorized", config=config)
+        features, fks = _requests(db, spec, n=60)
+        rt = serve_runtime(db, num_workers=2, max_wait_ms=0.0)
+        try:
+            rt.register_gmm("m", fit, spec, strategy="factorized")
+            with ModelMaintainer(
+                db, "m", "gmm", spec, fit, em_config=config,
+                policy=MaintenancePolicy(refresh="manual"),
+                targets=(rt,),
+            ) as maintainer:
+                rt.predict("m", features, fks)
+                entries_before = sum(
+                    s.entries for s in rt.cache_stats("m")
+                )
+                assert entries_before > 0
+
+                dim = spec.dimensions[0].relation
+                victim = int(fks[0, 0])
+                relation = db.relation(dim)
+                position = relation.positions_of_keys(
+                    np.array([victim])
+                )
+                row = relation.scan()[position[0]].copy()
+                row[1:] += 1.0
+                db.update_rows(dim, position, row[None, :])
+
+                assert maintainer.pending_events == 1  # no refresh ran
+                entries_after = sum(
+                    s.entries for s in rt.cache_stats("m")
+                )
+                invalidated = sum(
+                    s.invalidations for s in rt.cache_stats("m")
+                )
+                assert invalidated == 1
+                assert entries_after == entries_before - 1
+        finally:
+            rt.close()

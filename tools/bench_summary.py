@@ -11,6 +11,8 @@ runs to stable-schema history files at the repo root:
 * ``BENCH_runtime.json``   — runtime scaling rows/sec per config;
 * ``BENCH_cache.json``     — cross-model sharing footprint;
 * ``BENCH_overhead.json``  — telemetry on/off wall-time ratio;
+* ``BENCH_maintenance.json`` — delta-apply vs full-refit wall time
+  per update rate;
 * ``BENCH_scenarios.json`` — scenario-suite medians per scenario.
 
 Each history keeps the raw per-run records (most recent last, capped
@@ -168,6 +170,20 @@ def flatten_overhead(run: dict) -> dict:
     }
 
 
+def flatten_maintenance(run: dict) -> dict:
+    """Per update rate: delta/refit wall seconds and their ratio,
+    plus the headline smallest-rate ``delta_speedup`` (``*speedup*``
+    gates higher-is-better in tools/regression_gate.py)."""
+    flat = {}
+    for rate_key, point in run.get("rates", {}).items():
+        for field in ("delta_s", "refit_s", "speedup"):
+            if field in point:
+                flat[f"{rate_key}.{field}"] = float(point[field])
+    if "delta_speedup" in run:
+        flat["delta_speedup"] = float(run["delta_speedup"])
+    return flat
+
+
 def flatten_scenarios(run: dict) -> dict:
     """Cross-trial medians per scenario, keyed ``<scenario>.<metric>``."""
     flat = {}
@@ -195,6 +211,7 @@ BENCHES = (
     ("runtime_scaling.json", "BENCH_runtime.json", flatten_runtime),
     ("shared_cache.json", "BENCH_cache.json", flatten_cache),
     ("telemetry_overhead.json", "BENCH_overhead.json", flatten_overhead),
+    ("maintenance.json", "BENCH_maintenance.json", flatten_maintenance),
     ("scenarios.json", "BENCH_scenarios.json", flatten_scenarios),
 )
 
